@@ -1,0 +1,22 @@
+//! Figure 5: web-server reachability over TCP and ECN negotiation success
+//! (paper: 1334 reachable, 1095 = 82.0% negotiate).
+
+use ecn_bench::{paper_campaign, time_kernel};
+use ecn_core::analysis::figure5;
+
+fn main() {
+    let result = paper_campaign(false);
+    let fig = figure5(&result.traces);
+    println!("{}", fig.render());
+
+    println!(
+        "audit: planted {} web servers of which {} ECN-capable ({:.1}%)",
+        result.truth.web_server_count,
+        result.truth.web_ecn_on_count,
+        100.0 * result.truth.web_ecn_on_count as f64 / result.truth.web_server_count.max(1) as f64,
+    );
+
+    time_kernel("figure5 aggregation (210 traces)", 50, || {
+        figure5(&result.traces)
+    });
+}

@@ -1,0 +1,20 @@
+//! Table 2: correlation between UDP-with-ECT unreachability and TCP ECN
+//! negotiation failure — the weak-correlation / UDP-specific-filtering
+//! finding of §4.4.
+
+use ecn_bench::{paper_campaign, time_kernel};
+use ecn_core::analysis::table2;
+
+fn main() {
+    let result = paper_campaign(false);
+    let t2 = table2(&result.traces);
+    println!("{}", t2.render());
+
+    println!(
+        "paper reference rows: Perkins 8/3, McQuistin 160/20, UGla wired 10/2, UGla w'less 43/4, EC2 10..16 / 2..5"
+    );
+
+    time_kernel("table2 aggregation (210 traces)", 20, || {
+        table2(&result.traces)
+    });
+}

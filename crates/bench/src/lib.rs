@@ -1,0 +1,46 @@
+//! Shared helpers for the benchmark harness: each `[[bench]]` target
+//! regenerates one of the paper's tables/figures (printing the rows the
+//! paper reports) and then times the computational kernel behind it.
+
+use ecn_core::{CampaignConfig, CampaignResult};
+use ecn_pool::PoolPlan;
+use std::time::Instant;
+
+/// Default seed for benchmark runs (fixed so printed artefacts are stable).
+pub const BENCH_SEED: u64 = 2015;
+
+/// Run the full paper-scale campaign (optionally with the traceroute
+/// survey), reporting wall time.
+pub fn paper_campaign(run_traceroute: bool) -> CampaignResult {
+    let plan = PoolPlan::paper();
+    let cfg = CampaignConfig {
+        seed: BENCH_SEED,
+        run_traceroute,
+        ..CampaignConfig::default()
+    };
+    let t0 = Instant::now();
+    let result = ecn_core::run_campaign_parallel(&plan, &cfg);
+    eprintln!(
+        "[bench] paper-scale campaign ({} traces{}) in {:.1}s",
+        result.traces.len(),
+        if run_traceroute {
+            ", with traceroute survey"
+        } else {
+            ""
+        },
+        t0.elapsed().as_secs_f64()
+    );
+    result
+}
+
+/// Time a closure `iters` times and print mean per-iteration milliseconds.
+pub fn time_kernel<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // warm-up
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() * 1000.0 / f64::from(iters);
+    println!("[kernel] {label}: {per:.3} ms/iter over {iters} iters");
+}

@@ -1,0 +1,260 @@
+//! Table 2: correlation between UDP-with-ECT unreachability and TCP ECN
+//! negotiation failure (§4.4). The paper's finding is a *weak* correlation:
+//! most servers that blackhole ECT-marked UDP still negotiate ECN fine
+//! over TCP — evidence of UDP-specific ECT filtering.
+
+use crate::report::render_table;
+use crate::trace::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Location (vantage) name.
+    pub location: String,
+    /// Avg per trace: servers reachable via not-ECT UDP but not ECT(0).
+    pub avg_udp_ect_unreachable: f64,
+    /// Avg per trace: of those, TCP-reachable servers that failed to
+    /// negotiate ECN.
+    pub avg_fail_tcp_ecn: f64,
+    /// Avg per trace: of those, TCP-reachable servers that *did* negotiate.
+    pub avg_ok_tcp_ecn: f64,
+    /// Traces from this location.
+    pub traces: usize,
+}
+
+/// The Table 2 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Rows in vantage first-seen order.
+    pub rows: Vec<Table2Row>,
+    /// φ (phi) correlation between the events "UDP-ECT unreachable" and
+    /// "refuses TCP ECN", across all (server, trace) observations where
+    /// the server was TCP-reachable and UDP-plain-reachable.
+    pub phi: f64,
+    /// Fraction of UDP-ECT-unreachable, TCP-reachable server observations
+    /// that nevertheless negotiated ECN over TCP (the "majority" claim).
+    pub blocked_but_negotiates: f64,
+}
+
+/// Compute Table 2.
+pub fn table2(traces: &[TraceRecord]) -> Table2 {
+    let mut order: Vec<String> = Vec::new();
+    let mut acc: std::collections::HashMap<String, (f64, f64, f64, usize)> =
+        std::collections::HashMap::new();
+    // 2x2 contingency counts over (udp_diff, tcp_ecn_fail)
+    let (mut n11, mut n10, mut n01, mut n00) = (0f64, 0f64, 0f64, 0f64);
+    let mut blocked_negotiated = 0usize;
+    let mut blocked_tcp_reachable = 0usize;
+
+    for t in traces {
+        if !acc.contains_key(&t.vantage_name) {
+            order.push(t.vantage_name.clone());
+        }
+        let mut udp_unreach = 0usize;
+        let mut fail = 0usize;
+        let mut ok = 0usize;
+        for o in &t.outcomes {
+            let diff = o.udp_diff_plain_only();
+            if diff {
+                udp_unreach += 1;
+                if o.tcp_ecn.reachable {
+                    blocked_tcp_reachable += 1;
+                    if o.tcp_ecn.negotiated_ecn {
+                        ok += 1;
+                        blocked_negotiated += 1;
+                    } else {
+                        fail += 1;
+                    }
+                }
+            }
+            // contingency over observations where both verdicts are defined
+            if o.udp_plain.reachable && o.tcp_ecn.reachable {
+                let refuses = !o.tcp_ecn.negotiated_ecn;
+                match (diff, refuses) {
+                    (true, true) => n11 += 1.0,
+                    (true, false) => n10 += 1.0,
+                    (false, true) => n01 += 1.0,
+                    (false, false) => n00 += 1.0,
+                }
+            }
+        }
+        let e = acc.entry(t.vantage_name.clone()).or_insert((0.0, 0.0, 0.0, 0));
+        e.0 += udp_unreach as f64;
+        e.1 += fail as f64;
+        e.2 += ok as f64;
+        e.3 += 1;
+    }
+
+    let rows: Vec<Table2Row> = order
+        .into_iter()
+        .map(|name| {
+            let (u, f, k, c) = acc[&name];
+            Table2Row {
+                location: name,
+                avg_udp_ect_unreachable: u / c as f64,
+                avg_fail_tcp_ecn: f / c as f64,
+                avg_ok_tcp_ecn: k / c as f64,
+                traces: c,
+            }
+        })
+        .collect();
+
+    let denom = ((n11 + n10) * (n01 + n00) * (n11 + n01) * (n10 + n00)).sqrt();
+    let phi = if denom < 1e-12 {
+        0.0
+    } else {
+        (n11 * n00 - n10 * n01) / denom
+    };
+    let blocked_but_negotiates = if blocked_tcp_reachable == 0 {
+        0.0
+    } else {
+        blocked_negotiated as f64 / blocked_tcp_reachable as f64
+    };
+
+    Table2 {
+        rows,
+        phi,
+        blocked_but_negotiates,
+    }
+}
+
+impl Table2 {
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.location.clone(),
+                    format!("{:.0}", r.avg_udp_ect_unreachable),
+                    format!("{:.0}", r.avg_fail_tcp_ecn),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "Table 2: correlation between UDP and TCP reachability",
+            &[
+                "Location",
+                "Avg. unreachable UDP w/ECT",
+                "…of those, fail to negotiate ECN w/TCP",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "\nφ correlation = {:.3} (weak); {:.0}% of ECT-UDP-blocked, TCP-reachable servers still negotiate ECN over TCP\n",
+            self.phi,
+            100.0 * self.blocked_but_negotiates,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes::{TcpProbeResult, UdpProbeResult};
+    use crate::trace::ServerOutcome;
+    use ecn_netsim::Nanos;
+    use std::net::Ipv4Addr;
+
+    fn outcome(
+        i: u8,
+        plain: bool,
+        ect: bool,
+        tcp_reach: bool,
+        negotiated: bool,
+    ) -> ServerOutcome {
+        let udp = |r| UdpProbeResult {
+            reachable: r,
+            attempts: 1,
+            response_ecn: None,
+            rtt: None,
+        };
+        let tcp = |r, n| TcpProbeResult {
+            reachable: r,
+            http_status: if r { Some(302) } else { None },
+            requested_ecn: true,
+            negotiated_ecn: n,
+            syn_ack_flags: None,
+            close_reason: None,
+        };
+        ServerOutcome {
+            server: Ipv4Addr::new(10, 0, 0, i),
+            udp_plain: udp(plain),
+            udp_ect: udp(ect),
+            tcp_plain: tcp(tcp_reach, false),
+            tcp_ecn: tcp(tcp_reach, negotiated),
+        }
+    }
+
+    fn trace(name: &str, outcomes: Vec<ServerOutcome>) -> TraceRecord {
+        TraceRecord {
+            vantage_key: name.to_lowercase(),
+            vantage_name: name.into(),
+            batch: 2,
+            started_at: Nanos::ZERO,
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn rows_count_blocked_and_refusing() {
+        let t = trace(
+            "A",
+            vec![
+                // blocked on UDP but negotiates TCP ECN: the paper's case
+                outcome(1, true, false, true, true),
+                // blocked on UDP and refuses TCP ECN
+                outcome(2, true, false, true, false),
+                // blocked on UDP, no web server
+                outcome(3, true, false, false, false),
+                // healthy everywhere
+                outcome(4, true, true, true, true),
+            ],
+        );
+        let t2 = table2(&[t]);
+        assert_eq!(t2.rows.len(), 1);
+        let r = &t2.rows[0];
+        assert!((r.avg_udp_ect_unreachable - 3.0).abs() < 1e-9);
+        assert!((r.avg_fail_tcp_ecn - 1.0).abs() < 1e-9, "only the TCP-reachable refuser");
+        assert!((r.avg_ok_tcp_ecn - 1.0).abs() < 1e-9);
+        assert!((t2.blocked_but_negotiates - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_events_have_low_phi() {
+        // blocked/unblocked × negotiate/refuse occur independently
+        let mut outcomes = Vec::new();
+        let mut i = 0u8;
+        for _ in 0..10 {
+            for (diff, neg) in [(true, true), (true, false), (false, true), (false, false)] {
+                i = i.wrapping_add(1);
+                outcomes.push(outcome(i, true, !diff, true, neg));
+            }
+        }
+        let t2 = table2(&[trace("A", outcomes)]);
+        assert!(t2.phi.abs() < 0.05, "phi = {}", t2.phi);
+    }
+
+    #[test]
+    fn perfectly_correlated_events_have_phi_one() {
+        let outcomes = vec![
+            outcome(1, true, false, true, false),
+            outcome(2, true, false, true, false),
+            outcome(3, true, true, true, true),
+            outcome(4, true, true, true, true),
+        ];
+        let t2 = table2(&[trace("A", outcomes)]);
+        assert!((t2.phi - 1.0).abs() < 1e-9, "phi = {}", t2.phi);
+    }
+
+    #[test]
+    fn render_matches_table2_shape() {
+        let t2 = table2(&[trace("Perkins home", vec![outcome(1, true, true, true, true)])]);
+        let r = t2.render();
+        assert!(r.contains("Perkins home"));
+        assert!(r.contains("Avg. unreachable UDP w/ECT"));
+    }
+}

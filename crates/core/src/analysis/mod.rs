@@ -1,0 +1,82 @@
+//! The analysis suite: one module per paper artefact, plus a
+//! [`FullReport`] aggregator that computes everything from a
+//! [`crate::campaign::CampaignResult`].
+
+pub mod batches;
+pub mod correlation;
+pub mod differential;
+pub mod hops;
+pub mod reachability;
+pub mod table1;
+pub mod tcp_ecn;
+pub mod trend;
+
+pub use batches::{batch_comparison, BatchComparison};
+pub use correlation::{table2, Table2, Table2Row};
+pub use differential::{figure3, Figure3, ServerDifferential};
+pub use hops::{figure4, figure4_dot, Figure4};
+pub use reachability::{figure2, Figure2, TraceBar};
+pub use table1::{table1, Table1};
+pub use tcp_ecn::{figure5, Fig5Bar, Figure5};
+pub use trend::{figure6, fit_logistic, historical_points, Figure6, LogisticFit, TrendPoint};
+
+use crate::campaign::CampaignResult;
+
+/// Every table and figure computed from one campaign.
+pub struct FullReport {
+    /// Table 1: server geography.
+    pub table1: Table1,
+    /// Figure 2: UDP reachability ±ECT(0).
+    pub figure2: Figure2,
+    /// Figure 3: per-server differential reachability.
+    pub figure3: Figure3,
+    /// Figure 4 / §4.2: hop-level mark survival.
+    pub figure4: Figure4,
+    /// Figure 5: TCP reachability and ECN negotiation.
+    pub figure5: Figure5,
+    /// Figure 6: historical trend with our point appended.
+    pub figure6: Figure6,
+    /// Table 2: UDP/TCP correlation.
+    pub table2: Table2,
+    /// §4.1 batch comparison (churn between collection periods).
+    pub batches: BatchComparison,
+}
+
+impl FullReport {
+    /// Compute everything.
+    pub fn from_campaign(result: &CampaignResult) -> FullReport {
+        let figure5 = figure5(&result.traces);
+        let measured_pct = figure5.negotiated_pct();
+        FullReport {
+            table1: table1(&result.geodb, &result.targets),
+            figure2: figure2(&result.traces),
+            figure3: figure3(&result.traces),
+            figure4: figure4(&result.routes, &result.asdb),
+            figure5,
+            figure6: figure6(measured_pct),
+            table2: table2(&result.traces),
+            batches: batch_comparison(&result.traces),
+        }
+    }
+
+    /// Render the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.table1.render());
+        out.push('\n');
+        out.push_str(&self.figure2.render());
+        out.push('\n');
+        out.push_str(&self.figure3.render());
+        out.push('\n');
+        out.push_str(&self.figure4.render());
+        out.push('\n');
+        out.push_str(&self.figure5.render());
+        out.push('\n');
+        out.push_str(&self.figure6.render());
+        out.push('\n');
+        out.push_str(&self.table2.render());
+        out.push('\n');
+        out.push_str(&self.batches.render());
+        out
+    }
+}

@@ -1,0 +1,345 @@
+//! The measurement campaign: discovery, then 210 traces across the 13
+//! vantages and two collection batches, then the traceroute survey —
+//! paper §3 end to end.
+//!
+//! Two runners are provided: [`run_campaign`] executes everything in one
+//! simulator, strictly sequentially (most faithful); [`run_campaign_parallel`]
+//! rebuilds the same seeded world once per vantage and runs vantages on
+//! separate threads — statistically equivalent (vantages share no state but
+//! the ground truth, which is seed-determined) and ~13× faster, which is
+//! what the benches use.
+
+use crate::config::CampaignConfig;
+use crate::discovery::{discover, Discovery};
+use crate::probes::{probe_tcp, probe_udp};
+use crate::trace::{ServerOutcome, TraceRecord};
+use crate::traceroute::{traceroute, TraceroutePath};
+use ecn_netsim::Nanos;
+use ecn_pool::{build_scenario, PoolPlan, Scenario};
+use ecn_wire::Ecn;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Traceroute survey results from one vantage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VantageRoutes {
+    /// Vantage key.
+    pub vantage_key: String,
+    /// One path per target.
+    pub paths: Vec<TraceroutePath>,
+}
+
+/// Everything the campaign produced (plus the databases the analysis
+/// needs).
+pub struct CampaignResult {
+    /// Targets in discovery order.
+    pub targets: Vec<Ipv4Addr>,
+    /// Discovery statistics.
+    pub discovery: DiscoveryStats,
+    /// All trace records, in execution order.
+    pub traces: Vec<TraceRecord>,
+    /// Traceroute survey (one entry per vantage), if enabled.
+    pub routes: Vec<VantageRoutes>,
+    /// Geolocation DB for Table 1 / Figure 1.
+    pub geodb: ecn_geo::GeoDb,
+    /// IP→AS DB for the §4.2 boundary analysis.
+    pub asdb: ecn_asdb::AsDb,
+    /// Vantage (key, name) in Table 2 order.
+    pub vantage_order: Vec<(String, String)>,
+    /// Ground truth (audit only).
+    pub truth: ecn_pool::GroundTruth,
+}
+
+/// Summary of the discovery phase.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DiscoveryStats {
+    /// Unique servers discovered.
+    pub servers: usize,
+    /// Queries issued.
+    pub queries: usize,
+    /// Unanswered queries.
+    pub timeouts: usize,
+}
+
+impl From<&Discovery> for DiscoveryStats {
+    fn from(d: &Discovery) -> Self {
+        DiscoveryStats {
+            servers: d.targets.len(),
+            queries: d.queries,
+            timeouts: d.timeouts,
+        }
+    }
+}
+
+/// A scheduled trace, before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScheduledTrace {
+    start: Nanos,
+    vantage: usize,
+    batch: u8,
+}
+
+/// Build the global schedule: batch-1 traces for home/wireless vantages,
+/// batch-2 traces for all, spread across each batch window.
+fn schedule(sc: &Scenario, cfg: &CampaignConfig) -> Vec<ScheduledTrace> {
+    let mut out = Vec::new();
+    for (vi, v) in sc.vantages.iter().enumerate() {
+        let mut budget = cfg.traces_per_vantage.unwrap_or(usize::MAX);
+        for (batch, count, start) in [
+            (1u8, v.spec.traces.batch1, cfg.batch1_start),
+            (2u8, v.spec.traces.batch2, cfg.batch2_start),
+        ] {
+            let count = count.min(budget);
+            budget -= count;
+            if count == 0 {
+                continue;
+            }
+            let spacing = Nanos(cfg.batch_window.0 / count as u64);
+            // stagger vantages so traces interleave rather than pile up
+            let phase = Nanos(spacing.0 / 13 * (vi as u64 % 13));
+            for i in 0..count {
+                out.push(ScheduledTrace {
+                    start: start + Nanos(spacing.0 * i as u64) + phase,
+                    vantage: vi,
+                    batch,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|t| (t.start, t.vantage));
+    out
+}
+
+/// Execute one trace (all four probes against every target) from one
+/// vantage, starting no earlier than its scheduled time.
+fn run_trace(
+    sc: &mut Scenario,
+    vantage: usize,
+    batch: u8,
+    targets: &[Ipv4Addr],
+    cfg: &CampaignConfig,
+) -> TraceRecord {
+    let handle = sc.vantages[vantage].handle.clone();
+    let node = sc.vantages[vantage].node;
+    let capture = sc.sim.attach_capture(node);
+    let started_at = sc.sim.now();
+    let mut outcomes = Vec::with_capacity(targets.len());
+    for &server in targets {
+        capture.lock().clear(); // per-server tcpdump session
+        let udp_plain = probe_udp(&mut sc.sim, &handle, &capture, server, Ecn::NotEct, &cfg.probe);
+        let udp_ect = probe_udp(
+            &mut sc.sim,
+            &handle,
+            &capture,
+            server,
+            cfg.probe.ect_codepoint,
+            &cfg.probe,
+        );
+        let tcp_plain = probe_tcp(&mut sc.sim, &handle, &capture, server, false, &cfg.probe);
+        let tcp_ecn = probe_tcp(&mut sc.sim, &handle, &capture, server, true, &cfg.probe);
+        outcomes.push(ServerOutcome {
+            server,
+            udp_plain,
+            udp_ect,
+            tcp_plain,
+            tcp_ecn,
+        });
+    }
+    capture.lock().clear();
+    TraceRecord {
+        vantage_key: sc.vantages[vantage].spec.key.to_string(),
+        vantage_name: sc.vantages[vantage].spec.name.to_string(),
+        batch,
+        started_at,
+        outcomes,
+    }
+}
+
+/// Run the traceroute survey from one vantage.
+fn run_traceroute_survey(
+    sc: &mut Scenario,
+    vantage: usize,
+    targets: &[Ipv4Addr],
+    cfg: &CampaignConfig,
+) -> VantageRoutes {
+    let handle = sc.vantages[vantage].handle.clone();
+    let mut paths = Vec::with_capacity(targets.len());
+    for &dst in targets {
+        paths.push(traceroute(&mut sc.sim, &handle, dst, &cfg.traceroute));
+    }
+    VantageRoutes {
+        vantage_key: sc.vantages[vantage].spec.key.to_string(),
+        paths,
+    }
+}
+
+fn plan_with_churn(plan: &PoolPlan, cfg: &CampaignConfig) -> PoolPlan {
+    PoolPlan {
+        churn_at: cfg.batch2_start,
+        ..plan.clone()
+    }
+}
+
+/// Run discovery only (used by both runners and by Table 1).
+pub fn run_discovery(plan: &PoolPlan, cfg: &CampaignConfig) -> (Discovery, Scenario) {
+    let plan = plan_with_churn(plan, cfg);
+    let mut sc = build_scenario(&plan, cfg.seed);
+    // Discovery runs from the University wired vantage (index 2).
+    let handle = sc.vantages[2].handle.clone();
+    let dns = sc.dns_addr;
+    let d = discover(&mut sc.sim, &handle, dns, cfg);
+    (d, sc)
+}
+
+/// Sequential campaign: one world, traces executed in schedule order.
+pub fn run_campaign(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
+    let (discovery, mut sc) = run_discovery(plan, cfg);
+    let targets = discovery.targets.clone();
+    let plan_order = schedule(&sc, cfg);
+    let mut traces = Vec::with_capacity(plan_order.len());
+    for st in &plan_order {
+        if sc.sim.now() < st.start {
+            let t = st.start;
+            sc.sim.run_until(t);
+        }
+        traces.push(run_trace(&mut sc, st.vantage, st.batch, &targets, cfg));
+    }
+    let mut routes = Vec::new();
+    if cfg.run_traceroute {
+        for vi in 0..sc.vantages.len() {
+            routes.push(run_traceroute_survey(&mut sc, vi, &targets, cfg));
+        }
+    }
+    finish(sc, targets, discovery, traces, routes)
+}
+
+/// Parallel campaign: one seeded world per vantage, vantages on threads.
+pub fn run_campaign_parallel(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
+    let (discovery, proto) = run_discovery(plan, cfg);
+    let targets = discovery.targets.clone();
+    let plan = plan_with_churn(plan, cfg);
+    let vantage_count = proto.vantages.len();
+
+    let mut per_vantage: Vec<(Vec<TraceRecord>, Option<VantageRoutes>)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for vi in 0..vantage_count {
+            let plan = plan.clone();
+            let targets = targets.clone();
+            let cfg = *cfg;
+            handles.push(scope.spawn(move |_| {
+                let mut sc = build_scenario(&plan, cfg.seed);
+                let my_schedule: Vec<ScheduledTrace> = schedule(&sc, &cfg)
+                    .into_iter()
+                    .filter(|t| t.vantage == vi)
+                    .collect();
+                let mut traces = Vec::with_capacity(my_schedule.len());
+                for st in &my_schedule {
+                    if sc.sim.now() < st.start {
+                        let t = st.start;
+                        sc.sim.run_until(t);
+                    }
+                    traces.push(run_trace(&mut sc, vi, st.batch, &targets, &cfg));
+                }
+                let routes = cfg
+                    .run_traceroute
+                    .then(|| run_traceroute_survey(&mut sc, vi, &targets, &cfg));
+                (traces, routes)
+            }));
+        }
+        for h in handles {
+            per_vantage.push(h.join().expect("vantage thread"));
+        }
+    })
+    .expect("campaign threads");
+
+    // merge in schedule order (stable: traces carry start times)
+    let mut traces: Vec<TraceRecord> = per_vantage
+        .iter()
+        .flat_map(|(t, _)| t.iter().cloned())
+        .collect();
+    traces.sort_by_key(|t| (t.started_at, t.vantage_key.clone()));
+    let routes: Vec<VantageRoutes> = per_vantage
+        .into_iter()
+        .filter_map(|(_, r)| r)
+        .collect();
+    finish(proto, targets, discovery, traces, routes)
+}
+
+fn finish(
+    sc: Scenario,
+    targets: Vec<Ipv4Addr>,
+    discovery: Discovery,
+    traces: Vec<TraceRecord>,
+    routes: Vec<VantageRoutes>,
+) -> CampaignResult {
+    CampaignResult {
+        targets,
+        discovery: DiscoveryStats::from(&discovery),
+        traces,
+        routes,
+        vantage_order: sc
+            .vantages
+            .iter()
+            .map(|v| (v.spec.key.to_string(), v.spec.name.to_string()))
+            .collect(),
+        geodb: sc.geodb,
+        asdb: sc.asdb,
+        truth: sc.truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_cfg(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            discovery_rounds: 30,
+            ..CampaignConfig::quick(seed)
+        }
+    }
+
+    /// A pool plan small enough for unit tests but with all behaviours.
+    fn mini_plan() -> PoolPlan {
+        PoolPlan::scaled(40)
+    }
+
+    #[test]
+    fn schedule_covers_both_batches_in_order() {
+        let cfg = mini_cfg(41);
+        let sc = build_scenario(&mini_plan(), cfg.seed);
+        let s = schedule(&sc, &cfg);
+        assert_eq!(s.len(), 210);
+        assert!(s.windows(2).all(|w| w[0].start <= w[1].start));
+        let b1 = s.iter().filter(|t| t.batch == 1).count();
+        assert_eq!(b1, 15 + 8 + 14, "batch 1 = homes + wireless");
+        // batch 2 strictly after batch 1 window
+        let last_b1 = s.iter().filter(|t| t.batch == 1).map(|t| t.start).max().unwrap();
+        let first_b2 = s.iter().filter(|t| t.batch == 2).map(|t| t.start).min().unwrap();
+        assert!(first_b2 > last_b1);
+    }
+
+    #[test]
+    fn single_trace_produces_full_outcomes() {
+        let cfg = mini_cfg(42);
+        let (d, mut sc) = run_discovery(&mini_plan(), &cfg);
+        assert_eq!(d.targets.len(), 40);
+        let rec = run_trace(&mut sc, 4, 2, &d.targets, &cfg);
+        assert_eq!(rec.outcomes.len(), 40);
+        // sanity: most servers are up and reachable both ways
+        assert!(rec.udp_plain_reachable() > 25, "{}", rec.udp_plain_reachable());
+        assert!(rec.fig2a_pct() > 80.0);
+        // at least one ECT-blocked server shows differential reachability
+        let diff = rec
+            .outcomes
+            .iter()
+            .filter(|o| o.udp_diff_plain_only())
+            .count();
+        assert!(diff >= 1, "ect-blocked server visible");
+        // TCP: some reachable, most of those negotiated
+        assert!(rec.tcp_reachable() > 10);
+        assert!(rec.tcp_ecn_negotiated() > 5);
+        assert!(rec.tcp_ecn_negotiated() <= rec.tcp_reachable());
+    }
+}

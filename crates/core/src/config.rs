@@ -1,0 +1,158 @@
+//! Probe and campaign configuration (the §3 methodology constants).
+
+use ecn_netsim::Nanos;
+use ecn_wire::Ecn;
+use serde::{Deserialize, Serialize};
+
+/// Per-probe methodology parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// UDP retransmissions after the initial request (paper: 5).
+    pub udp_retries: u32,
+    /// Timeout per UDP attempt (paper: 1 s).
+    pub udp_timeout: Nanos,
+    /// ECN codepoint used for marked probes (paper: ECT(0), "to match the
+    /// typical marking used with ECN for TCP").
+    pub ect_codepoint: Ecn,
+    /// How long to wait for the TCP handshake before giving up.
+    pub tcp_handshake_wait: Nanos,
+    /// How long to wait for the HTTP response after the handshake.
+    pub http_wait: Nanos,
+    /// Polling quantum while waiting on TCP state.
+    pub poll_quantum: Nanos,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            udp_retries: 5,
+            udp_timeout: Nanos::from_secs(1),
+            ect_codepoint: Ecn::Ect0,
+            tcp_handshake_wait: Nanos::from_secs(10),
+            http_wait: Nanos::from_secs(10),
+            poll_quantum: Nanos::from_millis(100),
+        }
+    }
+}
+
+/// Traceroute parameters (§4.2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TracerouteConfig {
+    /// Highest TTL probed.
+    pub max_ttl: u8,
+    /// Probes per TTL (classic traceroute sends 3).
+    pub probes_per_ttl: u32,
+    /// Wait per probe.
+    pub probe_timeout: Nanos,
+    /// Stop after this many consecutive unresponsive TTLs.
+    pub stop_after_silent: u32,
+    /// Marking on probe packets.
+    pub ecn: Ecn,
+    /// Base destination port (classic traceroute: 33434).
+    pub base_port: u16,
+}
+
+impl Default for TracerouteConfig {
+    fn default() -> Self {
+        TracerouteConfig {
+            max_ttl: 24,
+            probes_per_ttl: 3,
+            probe_timeout: Nanos::from_millis(400),
+            stop_after_silent: 2,
+            ecn: Ecn::Ect0,
+            base_port: 33434,
+        }
+    }
+}
+
+/// Campaign schedule (maps the paper's two collection batches onto virtual
+/// time).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Scenario/randomness seed.
+    pub seed: u64,
+    /// Start of the April/May batch.
+    pub batch1_start: Nanos,
+    /// Start of the July/August batch (also the pool-churn boundary).
+    pub batch2_start: Nanos,
+    /// Window over which each batch's traces are spread.
+    pub batch_window: Nanos,
+    /// Probe methodology.
+    pub probe: ProbeConfig,
+    /// Traceroute methodology.
+    pub traceroute: TracerouteConfig,
+    /// DNS discovery rounds (each round queries every pool zone name once).
+    pub discovery_rounds: usize,
+    /// Gap between discovery queries (paper: 1 s).
+    pub discovery_gap: Nanos,
+    /// Run the traceroute survey too.
+    pub run_traceroute: bool,
+    /// Cap traces per vantage (None = the full Table-2 allocation). Used
+    /// by tests and scaled-down studies.
+    pub traces_per_vantage: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 2015,
+            batch1_start: Nanos::from_secs(0),
+            batch2_start: Nanos::from_secs(75 * 86_400),
+            batch_window: Nanos::from_secs(40 * 86_400),
+            probe: ProbeConfig::default(),
+            traceroute: TracerouteConfig::default(),
+            discovery_rounds: 700,
+            discovery_gap: Nanos::from_secs(1),
+            run_traceroute: true,
+            traces_per_vantage: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A configuration sized for fast tests: short waits, few discovery
+    /// rounds, compressed schedule.
+    pub fn quick(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            batch1_start: Nanos::from_secs(0),
+            batch2_start: Nanos::from_secs(6 * 3600),
+            batch_window: Nanos::from_secs(4 * 3600),
+            probe: ProbeConfig {
+                tcp_handshake_wait: Nanos::from_secs(8),
+                http_wait: Nanos::from_secs(8),
+                ..ProbeConfig::default()
+            },
+            traceroute: TracerouteConfig::default(),
+            discovery_rounds: 60,
+            discovery_gap: Nanos::from_millis(200),
+            run_traceroute: true,
+            traces_per_vantage: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_methodology() {
+        let p = ProbeConfig::default();
+        assert_eq!(p.udp_retries, 5);
+        assert_eq!(p.udp_timeout, Nanos::from_secs(1));
+        assert_eq!(p.ect_codepoint, Ecn::Ect0);
+        let t = TracerouteConfig::default();
+        assert_eq!(t.probes_per_ttl, 3);
+        assert_eq!(t.base_port, 33434);
+        let c = CampaignConfig::default();
+        assert!(c.batch2_start > c.batch1_start + c.batch_window);
+    }
+
+    #[test]
+    fn quick_config_is_compressed() {
+        let c = CampaignConfig::quick(7);
+        assert!(c.batch2_start < CampaignConfig::default().batch2_start);
+        assert!(c.discovery_rounds < 100);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ecn-core — the measurement study
+//!
+//! The primary contribution of McQuistin & Perkins (IMC 2015), as a
+//! library: the measurement application that asks *"is ECN usable with
+//! UDP?"* and the analysis that turns its raw traces into every table and
+//! figure of the paper.
+//!
+//! ## Pipeline
+//!
+//! 1. [`discovery`] — enumerate the NTP pool via repeated DNS queries
+//!    against `pool.ntp.org` and its country/region zones (§3).
+//! 2. [`probes`] — per server, four measurements: NTP over not-ECT UDP,
+//!    NTP over ECT(0)-marked UDP (5 retries × 1 s), HTTP over TCP, and
+//!    HTTP over TCP with an ECN-setup SYN; verdicts come from a parallel
+//!    packet capture, as in the paper's tcpdump methodology.
+//! 3. [`mod@traceroute`] — ECN-aware traceroute: TTL-limited ECT(0) probes
+//!    whose ICMP time-exceeded answers quote the header each router saw,
+//!    revealing where marks are bleached (§4.2).
+//! 4. [`campaign`] — the full 210-trace schedule across 13 vantages and
+//!    two collection batches, plus the traceroute survey.
+//! 5. [`analysis`] — Table 1/2 and Figures 2–6, each with a
+//!    paper-style text rendering; [`analysis::FullReport`] bundles them.
+//!
+//! The probers talk to a [`ecn_stack::HostHandle`], whose surface mirrors
+//! raw sockets with TOS/ECN control (`socket2`/`pnet` style); swapping the
+//! simulated substrate for live sockets would not change this crate's
+//! structure.
+
+pub mod analysis;
+pub mod campaign;
+pub mod config;
+pub mod discovery;
+pub mod probes;
+pub mod report;
+pub mod trace;
+pub mod traceroute;
+
+pub use analysis::FullReport;
+pub use campaign::{
+    run_campaign, run_campaign_parallel, run_discovery, CampaignResult, DiscoveryStats,
+    VantageRoutes,
+};
+pub use config::{CampaignConfig, ProbeConfig, TracerouteConfig};
+pub use discovery::{discover, discovery_names, Discovery};
+pub use probes::{probe_tcp, probe_udp, TcpProbeResult, UdpProbeResult};
+pub use trace::{ServerOutcome, TraceRecord};
+pub use traceroute::{traceroute, HopObservation, TraceroutePath};

@@ -1,0 +1,323 @@
+//! The reachability probes of paper §3.
+//!
+//! *UDP*: an NTP request in a not-ECT or ECT(0)-marked packet, retried up
+//! to five times with a one-second timeout. The verdict comes from the
+//! parallel capture ("tcpdump session"), not from the socket: a server is
+//! reachable iff a response matching any of the session's requests appears
+//! on the wire.
+//!
+//! *TCP*: an HTTP `GET /`, once with a normal SYN and once with an
+//! ECN-setup SYN; the capture determines whether the returned SYN-ACK was
+//! an ECN-setup SYN-ACK (SYN+ACK+ECE without CWR, RFC 3168 §6.1.1).
+
+use crate::config::ProbeConfig;
+use ecn_netsim::{CaptureRef, Direction, Nanos, Sim};
+use ecn_services::NtpClient;
+use ecn_stack::{CloseReason, HostHandle, TcpState};
+use ecn_wire::{Ecn, HttpRequest, HttpResponse, IpProto, TcpFlags, TcpHeader, UdpHeader};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Result of one UDP probe session against one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UdpProbeResult {
+    /// A matching NTP response was captured.
+    pub reachable: bool,
+    /// Requests sent (1 + retransmissions used).
+    pub attempts: u32,
+    /// ECN codepoint of the response packet, when reachable.
+    pub response_ecn: Option<Ecn>,
+    /// Time from first request to the captured response.
+    pub rtt: Option<Nanos>,
+}
+
+/// Probe a server's NTP service with `ecn`-marked UDP requests.
+pub fn probe_udp(
+    sim: &mut Sim,
+    handle: &HostHandle,
+    capture: &CaptureRef,
+    server: Ipv4Addr,
+    ecn: Ecn,
+    cfg: &ProbeConfig,
+) -> UdpProbeResult {
+    let sock = handle.udp_bind(0);
+    let session_start = sim.now();
+    let mut sent = Vec::new();
+    let mut attempts = 0;
+    let mut outcome = UdpProbeResult {
+        reachable: false,
+        attempts: 0,
+        response_ecn: None,
+        rtt: None,
+    };
+    'session: for _ in 0..=cfg.udp_retries {
+        attempts += 1;
+        let req = NtpClient::request(sim.now());
+        handle.udp_send(sim, sock, (server, 123), &req.encode(), ecn);
+        sent.push(req);
+        let deadline = sim.now() + cfg.udp_timeout;
+        sim.run_until(deadline);
+        // Verdict from the capture, as per the methodology.
+        let cap = capture.lock();
+        for p in cap.since(session_start) {
+            if p.dir != Direction::In {
+                continue;
+            }
+            let Some(d) = p.datagram() else { continue };
+            if d.src() != server || d.protocol() != IpProto::Udp {
+                continue;
+            }
+            let Ok((uh, body)) = UdpHeader::decode(d.src(), d.dst(), d.payload()) else {
+                continue;
+            };
+            if uh.src_port != 123 || uh.dst_port != sock {
+                continue;
+            }
+            if sent.iter().any(|req| NtpClient::matches(req, body)) {
+                outcome = UdpProbeResult {
+                    reachable: true,
+                    attempts,
+                    response_ecn: Some(d.ecn()),
+                    rtt: Some(p.ts.saturating_sub(session_start)),
+                };
+                break 'session;
+            }
+        }
+        drop(cap);
+        handle.udp_recv_all(sock); // keep the socket inbox bounded
+    }
+    handle.udp_recv_all(sock);
+    handle.udp_close(sock);
+    outcome.attempts = attempts;
+    outcome
+}
+
+/// Result of one TCP/HTTP probe against one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcpProbeResult {
+    /// An HTTP response (even partial) came back.
+    pub reachable: bool,
+    /// HTTP status code if a response head was parsed.
+    pub http_status: Option<u16>,
+    /// Did we send an ECN-setup SYN?
+    pub requested_ecn: bool,
+    /// Capture-verified: the SYN-ACK was an ECN-setup SYN-ACK.
+    pub negotiated_ecn: bool,
+    /// Raw SYN-ACK flag bits seen on the wire (diagnostics; detects
+    /// reflect-flags middleboxes).
+    pub syn_ack_flags: Option<u16>,
+    /// Why the connection ended, if it failed.
+    pub close_reason: Option<CloseReason>,
+}
+
+/// Probe a server's web service with an HTTP GET, optionally negotiating
+/// ECN.
+pub fn probe_tcp(
+    sim: &mut Sim,
+    handle: &HostHandle,
+    capture: &CaptureRef,
+    server: Ipv4Addr,
+    use_ecn: bool,
+    cfg: &ProbeConfig,
+) -> TcpProbeResult {
+    let session_start = sim.now();
+    let conn = handle.tcp_connect(sim, (server, 80), use_ecn);
+
+    // Wait for the handshake to resolve.
+    let deadline = sim.now() + cfg.tcp_handshake_wait;
+    loop {
+        let state = handle.conn(conn).map(|s| s.state);
+        match state {
+            Some(TcpState::Established) | Some(TcpState::Closed) | None => break,
+            _ if sim.now() >= deadline => break,
+            _ => {
+                let step = (deadline.0 - sim.now().0).min(cfg.poll_quantum.0);
+                sim.run_for(Nanos(step));
+            }
+        }
+    }
+
+    let mut result = TcpProbeResult {
+        reachable: false,
+        http_status: None,
+        requested_ecn: use_ecn,
+        negotiated_ecn: false,
+        syn_ack_flags: None,
+        close_reason: None,
+    };
+
+    let snap = handle.conn(conn);
+    let established = matches!(snap.as_ref().map(|s| s.state), Some(TcpState::Established));
+    if established {
+        // Issue the GET and wait for a complete response or teardown.
+        let req = HttpRequest::get_root(&server.to_string()).encode();
+        handle.tcp_send(sim, conn, &req);
+        let deadline = sim.now() + cfg.http_wait;
+        loop {
+            let Some(s) = handle.conn(conn) else { break };
+            if HttpResponse::is_complete(&s.received)
+                || s.peer_closed
+                || s.state == TcpState::Closed
+                || sim.now() >= deadline
+            {
+                break;
+            }
+            let step = (deadline.0 - sim.now().0).min(cfg.poll_quantum.0);
+            sim.run_for(Nanos(step));
+        }
+        if let Some(s) = handle.conn(conn) {
+            if let Ok(rsp) = HttpResponse::decode(&s.received) {
+                result.reachable = true;
+                result.http_status = Some(rsp.status);
+            }
+        }
+        handle.tcp_close(sim, conn);
+        sim.run_for(Nanos::from_millis(500));
+    }
+    if let Some(s) = handle.conn(conn) {
+        result.close_reason = s.close_reason;
+    }
+    handle.remove_conn(conn);
+
+    // Capture-verified ECN verdict: find the first SYN-ACK from the server.
+    let cap = capture.lock();
+    for p in cap.since(session_start) {
+        if p.dir != Direction::In {
+            continue;
+        }
+        let Some(d) = p.datagram() else { continue };
+        if d.src() != server || d.protocol() != IpProto::Tcp {
+            continue;
+        }
+        let Ok(th) = TcpHeader::decode_fields(d.payload()) else {
+            continue;
+        };
+        if th.flags.contains(TcpFlags::SYN) && th.flags.contains(TcpFlags::ACK) {
+            result.syn_ack_flags = Some(th.flags.0);
+            result.negotiated_ecn = use_ecn && th.flags.is_ecn_setup_syn_ack();
+            break;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecn_pool::{build_scenario, PoolPlan, SpecialBehaviour};
+    use ecn_stack::AvailabilityModel;
+
+    #[test]
+    fn udp_probe_reaches_healthy_server_and_reports_rtt() {
+        let mut sc = build_scenario(&PoolPlan::scaled(30), 11);
+        let v = sc.vantages[4].handle.clone();
+        let cap = sc.sim.attach_capture(sc.vantages[4].node);
+        let target = sc
+            .servers
+            .iter()
+            .find(|s| {
+                s.profile.special == SpecialBehaviour::None
+                    && s.profile.availability == AvailabilityModel::AlwaysUp
+            })
+            .map(|s| s.addr)
+            .expect("healthy server");
+        let cfg = ProbeConfig::default();
+        let r = probe_udp(&mut sc.sim, &v, &cap, target, Ecn::Ect0, &cfg);
+        assert!(r.reachable);
+        assert!(r.rtt.expect("rtt") > Nanos::ZERO);
+        assert_eq!(r.response_ecn, Some(Ecn::NotEct), "NTP replies are not-ECT");
+    }
+
+    #[test]
+    fn udp_probe_times_out_on_dead_server_after_six_attempts() {
+        let mut sc = build_scenario(&PoolPlan::scaled(30), 12);
+        let v = sc.vantages[0].handle.clone();
+        let cap = sc.sim.attach_capture(sc.vantages[0].node);
+        let dead = sc
+            .servers
+            .iter()
+            .find(|s| s.profile.availability == AvailabilityModel::AlwaysDown)
+            .map(|s| s.addr)
+            .expect("dead server");
+        let cfg = ProbeConfig::default();
+        let t0 = sc.sim.now();
+        let r = probe_udp(&mut sc.sim, &v, &cap, dead, Ecn::NotEct, &cfg);
+        assert!(!r.reachable);
+        assert_eq!(r.attempts, 6, "initial + 5 retransmissions");
+        let elapsed = sc.sim.now().saturating_sub(t0);
+        assert!(elapsed >= Nanos::from_secs(6), "waited the full schedule");
+    }
+
+    #[test]
+    fn tcp_probe_gets_redirect_and_negotiates_ecn() {
+        let mut sc = build_scenario(&PoolPlan::scaled(40), 13);
+        let v = sc.vantages[8].handle.clone();
+        let cap = sc.sim.attach_capture(sc.vantages[8].node);
+        let target = sc
+            .servers
+            .iter()
+            .find(|s| {
+                s.profile.web.as_ref().map(|w| w.ecn) == Some(ecn_stack::EcnMode::On)
+                    && s.profile.availability == AvailabilityModel::AlwaysUp
+                    && s.profile.special == SpecialBehaviour::None
+                    && !s.profile.web.as_ref().map(|w| w.plain_ok).unwrap_or(false)
+            })
+            .map(|s| s.addr)
+            .expect("ecn web server");
+        let cfg = ProbeConfig::default();
+        let r = probe_tcp(&mut sc.sim, &v, &cap, target, true, &cfg);
+        assert!(r.reachable);
+        assert_eq!(r.http_status, Some(302), "pool redirect");
+        assert!(r.negotiated_ecn);
+        // and without requesting ECN, negotiation does not happen
+        let r2 = probe_tcp(&mut sc.sim, &v, &cap, target, false, &cfg);
+        assert!(r2.reachable);
+        assert!(!r2.negotiated_ecn);
+        assert!(!r2.requested_ecn);
+    }
+
+    #[test]
+    fn tcp_probe_to_host_without_web_server_is_unreachable_fast() {
+        let mut sc = build_scenario(&PoolPlan::scaled(40), 14);
+        let v = sc.vantages[1].handle.clone();
+        let cap = sc.sim.attach_capture(sc.vantages[1].node);
+        let target = sc
+            .servers
+            .iter()
+            .find(|s| {
+                s.profile.web.is_none()
+                    && s.profile.availability == AvailabilityModel::AlwaysUp
+                    && s.profile.special == SpecialBehaviour::None
+            })
+            .map(|s| s.addr)
+            .expect("no-web server");
+        let cfg = ProbeConfig::default();
+        let t0 = sc.sim.now();
+        let r = probe_tcp(&mut sc.sim, &v, &cap, target, true, &cfg);
+        assert!(!r.reachable);
+        assert_eq!(r.close_reason, Some(CloseReason::Reset));
+        assert!(sc.sim.now().saturating_sub(t0) < Nanos::from_secs(5), "RST is fast");
+    }
+
+    #[test]
+    fn ecn_off_server_answers_but_declines() {
+        let mut sc = build_scenario(&PoolPlan::scaled(60), 15);
+        let v = sc.vantages[3].handle.clone();
+        let cap = sc.sim.attach_capture(sc.vantages[3].node);
+        let target = sc
+            .servers
+            .iter()
+            .find(|s| {
+                s.profile.web.as_ref().map(|w| w.ecn) == Some(ecn_stack::EcnMode::Off)
+                    && s.profile.availability == AvailabilityModel::AlwaysUp
+                    && s.profile.special == SpecialBehaviour::None
+            })
+            .map(|s| s.addr)
+            .expect("non-ecn web server");
+        let r = probe_tcp(&mut sc.sim, &v, &cap, target, true, &ProbeConfig::default());
+        assert!(r.reachable);
+        assert!(!r.negotiated_ecn);
+        let flags = TcpFlags(r.syn_ack_flags.expect("flags"));
+        assert!(!flags.contains(TcpFlags::ECE));
+    }
+}

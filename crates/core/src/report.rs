@@ -1,0 +1,127 @@
+//! Plain-text rendering helpers shared by the analysis modules: aligned
+//! tables and simple bar charts, so every bench target can print
+//! paper-style artefacts to the terminal.
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    out.push_str(&sep);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Render a horizontal bar chart: one row per (label, value), scaled into
+/// `width` characters between `min` and `max`.
+pub fn render_bars(
+    title: &str,
+    items: &[(String, f64)],
+    min: f64,
+    max: f64,
+    width: usize,
+    unit: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    for (label, value) in items {
+        let clamped = value.clamp(min, max);
+        let frac = if max > min {
+            (clamped - min) / (max - min)
+        } else {
+            0.0
+        };
+        let filled = (frac * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:<label_w$} |{}{}| {value:.2}{unit}\n",
+            label,
+            "#".repeat(filled),
+            " ".repeat(width - filled),
+        ));
+    }
+    out
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "Table X",
+            &["Region", "Count"],
+            &[
+                vec!["Europe".into(), "1664".into()],
+                vec!["North America".into(), "522".into()],
+            ],
+        );
+        assert!(t.contains("Table X"));
+        assert!(t.contains("Europe"));
+        assert!(t.contains("1664"));
+        // all data rows have the same width
+        let lines: Vec<&str> = t.lines().filter(|l| l.contains('|')).collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn bars_scale_between_bounds() {
+        let b = render_bars(
+            "Fig",
+            &[("a".into(), 90.0), ("b".into(), 100.0)],
+            90.0,
+            100.0,
+            10,
+            "%",
+        );
+        let lines: Vec<&str> = b.lines().collect();
+        assert!(lines[1].contains("|          |") || lines[1].contains("|#")); // a at min
+        assert!(lines[2].contains("##########"), "b at max: {}", lines[2]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(98.966), "98.97%");
+    }
+}

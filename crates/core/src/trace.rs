@@ -1,0 +1,193 @@
+//! Trace records: the campaign's dataset format. One [`TraceRecord`] per
+//! (vantage, repetition), each holding the four per-server outcomes of §3
+//! — mirroring the structure of the dataset the paper published.
+
+use crate::probes::{TcpProbeResult, UdpProbeResult};
+use ecn_netsim::Nanos;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The four measurements taken per server per trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerOutcome {
+    /// Target address.
+    pub server: Ipv4Addr,
+    /// NTP over not-ECT UDP.
+    pub udp_plain: UdpProbeResult,
+    /// NTP over ECT(0)-marked UDP.
+    pub udp_ect: UdpProbeResult,
+    /// HTTP over TCP without ECN.
+    pub tcp_plain: TcpProbeResult,
+    /// HTTP over TCP with an ECN-setup SYN.
+    pub tcp_ecn: TcpProbeResult,
+}
+
+impl ServerOutcome {
+    /// Reachable with not-ECT but not with ECT(0) — the Figure 3a event.
+    pub fn udp_diff_plain_only(&self) -> bool {
+        self.udp_plain.reachable && !self.udp_ect.reachable
+    }
+
+    /// Reachable with ECT(0) but not with not-ECT — the Figure 3b event.
+    pub fn udp_diff_ect_only(&self) -> bool {
+        self.udp_ect.reachable && !self.udp_plain.reachable
+    }
+}
+
+/// One complete trace: all four probes against every target, from one
+/// vantage at one point in time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Vantage key (stable identifier).
+    pub vantage_key: String,
+    /// Vantage display name (Table 2 spelling).
+    pub vantage_name: String,
+    /// Collection batch (1 = April/May, 2 = July/August).
+    pub batch: u8,
+    /// Virtual start time.
+    pub started_at: Nanos,
+    /// Per-server outcomes, in target order.
+    pub outcomes: Vec<ServerOutcome>,
+}
+
+impl TraceRecord {
+    /// Servers reachable via not-ECT UDP.
+    pub fn udp_plain_reachable(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.udp_plain.reachable).count()
+    }
+
+    /// Servers reachable via ECT(0) UDP.
+    pub fn udp_ect_reachable(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.udp_ect.reachable).count()
+    }
+
+    /// Servers reachable via both markings.
+    pub fn udp_both_reachable(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.udp_plain.reachable && o.udp_ect.reachable)
+            .count()
+    }
+
+    /// Figure 2a value for this trace: of the not-ECT-reachable servers,
+    /// the percentage also reachable with ECT(0).
+    pub fn fig2a_pct(&self) -> f64 {
+        let plain = self.udp_plain_reachable();
+        if plain == 0 {
+            return 100.0;
+        }
+        100.0 * self.udp_both_reachable() as f64 / plain as f64
+    }
+
+    /// Figure 2b value: of the ECT(0)-reachable servers, the percentage
+    /// also reachable with not-ECT.
+    pub fn fig2b_pct(&self) -> f64 {
+        let ect = self.udp_ect_reachable();
+        if ect == 0 {
+            return 100.0;
+        }
+        100.0 * self.udp_both_reachable() as f64 / ect as f64
+    }
+
+    /// Servers answering HTTP (Figure 5 lower series).
+    pub fn tcp_reachable(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.tcp_plain.reachable || o.tcp_ecn.reachable).count()
+    }
+
+    /// Servers that negotiated ECN over TCP (Figure 5 upper series).
+    pub fn tcp_ecn_negotiated(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.tcp_ecn.negotiated_ecn).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udp(reachable: bool) -> UdpProbeResult {
+        UdpProbeResult {
+            reachable,
+            attempts: 1,
+            response_ecn: None,
+            rtt: None,
+        }
+    }
+
+    fn tcp(reachable: bool, negotiated: bool) -> TcpProbeResult {
+        TcpProbeResult {
+            reachable,
+            http_status: reachable.then_some(302),
+            requested_ecn: true,
+            negotiated_ecn: negotiated,
+            syn_ack_flags: None,
+            close_reason: None,
+        }
+    }
+
+    fn outcome(p: bool, e: bool, t: bool, n: bool) -> ServerOutcome {
+        ServerOutcome {
+            server: Ipv4Addr::new(192, 0, 2, 1),
+            udp_plain: udp(p),
+            udp_ect: udp(e),
+            tcp_plain: tcp(t, false),
+            tcp_ecn: tcp(t, n),
+        }
+    }
+
+    fn record(outcomes: Vec<ServerOutcome>) -> TraceRecord {
+        TraceRecord {
+            vantage_key: "test".into(),
+            vantage_name: "Test".into(),
+            batch: 1,
+            started_at: Nanos::ZERO,
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn fig2_percentages() {
+        // 4 servers: both, plain-only, ect-only, neither
+        let r = record(vec![
+            outcome(true, true, true, true),
+            outcome(true, false, false, false),
+            outcome(false, true, false, false),
+            outcome(false, false, false, false),
+        ]);
+        assert_eq!(r.udp_plain_reachable(), 2);
+        assert_eq!(r.udp_ect_reachable(), 2);
+        assert_eq!(r.udp_both_reachable(), 1);
+        assert!((r.fig2a_pct() - 50.0).abs() < 1e-9);
+        assert!((r.fig2b_pct() - 50.0).abs() < 1e-9);
+        assert!(r.outcomes[1].udp_diff_plain_only());
+        assert!(!r.outcomes[1].udp_diff_ect_only());
+        assert!(r.outcomes[2].udp_diff_ect_only());
+    }
+
+    #[test]
+    fn empty_trace_is_100pct() {
+        let r = record(vec![outcome(false, false, false, false)]);
+        assert_eq!(r.fig2a_pct(), 100.0);
+        assert_eq!(r.fig2b_pct(), 100.0);
+    }
+
+    #[test]
+    fn tcp_counts() {
+        let r = record(vec![
+            outcome(true, true, true, true),
+            outcome(true, true, true, false),
+            outcome(true, true, false, false),
+        ]);
+        assert_eq!(r.tcp_reachable(), 2);
+        assert_eq!(r.tcp_ecn_negotiated(), 1);
+    }
+
+    #[test]
+    fn records_serialize_roundtrip() {
+        let r = record(vec![outcome(true, true, true, true)]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.outcomes.len(), 1);
+        assert_eq!(back.vantage_key, "test");
+        assert!(back.outcomes[0].udp_plain.reachable);
+    }
+}

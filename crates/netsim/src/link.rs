@@ -1,0 +1,266 @@
+//! Directed links: propagation delay, serialisation rate, a queue
+//! discipline, and a loss process.
+//!
+//! The link model is the standard fluid one: a link tracks the time until
+//! which its transmitter is busy; an offered packet either joins the
+//! (virtual) queue — extending `busy_until` — or is dropped by the
+//! discipline/loss process. One event per hop keeps the 210-trace campaign
+//! (hundreds of millions of hop traversals) tractable.
+
+use crate::loss::{LossModel, LossProcess};
+use crate::queue::{serialisation_delay, QueueDisc, QueueDropCause, QueueState, QueueVerdict};
+use crate::time::Nanos;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Index of a directed link in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Index of a node in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Static link properties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProps {
+    /// One-way propagation delay.
+    pub delay: Nanos,
+    /// Serialisation rate in bits/s. `None` = infinitely fast (no queueing),
+    /// the right model for uncongested core links under probe traffic.
+    pub rate_bps: Option<u64>,
+    /// Queue discipline (only meaningful with a finite rate).
+    pub queue: QueueDisc,
+    /// Loss process on the wire.
+    pub loss: LossModel,
+}
+
+impl LinkProps {
+    /// A clean link: fixed delay, no rate limit, no loss.
+    pub fn clean(delay: Nanos) -> LinkProps {
+        LinkProps {
+            delay,
+            rate_bps: None,
+            queue: QueueDisc::deep_fifo(),
+            loss: LossModel::None,
+        }
+    }
+
+    /// A lossy link with independent loss.
+    pub fn lossy(delay: Nanos, p: f64) -> LinkProps {
+        LinkProps {
+            loss: LossModel::Bernoulli { p },
+            ..LinkProps::clean(delay)
+        }
+    }
+
+    /// A link with bursty (Gilbert–Elliott) loss at the given mean rate.
+    pub fn bursty(delay: Nanos, mean_loss: f64) -> LinkProps {
+        LinkProps {
+            loss: LossModel::congested_access(mean_loss),
+            ..LinkProps::clean(delay)
+        }
+    }
+
+    /// A rate-limited bottleneck with the given queue.
+    pub fn bottleneck(delay: Nanos, rate_bps: u64, queue: QueueDisc) -> LinkProps {
+        LinkProps {
+            delay,
+            rate_bps: Some(rate_bps),
+            queue,
+            loss: LossModel::None,
+        }
+    }
+}
+
+/// What happened when a packet was offered to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The packet will arrive at the far end at `at`; `ce_mark` means the
+    /// queue asked for it to be CE-marked (RED + ECT).
+    Deliver {
+        /// Arrival time at the far end.
+        at: Nanos,
+        /// CE-mark the packet before delivery.
+        ce_mark: bool,
+    },
+    /// Dropped by the loss process.
+    Lost,
+    /// Dropped by the queue.
+    Dropped(QueueDropCause),
+}
+
+/// A directed link plus its runtime state.
+#[derive(Debug)]
+pub struct Link {
+    /// Own id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Static properties.
+    pub props: LinkProps,
+    queue: QueueState,
+    loss: LossProcess,
+    busy_until: Nanos,
+}
+
+impl Link {
+    /// Build a link with fresh state.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, props: LinkProps) -> Link {
+        Link {
+            id,
+            from,
+            to,
+            props,
+            queue: QueueState::new(props.queue),
+            loss: LossProcess::new(props.loss),
+            busy_until: Nanos::ZERO,
+        }
+    }
+
+    /// Current backlog in bytes, inferred from the busy horizon.
+    pub fn backlog_bytes(&self, now: Nanos) -> u64 {
+        match self.props.rate_bps {
+            None | Some(0) => 0,
+            Some(rate) => {
+                let busy = self.busy_until.saturating_sub(now);
+                busy.0.saturating_mul(rate) / 8 / 1_000_000_000
+            }
+        }
+    }
+
+    /// Offer a packet of `bytes` bytes at `now`; `ect` marks CE-markability.
+    pub fn offer(&mut self, now: Nanos, bytes: u64, ect: bool, rng: &mut SmallRng) -> LinkOutcome {
+        if self.loss.should_drop(now, ect, rng) {
+            return LinkOutcome::Lost;
+        }
+        let backlog = self.backlog_bytes(now);
+        let verdict = self.queue.on_arrival(backlog, bytes, ect, rng);
+        let ce_mark = match verdict {
+            QueueVerdict::Drop(cause) => return LinkOutcome::Dropped(cause),
+            QueueVerdict::EnqueueMarked => true,
+            QueueVerdict::Enqueue => false,
+        };
+        let start = self.busy_until.max(now);
+        let tx = serialisation_delay(self.props.rate_bps, bytes);
+        self.busy_until = start + tx;
+        LinkOutcome::Deliver {
+            at: self.busy_until + self.props.delay,
+            ce_mark,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    fn mk(props: LinkProps) -> Link {
+        Link::new(LinkId(0), NodeId(0), NodeId(1), props)
+    }
+
+    #[test]
+    fn clean_link_delivers_after_delay() {
+        let mut l = mk(LinkProps::clean(Nanos::from_millis(10)));
+        let mut rng = derive_rng(1, "l");
+        match l.offer(Nanos::from_secs(1), 100, false, &mut rng) {
+            LinkOutcome::Deliver { at, ce_mark } => {
+                assert_eq!(at, Nanos::from_secs(1) + Nanos::from_millis(10));
+                assert!(!ce_mark);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_limited_link_serialises_back_to_back() {
+        // 8 kbit/s, 1000-byte packets => 1 s each.
+        let mut l = mk(LinkProps::bottleneck(
+            Nanos::ZERO,
+            8_000,
+            QueueDisc::deep_fifo(),
+        ));
+        let mut rng = derive_rng(2, "l");
+        let a = l.offer(Nanos::ZERO, 1000, false, &mut rng);
+        let b = l.offer(Nanos::ZERO, 1000, false, &mut rng);
+        match (a, b) {
+            (LinkOutcome::Deliver { at: t1, .. }, LinkOutcome::Deliver { at: t2, .. }) => {
+                assert_eq!(t1, Nanos::from_secs(1));
+                assert_eq!(t2, Nanos::from_secs(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        // backlog reflects the queued second packet
+        assert!(l.backlog_bytes(Nanos::ZERO) > 0);
+        // after the queue drains, backlog is zero again
+        assert_eq!(l.backlog_bytes(Nanos::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn droptail_overflow_on_small_buffer() {
+        // The backlog includes the packet in transmission, so a 2500-byte
+        // limit fits two 1000-byte packets but not a third.
+        let props = LinkProps::bottleneck(
+            Nanos::ZERO,
+            8_000,
+            QueueDisc::DropTail { limit_bytes: 2500 },
+        );
+        let mut l = mk(props);
+        let mut rng = derive_rng(3, "l");
+        assert!(matches!(
+            l.offer(Nanos::ZERO, 1000, false, &mut rng),
+            LinkOutcome::Deliver { .. }
+        ));
+        assert!(matches!(
+            l.offer(Nanos::ZERO, 1000, false, &mut rng),
+            LinkOutcome::Deliver { .. }
+        ));
+        // third packet sees 2000 bytes of backlog: 2000 + 1000 > 2500
+        assert!(matches!(
+            l.offer(Nanos::ZERO, 1000, false, &mut rng),
+            LinkOutcome::Dropped(QueueDropCause::Overflow)
+        ));
+    }
+
+    #[test]
+    fn lossy_link_loses_roughly_p() {
+        let mut l = mk(LinkProps::lossy(Nanos::ZERO, 0.2));
+        let mut rng = derive_rng(4, "l");
+        let lost = (0..10_000)
+            .filter(|i| matches!(l.offer(Nanos(*i), 100, false, &mut rng), LinkOutcome::Lost))
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn red_bottleneck_marks_ect_under_load() {
+        // Responsive RED (weight 1.0 = instantaneous average) over a wide
+        // band: every packet past min_th has a marking chance, and none are
+        // dropped because they are ECT.
+        let disc = QueueDisc::Red {
+            min_th_bytes: 2_000,
+            max_th_bytes: 150_000,
+            max_p: 0.5,
+            weight: 1.0,
+            ecn: true,
+            limit_bytes: 10_000_000,
+        };
+        let mut l = mk(LinkProps::bottleneck(Nanos::ZERO, 80_000, disc));
+        let mut rng = derive_rng(5, "l");
+        let mut marks = 0;
+        let mut drops = 0;
+        for _ in 0..200 {
+            match l.offer(Nanos::ZERO, 1000, true, &mut rng) {
+                LinkOutcome::Deliver { ce_mark: true, .. } => marks += 1,
+                LinkOutcome::Dropped(_) | LinkOutcome::Lost => drops += 1,
+                LinkOutcome::Deliver { .. } => {}
+            }
+        }
+        assert!(marks > 10, "expected CE marks under load, got {marks}");
+        assert_eq!(drops, 0, "ECT traffic must be marked, not dropped");
+    }
+}

@@ -1,0 +1,179 @@
+//! Packet capture: the simulator's "parallel tcpdump session" (paper §3).
+//!
+//! Every measurement host attaches a [`CaptureRef`] to its interface; the
+//! prober then decides reachability *from the capture*, exactly as the
+//! paper's methodology does, rather than by asking the simulator. Captures
+//! can also be exported as standard libpcap files (LINKTYPE_RAW, i.e. raw
+//! IPv4 packets) readable by Wireshark/tcpdump.
+
+use crate::time::Nanos;
+use ecn_wire::Datagram;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Direction of a captured packet relative to the capturing host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Received by the host.
+    In,
+    /// Sent by the host.
+    Out,
+}
+
+/// One captured packet.
+#[derive(Debug, Clone)]
+pub struct CapturedPacket {
+    /// Virtual capture timestamp.
+    pub ts: Nanos,
+    /// Direction relative to the capturing interface.
+    pub dir: Direction,
+    /// Full raw bytes starting at the IPv4 header.
+    pub bytes: Vec<u8>,
+}
+
+impl CapturedPacket {
+    /// Parse the bytes back into a datagram (captures only ever store
+    /// well-formed datagrams, but the parse is still fallible by design).
+    pub fn datagram(&self) -> Option<Datagram> {
+        Datagram::from_bytes(self.bytes.clone()).ok()
+    }
+}
+
+/// An append-only capture buffer.
+#[derive(Debug, Default)]
+pub struct Capture {
+    packets: Vec<CapturedPacket>,
+}
+
+impl Capture {
+    /// Record a packet.
+    pub fn record(&mut self, ts: Nanos, dir: Direction, bytes: &[u8]) {
+        self.packets.push(CapturedPacket {
+            ts,
+            dir,
+            bytes: bytes.to_vec(),
+        });
+    }
+
+    /// All packets, in capture order.
+    pub fn packets(&self) -> &[CapturedPacket] {
+        &self.packets
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Drop all packets captured so far (start of a new probe).
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
+
+    /// Packets captured at or after `since`, in order.
+    pub fn since(&self, since: Nanos) -> impl Iterator<Item = &CapturedPacket> {
+        self.packets.iter().filter(move |p| p.ts >= since)
+    }
+}
+
+/// Shared handle to a capture buffer (the sim writes, the prober reads).
+pub type CaptureRef = Arc<Mutex<Capture>>;
+
+/// Create a fresh shared capture buffer.
+pub fn new_capture() -> CaptureRef {
+    Arc::new(Mutex::new(Capture::default()))
+}
+
+const PCAP_MAGIC: u32 = 0xa1b2_c3d4; // microsecond-resolution, native order
+const LINKTYPE_RAW: u32 = 101; // raw IPv4/IPv6
+
+/// Write a capture as a classic libpcap file.
+pub fn write_pcap(path: &Path, capture: &Capture) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&PCAP_MAGIC.to_le_bytes())?;
+    f.write_all(&2u16.to_le_bytes())?; // version major
+    f.write_all(&4u16.to_le_bytes())?; // version minor
+    f.write_all(&0i32.to_le_bytes())?; // thiszone
+    f.write_all(&0u32.to_le_bytes())?; // sigfigs
+    f.write_all(&65535u32.to_le_bytes())?; // snaplen
+    f.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+    for p in capture.packets() {
+        let secs = (p.ts.0 / 1_000_000_000) as u32;
+        let micros = ((p.ts.0 % 1_000_000_000) / 1_000) as u32;
+        f.write_all(&secs.to_le_bytes())?;
+        f.write_all(&micros.to_le_bytes())?;
+        f.write_all(&(p.bytes.len() as u32).to_le_bytes())?;
+        f.write_all(&(p.bytes.len() as u32).to_le_bytes())?;
+        f.write_all(&p.bytes)?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecn_wire::{Ecn, IpProto, Ipv4Header};
+    use std::net::Ipv4Addr;
+
+    fn dgram() -> Datagram {
+        Datagram::new(
+            Ipv4Header::probe(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(192, 0, 2, 1),
+                IpProto::Udp,
+                Ecn::Ect0,
+            ),
+            b"payload",
+        )
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Capture::default();
+        assert!(c.is_empty());
+        c.record(Nanos::from_secs(1), Direction::Out, dgram().as_bytes());
+        c.record(Nanos::from_secs(2), Direction::In, dgram().as_bytes());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.since(Nanos::from_secs(2)).count(), 1);
+        assert_eq!(c.since(Nanos::ZERO).count(), 2);
+        let d = c.packets()[0].datagram().unwrap();
+        assert_eq!(d.ecn(), Ecn::Ect0);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn shared_handle_is_concurrent() {
+        let c = new_capture();
+        let c2 = c.clone();
+        c.lock().record(Nanos::ZERO, Direction::Out, dgram().as_bytes());
+        assert_eq!(c2.lock().len(), 1);
+    }
+
+    #[test]
+    fn pcap_file_has_valid_header_and_records() {
+        let dir = std::env::temp_dir().join("ecnudp-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pcap");
+        let mut c = Capture::default();
+        c.record(Nanos::from_millis(1500), Direction::Out, dgram().as_bytes());
+        write_pcap(&path, &c).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[0..4], &PCAP_MAGIC.to_le_bytes());
+        assert_eq!(&bytes[20..24], &LINKTYPE_RAW.to_le_bytes());
+        // record header: ts_sec=1, ts_usec=500000
+        assert_eq!(&bytes[24..28], &1u32.to_le_bytes());
+        assert_eq!(&bytes[28..32], &500_000u32.to_le_bytes());
+        let caplen = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        assert_eq!(caplen, dgram().len());
+        assert_eq!(bytes.len(), 40 + caplen);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,286 @@
+//! IPv4 prefixes and a longest-prefix-match trie.
+//!
+//! Used twice in the system: as the forwarding table of every simulated
+//! router, and as the IP→AS database (`ecn-asdb`). The trie is a plain
+//! binary trie over address bits — small, predictable, and easy to verify.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 prefix: address plus mask length, canonicalised so host bits are
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Construct, zeroing any host bits. `len` is clamped to 32.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Ipv4Prefix {
+        let len = len.min(32);
+        let raw = u32::from(addr);
+        let masked = if len == 0 { 0 } else { raw & (!0u32 << (32 - len)) };
+        Ipv4Prefix { addr: masked, len }
+    }
+
+    /// A host route.
+    pub fn host(addr: Ipv4Addr) -> Ipv4Prefix {
+        Ipv4Prefix::new(addr, 32)
+    }
+
+    /// The base address.
+    pub fn addr(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Mask length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Does this prefix contain `ip`?
+    pub fn contains(self, ip: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        (u32::from(ip) & (!0u32 << (32 - self.len))) == self.addr
+    }
+
+    /// Number of addresses covered.
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address inside the prefix (wraps if out of range —
+    /// callers allocate within bounds).
+    pub fn nth(self, i: u32) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr.wrapping_add(i % (self.size() as u32).max(1)))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr(), self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, l) = s.split_once('/').ok_or_else(|| format!("no '/' in {s}"))?;
+        let addr: Ipv4Addr = a.parse().map_err(|e| format!("{e}"))?;
+        let len: u8 = l.parse().map_err(|e| format!("{e}"))?;
+        if len > 32 {
+            return Err(format!("mask length {len} > 32"));
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+/// Longest-prefix-match map from [`Ipv4Prefix`] to `T`.
+#[derive(Debug, Clone)]
+pub struct PrefixMap<T> {
+    nodes: Vec<TrieNode<T>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode<T> {
+    children: [Option<u32>; 2],
+    value: Option<T>,
+}
+
+impl<T> TrieNode<T> {
+    fn empty() -> TrieNode<T> {
+        TrieNode {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<T> Default for PrefixMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixMap<T> {
+    /// An empty map.
+    pub fn new() -> PrefixMap<T> {
+        PrefixMap {
+            nodes: vec![TrieNode::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or replace; returns the previous value for the exact prefix.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = 0usize;
+        let addr = u32::from(prefix.addr());
+        for i in 0..prefix.len() {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(next) => next as usize,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(TrieNode::empty());
+                    self.nodes[node].children[bit] = Some(next as u32);
+                    next
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&T> {
+        let addr = u32::from(ip);
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for i in 0..32 {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(next) => {
+                    node = next as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let addr = u32::from(prefix.addr());
+        let mut node = 0usize;
+        for i in 0..prefix.len() {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            node = self.nodes[node].children[bit]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Longest-prefix-match, also returning the matched prefix.
+    pub fn lookup_prefix(&self, ip: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
+        let addr = u32::from(ip);
+        let mut node = 0usize;
+        let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0, v));
+        for i in 0..32 {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(next) => {
+                    node = next as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Ipv4Prefix::new(ip, len), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn prefix_canonicalises_host_bits() {
+        let pre = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(pre.to_string(), "10.1.0.0/16");
+        assert!(pre.contains(Ipv4Addr::new(10, 1, 255, 255)));
+        assert!(!pre.contains(Ipv4Addr::new(10, 2, 0, 0)));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "203.0.113.7/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn zero_length_prefix_contains_everything() {
+        let d = p("0.0.0.0/0");
+        assert!(d.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(d.contains(Ipv4Addr::new(0, 0, 0, 0)));
+        assert_eq!(d.size(), 1 << 32);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut m = PrefixMap::new();
+        m.insert(p("0.0.0.0/0"), "default");
+        m.insert(p("10.0.0.0/8"), "ten");
+        m.insert(p("10.1.0.0/16"), "ten-one");
+        m.insert(p("10.1.2.3/32"), "host");
+        assert_eq!(m.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(&"host"));
+        assert_eq!(m.lookup(Ipv4Addr::new(10, 1, 9, 9)), Some(&"ten-one"));
+        assert_eq!(m.lookup(Ipv4Addr::new(10, 200, 0, 1)), Some(&"ten"));
+        assert_eq!(m.lookup(Ipv4Addr::new(8, 8, 8, 8)), Some(&"default"));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn lookup_without_default_can_miss() {
+        let mut m = PrefixMap::new();
+        m.insert(p("192.0.2.0/24"), 1);
+        assert_eq!(m.lookup(Ipv4Addr::new(192, 0, 3, 1)), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut m = PrefixMap::new();
+        assert_eq!(m.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(m.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(m.get(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn lookup_prefix_reports_match_length() {
+        let mut m = PrefixMap::new();
+        m.insert(p("10.0.0.0/8"), "a");
+        m.insert(p("10.128.0.0/9"), "b");
+        let (matched, v) = m.lookup_prefix(Ipv4Addr::new(10, 200, 1, 1)).unwrap();
+        assert_eq!(v, &"b");
+        assert_eq!(matched, p("10.128.0.0/9"));
+    }
+
+    #[test]
+    fn nth_allocates_within_prefix() {
+        let pre = p("192.0.2.0/24");
+        assert_eq!(pre.nth(0), Ipv4Addr::new(192, 0, 2, 0));
+        assert_eq!(pre.nth(7), Ipv4Addr::new(192, 0, 2, 7));
+        assert!(pre.contains(pre.nth(255)));
+    }
+}

@@ -1,0 +1,877 @@
+//! The discrete-event engine: schedules packet arrivals and host timers,
+//! and implements the router forwarding pipeline (TTL/ICMP, firewall, ECN
+//! policy, route lookup, link transmission).
+
+use crate::link::{Link, LinkId, LinkProps, NodeId};
+use crate::node::{flow_key, HostAgent, Node, Router, RouteEntry};
+use crate::pcap::{new_capture, CaptureRef, Direction};
+use crate::policy::FirewallAction;
+use crate::prefix::Ipv4Prefix;
+use crate::stats::{DropCause, Stats};
+use crate::time::Nanos;
+use ecn_wire::{Datagram, DestUnreachCode, Ecn, IcmpMessage, IpProto, Ipv4Header};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Seed for all per-packet randomness.
+    pub seed: u64,
+    /// Routing-epoch length: ECMP selections re-hash every period,
+    /// modelling slow route churn.
+    pub flap_period: Nanos,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            flap_period: Nanos::from_secs(120),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival { node: NodeId, dgram: Datagram },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulator.
+pub struct Sim {
+    now: Nanos,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    /// All nodes; index = `NodeId`.
+    pub nodes: Vec<Node>,
+    /// All directed links; index = `LinkId`.
+    pub links: Vec<Link>,
+    /// Ground-truth counters (not visible to the measurement application).
+    pub stats: Stats,
+    rng: SmallRng,
+    config: SimConfig,
+}
+
+impl Sim {
+    /// A simulator with the given seed and default config.
+    pub fn new(seed: u64) -> Sim {
+        Sim::with_config(SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    /// A simulator with explicit configuration.
+    pub fn with_config(config: SimConfig) -> Sim {
+        Sim {
+            now: Nanos::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            stats: Stats::default(),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0xec00_5eed),
+            config,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ---- topology construction -------------------------------------------------
+
+    /// Add a router node.
+    pub fn add_router(&mut self, router: Router) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Router(Box::new(router)));
+        id
+    }
+
+    /// Add a host node (no uplink yet).
+    pub fn add_host(&mut self, label: impl Into<String>, addr: Ipv4Addr) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Host(Box::new(crate::node::HostNode {
+            label: label.into(),
+            addr,
+            uplink: None,
+            agent: None,
+            capture: None,
+        })));
+        id
+    }
+
+    /// Add a directed link.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, props: LinkProps) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, from, to, props));
+        id
+    }
+
+    /// Add a pair of directed links with identical properties.
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, props: LinkProps) -> (LinkId, LinkId) {
+        (self.add_link(a, b, props), self.add_link(b, a, props))
+    }
+
+    /// Connect `host` to `router`: duplex link, uplink set, /32 route
+    /// installed on the router. Returns (host→router, router→host).
+    pub fn attach_host(
+        &mut self,
+        host: NodeId,
+        router: NodeId,
+        props: LinkProps,
+    ) -> (LinkId, LinkId) {
+        let (up, down) = self.add_duplex(host, router, props);
+        let addr = self.nodes[host.0 as usize].addr();
+        match &mut self.nodes[host.0 as usize] {
+            Node::Host(h) => h.uplink = Some(up),
+            Node::Router(_) => panic!("attach_host: {host:?} is a router"),
+        }
+        self.nodes[router.0 as usize]
+            .as_router_mut()
+            .table
+            .insert(Ipv4Prefix::host(addr), RouteEntry::Link(down));
+        (up, down)
+    }
+
+    /// Install a route on a router.
+    pub fn route(&mut self, router: NodeId, prefix: Ipv4Prefix, entry: RouteEntry) {
+        self.nodes[router.0 as usize]
+            .as_router_mut()
+            .table
+            .insert(prefix, entry);
+    }
+
+    /// Install the agent driving a host.
+    pub fn set_agent(&mut self, host: NodeId, agent: Box<dyn HostAgent>) {
+        match &mut self.nodes[host.0 as usize] {
+            Node::Host(h) => h.agent = Some(agent),
+            Node::Router(_) => panic!("set_agent: {host:?} is a router"),
+        }
+    }
+
+    /// Attach (or fetch) the capture buffer on a host interface.
+    pub fn attach_capture(&mut self, host: NodeId) -> CaptureRef {
+        match &mut self.nodes[host.0 as usize] {
+            Node::Host(h) => {
+                if h.capture.is_none() {
+                    h.capture = Some(new_capture());
+                }
+                h.capture.clone().expect("just set")
+            }
+            Node::Router(_) => panic!("attach_capture: {host:?} is a router"),
+        }
+    }
+
+    /// Node id of the host with address `addr` (linear scan; test helper).
+    pub fn find_host(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        self.nodes.iter().enumerate().find_map(|(i, n)| match n {
+            Node::Host(h) if h.addr == addr => Some(NodeId(i as u32)),
+            _ => None,
+        })
+    }
+
+    // ---- event loop -------------------------------------------------------------
+
+    fn schedule(&mut self, at: Nanos, event: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Process a single event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(s) = self.queue.pop() else {
+            return false;
+        };
+        self.now = s.at;
+        match s.event {
+            Event::Arrival { node, dgram } => self.handle_arrival(node, dgram),
+            Event::Timer { node, token } => self.dispatch_timer(node, token),
+        }
+        true
+    }
+
+    /// Run until virtual time `t`: all events at or before `t` are
+    /// processed, and the clock is left at exactly `t`.
+    pub fn run_until(&mut self, t: Nanos) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Run for a duration from the current time.
+    pub fn run_for(&mut self, d: Nanos) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+
+    // ---- packet handling ---------------------------------------------------------
+
+    /// Arrange for `host`'s agent to receive `on_timer(token)` after
+    /// `delay`. External drivers (e.g. a prober arming a socket timeout
+    /// from outside the event loop) use this; agents use
+    /// [`HostApi::set_timer`].
+    pub fn set_timer(&mut self, host: NodeId, delay: Nanos, token: u64) {
+        let at = self.now + delay;
+        self.schedule(at, Event::Timer { node: host, token });
+    }
+
+    /// Inject a datagram as if `host` sent it (captures it, then offers it
+    /// to the host's uplink). External drivers and `HostApi::send` both
+    /// funnel through here.
+    pub fn send_from(&mut self, host: NodeId, dgram: Datagram) {
+        let idx = host.0 as usize;
+        let (uplink, capture) = match &self.nodes[idx] {
+            Node::Host(h) => (h.uplink, h.capture.clone()),
+            Node::Router(_) => panic!("send_from: {host:?} is a router"),
+        };
+        if let Some(cap) = capture {
+            cap.lock().record(self.now, Direction::Out, dgram.as_bytes());
+        }
+        let Some(up) = uplink else {
+            self.stats.drop(DropCause::NoRoute);
+            return;
+        };
+        self.stats.originated += 1;
+        self.transmit(up, dgram);
+    }
+
+    fn handle_arrival(&mut self, node: NodeId, dgram: Datagram) {
+        match &self.nodes[node.0 as usize] {
+            Node::Host(_) => self.host_receive(node, dgram),
+            Node::Router(_) => self.router_receive(node, dgram),
+        }
+    }
+
+    fn host_receive(&mut self, node: NodeId, dgram: Datagram) {
+        let idx = node.0 as usize;
+        let now = self.now;
+        let (matches, agent) = match &mut self.nodes[idx] {
+            Node::Host(h) => {
+                if let Some(cap) = &h.capture {
+                    cap.lock().record(now, Direction::In, dgram.as_bytes());
+                }
+                if h.addr == dgram.dst() {
+                    (true, h.agent.take())
+                } else {
+                    (false, None)
+                }
+            }
+            Node::Router(_) => unreachable!("host_receive on router"),
+        };
+        if !matches {
+            self.stats.drop(DropCause::HostMismatch);
+            return;
+        }
+        self.stats.delivered += 1;
+        if let Some(mut agent) = agent {
+            let mut api = HostApi { sim: self, node };
+            agent.on_datagram(&mut api, dgram);
+            if let Node::Host(h) = &mut self.nodes[idx] {
+                h.agent = Some(agent);
+            }
+        }
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: u64) {
+        let idx = node.0 as usize;
+        let agent = match &mut self.nodes[idx] {
+            Node::Host(h) => h.agent.take(),
+            Node::Router(_) => None,
+        };
+        if let Some(mut agent) = agent {
+            let mut api = HostApi { sim: self, node };
+            agent.on_timer(&mut api, token);
+            if let Node::Host(h) = &mut self.nodes[idx] {
+                h.agent = Some(agent);
+            }
+        }
+    }
+
+    fn router_receive(&mut self, node: NodeId, mut dgram: Datagram) {
+        let idx = node.0 as usize;
+
+        // 1. TTL. Decrement; on expiry, answer with time-exceeded quoting
+        // the datagram as this router saw it — including any upstream ECN
+        // mangling, which is precisely what ECN traceroute measures.
+        if dgram.decrement_ttl() == 0 {
+            self.stats.drop(DropCause::TtlExpired);
+            let r = self.nodes[idx].as_router().expect("router");
+            // No ICMP errors about ICMP (RFC 1812 §4.3.2.7 simplification:
+            // the study's probes are UDP/TCP, so this only suppresses
+            // pathological error-about-error storms).
+            if r.responds_ttl_exceeded && dgram.protocol() != IpProto::Icmp {
+                let reply = icmp_reply(r.addr, &dgram, IcmpMessage::time_exceeded_for(dgram.as_bytes()));
+                self.stats.icmp_time_exceeded += 1;
+                self.route_and_transmit(node, reply);
+            }
+            return;
+        }
+
+        // 2. Firewall.
+        let action = {
+            let r = self.nodes[idx].as_router().expect("router");
+            r.firewall
+                .evaluate(dgram.src(), dgram.protocol(), dgram.ecn(), &mut self.rng)
+        };
+        match action {
+            FirewallAction::Drop => {
+                self.stats.drop(DropCause::Firewall);
+                *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
+                return;
+            }
+            FirewallAction::Reject => {
+                self.stats.drop(DropCause::Firewall);
+                *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
+                let r = self.nodes[idx].as_router().expect("router");
+                if dgram.protocol() != IpProto::Icmp {
+                    let reply = icmp_reply(
+                        r.addr,
+                        &dgram,
+                        IcmpMessage::dest_unreachable_for(
+                            DestUnreachCode::AdminProhibited,
+                            dgram.as_bytes(),
+                        ),
+                    );
+                    self.stats.icmp_dest_unreachable += 1;
+                    self.route_and_transmit(node, reply);
+                }
+                return;
+            }
+            FirewallAction::Allow => {}
+        }
+
+        // 3. ECN policy.
+        let policy = self.nodes[idx].as_router().expect("router").ecn_policy;
+        let before = dgram.ecn();
+        let (after, dropped) = policy.apply(before, &mut self.rng);
+        if dropped {
+            self.stats.drop(DropCause::PolicyTos);
+            return;
+        }
+        if after != before {
+            dgram.set_ecn(after);
+            *self.stats.bleached_by_node.entry(node).or_insert(0) += 1;
+        }
+
+        // 4+5. Route and transmit.
+        self.route_and_transmit(node, dgram);
+    }
+
+    fn route_and_transmit(&mut self, node: NodeId, dgram: Datagram) {
+        let idx = node.0 as usize;
+        let epoch = self.now.0 / self.config.flap_period.0.max(1);
+        let key = flow_key(&dgram) ^ (u64::from(node.0) << 48);
+        let link = {
+            let r = self.nodes[idx].as_router().expect("router");
+            r.table
+                .lookup(dgram.dst())
+                .and_then(|entry| entry.select(key, epoch))
+        };
+        match link {
+            Some(lid) => self.transmit(lid, dgram),
+            None => self.stats.drop(DropCause::NoRoute),
+        }
+    }
+
+    fn transmit(&mut self, lid: LinkId, mut dgram: Datagram) {
+        let now = self.now;
+        let link = &mut self.links[lid.0 as usize];
+        let to = link.to;
+        match link.offer(
+            now,
+            dgram.len() as u64,
+            dgram.ecn().is_markable(),
+            &mut self.rng,
+        ) {
+            crate::link::LinkOutcome::Deliver { at, ce_mark } => {
+                if ce_mark {
+                    dgram.set_ecn(Ecn::Ce);
+                    self.stats.ce_marked += 1;
+                }
+                self.stats.forwarded += 1;
+                self.schedule(at, Event::Arrival { node: to, dgram });
+            }
+            crate::link::LinkOutcome::Lost => self.stats.drop(DropCause::Loss),
+            crate::link::LinkOutcome::Dropped(cause) => {
+                self.stats.drop(DropCause::Queue(cause))
+            }
+        }
+    }
+}
+
+/// Build a router-originated ICMP reply to the sender of `original`.
+fn icmp_reply(router_addr: Ipv4Addr, original: &Datagram, msg: IcmpMessage) -> Datagram {
+    let hdr = Ipv4Header::probe(router_addr, original.src(), IpProto::Icmp, Ecn::NotEct);
+    Datagram::new(hdr, &msg.encode())
+}
+
+/// Mutable view of the simulation handed to host agents during dispatch.
+pub struct HostApi<'a> {
+    pub(crate) sim: &'a mut Sim,
+    pub(crate) node: NodeId,
+}
+
+impl HostApi<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now
+    }
+
+    /// This host's address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.sim.nodes[self.node.0 as usize].addr()
+    }
+
+    /// This host's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send a datagram from this host.
+    pub fn send(&mut self, dgram: Datagram) {
+        self.sim.send_from(self.node, dgram);
+    }
+
+    /// Arrange for `on_timer(token)` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: Nanos, token: u64) {
+        let at = self.sim.now + delay;
+        self.sim.schedule(at, Event::Timer {
+            node: self.node,
+            token,
+        });
+    }
+
+    /// Per-packet randomness shared with the engine.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.sim.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{EcnPolicy, Firewall, FirewallRule};
+    use crate::queue::QueueDisc;
+
+    fn probe_dgram(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, ecn: Ecn) -> Datagram {
+        let mut h = Ipv4Header::probe(src, dst, IpProto::Udp, ecn);
+        h.ttl = ttl;
+        Datagram::new(
+            h,
+            &ecn_wire::udp::udp_segment(src, dst, 40000, 123, b"test-payload"),
+        )
+    }
+
+    /// host A -- r1 -- r2 -- host B, clean links, default routes.
+    fn line_topology(seed: u64) -> (Sim, NodeId, NodeId, NodeId, NodeId) {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_host("A", Ipv4Addr::new(10, 0, 0, 1));
+        let b = sim.add_host("B", Ipv4Addr::new(192, 0, 2, 1));
+        let r1 = sim.add_router(Router::new("r1", Ipv4Addr::new(10, 0, 0, 254), 65001));
+        let r2 = sim.add_router(Router::new("r2", Ipv4Addr::new(192, 0, 2, 254), 65002));
+        sim.attach_host(a, r1, LinkProps::clean(Nanos::from_millis(1)));
+        sim.attach_host(b, r2, LinkProps::clean(Nanos::from_millis(1)));
+        let (l12, l21) = sim.add_duplex(r1, r2, LinkProps::clean(Nanos::from_millis(5)));
+        sim.route(
+            r1,
+            "0.0.0.0/0".parse().unwrap(),
+            RouteEntry::Link(l12),
+        );
+        sim.route(
+            r2,
+            "0.0.0.0/0".parse().unwrap(),
+            RouteEntry::Link(l21),
+        );
+        (sim, a, b, r1, r2)
+    }
+
+    struct Echoer;
+    impl HostAgent for Echoer {
+        fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: Datagram) {
+            // reflect payload back to the source, preserving ECN
+            let h = dgram.header();
+            let reply_h = Ipv4Header::probe(api.addr(), h.src, h.protocol, h.ecn);
+            let reply = Datagram::new(reply_h, dgram.payload());
+            api.send(reply);
+        }
+        fn on_timer(&mut self, _api: &mut HostApi<'_>, _token: u64) {}
+    }
+
+    #[test]
+    fn end_to_end_delivery_and_echo() {
+        let (mut sim, a, b, _r1, _r2) = line_topology(1);
+        sim.set_agent(b, Box::new(Echoer));
+        let cap = sim.attach_capture(a);
+        let d = probe_dgram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, 1),
+            64,
+            Ecn::Ect0,
+        );
+        sim.send_from(a, d);
+        sim.run_to_idle();
+        let cap = cap.lock();
+        // capture holds the outgoing probe and the echoed reply
+        assert_eq!(cap.len(), 2);
+        assert_eq!(cap.packets()[0].dir, Direction::Out);
+        assert_eq!(cap.packets()[1].dir, Direction::In);
+        let reply = cap.packets()[1].datagram().unwrap();
+        assert_eq!(reply.src(), Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(reply.ecn(), Ecn::Ect0, "ECT(0) survives clean path");
+        assert_eq!(sim.stats.delivered, 2);
+    }
+
+    #[test]
+    fn ttl_expiry_generates_time_exceeded_with_quote() {
+        let (mut sim, a, _b, _r1, _r2) = line_topology(2);
+        let cap = sim.attach_capture(a);
+        // TTL 2 expires at r2 (decremented to 1 at r1, 0 at r2).
+        let d = probe_dgram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, 1),
+            2,
+            Ecn::Ect0,
+        );
+        sim.send_from(a, d);
+        sim.run_to_idle();
+        assert_eq!(sim.stats.icmp_time_exceeded, 1);
+        let cap = cap.lock();
+        let icmp_pkt = cap
+            .packets()
+            .iter()
+            .find(|p| p.dir == Direction::In)
+            .expect("ICMP reply captured");
+        let dg = icmp_pkt.datagram().unwrap();
+        assert_eq!(dg.src(), Ipv4Addr::new(192, 0, 2, 254), "from r2");
+        let msg = IcmpMessage::decode(dg.payload()).unwrap();
+        let quoted = msg.quoted().unwrap();
+        let qh = Ipv4Header::decode(quoted).unwrap();
+        assert_eq!(qh.ecn, Ecn::Ect0, "quote shows mark as r2 saw it");
+        assert_eq!(qh.dst, Ipv4Addr::new(192, 0, 2, 1));
+    }
+
+    #[test]
+    fn bleaching_router_strips_mark_before_next_hop() {
+        let (mut sim, a, b, r1, _r2) = line_topology(3);
+        sim.nodes[r1.0 as usize].as_router_mut().ecn_policy = EcnPolicy::Bleach;
+        sim.set_agent(b, Box::new(Echoer));
+        let cap_b = sim.attach_capture(b);
+        let d = probe_dgram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, 1),
+            64,
+            Ecn::Ect0,
+        );
+        sim.send_from(a, d);
+        sim.run_to_idle();
+        let cap = cap_b.lock();
+        let arrived = cap.packets()[0].datagram().unwrap();
+        assert_eq!(arrived.ecn(), Ecn::NotEct, "mark stripped at r1");
+        assert_eq!(sim.stats.total_bleached(), 1);
+        assert_eq!(sim.stats.bleached_by_node.get(&r1), Some(&1));
+    }
+
+    #[test]
+    fn ect_udp_firewall_blocks_udp_but_not_tcp() {
+        let (mut sim, a, _b, _r1, r2) = line_topology(4);
+        sim.nodes[r2.0 as usize].as_router_mut().firewall =
+            Firewall::single(FirewallRule::drop_ect_udp());
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        // ECT UDP: dropped at r2.
+        sim.send_from(a, probe_dgram(src, dst, 64, Ecn::Ect0));
+        sim.run_to_idle();
+        assert_eq!(sim.stats.drops_for(DropCause::Firewall), 1);
+        assert_eq!(sim.stats.delivered, 0);
+        // not-ECT UDP: delivered.
+        sim.send_from(a, probe_dgram(src, dst, 64, Ecn::NotEct));
+        sim.run_to_idle();
+        assert_eq!(sim.stats.delivered, 1);
+        // ECT TCP: delivered (the §4.4 phenomenon).
+        let mut h = Ipv4Header::probe(src, dst, IpProto::Tcp, Ecn::Ect0);
+        h.ttl = 64;
+        let tcp = ecn_wire::tcp::tcp_segment(
+            src,
+            dst,
+            &ecn_wire::TcpHeader {
+                src_port: 1,
+                dst_port: 80,
+                seq: 0,
+                ack: 0,
+                flags: ecn_wire::TcpFlags::SYN,
+                window: 1000,
+                urgent: 0,
+                options: vec![],
+            },
+            b"",
+        );
+        sim.send_from(a, Datagram::new(h, &tcp));
+        sim.run_to_idle();
+        assert_eq!(sim.stats.delivered, 2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        struct TimerAgent {
+            fired: Arc<Mutex<Vec<u64>>>,
+        }
+        impl HostAgent for TimerAgent {
+            fn on_datagram(&mut self, _api: &mut HostApi<'_>, _d: Datagram) {}
+            fn on_timer(&mut self, api: &mut HostApi<'_>, token: u64) {
+                self.fired.lock().push(token);
+                if token == 1 {
+                    api.set_timer(Nanos::from_millis(1), 3);
+                }
+            }
+        }
+        let (mut sim, a, _b, _r1, _r2) = line_topology(5);
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        sim.set_agent(
+            a,
+            Box::new(TimerAgent {
+                fired: fired.clone(),
+            }),
+        );
+        {
+            let mut api = HostApi {
+                sim: &mut sim,
+                node: a,
+            };
+            api.set_timer(Nanos::from_millis(10), 2);
+            api.set_timer(Nanos::from_millis(5), 1);
+        }
+        sim.run_to_idle();
+        // token 1 at 5 ms, token 3 set from within token 1's handler for
+        // 6 ms, token 2 at 10 ms.
+        assert_eq!(*fired.lock(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn rejecting_firewall_sends_admin_prohibited() {
+        use ecn_wire::DestUnreachCode;
+        let (mut sim, a, _b, _r1, r2) = line_topology(20);
+        sim.nodes[r2.0 as usize].as_router_mut().firewall =
+            Firewall::single(crate::policy::FirewallRule {
+                proto: Some(IpProto::Udp),
+                ecn: crate::policy::EcnMatch::EcnCapable,
+                src_within: None,
+                action: FirewallAction::Reject,
+                probability: 1.0,
+            });
+        let cap = sim.attach_capture(a);
+        sim.send_from(
+            a,
+            probe_dgram(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(192, 0, 2, 1),
+                64,
+                Ecn::Ect0,
+            ),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.stats.icmp_dest_unreachable, 1);
+        let cap = cap.lock();
+        let reply = cap
+            .packets()
+            .iter()
+            .find(|p| p.dir == Direction::In)
+            .expect("ICMP reply");
+        let dg = reply.datagram().unwrap();
+        assert_eq!(dg.src(), Ipv4Addr::new(192, 0, 2, 254), "from r2");
+        match IcmpMessage::decode(dg.payload()).unwrap() {
+            IcmpMessage::DestUnreachable { code, quoted } => {
+                assert_eq!(code, DestUnreachCode::AdminProhibited);
+                let qh = Ipv4Header::decode(&quoted).unwrap();
+                assert_eq!(qh.ecn, Ecn::Ect0, "quote shows the rejected mark");
+            }
+            other => panic!("wrong ICMP {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tos_drop_policy_sheds_marked_packets_only() {
+        let (mut sim, a, b, r1, _r2) = line_topology(21);
+        sim.nodes[r1.0 as usize].as_router_mut().ecn_policy = EcnPolicy::TosDrop(1.0);
+        sim.set_agent(b, Box::new(Echoer));
+        let cap = sim.attach_capture(a);
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        sim.send_from(a, probe_dgram(src, dst, 64, Ecn::Ect0));
+        sim.run_to_idle();
+        assert_eq!(sim.stats.drops_for(DropCause::PolicyTos), 1);
+        assert_eq!(cap.lock().packets().iter().filter(|p| p.dir == Direction::In).count(), 0);
+        sim.send_from(a, probe_dgram(src, dst, 64, Ecn::NotEct));
+        sim.run_to_idle();
+        assert_eq!(
+            cap.lock().packets().iter().filter(|p| p.dir == Direction::In).count(),
+            1,
+            "not-ECT passes the TOS-sensitive hop"
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let (mut sim, ..) = line_topology(6);
+        sim.run_until(Nanos::from_secs(5));
+        assert_eq!(sim.now(), Nanos::from_secs(5));
+        sim.run_for(Nanos::from_millis(250));
+        assert_eq!(sim.now(), Nanos::from_secs(5) + Nanos::from_millis(250));
+    }
+
+    #[test]
+    fn no_route_is_counted() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_host("A", Ipv4Addr::new(10, 0, 0, 1));
+        let r = sim.add_router(Router::new("r", Ipv4Addr::new(10, 0, 0, 254), 65001));
+        sim.attach_host(a, r, LinkProps::clean(Nanos::from_millis(1)));
+        sim.send_from(
+            a,
+            probe_dgram(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(8, 8, 8, 8),
+                64,
+                Ecn::NotEct,
+            ),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.stats.drops_for(DropCause::NoRoute), 1);
+    }
+
+    #[test]
+    fn host_mismatch_dropped() {
+        let (mut sim, a, b, r2, _) = {
+            let (sim, a, b, r1, r2) = line_topology(8);
+            (sim, a, b, r2, r1)
+        };
+        // Route a bogus /32 at r2 down b's access link: wrong host receives.
+        let down = match &sim.nodes[b.0 as usize] {
+            Node::Host(h) => h.uplink.unwrap(),
+            _ => unreachable!(),
+        };
+        // b's uplink is host->router; the router->host link is uplink+1 by
+        // construction in add_duplex.
+        let down = LinkId(down.0 + 1);
+        sim.route(
+            r2,
+            "203.0.113.99/32".parse().unwrap(),
+            RouteEntry::Link(down),
+        );
+        sim.send_from(
+            a,
+            probe_dgram(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(203, 0, 113, 99),
+                64,
+                Ecn::NotEct,
+            ),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.stats.drops_for(DropCause::HostMismatch), 1);
+    }
+
+    #[test]
+    fn red_bottleneck_ce_marks_ect_traffic_end_to_end() {
+        let mut sim = Sim::new(9);
+        let a = sim.add_host("A", Ipv4Addr::new(10, 0, 0, 1));
+        let b = sim.add_host("B", Ipv4Addr::new(192, 0, 2, 1));
+        let r1 = sim.add_router(Router::new("r1", Ipv4Addr::new(10, 0, 0, 254), 65001));
+        let r2 = sim.add_router(Router::new("r2", Ipv4Addr::new(192, 0, 2, 254), 65002));
+        sim.attach_host(a, r1, LinkProps::clean(Nanos::from_micros(10)));
+        sim.attach_host(b, r2, LinkProps::clean(Nanos::from_micros(10)));
+        // narrow RED bottleneck between r1 and r2 with a responsive average
+        let red = QueueDisc::Red {
+            min_th_bytes: 1_000,
+            max_th_bytes: 60_000,
+            max_p: 0.3,
+            weight: 0.3,
+            ecn: true,
+            limit_bytes: 1_000_000,
+        };
+        let (l12, l21) = sim.add_duplex(
+            r1,
+            r2,
+            LinkProps::bottleneck(Nanos::from_millis(5), 400_000, red),
+        );
+        sim.route(r1, "0.0.0.0/0".parse().unwrap(), RouteEntry::Link(l12));
+        sim.route(r2, "0.0.0.0/0".parse().unwrap(), RouteEntry::Link(l21));
+        let cap_b = sim.attach_capture(b);
+        // Offer ECT-marked ~500-byte datagrams at 2 ms spacing: 250 kB/s
+        // offered against a 50 kB/s drain — the backlog builds steadily.
+        for i in 0..200u32 {
+            let mut h = Ipv4Header::probe(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(192, 0, 2, 1),
+                IpProto::Udp,
+                Ecn::Ect0,
+            );
+            h.identification = i as u16;
+            let payload = ecn_wire::udp::udp_segment(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(192, 0, 2, 1),
+                5000,
+                5001,
+                &vec![0u8; 460],
+            );
+            sim.run_until(Nanos::from_millis(2 * u64::from(i)));
+            sim.send_from(a, Datagram::new(h, &payload));
+        }
+        sim.run_to_idle();
+        assert!(sim.stats.ce_marked > 5, "CE marks: {}", sim.stats.ce_marked);
+        let cap = cap_b.lock();
+        let ce_seen = cap
+            .packets()
+            .iter()
+            .filter_map(|p| p.datagram())
+            .filter(|d| d.ecn() == Ecn::Ce)
+            .count();
+        assert!(ce_seen > 5, "CE at receiver: {ce_seen}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the simulator's data structures and models:
+//! the LPM trie against a naive reference, loss-model convergence, ECMP
+//! selection bounds, and packet-conservation through random line
+//! topologies.
+
+use ecn_netsim::{
+    derive_rng, DropCause, Ipv4Prefix, LinkProps, LossModel, LossProcess, Nanos, PrefixMap,
+    RouteEntry, Router, Sim,
+};
+use ecn_wire::{Datagram, Ecn, IpProto, Ipv4Header};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(Ipv4Addr::from(addr), len))
+}
+
+/// Naive reference: linear scan for the longest matching prefix.
+fn naive_lookup(entries: &[(Ipv4Prefix, u32)], ip: Ipv4Addr) -> Option<u32> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(ip))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, v)| *v)
+}
+
+proptest! {
+    #[test]
+    fn prefix_map_matches_naive_model(
+        raw in proptest::collection::vec((arb_prefix(), any::<u32>()), 0..40),
+        probes in proptest::collection::vec(any::<u32>(), 0..40),
+    ) {
+        // deduplicate by prefix, keeping the LAST value (insert semantics)
+        let mut entries: Vec<(Ipv4Prefix, u32)> = Vec::new();
+        let mut map = PrefixMap::new();
+        for (p, v) in raw {
+            map.insert(p, v);
+            entries.retain(|(q, _)| *q != p);
+            entries.push((p, v));
+        }
+        prop_assert_eq!(map.len(), entries.len());
+        for ip in probes.into_iter().map(Ipv4Addr::from) {
+            prop_assert_eq!(map.lookup(ip).copied(), naive_lookup(&entries, ip), "ip {}", ip);
+        }
+    }
+
+    #[test]
+    fn prefix_contains_its_own_addresses(p in arb_prefix(), offset in any::<u32>()) {
+        let inside = p.nth(offset);
+        prop_assert!(p.contains(inside));
+    }
+
+    #[test]
+    fn loss_means_converge(mean in 0.0f64..0.4) {
+        let mut proc = LossProcess::new(LossModel::congested_access(mean));
+        let mut rng = derive_rng(42, "prop-loss");
+        let n = 400_000u64;
+        let drops = (0..n)
+            .filter(|i| proc.should_drop(Nanos::from_millis(i * 10), false, &mut rng))
+            .count();
+        let rate = drops as f64 / n as f64;
+        // generous band: burst models converge slowly
+        prop_assert!((rate - mean).abs() < 0.03 + mean * 0.25, "mean {mean} rate {rate}");
+    }
+
+    #[test]
+    fn ecn_biased_loss_prefers_ect(duty in 0.05f64..0.5) {
+        let model = LossModel::tos_biased_access(duty, 0.3, 0.9);
+        let mut proc = LossProcess::new(model);
+        let mut rng = derive_rng(7, "prop-bias");
+        let n = 200_000u64;
+        let mut ect_drops = 0u64;
+        let mut plain_drops = 0u64;
+        for i in 0..n {
+            let t = Nanos::from_millis(i * 10);
+            // alternate markings through the same chain
+            if i % 2 == 0 {
+                ect_drops += u64::from(proc.should_drop(t, true, &mut rng));
+            } else {
+                plain_drops += u64::from(proc.should_drop(t, false, &mut rng));
+            }
+        }
+        prop_assert!(ect_drops > plain_drops * 2,
+            "ect {ect_drops} plain {plain_drops} at duty {duty}");
+    }
+
+    #[test]
+    fn ecmp_selection_is_always_in_range(
+        links in 1usize..8,
+        key in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let entry = RouteEntry::Ecmp((0..links as u32).map(ecn_netsim::LinkId).collect());
+        let chosen = entry.select(key, epoch).expect("non-empty");
+        prop_assert!((chosen.0 as usize) < links);
+        // deterministic
+        prop_assert_eq!(entry.select(key, epoch), Some(chosen));
+    }
+
+    #[test]
+    fn packets_are_conserved_through_line_topologies(
+        hops in 1usize..6,
+        packets in 1usize..30,
+        loss_p in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        // host A -- r0 -- r1 -- ... -- r(hops-1) -- host B with a lossy
+        // middle: every originated packet is either delivered, dropped
+        // with a recorded cause, or died of TTL.
+        let mut sim = Sim::new(seed);
+        let a = sim.add_host("A", Ipv4Addr::new(10, 0, 0, 1));
+        let b = sim.add_host("B", Ipv4Addr::new(192, 0, 2, 1));
+        let routers: Vec<_> = (0..hops)
+            .map(|i| {
+                sim.add_router(Router::new(
+                    format!("r{i}"),
+                    Ipv4Addr::new(100, 64, i as u8, 1),
+                    100 + i as u32,
+                ))
+            })
+            .collect();
+        sim.attach_host(a, routers[0], LinkProps::clean(Nanos::from_millis(1)));
+        sim.attach_host(b, routers[hops - 1], LinkProps::clean(Nanos::from_millis(1)));
+        for w in 0..hops.saturating_sub(1) {
+            let props = if w == 0 {
+                LinkProps::lossy(Nanos::from_millis(2), loss_p)
+            } else {
+                LinkProps::clean(Nanos::from_millis(2))
+            };
+            let (f, bk) = sim.add_duplex(routers[w], routers[w + 1], props);
+            sim.route(routers[w], "0.0.0.0/0".parse().unwrap(), RouteEntry::Link(f));
+            let _ = bk;
+        }
+        // default routes towards B for the last router handled by
+        // attach_host's /32; remaining routers need a default up-chain too
+        for w in 0..hops {
+            if w + 1 < hops {
+                // already set above
+            }
+        }
+        let h = Ipv4Header::probe(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, 1),
+            IpProto::Udp,
+            Ecn::Ect0,
+        );
+        let seg = ecn_wire::udp::udp_segment(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 0, 2, 1),
+            1,
+            2,
+            b"conservation",
+        );
+        for _ in 0..packets {
+            sim.send_from(a, Datagram::new(h, &seg));
+        }
+        sim.run_to_idle();
+        let s = &sim.stats;
+        let accounted = s.delivered
+            + s.drops_for(DropCause::Loss)
+            + s.drops_for(DropCause::NoRoute)
+            + s.drops_for(DropCause::TtlExpired)
+            + s.drops_for(DropCause::HostMismatch);
+        prop_assert_eq!(s.originated as usize, packets);
+        prop_assert_eq!(accounted as usize, packets, "all packets accounted for");
+    }
+}

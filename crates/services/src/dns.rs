@@ -1,0 +1,196 @@
+//! The pool.ntp.org authoritative DNS: round-robin A records over the pool
+//! membership, with country/region subdomains — the discovery mechanism of
+//! paper §3 ("a DNS query for pool.ntp.org and each of its country- and
+//! region-specific sub-domains in turn").
+
+use ecn_netsim::Nanos;
+use ecn_stack::UdpService;
+use ecn_wire::{DnsMessage, Ecn};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// How many A records one answer carries (the real pool returns 4).
+pub const ANSWERS_PER_QUERY: usize = 4;
+/// Answer TTL in seconds (the real pool uses ~150 s so clients re-resolve).
+pub const POOL_TTL: u32 = 150;
+
+/// The authoritative zone: name → member addresses, served round-robin.
+pub struct PoolDnsService {
+    zone: HashMap<String, Vec<Ipv4Addr>>,
+    cursor: HashMap<String, usize>,
+}
+
+impl PoolDnsService {
+    /// Build from (name, members) pairs. Names are stored lowercase
+    /// without a trailing dot.
+    pub fn new(zone: impl IntoIterator<Item = (String, Vec<Ipv4Addr>)>) -> PoolDnsService {
+        PoolDnsService {
+            zone: zone
+                .into_iter()
+                .map(|(n, v)| (n.trim_end_matches('.').to_ascii_lowercase(), v))
+                .collect(),
+            cursor: HashMap::new(),
+        }
+    }
+
+    /// Names served by this zone.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.zone.keys().map(String::as_str)
+    }
+
+    /// The next `ANSWERS_PER_QUERY` members for `name`, advancing the
+    /// rotation — this is what makes repeated queries enumerate the pool.
+    fn rotate(&mut self, name: &str) -> Vec<Ipv4Addr> {
+        let Some(members) = self.zone.get(name) else {
+            return Vec::new();
+        };
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let cur = self.cursor.entry(name.to_string()).or_insert(0);
+        let n = ANSWERS_PER_QUERY.min(members.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(members[(*cur + i) % members.len()]);
+        }
+        *cur = (*cur + n) % members.len();
+        out
+    }
+}
+
+impl UdpService for PoolDnsService {
+    fn handle(
+        &mut self,
+        _now: Nanos,
+        _src: (Ipv4Addr, u16),
+        _ecn: Ecn,
+        payload: &[u8],
+    ) -> Option<Vec<u8>> {
+        let query = DnsMessage::decode(payload).ok()?;
+        let name = query.questions.first()?.name.clone();
+        let addrs = self.rotate(&name);
+        Some(DnsMessage::a_response(&query, POOL_TTL, &addrs).encode())
+    }
+}
+
+/// Build the standard pool query names: the bare zone plus `0.`–`3.`
+/// prefixes and the given country/region subdomains, mirroring the paper's
+/// discovery script.
+pub fn pool_query_names(subdomains: &[&str]) -> Vec<String> {
+    let mut names = vec!["pool.ntp.org".to_string()];
+    for i in 0..4 {
+        names.push(format!("{i}.pool.ntp.org"));
+    }
+    for sub in subdomains {
+        names.push(format!("{sub}.pool.ntp.org"));
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: u8) -> Vec<Ipv4Addr> {
+        (0..n).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect()
+    }
+
+    fn query_bytes(id: u16, name: &str) -> Vec<u8> {
+        DnsMessage::a_query(id, name).encode()
+    }
+
+    fn srv() -> PoolDnsService {
+        PoolDnsService::new([
+            ("pool.ntp.org".to_string(), addrs(10)),
+            ("uk.pool.ntp.org".to_string(), addrs(3)),
+            ("empty.pool.ntp.org".to_string(), vec![]),
+        ])
+    }
+
+    const SRC: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 1), 53053);
+
+    #[test]
+    fn serves_four_answers_and_rotates() {
+        let mut s = srv();
+        let r1 = s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(1, "pool.ntp.org"))
+            .unwrap();
+        let m1 = DnsMessage::decode(&r1).unwrap();
+        assert_eq!(m1.a_records().len(), ANSWERS_PER_QUERY);
+        assert_eq!(m1.answers[0].ttl, POOL_TTL);
+        let r2 = s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(2, "pool.ntp.org"))
+            .unwrap();
+        let m2 = DnsMessage::decode(&r2).unwrap();
+        assert_ne!(m1.a_records(), m2.a_records(), "rotation advances");
+    }
+
+    #[test]
+    fn repeated_queries_enumerate_the_whole_pool() {
+        let mut s = srv();
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..10u16 {
+            let r = s
+                .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(id, "pool.ntp.org"))
+                .unwrap();
+            for a in DnsMessage::decode(&r).unwrap().a_records() {
+                seen.insert(a);
+            }
+        }
+        assert_eq!(seen.len(), 10, "all 10 members discovered");
+    }
+
+    #[test]
+    fn small_zones_return_each_member_once() {
+        let mut s = srv();
+        let r = s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(1, "uk.pool.ntp.org"))
+            .unwrap();
+        let m = DnsMessage::decode(&r).unwrap();
+        assert_eq!(m.a_records().len(), 3);
+        let unique: std::collections::HashSet<_> = m.a_records().into_iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn unknown_name_is_nxdomain() {
+        let mut s = srv();
+        let r = s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(1, "nosuch.example"))
+            .unwrap();
+        let m = DnsMessage::decode(&r).unwrap();
+        assert!(m.a_records().is_empty());
+        assert_eq!(m.flags.rcode, ecn_wire::Rcode::NxDomain);
+    }
+
+    #[test]
+    fn empty_zone_is_nxdomain_too() {
+        let mut s = srv();
+        let r = s
+            .handle(
+                Nanos::ZERO,
+                SRC,
+                Ecn::NotEct,
+                &query_bytes(1, "empty.pool.ntp.org"),
+            )
+            .unwrap();
+        assert!(DnsMessage::decode(&r).unwrap().a_records().is_empty());
+    }
+
+    #[test]
+    fn garbage_is_ignored() {
+        let mut s = srv();
+        assert!(s.handle(Nanos::ZERO, SRC, Ecn::NotEct, b"\x00\x01").is_none());
+    }
+
+    #[test]
+    fn query_name_list_matches_methodology() {
+        let names = pool_query_names(&["uk", "de", "north-america"]);
+        assert!(names.contains(&"pool.ntp.org".to_string()));
+        assert!(names.contains(&"0.pool.ntp.org".to_string()));
+        assert!(names.contains(&"3.pool.ntp.org".to_string()));
+        assert!(names.contains(&"uk.pool.ntp.org".to_string()));
+        assert!(names.contains(&"north-america.pool.ntp.org".to_string()));
+        assert_eq!(names.len(), 1 + 4 + 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! The web server pool members are encouraged to run: answers `GET /` with
+//! a redirect to `www.pool.ntp.org` (paper §3). Served over the stack's
+//! TCP as a [`TcpService`].
+
+use ecn_netsim::Nanos;
+use ecn_stack::{TcpService, TcpServiceAction};
+use ecn_wire::{HttpRequest, HttpResponse};
+
+/// Behaviour of a pool member's web server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpServerKind {
+    /// The standard pool redirect to `www.pool.ntp.org`.
+    PoolRedirect,
+    /// A host serving its own page with 200 OK.
+    PlainOk,
+}
+
+/// The HTTP service: waits for a complete request head, answers once,
+/// closes the connection (pool servers send `Connection: close`).
+pub struct PoolHttpService {
+    kind: HttpServerKind,
+}
+
+impl PoolHttpService {
+    /// Build a service of the given kind.
+    pub fn new(kind: HttpServerKind) -> PoolHttpService {
+        PoolHttpService { kind }
+    }
+
+    fn respond(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method != "GET" {
+            let mut r = HttpResponse::ok_with_body(b"method not allowed");
+            r.status = 405;
+            r.reason = "Method Not Allowed".into();
+            return r;
+        }
+        match self.kind {
+            HttpServerKind::PoolRedirect => HttpResponse::pool_redirect(),
+            HttpServerKind::PlainOk => HttpResponse::ok_with_body(
+                b"<html><body>NTP pool member &mdash; time service on UDP 123</body></html>",
+            ),
+        }
+    }
+}
+
+impl TcpService for PoolHttpService {
+    fn on_data(&mut self, _now: Nanos, received: &[u8]) -> TcpServiceAction {
+        // Wait for the complete head.
+        if !received.windows(4).any(|w| w == b"\r\n\r\n") {
+            if received.len() > 16 * 1024 {
+                return TcpServiceAction::Abort; // oversized request head
+            }
+            return TcpServiceAction::Wait;
+        }
+        match HttpRequest::decode(received) {
+            Ok(req) => TcpServiceAction::Respond {
+                bytes: self.respond(&req).encode(),
+                close: true,
+            },
+            Err(_) => TcpServiceAction::Abort,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_service_answers_get_root() {
+        let mut s = PoolHttpService::new(HttpServerKind::PoolRedirect);
+        let req = HttpRequest::get_root("192.0.2.80").encode();
+        // partial head: wait
+        assert_eq!(s.on_data(Nanos::ZERO, &req[..10]), TcpServiceAction::Wait);
+        match s.on_data(Nanos::ZERO, &req) {
+            TcpServiceAction::Respond { bytes, close } => {
+                assert!(close);
+                let rsp = HttpResponse::decode(&bytes).unwrap();
+                assert_eq!(rsp.status, 302);
+                assert_eq!(rsp.header("Location"), Some("http://www.pool.ntp.org/"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_ok_variant() {
+        let mut s = PoolHttpService::new(HttpServerKind::PlainOk);
+        let req = HttpRequest::get_root("x").encode();
+        match s.on_data(Nanos::ZERO, &req) {
+            TcpServiceAction::Respond { bytes, .. } => {
+                let rsp = HttpResponse::decode(&bytes).unwrap();
+                assert_eq!(rsp.status, 200);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let mut s = PoolHttpService::new(HttpServerKind::PoolRedirect);
+        let req = b"POST / HTTP/1.1\r\nHost: x\r\n\r\n";
+        match s.on_data(Nanos::ZERO, req) {
+            TcpServiceAction::Respond { bytes, .. } => {
+                assert_eq!(HttpResponse::decode(&bytes).unwrap().status, 405);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_aborts() {
+        let mut s = PoolHttpService::new(HttpServerKind::PoolRedirect);
+        assert_eq!(
+            s.on_data(Nanos::ZERO, b"NOT HTTP AT ALL\r\n\r\n"),
+            TcpServiceAction::Abort
+        );
+    }
+
+    #[test]
+    fn oversized_head_aborts() {
+        let mut s = PoolHttpService::new(HttpServerKind::PoolRedirect);
+        let big = vec![b'a'; 20 * 1024];
+        assert_eq!(s.on_data(Nanos::ZERO, &big), TcpServiceAction::Abort);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ecn-services — application services over the stack
+//!
+//! The three protocols the measurement study touches at the application
+//! layer, implemented as in-sim services and client helpers:
+//!
+//! * [`ntp`] — the RFC 5905 responder every pool member runs (with
+//!   kiss-o'-death rate limiting), plus the custom NTP client of paper §3,
+//! * [`dns`] — the pool.ntp.org authoritative zone with round-robin
+//!   answers, the discovery mechanism for the 2500 measurement targets,
+//! * [`http`] — the co-located web server answering `GET /` with a
+//!   redirect to `www.pool.ntp.org`, probed over TCP ± ECN.
+
+pub mod dns;
+pub mod http;
+pub mod ntp;
+
+pub use dns::{pool_query_names, PoolDnsService, ANSWERS_PER_QUERY, POOL_TTL};
+pub use http::{HttpServerKind, PoolHttpService};
+pub use ntp::{ntp_now, NtpClient, NtpServerConfig, NtpServerService, NTP_EPOCH_OFFSET_SECS};

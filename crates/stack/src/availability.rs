@@ -1,0 +1,175 @@
+//! Host availability: whether a (volunteer-operated) server is answering
+//! at a given virtual time.
+//!
+//! The NTP pool offers no service guarantee (paper §4.1): some servers are
+//! off-line for whole measurement batches, others flap for minutes at a
+//! time. Both behaviours matter to the study — permanent churn lowers
+//! absolute reachability between the April/May and July/August batches,
+//! while short flaps produce the *transient* differential-reachability
+//! noise that the paper is careful to separate from genuine ECN blackholes.
+
+use ecn_netsim::{derive_rng, Nanos};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Availability behaviour of a host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AvailabilityModel {
+    /// Always answering.
+    AlwaysUp,
+    /// Never answering (dead host still in the target list).
+    AlwaysDown,
+    /// Up until `t`, then gone for good (left the pool between batches).
+    DownAfter(Nanos),
+    /// Down until `t`, then up (joined late).
+    UpAfter(Nanos),
+    /// Alternates up/down with exponential dwell times.
+    Flapping {
+        /// Mean residence in the up state.
+        mean_up: Nanos,
+        /// Mean residence in the down state.
+        mean_down: Nanos,
+    },
+}
+
+impl AvailabilityModel {
+    /// Long-run fraction of time the host answers.
+    pub fn uptime_fraction(&self) -> f64 {
+        match *self {
+            AvailabilityModel::AlwaysUp => 1.0,
+            AvailabilityModel::AlwaysDown => 0.0,
+            // the step models depend on the horizon; report the eventual state
+            AvailabilityModel::DownAfter(_) => 0.0,
+            AvailabilityModel::UpAfter(_) => 1.0,
+            AvailabilityModel::Flapping { mean_up, mean_down } => {
+                let u = mean_up.0 as f64;
+                let d = mean_down.0 as f64;
+                if u + d == 0.0 {
+                    1.0
+                } else {
+                    u / (u + d)
+                }
+            }
+        }
+    }
+}
+
+/// Stateful evaluator of an [`AvailabilityModel`].
+#[derive(Debug)]
+pub struct Availability {
+    model: AvailabilityModel,
+    rng: SmallRng,
+    up: bool,
+    until: Nanos,
+    started: bool,
+}
+
+impl Availability {
+    /// Build an evaluator; `seed`/`label` make the flap schedule
+    /// deterministic and independent per host.
+    pub fn new(model: AvailabilityModel, seed: u64, label: &str) -> Availability {
+        Availability {
+            model,
+            rng: derive_rng(seed, label),
+            up: true,
+            until: Nanos::ZERO,
+            started: false,
+        }
+    }
+
+    /// Is the host answering at `now`? (Monotone `now` expected; the
+    /// simulator guarantees it.)
+    pub fn is_up(&mut self, now: Nanos) -> bool {
+        match self.model {
+            AvailabilityModel::AlwaysUp => true,
+            AvailabilityModel::AlwaysDown => false,
+            AvailabilityModel::DownAfter(t) => now < t,
+            AvailabilityModel::UpAfter(t) => now >= t,
+            AvailabilityModel::Flapping { mean_up, mean_down } => {
+                // Residence intervals are contiguous: when queried after a
+                // long gap, the chain replays every intermediate flip, so
+                // the duty cycle is correct even under sparse probing (a
+                // campaign touches each server only once per trace).
+                while now >= self.until {
+                    if !self.started {
+                        self.started = true;
+                        // start in the stationary distribution
+                        let p_up = self.model.uptime_fraction();
+                        self.up = self.rng.gen_bool(p_up.clamp(0.0, 1.0));
+                    } else {
+                        self.up = !self.up;
+                    }
+                    let mean = if self.up { mean_up } else { mean_down };
+                    let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    let dwell = Nanos(((-(u.ln())) * mean.0 as f64) as u64).max(Nanos(1));
+                    self.until = Nanos(self.until.0.saturating_add(dwell.0));
+                }
+                self.up
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_models() {
+        let mut up = Availability::new(AvailabilityModel::AlwaysUp, 1, "a");
+        let mut down = Availability::new(AvailabilityModel::AlwaysDown, 1, "b");
+        for t in [0u64, 1_000_000, u64::MAX / 2] {
+            assert!(up.is_up(Nanos(t)));
+            assert!(!down.is_up(Nanos(t)));
+        }
+    }
+
+    #[test]
+    fn down_after_steps_once() {
+        let cut = Nanos::from_secs(100);
+        let mut a = Availability::new(AvailabilityModel::DownAfter(cut), 1, "c");
+        assert!(a.is_up(Nanos::from_secs(99)));
+        assert!(!a.is_up(Nanos::from_secs(100)));
+        assert!(!a.is_up(Nanos::from_secs(5000)));
+    }
+
+    #[test]
+    fn up_after_steps_once() {
+        let cut = Nanos::from_secs(10);
+        let mut a = Availability::new(AvailabilityModel::UpAfter(cut), 1, "d");
+        assert!(!a.is_up(Nanos::from_secs(9)));
+        assert!(a.is_up(Nanos::from_secs(10)));
+    }
+
+    #[test]
+    fn flapping_hits_duty_cycle() {
+        let model = AvailabilityModel::Flapping {
+            mean_up: Nanos::from_secs(95),
+            mean_down: Nanos::from_secs(5),
+        };
+        assert!((model.uptime_fraction() - 0.95).abs() < 1e-9);
+        let mut a = Availability::new(model, 7, "e");
+        let samples = 200_000u64;
+        let up = (0..samples)
+            .filter(|i| a.is_up(Nanos::from_millis(i * 50)))
+            .count();
+        let frac = up as f64 / samples as f64;
+        assert!((frac - 0.95).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn flap_schedule_is_deterministic_per_seed() {
+        let model = AvailabilityModel::Flapping {
+            mean_up: Nanos::from_secs(10),
+            mean_down: Nanos::from_secs(10),
+        };
+        let mut a = Availability::new(model, 42, "x");
+        let mut b = Availability::new(model, 42, "x");
+        let mut c = Availability::new(model, 43, "x");
+        let series_a: Vec<bool> = (0..1000).map(|i| a.is_up(Nanos::from_secs(i))).collect();
+        let series_b: Vec<bool> = (0..1000).map(|i| b.is_up(Nanos::from_secs(i))).collect();
+        let series_c: Vec<bool> = (0..1000).map(|i| c.is_up(Nanos::from_secs(i))).collect();
+        assert_eq!(series_a, series_b);
+        assert_ne!(series_a, series_c);
+    }
+}

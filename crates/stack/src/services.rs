@@ -1,0 +1,110 @@
+//! Service traits: application logic that runs *inside* a host's stack.
+//!
+//! Server hosts (NTP pool members, their co-located web servers) register
+//! services against ports; the stack invokes them when traffic arrives.
+//! Concrete services (NTP responder, pool HTTP redirector, pool DNS) live
+//! in the `ecn-services` crate.
+
+use ecn_netsim::Nanos;
+use ecn_wire::Ecn;
+use std::net::Ipv4Addr;
+
+/// A datagram service bound to a UDP port (e.g. an NTP server on 123).
+pub trait UdpService: Send {
+    /// Handle one request datagram; return the response payload, if any.
+    ///
+    /// `ecn` is the codepoint the request *arrived* with (after any on-path
+    /// mangling) — services normally ignore it, but diagnostics can log it.
+    fn handle(
+        &mut self,
+        now: Nanos,
+        src: (Ipv4Addr, u16),
+        ecn: Ecn,
+        payload: &[u8],
+    ) -> Option<Vec<u8>>;
+}
+
+/// What a TCP service wants done after inspecting the request bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpServiceAction {
+    /// Request incomplete — wait for more bytes.
+    Wait,
+    /// Send these bytes; `close` ends the connection afterwards.
+    Respond {
+        /// Response bytes to send.
+        bytes: Vec<u8>,
+        /// Close our side after sending.
+        close: bool,
+    },
+    /// Drop the connection with RST.
+    Abort,
+}
+
+/// A byte-stream service bound to a TCP listening port (e.g. HTTP on 80).
+///
+/// The stack calls `on_data` with the *complete accumulated* in-order
+/// request bytes every time more data arrives; the service decides when the
+/// request is complete.
+pub trait TcpService: Send {
+    /// Inspect accumulated request bytes and decide what to do.
+    fn on_data(&mut self, now: Nanos, received: &[u8]) -> TcpServiceAction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Upper;
+    impl TcpService for Upper {
+        fn on_data(&mut self, _now: Nanos, received: &[u8]) -> TcpServiceAction {
+            if received.ends_with(b"\n") {
+                TcpServiceAction::Respond {
+                    bytes: received.to_ascii_uppercase(),
+                    close: true,
+                }
+            } else {
+                TcpServiceAction::Wait
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_service_waits_for_complete_request() {
+        let mut s = Upper;
+        assert_eq!(s.on_data(Nanos::ZERO, b"hel"), TcpServiceAction::Wait);
+        assert_eq!(
+            s.on_data(Nanos::ZERO, b"hello\n"),
+            TcpServiceAction::Respond {
+                bytes: b"HELLO\n".to_vec(),
+                close: true
+            }
+        );
+    }
+
+    struct EchoUdp;
+    impl UdpService for EchoUdp {
+        fn handle(
+            &mut self,
+            _now: Nanos,
+            _src: (Ipv4Addr, u16),
+            _ecn: Ecn,
+            payload: &[u8],
+        ) -> Option<Vec<u8>> {
+            Some(payload.to_vec())
+        }
+    }
+
+    #[test]
+    fn udp_service_echo() {
+        let mut s = EchoUdp;
+        assert_eq!(
+            s.handle(
+                Nanos::ZERO,
+                (Ipv4Addr::new(1, 2, 3, 4), 999),
+                Ecn::Ect0,
+                b"ping"
+            ),
+            Some(b"ping".to_vec())
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the TCP state machine: arbitrary segment fuzz
+//! must never panic, data must arrive intact under arbitrary chunking, and
+//! the ECN handshake matrix must follow RFC 3168 for every mode pairing.
+
+use ecn_netsim::Nanos;
+use ecn_stack::{EcnMode, TcpConn, TcpState};
+use ecn_wire::{Ecn, TcpFlags, TcpHeader};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const C: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 1), 40000);
+const S: (Ipv4Addr, u16) = (Ipv4Addr::new(192, 0, 2, 80), 80);
+
+fn open_pair(client: EcnMode, server: EcnMode) -> (TcpConn, TcpConn) {
+    let (mut c, syn) = TcpConn::connect(C, S, 1000, client);
+    let (mut s, syn_ack) = TcpConn::accept(S, C, 9000, &syn.header, server);
+    let acks = c.on_segment(&syn_ack.header, &[], syn_ack.ip_ecn);
+    for e in acks {
+        s.on_segment(&e.header, &e.payload, e.ip_ecn);
+    }
+    (c, s)
+}
+
+/// Deliver every emitted segment until both sides go quiet.
+fn exchange(a: &mut TcpConn, b: &mut TcpConn, mut a_to_b: Vec<ecn_stack::Emit>) {
+    let mut b_to_a: Vec<ecn_stack::Emit> = vec![];
+    for _ in 0..200 {
+        if a_to_b.is_empty() && b_to_a.is_empty() {
+            break;
+        }
+        let mut nb = vec![];
+        for e in a_to_b.drain(..) {
+            nb.extend(b.on_segment(&e.header, &e.payload, e.ip_ecn));
+        }
+        let mut na = vec![];
+        for e in b_to_a.drain(..) {
+            na.extend(a.on_segment(&e.header, &e.payload, e.ip_ecn));
+        }
+        b_to_a = nb;
+        a_to_b = na;
+    }
+}
+
+fn arb_mode() -> impl Strategy<Value = EcnMode> {
+    prop_oneof![
+        Just(EcnMode::Off),
+        Just(EcnMode::On),
+        Just(EcnMode::ReflectFlags)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fuzzed_segments_never_panic_and_never_negotiate_falsely(
+        flags in 0u16..0x200,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ecn_bits in 0u8..4,
+    ) {
+        let (mut c, _syn) = TcpConn::connect(C, S, 1, EcnMode::On);
+        let hdr = TcpHeader {
+            src_port: S.1,
+            dst_port: C.1,
+            seq,
+            ack,
+            flags: TcpFlags(flags),
+            window,
+            urgent: 0,
+            options: vec![],
+        };
+        let _ = c.on_segment(&hdr, &payload, Ecn::from_bits(ecn_bits));
+        // a random segment is essentially never a valid ECN-setup SYN-ACK
+        // for our SYN (ack must equal iss+1 = 2); if it is, flags must
+        // actually be ECN-setup.
+        if c.ecn_negotiated {
+            prop_assert!(TcpFlags(flags).is_ecn_setup_syn_ack());
+            prop_assert_eq!(ack, 2);
+        }
+    }
+
+    #[test]
+    fn data_arrives_intact_under_arbitrary_chunking(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..800), 1..8),
+    ) {
+        let (mut c, mut s) = open_pair(EcnMode::On, EcnMode::On);
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            expected.extend_from_slice(chunk);
+            let out = c.send(chunk, Nanos::ZERO);
+            exchange(&mut c, &mut s, out);
+        }
+        prop_assert_eq!(s.take_received(), expected);
+        prop_assert!(c.all_acked());
+    }
+
+    #[test]
+    fn ecn_handshake_matrix_follows_rfc3168(client in arb_mode(), server in arb_mode()) {
+        let (c, s) = open_pair(client, server);
+        prop_assert_eq!(c.state, TcpState::Established);
+        prop_assert_eq!(s.state, TcpState::Established);
+        // negotiation succeeds iff client requested AND server is a
+        // compliant ECN responder
+        let should = client == EcnMode::On && server == EcnMode::On;
+        prop_assert_eq!(c.ecn_negotiated, should, "client side");
+        prop_assert_eq!(s.ecn_negotiated, should, "server side");
+        // a reflect-flags server never yields a negotiated connection
+        if server == EcnMode::ReflectFlags {
+            prop_assert!(!c.ecn_negotiated);
+        }
+    }
+
+    #[test]
+    fn close_is_graceful_from_any_data_state(
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        close_first: bool,
+    ) {
+        let (mut c, mut s) = open_pair(EcnMode::Off, EcnMode::Off);
+        let out = c.send(&data, Nanos::ZERO);
+        exchange(&mut c, &mut s, out);
+        if close_first {
+            let fin = c.close();
+            exchange(&mut c, &mut s, fin);
+            let fin2 = s.close();
+            exchange(&mut s, &mut c, fin2);
+        } else {
+            let fin = s.close();
+            exchange(&mut s, &mut c, fin);
+            let fin2 = c.close();
+            exchange(&mut c, &mut s, fin2);
+        }
+        prop_assert_eq!(c.state, TcpState::Closed);
+        prop_assert_eq!(s.state, TcpState::Closed);
+        prop_assert_eq!(s.take_received(), data);
+    }
+
+    #[test]
+    fn retransmission_recovers_from_any_single_segment_loss(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        lose_idx in any::<proptest::sample::Index>(),
+    ) {
+        let (mut c, mut s) = open_pair(EcnMode::On, EcnMode::On);
+        let mut out = c.send(&data, Nanos::ZERO);
+        if !out.is_empty() {
+            let idx = lose_idx.index(out.len());
+            out.remove(idx); // the network eats one segment
+        }
+        exchange(&mut c, &mut s, out);
+        // drive RTOs until everything is acked (bounded loop)
+        for _ in 0..20 {
+            if c.all_acked() {
+                break;
+            }
+            let rext = c.on_rto();
+            exchange(&mut c, &mut s, rext);
+        }
+        prop_assert!(c.all_acked());
+        prop_assert_eq!(s.take_received(), data);
+    }
+}

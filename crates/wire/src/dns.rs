@@ -1,0 +1,601 @@
+//! DNS message codec (RFC 1035) — the subset needed to scrape the NTP pool:
+//! A-record queries against `pool.ntp.org` and its country/region
+//! subdomains, with round-robin answers.
+
+use crate::error::WireError;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Query types used by the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QType {
+    /// A host address (1).
+    A,
+    /// Any other type, preserved.
+    Other(u16),
+}
+
+impl QType {
+    fn value(self) -> u16 {
+        match self {
+            QType::A => 1,
+            QType::Other(v) => v,
+        }
+    }
+    fn from_value(v: u16) -> QType {
+        match v {
+            1 => QType::A,
+            other => QType::Other(other),
+        }
+    }
+}
+
+/// Query classes (IN is the only one in live use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QClass {
+    /// The Internet (1).
+    In,
+    /// Anything else, preserved.
+    Other(u16),
+}
+
+impl QClass {
+    fn value(self) -> u16 {
+        match self {
+            QClass::In => 1,
+            QClass::Other(v) => v,
+        }
+    }
+    fn from_value(v: u16) -> QClass {
+        match v {
+            1 => QClass::In,
+            other => QClass::Other(other),
+        }
+    }
+}
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rcode {
+    /// 0 — no error.
+    NoError,
+    /// 1 — format error.
+    FormErr,
+    /// 2 — server failure.
+    ServFail,
+    /// 3 — no such name.
+    NxDomain,
+    /// 4 — not implemented.
+    NotImp,
+    /// 5 — refused.
+    Refused,
+    /// Anything else.
+    Other(u8),
+}
+
+impl Rcode {
+    fn value(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(v) => v & 0x0f,
+        }
+    }
+    fn from_value(v: u8) -> Rcode {
+        match v & 0x0f {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// Header flag word, decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsFlags {
+    /// Response (true) or query (false).
+    pub response: bool,
+    /// Opcode (0 = standard query).
+    pub opcode: u8,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Truncated.
+    pub truncated: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl DnsFlags {
+    /// Flags for a standard recursive query.
+    pub fn query() -> DnsFlags {
+        DnsFlags {
+            response: false,
+            opcode: 0,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    /// Flags for an authoritative answer to `q`.
+    pub fn answer_to(q: DnsFlags, rcode: Rcode) -> DnsFlags {
+        DnsFlags {
+            response: true,
+            opcode: q.opcode,
+            authoritative: true,
+            truncated: false,
+            recursion_desired: q.recursion_desired,
+            recursion_available: true,
+            rcode,
+        }
+    }
+
+    fn encode(self) -> u16 {
+        let mut v = 0u16;
+        if self.response {
+            v |= 0x8000;
+        }
+        v |= u16::from(self.opcode & 0x0f) << 11;
+        if self.authoritative {
+            v |= 0x0400;
+        }
+        if self.truncated {
+            v |= 0x0200;
+        }
+        if self.recursion_desired {
+            v |= 0x0100;
+        }
+        if self.recursion_available {
+            v |= 0x0080;
+        }
+        v |= u16::from(self.rcode.value());
+        v
+    }
+
+    fn decode(v: u16) -> DnsFlags {
+        DnsFlags {
+            response: v & 0x8000 != 0,
+            opcode: ((v >> 11) & 0x0f) as u8,
+            authoritative: v & 0x0400 != 0,
+            truncated: v & 0x0200 != 0,
+            recursion_desired: v & 0x0100 != 0,
+            recursion_available: v & 0x0080 != 0,
+            rcode: Rcode::from_value(v as u8),
+        }
+    }
+}
+
+/// One question section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsQuestion {
+    /// Fully-qualified name, stored lowercase without the trailing dot.
+    pub name: String,
+    /// Query type.
+    pub qtype: QType,
+    /// Query class.
+    pub qclass: QClass,
+}
+
+/// Resource-record payloads the codec understands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsRecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// Opaque rdata, preserved.
+    Raw(Vec<u8>),
+}
+
+/// One answer/authority/additional record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecord {
+    /// Owner name.
+    pub name: String,
+    /// Record type.
+    pub rtype: QType,
+    /// Record class.
+    pub rclass: QClass,
+    /// Time to live, seconds. The pool uses short TTLs (~150 s) so clients
+    /// re-resolve and rotate through servers.
+    pub ttl: u32,
+    /// Payload.
+    pub data: DnsRecordData,
+}
+
+/// A DNS message: header + sections. Authority/additional sections are
+/// carried as answers-like records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsMessage {
+    /// Transaction ID.
+    pub id: u16,
+    /// Header flags.
+    pub flags: DnsFlags,
+    /// Question section.
+    pub questions: Vec<DnsQuestion>,
+    /// Answer section.
+    pub answers: Vec<DnsRecord>,
+}
+
+impl DnsMessage {
+    /// Build a standard A query for `name`.
+    pub fn a_query(id: u16, name: &str) -> DnsMessage {
+        DnsMessage {
+            id,
+            flags: DnsFlags::query(),
+            questions: vec![DnsQuestion {
+                name: name.trim_end_matches('.').to_ascii_lowercase(),
+                qtype: QType::A,
+                qclass: QClass::In,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build an authoritative response to `query` with the given A records.
+    pub fn a_response(query: &DnsMessage, ttl: u32, addrs: &[Ipv4Addr]) -> DnsMessage {
+        let rcode = if addrs.is_empty() {
+            Rcode::NxDomain
+        } else {
+            Rcode::NoError
+        };
+        let name = query
+            .questions
+            .first()
+            .map(|q| q.name.clone())
+            .unwrap_or_default();
+        DnsMessage {
+            id: query.id,
+            flags: DnsFlags::answer_to(query.flags, rcode),
+            questions: query.questions.clone(),
+            answers: addrs
+                .iter()
+                .map(|&a| DnsRecord {
+                    name: name.clone(),
+                    rtype: QType::A,
+                    rclass: QClass::In,
+                    ttl,
+                    data: DnsRecordData::A(a),
+                })
+                .collect(),
+        }
+    }
+
+    /// All IPv4 addresses in the answer section.
+    pub fn a_records(&self) -> Vec<Ipv4Addr> {
+        self.answers
+            .iter()
+            .filter_map(|r| match r.data {
+                DnsRecordData::A(a) => Some(a),
+                DnsRecordData::Raw(_) => None,
+            })
+            .collect()
+    }
+
+    /// Encode to wire bytes (no name compression; answers repeat the name).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&self.flags.encode().to_be_bytes());
+        out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // nscount
+        out.extend_from_slice(&0u16.to_be_bytes()); // arcount
+        for q in &self.questions {
+            encode_name(&q.name, &mut out);
+            out.extend_from_slice(&q.qtype.value().to_be_bytes());
+            out.extend_from_slice(&q.qclass.value().to_be_bytes());
+        }
+        for r in &self.answers {
+            encode_name(&r.name, &mut out);
+            out.extend_from_slice(&r.rtype.value().to_be_bytes());
+            out.extend_from_slice(&r.rclass.value().to_be_bytes());
+            out.extend_from_slice(&r.ttl.to_be_bytes());
+            match &r.data {
+                DnsRecordData::A(a) => {
+                    out.extend_from_slice(&4u16.to_be_bytes());
+                    out.extend_from_slice(&a.octets());
+                }
+                DnsRecordData::Raw(raw) => {
+                    out.extend_from_slice(&(raw.len() as u16).to_be_bytes());
+                    out.extend_from_slice(raw);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from wire bytes. Handles compression pointers in names.
+    pub fn decode(buf: &[u8]) -> Result<DnsMessage, WireError> {
+        if buf.len() < 12 {
+            return Err(WireError::Truncated {
+                layer: "dns",
+                needed: 12,
+                got: buf.len(),
+            });
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        let flags = DnsFlags::decode(u16::from_be_bytes([buf[2], buf[3]]));
+        let qdcount = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+        // NS/AR records are parsed and discarded.
+        let nscount = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+        let arcount = u16::from_be_bytes([buf[10], buf[11]]) as usize;
+
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let (name, next) = decode_name(buf, pos)?;
+            pos = next;
+            if buf.len() < pos + 4 {
+                return Err(WireError::Truncated {
+                    layer: "dns",
+                    needed: pos + 4,
+                    got: buf.len(),
+                });
+            }
+            questions.push(DnsQuestion {
+                name,
+                qtype: QType::from_value(u16::from_be_bytes([buf[pos], buf[pos + 1]])),
+                qclass: QClass::from_value(u16::from_be_bytes([buf[pos + 2], buf[pos + 3]])),
+            });
+            pos += 4;
+        }
+        let mut answers = Vec::with_capacity(ancount);
+        for i in 0..(ancount + nscount + arcount) {
+            let (record, next) = decode_record(buf, pos)?;
+            pos = next;
+            if i < ancount {
+                answers.push(record);
+            }
+        }
+        Ok(DnsMessage {
+            id,
+            flags,
+            questions,
+            answers,
+        })
+    }
+}
+
+fn encode_name(name: &str, out: &mut Vec<u8>) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let bytes = label.as_bytes();
+        out.push(bytes.len().min(63) as u8);
+        out.extend_from_slice(&bytes[..bytes.len().min(63)]);
+    }
+    out.push(0);
+}
+
+/// Decode a possibly-compressed name starting at `pos`; returns the name and
+/// the offset just past it in the *original* stream.
+fn decode_name(buf: &[u8], mut pos: usize) -> Result<(String, usize), WireError> {
+    let mut name = String::new();
+    let mut jumped = false;
+    let mut after_jump = 0usize;
+    let mut hops = 0u32;
+    loop {
+        if pos >= buf.len() {
+            return Err(WireError::Truncated {
+                layer: "dns",
+                needed: pos + 1,
+                got: buf.len(),
+            });
+        }
+        let len = buf[pos] as usize;
+        if len & 0xc0 == 0xc0 {
+            // compression pointer
+            if pos + 1 >= buf.len() {
+                return Err(WireError::Truncated {
+                    layer: "dns",
+                    needed: pos + 2,
+                    got: buf.len(),
+                });
+            }
+            let target = ((len & 0x3f) << 8) | buf[pos + 1] as usize;
+            if !jumped {
+                after_jump = pos + 2;
+                jumped = true;
+            }
+            hops += 1;
+            if hops > 16 {
+                return Err(WireError::Malformed {
+                    layer: "dns",
+                    what: "compression loop",
+                });
+            }
+            pos = target;
+            continue;
+        }
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len > 63 {
+            return Err(WireError::Malformed {
+                layer: "dns",
+                what: "label length > 63",
+            });
+        }
+        if pos + 1 + len > buf.len() {
+            return Err(WireError::Truncated {
+                layer: "dns",
+                needed: pos + 1 + len,
+                got: buf.len(),
+            });
+        }
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(&String::from_utf8_lossy(&buf[pos + 1..pos + 1 + len]).to_ascii_lowercase());
+        pos += 1 + len;
+    }
+    Ok((name, if jumped { after_jump } else { pos }))
+}
+
+fn decode_record(buf: &[u8], pos: usize) -> Result<(DnsRecord, usize), WireError> {
+    let (name, mut pos) = decode_name(buf, pos)?;
+    if buf.len() < pos + 10 {
+        return Err(WireError::Truncated {
+            layer: "dns",
+            needed: pos + 10,
+            got: buf.len(),
+        });
+    }
+    let rtype = QType::from_value(u16::from_be_bytes([buf[pos], buf[pos + 1]]));
+    let rclass = QClass::from_value(u16::from_be_bytes([buf[pos + 2], buf[pos + 3]]));
+    let ttl = u32::from_be_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
+    let rdlen = u16::from_be_bytes([buf[pos + 8], buf[pos + 9]]) as usize;
+    pos += 10;
+    if buf.len() < pos + rdlen {
+        return Err(WireError::Truncated {
+            layer: "dns",
+            needed: pos + rdlen,
+            got: buf.len(),
+        });
+    }
+    let rdata = &buf[pos..pos + rdlen];
+    pos += rdlen;
+    let data = match (rtype, rdlen) {
+        (QType::A, 4) => DnsRecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3])),
+        _ => DnsRecordData::Raw(rdata.to_vec()),
+    };
+    Ok((
+        DnsRecord {
+            name,
+            rtype,
+            rclass,
+            ttl,
+            data,
+        },
+        pos,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::a_query(0x5151, "uk.pool.ntp.org");
+        let bytes = q.encode();
+        let d = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(d, q);
+        assert_eq!(d.questions[0].name, "uk.pool.ntp.org");
+        assert!(!d.flags.response);
+    }
+
+    #[test]
+    fn response_roundtrip_with_multiple_answers() {
+        let q = DnsMessage::a_query(7, "pool.ntp.org");
+        let addrs = vec![
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(192, 0, 2, 2),
+            Ipv4Addr::new(192, 0, 2, 3),
+            Ipv4Addr::new(192, 0, 2, 4),
+        ];
+        let r = DnsMessage::a_response(&q, 150, &addrs);
+        let d = DnsMessage::decode(&r.encode()).unwrap();
+        assert_eq!(d.a_records(), addrs);
+        assert!(d.flags.response);
+        assert!(d.flags.authoritative);
+        assert_eq!(d.id, 7);
+        assert_eq!(d.flags.rcode, Rcode::NoError);
+        assert_eq!(d.answers[0].ttl, 150);
+    }
+
+    #[test]
+    fn empty_response_is_nxdomain() {
+        let q = DnsMessage::a_query(9, "zz.pool.ntp.org");
+        let r = DnsMessage::a_response(&q, 150, &[]);
+        assert_eq!(r.flags.rcode, Rcode::NxDomain);
+        let d = DnsMessage::decode(&r.encode()).unwrap();
+        assert!(d.a_records().is_empty());
+        assert_eq!(d.flags.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn names_are_case_folded() {
+        let q = DnsMessage::a_query(1, "Pool.NTP.Org");
+        assert_eq!(q.questions[0].name, "pool.ntp.org");
+        let d = DnsMessage::decode(&q.encode()).unwrap();
+        assert_eq!(d.questions[0].name, "pool.ntp.org");
+    }
+
+    #[test]
+    fn compression_pointers_decode() {
+        // Hand-build a response whose answer name is a pointer to the
+        // question name at offset 12 (how real servers compress).
+        let q = DnsMessage::a_query(3, "pool.ntp.org");
+        let mut bytes = q.encode();
+        bytes[6..8].copy_from_slice(&1u16.to_be_bytes()); // ancount = 1
+        bytes[2..4].copy_from_slice(&DnsFlags::answer_to(q.flags, Rcode::NoError).encode().to_be_bytes());
+        bytes.extend_from_slice(&[0xc0, 12]); // pointer to question name
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // type A
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        bytes.extend_from_slice(&60u32.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[203, 0, 113, 5]);
+        let d = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(d.answers[0].name, "pool.ntp.org");
+        assert_eq!(d.a_records(), vec![Ipv4Addr::new(203, 0, 113, 5)]);
+    }
+
+    #[test]
+    fn compression_loop_rejected() {
+        let q = DnsMessage::a_query(3, "pool.ntp.org");
+        let mut bytes = q.encode();
+        bytes[6..8].copy_from_slice(&1u16.to_be_bytes());
+        let loop_at = bytes.len();
+        // pointer to itself
+        bytes.extend_from_slice(&[0xc0 | ((loop_at >> 8) as u8 & 0x3f), loop_at as u8]);
+        bytes.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(
+            DnsMessage::decode(&bytes),
+            Err(WireError::Malformed { what: "compression loop", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        let q = DnsMessage::a_query(1, "pool.ntp.org");
+        let bytes = q.encode();
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(DnsMessage::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn non_a_rdata_preserved_raw() {
+        let q = DnsMessage::a_query(4, "pool.ntp.org");
+        let mut r = DnsMessage::a_response(&q, 60, &[Ipv4Addr::new(1, 2, 3, 4)]);
+        r.answers.push(DnsRecord {
+            name: "pool.ntp.org".into(),
+            rtype: QType::Other(16), // TXT
+            rclass: QClass::In,
+            ttl: 60,
+            data: DnsRecordData::Raw(vec![4, b't', b'e', b's', b't']),
+        });
+        let d = DnsMessage::decode(&r.encode()).unwrap();
+        assert_eq!(d.answers.len(), 2);
+        assert_eq!(
+            d.answers[1].data,
+            DnsRecordData::Raw(vec![4, b't', b'e', b's', b't'])
+        );
+        // a_records skips the TXT record
+        assert_eq!(d.a_records(), vec![Ipv4Addr::new(1, 2, 3, 4)]);
+    }
+}

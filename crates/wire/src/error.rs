@@ -1,0 +1,106 @@
+//! Decode-side error type shared by all codecs.
+
+use std::fmt;
+
+/// Why a buffer failed to decode as a given wire format.
+///
+/// Decode errors are ordinary values: a measurement host receiving a mangled
+/// packet logs and drops it, exactly as a production stack would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the fixed part of the header.
+    Truncated {
+        /// Which protocol layer was being decoded.
+        layer: &'static str,
+        /// Minimum number of bytes the decoder needed.
+        needed: usize,
+        /// Number of bytes actually available.
+        got: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which protocol layer carried the checksum.
+        layer: &'static str,
+        /// Checksum found in the packet.
+        found: u16,
+        /// Checksum the decoder computed.
+        computed: u16,
+    },
+    /// A field held a value the decoder cannot represent.
+    InvalidField {
+        /// Which protocol layer was being decoded.
+        layer: &'static str,
+        /// Field name.
+        field: &'static str,
+        /// Offending value, widened.
+        value: u64,
+    },
+    /// Free-form malformation (e.g. an HTTP request line with two spaces
+    /// missing, or a DNS name with a looping compression pointer).
+    Malformed {
+        /// Which protocol layer was being decoded.
+        layer: &'static str,
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { layer, needed, got } => {
+                write!(f, "{layer}: truncated (needed {needed} bytes, got {got})")
+            }
+            WireError::BadChecksum {
+                layer,
+                found,
+                computed,
+            } => write!(
+                f,
+                "{layer}: bad checksum (found {found:#06x}, computed {computed:#06x})"
+            ),
+            WireError::InvalidField { layer, field, value } => {
+                write!(f, "{layer}: invalid {field} value {value}")
+            }
+            WireError::Malformed { layer, what } => write!(f, "{layer}: malformed ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            layer: "udp",
+            needed: 8,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "udp: truncated (needed 8 bytes, got 3)");
+
+        let e = WireError::BadChecksum {
+            layer: "ipv4",
+            found: 0xdead,
+            computed: 0xbeef,
+        };
+        assert!(e.to_string().contains("0xdead"));
+        assert!(e.to_string().contains("0xbeef"));
+
+        let e = WireError::InvalidField {
+            layer: "ipv4",
+            field: "version",
+            value: 6,
+        };
+        assert!(e.to_string().contains("version"));
+
+        let e = WireError::Malformed {
+            layer: "dns",
+            what: "compression loop",
+        };
+        assert!(e.to_string().contains("compression loop"));
+    }
+}

@@ -1,0 +1,316 @@
+//! The HTTP/1.1 subset used by the TCP reachability probe: a `GET` for the
+//! root page, and the (typically `302 Found` redirect to
+//! `www.pool.ntp.org`) response that pool web servers return.
+
+use crate::error::WireError;
+use serde::{Deserialize, Serialize};
+
+/// An HTTP/1.1 request. Only what the prober sends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Request method (`GET`).
+    pub method: String,
+    /// Request target (`/`).
+    pub path: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// The probe request from paper §3: `GET /` with a `Host:` header.
+    pub fn get_root(host: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: vec![
+                ("Host".into(), host.into()),
+                ("User-Agent".into(), "ecn-udp-study/1.0".into()),
+                ("Connection".into(), "close".into()),
+            ],
+        }
+    }
+
+    /// Serialise to wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut s = format!("{} {} HTTP/1.1\r\n", self.method, self.path);
+        for (k, v) in &self.headers {
+            s.push_str(k);
+            s.push_str(": ");
+            s.push_str(v);
+            s.push_str("\r\n");
+        }
+        s.push_str("\r\n");
+        s.into_bytes()
+    }
+
+    /// Parse a request from a byte stream. Requires the full head
+    /// (terminated by a blank line) to be present.
+    pub fn decode(buf: &[u8]) -> Result<HttpRequest, WireError> {
+        let head = head_of(buf)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if !m.is_empty() && !p.is_empty() => (m, p, v),
+            _ => {
+                return Err(WireError::Malformed {
+                    layer: "http",
+                    what: "bad request line",
+                })
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::Malformed {
+                layer: "http",
+                what: "unsupported HTTP version",
+            });
+        }
+        Ok(HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: parse_headers(lines)?,
+        })
+    }
+
+    /// Value of a header, case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code (e.g. 302).
+    pub status: u16,
+    /// Reason phrase (e.g. `Found`).
+    pub reason: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The canonical pool-member response: a redirect to the pool website.
+    pub fn pool_redirect() -> HttpResponse {
+        let body: Vec<u8> =
+            b"<html><head><title>302 Found</title></head>\
+              <body>This is a member of the NTP pool. See \
+              <a href=\"http://www.pool.ntp.org/\">www.pool.ntp.org</a>.</body></html>"
+                .to_vec();
+        HttpResponse {
+            status: 302,
+            reason: "Found".into(),
+            headers: vec![
+                ("Location".into(), "http://www.pool.ntp.org/".into()),
+                ("Content-Type".into(), "text/html".into()),
+                ("Content-Length".into(), body.len().to_string()),
+                ("Connection".into(), "close".into()),
+            ],
+            body,
+        }
+    }
+
+    /// A plain 200 response (a few pool hosts serve their own page).
+    pub fn ok_with_body(body: &[u8]) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![
+                ("Content-Type".into(), "text/html".into()),
+                ("Content-Length".into(), body.len().to_string()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: body.to_vec(),
+        }
+    }
+
+    /// Serialise to wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut s = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (k, v) in &self.headers {
+            s.push_str(k);
+            s.push_str(": ");
+            s.push_str(v);
+            s.push_str("\r\n");
+        }
+        s.push_str("\r\n");
+        let mut out = s.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a response. The body is everything after the head, trimmed to
+    /// `Content-Length` if present (a prefix is accepted when the stream was
+    /// cut short, matching how the prober treats half-closed connections).
+    pub fn decode(buf: &[u8]) -> Result<HttpResponse, WireError> {
+        let head = head_of(buf)?;
+        let head_len = head.len() + 4;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::Malformed {
+                layer: "http",
+                what: "bad status line version",
+            });
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(WireError::Malformed {
+                layer: "http",
+                what: "bad status code",
+            })?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(lines)?;
+        let mut body = buf[head_len.min(buf.len())..].to_vec();
+        if let Some(cl) = header_lookup(&headers, "Content-Length").and_then(|v| v.parse::<usize>().ok())
+        {
+            body.truncate(cl);
+        }
+        Ok(HttpResponse {
+            status,
+            reason,
+            headers,
+            body,
+        })
+    }
+
+    /// Value of a header, case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Is the whole head plus declared body present in `buf`? The prober
+    /// uses this to decide when a response is complete.
+    pub fn is_complete(buf: &[u8]) -> bool {
+        match head_of(buf) {
+            Err(_) => false,
+            Ok(head) => {
+                let head_len = head.len() + 4;
+                let declared = head
+                    .split("\r\n")
+                    .skip(1)
+                    .filter_map(|l| l.split_once(':'))
+                    .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+                    .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+                    .unwrap_or(0);
+                buf.len() >= head_len + declared
+            }
+        }
+    }
+}
+
+fn head_of(buf: &[u8]) -> Result<&str, WireError> {
+    let end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(WireError::Truncated {
+            layer: "http",
+            needed: buf.len() + 1,
+            got: buf.len(),
+        })?;
+    std::str::from_utf8(&buf[..end]).map_err(|_| WireError::Malformed {
+        layer: "http",
+        what: "non-utf8 head",
+    })
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, WireError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or(WireError::Malformed {
+            layer: "http",
+            what: "header missing colon",
+        })?;
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = HttpRequest::get_root("192.0.2.80");
+        let bytes = r.encode();
+        let d = HttpRequest::decode(&bytes).unwrap();
+        assert_eq!(d, r);
+        assert_eq!(d.header("host"), Some("192.0.2.80"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = HttpResponse::pool_redirect();
+        let bytes = r.encode();
+        assert!(HttpResponse::is_complete(&bytes));
+        let d = HttpResponse::decode(&bytes).unwrap();
+        assert_eq!(d.status, 302);
+        assert_eq!(d.header("location"), Some("http://www.pool.ntp.org/"));
+        assert_eq!(d.body, r.body);
+    }
+
+    #[test]
+    fn incomplete_head_is_truncated() {
+        let r = HttpResponse::ok_with_body(b"hello");
+        let bytes = r.encode();
+        assert!(!HttpResponse::is_complete(&bytes[..10]));
+        assert!(matches!(
+            HttpResponse::decode(&bytes[..10]),
+            Err(WireError::Truncated { layer: "http", .. })
+        ));
+    }
+
+    #[test]
+    fn body_respects_content_length() {
+        let r = HttpResponse::ok_with_body(b"12345");
+        let mut bytes = r.encode();
+        bytes.extend_from_slice(b"TRAILING GARBAGE");
+        let d = HttpResponse::decode(&bytes).unwrap();
+        assert_eq!(d.body, b"12345");
+    }
+
+    #[test]
+    fn partial_body_accepted() {
+        let r = HttpResponse::ok_with_body(b"1234567890");
+        let bytes = r.encode();
+        let cut = bytes.len() - 4;
+        assert!(!HttpResponse::is_complete(&bytes[..cut]));
+        let d = HttpResponse::decode(&bytes[..cut]).unwrap();
+        assert_eq!(d.body, b"123456");
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(HttpRequest::decode(b"GARBAGE\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET /\r\n\r\n").is_err());
+        assert!(HttpResponse::decode(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn reason_phrases_with_spaces() {
+        let bytes = b"HTTP/1.1 301 Moved Permanently\r\nContent-Length: 0\r\n\r\n";
+        let d = HttpResponse::decode(bytes).unwrap();
+        assert_eq!(d.status, 301);
+        assert_eq!(d.reason, "Moved Permanently");
+    }
+}

@@ -1,0 +1,220 @@
+//! # ecn-wire — byte-accurate wire formats
+//!
+//! Packet codecs used throughout the ECN/UDP measurement study
+//! (McQuistin & Perkins, *"Is Explicit Congestion Notification usable with
+//! UDP?"*, IMC 2015). Every header that the measurement campaign touches is
+//! encoded to and decoded from real wire bytes:
+//!
+//! * [`ipv4`] — IPv4 headers with explicit DSCP/ECN fields (RFC 791 + RFC 3168),
+//! * [`udp`] — UDP with pseudo-header checksums (RFC 768),
+//! * [`tcp`] — TCP with the ECE/CWR/NS flags and options (RFC 793 + RFC 3168),
+//! * [`icmp`] — ICMPv4 including time-exceeded/destination-unreachable with
+//!   quoted datagrams, the raw material of ECN-aware traceroute (RFC 792),
+//! * [`ntp`] — the 48-byte NTP packet (RFC 5905) used for UDP reachability
+//!   probes,
+//! * [`dns`] — queries/responses for pool.ntp.org discovery (RFC 1035),
+//! * [`http`] — the HTTP/1.1 subset used for TCP reachability probes.
+//!
+//! The simulator's routers and middleboxes operate on these bytes — an
+//! ECN-bleaching hop really rewrites the two ECN bits and fixes up the IPv4
+//! checksum — so the measurement application observes middlebox interference
+//! exactly as it would on a live network, through the same parsing code.
+//!
+//! Checksums are always computed on encode and verified on decode; decode
+//! errors are explicit ([`WireError`]), never panics.
+
+pub mod checksum;
+pub mod dns;
+pub mod ecn;
+pub mod error;
+pub mod http;
+pub mod icmp;
+pub mod ipv4;
+pub mod ntp;
+pub mod rtp;
+pub mod tcp;
+pub mod udp;
+
+pub use checksum::internet_checksum;
+pub use dns::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, DnsRecordData, QClass, QType, Rcode};
+pub use ecn::{Dscp, Ecn};
+pub use error::WireError;
+pub use http::{HttpRequest, HttpResponse};
+pub use icmp::{DestUnreachCode, IcmpMessage, QUOTE_BYTES};
+pub use ipv4::{IpProto, Ipv4Header, IPV4_HEADER_LEN};
+pub use ntp::{NtpMode, NtpPacket, NtpTimestamp, LEAP_UNSYNC, NTP_PACKET_LEN};
+pub use rtp::{EcnFeedback, RtpHeader, RTP_HEADER_LEN};
+pub use tcp::{TcpFlags, TcpHeader, TcpOption};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};
+
+/// A fully-formed IPv4 datagram: header plus transport payload bytes.
+///
+/// This is the unit the simulator moves between hops. It is deliberately a
+/// plain owned buffer — middleboxes mutate it in place, pcap taps copy it,
+/// and the host stack parses it layer by layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    bytes: Vec<u8>,
+}
+
+impl Datagram {
+    /// Assemble a datagram from a header and payload, computing the header
+    /// checksum and patching `total_len` to match.
+    pub fn new(mut header: Ipv4Header, payload: &[u8]) -> Self {
+        header.total_len = (IPV4_HEADER_LEN + payload.len()) as u16;
+        let mut bytes = Vec::with_capacity(IPV4_HEADER_LEN + payload.len());
+        header.encode(&mut bytes);
+        bytes.extend_from_slice(payload);
+        Datagram { bytes }
+    }
+
+    /// Wrap raw bytes that are already a well-formed datagram.
+    ///
+    /// Fails if the IPv4 header does not parse or the buffer is shorter than
+    /// the header's `total_len`.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, WireError> {
+        let header = Ipv4Header::decode(&bytes)?;
+        if bytes.len() < header.total_len as usize {
+            return Err(WireError::Truncated {
+                layer: "ipv4-datagram",
+                needed: header.total_len as usize,
+                got: bytes.len(),
+            });
+        }
+        Ok(Datagram { bytes })
+    }
+
+    /// Parse the IPv4 header (checksum-verified).
+    pub fn header(&self) -> Ipv4Header {
+        // A `Datagram` is only ever constructed from a valid header, and all
+        // in-place mutations below re-encode a valid header.
+        Ipv4Header::decode(&self.bytes).expect("datagram invariant: valid IPv4 header")
+    }
+
+    /// The transport payload (bytes after the IPv4 header).
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[IPV4_HEADER_LEN..]
+    }
+
+    /// Raw wire bytes of the whole datagram.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total length on the wire.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the datagram carries no transport payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= IPV4_HEADER_LEN
+    }
+
+    /// Rewrite the ECN codepoint in place, fixing up the IPv4 checksum.
+    ///
+    /// This is the exact operation an ECN-bleaching router performs.
+    pub fn set_ecn(&mut self, ecn: Ecn) {
+        let mut h = self.header();
+        h.ecn = ecn;
+        h.encode_into(&mut self.bytes);
+    }
+
+    /// Decrement TTL in place (checksum fixed up). Returns the new TTL.
+    pub fn decrement_ttl(&mut self) -> u8 {
+        let mut h = self.header();
+        h.ttl = h.ttl.saturating_sub(1);
+        h.encode_into(&mut self.bytes);
+        h.ttl
+    }
+
+    /// Convenience accessors used pervasively by the simulator fast path.
+    pub fn src(&self) -> std::net::Ipv4Addr {
+        self.header().src
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> std::net::Ipv4Addr {
+        self.header().dst
+    }
+
+    /// Current ECN codepoint.
+    pub fn ecn(&self) -> Ecn {
+        self.header().ecn
+    }
+
+    /// Transport protocol number.
+    pub fn protocol(&self) -> IpProto {
+        self.header().protocol
+    }
+
+    /// Current TTL.
+    pub fn ttl(&self) -> u8 {
+        self.header().ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample_header() -> Ipv4Header {
+        Ipv4Header {
+            dscp: Dscp::default(),
+            ecn: Ecn::Ect0,
+            total_len: 0,
+            identification: 0x1234,
+            dont_fragment: true,
+            more_fragments: false,
+            fragment_offset: 0,
+            ttl: 64,
+            protocol: IpProto::Udp,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(192, 0, 2, 7),
+        }
+    }
+
+    #[test]
+    fn datagram_roundtrip_preserves_payload() {
+        let d = Datagram::new(sample_header(), b"hello ecn");
+        assert_eq!(d.payload(), b"hello ecn");
+        assert_eq!(d.header().total_len as usize, d.len());
+        let d2 = Datagram::from_bytes(d.as_bytes().to_vec()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn set_ecn_rewrites_bits_and_checksum() {
+        let mut d = Datagram::new(sample_header(), b"x");
+        assert_eq!(d.ecn(), Ecn::Ect0);
+        d.set_ecn(Ecn::NotEct);
+        assert_eq!(d.ecn(), Ecn::NotEct);
+        // Checksum must still verify (header() would panic otherwise).
+        let reparsed = Ipv4Header::decode(d.as_bytes()).unwrap();
+        assert_eq!(reparsed.ecn, Ecn::NotEct);
+    }
+
+    #[test]
+    fn decrement_ttl_stops_at_zero() {
+        let mut h = sample_header();
+        h.ttl = 1;
+        let mut d = Datagram::new(h, b"");
+        assert_eq!(d.decrement_ttl(), 0);
+        assert_eq!(d.decrement_ttl(), 0);
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncated() {
+        let d = Datagram::new(sample_header(), b"payload");
+        let mut raw = d.as_bytes().to_vec();
+        raw.truncate(raw.len() - 3);
+        assert!(Datagram::from_bytes(raw).is_err());
+    }
+
+    #[test]
+    fn is_empty_reflects_payload() {
+        assert!(Datagram::new(sample_header(), b"").is_empty());
+        assert!(!Datagram::new(sample_header(), b"x").is_empty());
+    }
+}

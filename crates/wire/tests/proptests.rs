@@ -1,0 +1,254 @@
+//! Property-based tests for the wire codecs: encode/decode roundtrips,
+//! checksum soundness, and mutation detection across randomised inputs.
+
+use ecn_wire::*;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_ecn() -> impl Strategy<Value = Ecn> {
+    prop_oneof![
+        Just(Ecn::NotEct),
+        Just(Ecn::Ect0),
+        Just(Ecn::Ect1),
+        Just(Ecn::Ce)
+    ]
+}
+
+fn arb_ipv4_header() -> impl Strategy<Value = Ipv4Header> {
+    (
+        0u8..64,
+        arb_ecn(),
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u16..0x2000,
+        any::<u8>(),
+        any::<u8>(),
+        arb_ipv4(),
+        arb_ipv4(),
+    )
+        .prop_map(
+            |(dscp, ecn, identification, df, mf, frag, ttl, proto, src, dst)| Ipv4Header {
+                dscp: Dscp::new(dscp),
+                ecn,
+                total_len: 20,
+                identification,
+                dont_fragment: df,
+                more_fragments: mf,
+                fragment_offset: frag,
+                ttl,
+                protocol: IpProto::from_number(proto),
+                src,
+                dst,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn ipv4_header_roundtrips(h in arb_ipv4_header()) {
+        let mut out = Vec::new();
+        h.encode(&mut out);
+        let d = Ipv4Header::decode(&out).unwrap();
+        prop_assert_eq!(h, d);
+    }
+
+    #[test]
+    fn ipv4_single_byte_corruption_never_passes_silently(
+        h in arb_ipv4_header(),
+        idx in 0usize..20,
+        bit in 0u8..8,
+    ) {
+        let mut out = Vec::new();
+        h.encode(&mut out);
+        out[idx] ^= 1 << bit;
+        match Ipv4Header::decode(&out) {
+            // Either the checksum catches it...
+            Err(_) => {}
+            // ...or the corruption canceled out is impossible for a single
+            // bit flip in a one's-complement sum: a flip always changes the
+            // sum. So decode must fail.
+            Ok(d) => prop_assert!(false, "corruption undetected: {:?} -> {:?}", h, d),
+        }
+    }
+
+    #[test]
+    fn datagram_payload_roundtrips(h in arb_ipv4_header(), payload in proptest::collection::vec(any::<u8>(), 0..1200)) {
+        let d = Datagram::new(h, &payload);
+        prop_assert_eq!(d.payload(), &payload[..]);
+        let d2 = Datagram::from_bytes(d.as_bytes().to_vec()).unwrap();
+        prop_assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn datagram_set_ecn_is_idempotent_and_checksum_safe(
+        h in arb_ipv4_header(),
+        e1 in arb_ecn(),
+        e2 in arb_ecn(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut d = Datagram::new(h, &payload);
+        d.set_ecn(e1);
+        prop_assert_eq!(d.ecn(), e1);
+        d.set_ecn(e2);
+        d.set_ecn(e2);
+        prop_assert_eq!(d.ecn(), e2);
+        // All other fields unchanged.
+        let hh = d.header();
+        prop_assert_eq!(hh.src, h.src);
+        prop_assert_eq!(hh.dst, h.dst);
+        prop_assert_eq!(hh.ttl, h.ttl);
+        prop_assert_eq!(hh.identification, h.identification);
+    }
+
+    #[test]
+    fn udp_roundtrips(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let seg = udp::udp_segment(src, dst, sp, dp, &payload);
+        let (h, got) = UdpHeader::decode(src, dst, &seg).unwrap();
+        prop_assert_eq!(h.src_port, sp);
+        prop_assert_eq!(h.dst_port, dp);
+        prop_assert_eq!(got, &payload[..]);
+    }
+
+    #[test]
+    fn udp_detects_any_single_bit_flip(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        flip in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut seg = udp::udp_segment(src, dst, 1000, 123, &payload);
+        let idx = flip.index(seg.len());
+        seg[idx] ^= 1 << bit;
+        // A flip in the length field can also surface as InvalidField; a
+        // flip of the checksum-field to zero disables checking per RFC 768,
+        // but then the packet decodes with intact payload, which is fine —
+        // unless the flip WAS in the checksum field itself.
+        match UdpHeader::decode(src, dst, &seg) {
+            Err(_) => {}
+            Ok((h, p)) => {
+                // only acceptable if checksum became 0 (disabled)
+                prop_assert_eq!(seg[6], 0);
+                prop_assert_eq!(seg[7], 0);
+                prop_assert_eq!(h.src_port, 1000);
+                prop_assert_eq!(p, &payload[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrips(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in 0u16..0x200,
+        window in any::<u16>(),
+        mss in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let h = TcpHeader {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: TcpFlags(flags),
+            window,
+            urgent: 0,
+            options: vec![TcpOption::Mss(mss), TcpOption::SackPermitted],
+        };
+        let seg = tcp::tcp_segment(src, dst, &h, &payload);
+        let (d, got) = TcpHeader::decode(src, dst, &seg).unwrap();
+        prop_assert_eq!(d, h);
+        prop_assert_eq!(got, &payload[..]);
+    }
+
+    #[test]
+    fn ntp_roundtrips(
+        nanos in any::<u64>(),
+        stratum in any::<u8>(),
+        poll in any::<i8>(),
+    ) {
+        let mut p = NtpPacket::client_request(NtpTimestamp::from_nanos(nanos % (u64::from(u32::MAX) * 1_000_000_000)));
+        p.stratum = stratum;
+        p.poll = poll;
+        let d = NtpPacket::decode(&p.encode()).unwrap();
+        prop_assert_eq!(d, p);
+    }
+
+    #[test]
+    fn ntp_timestamp_monotone(nanos1 in any::<u64>(), nanos2 in any::<u64>()) {
+        let cap = u64::from(u32::MAX) * 1_000_000_000;
+        let (a, b) = (nanos1 % cap, nanos2 % cap);
+        let (ta, tb) = (NtpTimestamp::from_nanos(a), NtpTimestamp::from_nanos(b));
+        if a <= b {
+            prop_assert!(ta <= tb);
+        } else {
+            prop_assert!(ta >= tb);
+        }
+    }
+
+    #[test]
+    fn dns_roundtrips(
+        id in any::<u16>(),
+        labels in proptest::collection::vec("[a-z][a-z0-9-]{0,10}", 1..5),
+        addrs in proptest::collection::vec(any::<u32>().prop_map(Ipv4Addr::from), 0..8),
+        ttl in any::<u32>(),
+    ) {
+        let name = labels.join(".");
+        let q = DnsMessage::a_query(id, &name);
+        let dq = DnsMessage::decode(&q.encode()).unwrap();
+        prop_assert_eq!(&dq, &q);
+        let r = DnsMessage::a_response(&q, ttl, &addrs);
+        let dr = DnsMessage::decode(&r.encode()).unwrap();
+        prop_assert_eq!(dr.a_records(), addrs);
+    }
+
+    #[test]
+    fn dns_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = DnsMessage::decode(&noise);
+    }
+
+    #[test]
+    fn icmp_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = IcmpMessage::decode(&noise);
+    }
+
+    #[test]
+    fn tcp_decoder_never_panics_on_noise(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        noise in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let _ = TcpHeader::decode(src, dst, &noise);
+        let _ = TcpHeader::decode_fields(&noise);
+    }
+
+    #[test]
+    fn http_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = HttpRequest::decode(&noise);
+        let _ = HttpResponse::decode(&noise);
+        let _ = HttpResponse::is_complete(&noise);
+    }
+
+    #[test]
+    fn icmp_quote_roundtrip_preserves_ecn(
+        h in arb_ipv4_header(),
+        ecn in arb_ecn(),
+        payload in proptest::collection::vec(any::<u8>(), 8..64),
+    ) {
+        let mut d = Datagram::new(h, &payload);
+        d.set_ecn(ecn);
+        let msg = IcmpMessage::time_exceeded_for(d.as_bytes());
+        let wire = msg.encode();
+        let decoded = IcmpMessage::decode(&wire).unwrap();
+        let quoted = decoded.quoted().unwrap();
+        let qh = Ipv4Header::decode(quoted).unwrap();
+        prop_assert_eq!(qh.ecn, ecn);
+        prop_assert_eq!(qh.src, h.src);
+        prop_assert_eq!(qh.dst, h.dst);
+    }
+}

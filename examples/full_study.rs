@@ -1,0 +1,77 @@
+//! The complete measurement study, end to end: discovery, the 210-trace
+//! campaign from all 13 vantages, the traceroute survey, and every table
+//! and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example full_study                 # paper scale (2500 servers)
+//! cargo run --release --example full_study -- 250          # scaled-down population
+//! cargo run --release --example full_study -- 250 42       # custom seed
+//! ```
+//!
+//! At paper scale this simulates hundreds of millions of per-hop packet
+//! events; build with `--release`.
+
+use ecnudp::core::{run_campaign_parallel, CampaignConfig, FullReport};
+use ecnudp::pool::PoolPlan;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let servers: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2500);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2015);
+
+    let plan = if servers == 2500 {
+        PoolPlan::paper()
+    } else {
+        PoolPlan::scaled(servers)
+    };
+    let cfg = CampaignConfig {
+        seed,
+        ..CampaignConfig::default()
+    };
+
+    eprintln!(
+        "building the simulated Internet: {} servers, ~{} ASes, 13 vantages…",
+        plan.servers,
+        plan.total_as_count()
+    );
+    let t0 = std::time::Instant::now();
+    let result = run_campaign_parallel(&plan, &cfg);
+    eprintln!(
+        "campaign done in {:.1}s wall: {} targets discovered, {} traces, {} traceroute paths",
+        t0.elapsed().as_secs_f64(),
+        result.targets.len(),
+        result.traces.len(),
+        result.routes.iter().map(|r| r.paths.len()).sum::<usize>(),
+    );
+
+    let report = FullReport::from_campaign(&result);
+    println!("{}", report.render());
+
+    // Ground-truth audit (not visible to the prober; printed for
+    // EXPERIMENTS.md transparency).
+    println!("--- planted ground truth (audit) ---");
+    println!(
+        "ECT-UDP-blocking middleboxes: {} always + {} on flapping ECMP branches",
+        result.truth.ect_blocked.len(),
+        result.truth.ect_blocked_flaky.len()
+    );
+    println!(
+        "not-ECT-blocking oddities: {} global + {} EC2-only",
+        result.truth.not_ect_blocked.len(),
+        result.truth.not_ect_blocked_ec2.len()
+    );
+    println!(
+        "bleaching routers: {} always + {} sometimes; web servers: {} ({} ECN-capable); dead: {}, churned: {}",
+        result.truth.bleach_always.len(),
+        result.truth.bleach_sometimes.len(),
+        result.truth.web_server_count,
+        result.truth.web_ecn_on_count,
+        result.truth.always_down_count,
+        result.truth.churn_down_count,
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small simulated Internet, probe a handful of NTP
+//! pool servers with not-ECT and ECT(0)-marked UDP, and print what the
+//! paper's methodology would record.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ecnudp::core::{probe_tcp, probe_udp, ProbeConfig};
+use ecnudp::pool::{build_scenario, PoolPlan};
+use ecnudp::wire::Ecn;
+
+fn main() {
+    // A 60-server pool with all of the paper's phenomena planted.
+    let plan = PoolPlan::scaled(60);
+    let mut sc = build_scenario(&plan, 42);
+
+    // Measure from EC2 Ireland (vantage 6).
+    let vantage = 6;
+    let handle = sc.vantages[vantage].handle.clone();
+    let capture = sc.sim.attach_capture(sc.vantages[vantage].node);
+    let cfg = ProbeConfig::default();
+
+    println!(
+        "probing 12 of {} pool servers from {}\n",
+        sc.servers.len(),
+        sc.vantages[vantage].spec.name
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>11} {:>9}",
+        "server", "not-ECT", "ECT(0)", "HTTP", "TCP ECN"
+    );
+    let targets: Vec<std::net::Ipv4Addr> = sc.servers.iter().map(|s| s.addr).take(12).collect();
+    for server in targets {
+        capture.lock().clear();
+        let plain = probe_udp(&mut sc.sim, &handle, &capture, server, Ecn::NotEct, &cfg);
+        let ect = probe_udp(&mut sc.sim, &handle, &capture, server, Ecn::Ect0, &cfg);
+        let tcp = probe_tcp(&mut sc.sim, &handle, &capture, server, true, &cfg);
+        println!(
+            "{:<16} {:>9} {:>9} {:>11} {:>9}",
+            server.to_string(),
+            if plain.reachable { "yes" } else { "NO" },
+            if ect.reachable { "yes" } else { "NO" },
+            tcp.http_status
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            if tcp.negotiated_ecn { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nplanted ground truth: {} ECT-blocked server(s), {} not-ECT-blocked",
+        sc.truth.ect_blocked.len() + sc.truth.ect_blocked_flaky.len(),
+        sc.truth.not_ect_blocked.len() + sc.truth.not_ect_blocked_ec2.len(),
+    );
+}

@@ -1,0 +1,27 @@
+//! # ecnudp — *Is Explicit Congestion Notification usable with UDP?*
+//!
+//! A full reproduction of McQuistin & Perkins (IMC 2015) as a Rust
+//! workspace: the measurement application and analysis ([`core`]), and the
+//! simulated-Internet substrate it runs on (wire formats, packet-level
+//! simulator, host stack, application services, pool population model).
+//!
+//! ```no_run
+//! use ecnudp::core::{run_campaign_parallel, CampaignConfig, FullReport};
+//! use ecnudp::pool::PoolPlan;
+//!
+//! let result = run_campaign_parallel(&PoolPlan::paper(), &CampaignConfig::default());
+//! let report = FullReport::from_campaign(&result);
+//! println!("{}", report.render());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured audit of every table and figure.
+
+pub use ecn_asdb as asdb;
+pub use ecn_core as core;
+pub use ecn_geo as geo;
+pub use ecn_netsim as netsim;
+pub use ecn_pool as pool;
+pub use ecn_services as services;
+pub use ecn_stack as stack;
+pub use ecn_wire as wire;

@@ -1,0 +1,86 @@
+//! The "parallel tcpdump session" produces real artefacts: captures taken
+//! during probes export as valid libpcap files, and their contents parse
+//! back into the probe exchanges.
+
+use ecnudp::core::{probe_udp, ProbeConfig};
+use ecnudp::netsim::{write_pcap, Direction};
+use ecnudp::pool::{build_scenario, PoolPlan, SpecialBehaviour};
+use ecnudp::stack::AvailabilityModel;
+use ecnudp::wire::{Datagram, Ecn, IpProto, NtpPacket, UdpHeader};
+
+#[test]
+fn probe_capture_exports_valid_pcap_with_ntp_exchange() {
+    let mut sc = build_scenario(&PoolPlan::scaled(30), 61);
+    let vantage = 2;
+    let handle = sc.vantages[vantage].handle.clone();
+    let cap = sc.sim.attach_capture(sc.vantages[vantage].node);
+    let target = sc
+        .servers
+        .iter()
+        .find(|s| {
+            s.profile.special == SpecialBehaviour::None
+                && s.profile.availability == AvailabilityModel::AlwaysUp
+        })
+        .map(|s| s.addr)
+        .expect("healthy server");
+
+    let r = probe_udp(
+        &mut sc.sim,
+        &handle,
+        &cap,
+        target,
+        Ecn::Ect0,
+        &ProbeConfig::default(),
+    );
+    assert!(r.reachable);
+
+    // capture holds request (out, ECT0) and response (in)
+    {
+        let cap = cap.lock();
+        assert!(cap.len() >= 2);
+        let out = cap
+            .packets()
+            .iter()
+            .find(|p| p.dir == Direction::Out)
+            .expect("request captured");
+        let d = out.datagram().unwrap();
+        assert_eq!(d.ecn(), Ecn::Ect0);
+        assert_eq!(d.dst(), target);
+        // and it is a parseable NTP request inside UDP
+        let (uh, body) = UdpHeader::decode(d.src(), d.dst(), d.payload()).unwrap();
+        assert_eq!(uh.dst_port, 123);
+        let ntp = NtpPacket::decode(body).unwrap();
+        assert_eq!(ntp.mode, ecnudp::wire::NtpMode::Client);
+    }
+
+    // export to a real pcap file and sanity-check the framing
+    let dir = std::env::temp_dir().join("ecnudp-pcap-artifacts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("probe.pcap");
+    write_pcap(&path, &cap.lock()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+        0xa1b2_c3d4,
+        "libpcap magic"
+    );
+    assert_eq!(
+        u32::from_le_bytes(bytes[20..24].try_into().unwrap()),
+        101,
+        "LINKTYPE_RAW"
+    );
+    // walk every record; each payload must parse as an IPv4 datagram
+    let mut off = 24;
+    let mut records = 0;
+    while off + 16 <= bytes.len() {
+        let caplen = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+        let frame = &bytes[off + 16..off + 16 + caplen];
+        let d = Datagram::from_bytes(frame.to_vec()).expect("record is a valid datagram");
+        assert!(matches!(d.protocol(), IpProto::Udp));
+        records += 1;
+        off += 16 + caplen;
+    }
+    assert_eq!(off, bytes.len(), "no trailing garbage");
+    assert_eq!(records, cap.lock().len());
+    std::fs::remove_file(&path).ok();
+}
