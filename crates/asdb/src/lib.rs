@@ -188,8 +188,14 @@ mod tests {
         let c = Ipv4Addr::new(10, 1, 0, 1); // AS 65002
         let x = Ipv4Addr::new(192, 0, 2, 1); // unmapped
 
-        assert_eq!(db.classify_hop(None, a), HopAsClass::Interior { asn: 65001 });
-        assert_eq!(db.classify_hop(Some(a), b), HopAsClass::Interior { asn: 65001 });
+        assert_eq!(
+            db.classify_hop(None, a),
+            HopAsClass::Interior { asn: 65001 }
+        );
+        assert_eq!(
+            db.classify_hop(Some(a), b),
+            HopAsClass::Interior { asn: 65001 }
+        );
         assert_eq!(
             db.classify_hop(Some(b), c),
             HopAsClass::Boundary {
@@ -199,7 +205,10 @@ mod tests {
         );
         assert!(db.classify_hop(Some(b), c).is_boundary());
         assert_eq!(db.classify_hop(Some(a), x), HopAsClass::Unmapped);
-        assert_eq!(db.classify_hop(Some(x), c), HopAsClass::Interior { asn: 65002 });
+        assert_eq!(
+            db.classify_hop(Some(x), c),
+            HopAsClass::Interior { asn: 65002 }
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn main() {
 /// wireless vantage.
 fn retry_budget() {
     println!("=== ablation 1: UDP retry budget (bursty wireless path) ===");
-    println!("{:<10} {:>14} {:>12}", "retries", "unreachable", "false rate");
+    println!(
+        "{:<10} {:>14} {:>12}",
+        "retries", "unreachable", "false rate"
+    );
     for retries in [0u32, 1, 3, 5, 8] {
         let mut sc = build_scenario(&PoolPlan::scaled(300), BENCH_SEED);
         let vantage = 3; // UGla wireless
@@ -89,7 +92,10 @@ fn ect0_vs_ect1() {
     let handle = sc.vantages[6].handle.clone();
     let cap = sc.sim.attach_capture(sc.vantages[6].node);
     let cfg = ProbeConfig::default();
-    println!("{:<22} {:>9} {:>9} {:>9}", "target", "not-ECT", "ECT(0)", "ECT(1)");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}",
+        "target", "not-ECT", "ECT(0)", "ECT(1)"
+    );
     for (name, addr) in [("filtered server", blocked), ("healthy server", healthy)] {
         let mut row = Vec::new();
         for ecn in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1] {
@@ -117,7 +123,8 @@ fn burst_vs_independent() {
             let mut fails = 0u64;
             for t in 0..trials {
                 let base = Nanos::from_secs(t * 40);
-                let all = (0..6).all(|k| proc.should_drop(base + Nanos::from_secs(k), false, &mut rng));
+                let all =
+                    (0..6).all(|k| proc.should_drop(base + Nanos::from_secs(k), false, &mut rng));
                 fails += u64::from(all);
             }
             fails as f64 / trials as f64
@@ -133,9 +140,17 @@ fn burst_vs_independent() {
 /// congested bottleneck.
 fn droptail_vs_red() {
     println!("=== ablation 4: DropTail vs RED+ECN at a congested bottleneck ===");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "queue", "sent", "delivered", "lost", "CE");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "queue", "sent", "delivered", "lost", "CE"
+    );
     for (name, queue) in [
-        ("DropTail", QueueDisc::DropTail { limit_bytes: 30_000 }),
+        (
+            "DropTail",
+            QueueDisc::DropTail {
+                limit_bytes: 30_000,
+            },
+        ),
         (
             "RED+ECN",
             QueueDisc::Red {

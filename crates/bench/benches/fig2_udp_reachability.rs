@@ -23,7 +23,9 @@ fn main() {
     println!("per-trace series -> target/figures/figure2_bars.csv");
 
     // kernel: the Figure 2 aggregation over all 210 traces
-    time_kernel("figure2 aggregation (210 traces x 2500 servers)", 20, || {
-        figure2(&result.traces)
-    });
+    time_kernel(
+        "figure2 aggregation (210 traces x 2500 servers)",
+        20,
+        || figure2(&result.traces),
+    );
 }

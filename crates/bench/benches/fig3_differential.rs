@@ -26,7 +26,9 @@ fn main() {
         fig.persistent_a.len()
     );
 
-    time_kernel("figure3 aggregation (210 traces x 2500 servers)", 10, || {
-        figure3(&result.traces)
-    });
+    time_kernel(
+        "figure3 aggregation (210 traces x 2500 servers)",
+        10,
+        || figure3(&result.traces),
+    );
 }

@@ -24,8 +24,7 @@ fn main() {
             handles.push(scope.spawn(move |_| {
                 let mut sc = build_scenario(&plan, cfg.seed);
                 let handle = sc.vantages[vi].handle.clone();
-                let targets: Vec<std::net::Ipv4Addr> =
-                    sc.servers.iter().map(|s| s.addr).collect();
+                let targets: Vec<std::net::Ipv4Addr> = sc.servers.iter().map(|s| s.addr).collect();
                 let mut paths = Vec::with_capacity(targets.len());
                 for dst in targets {
                     paths.push(traceroute(&mut sc.sim, &handle, dst, &cfg.traceroute));

@@ -79,7 +79,9 @@ pub fn table2(traces: &[TraceRecord]) -> Table2 {
                 }
             }
         }
-        let e = acc.entry(t.vantage_name.clone()).or_insert((0.0, 0.0, 0.0, 0));
+        let e = acc
+            .entry(t.vantage_name.clone())
+            .or_insert((0.0, 0.0, 0.0, 0));
         e.0 += udp_unreach as f64;
         e.1 += fail as f64;
         e.2 += ok as f64;
@@ -159,13 +161,7 @@ mod tests {
     use ecn_netsim::Nanos;
     use std::net::Ipv4Addr;
 
-    fn outcome(
-        i: u8,
-        plain: bool,
-        ect: bool,
-        tcp_reach: bool,
-        negotiated: bool,
-    ) -> ServerOutcome {
+    fn outcome(i: u8, plain: bool, ect: bool, tcp_reach: bool, negotiated: bool) -> ServerOutcome {
         let udp = |r| UdpProbeResult {
             reachable: r,
             attempts: 1,
@@ -218,7 +214,10 @@ mod tests {
         assert_eq!(t2.rows.len(), 1);
         let r = &t2.rows[0];
         assert!((r.avg_udp_ect_unreachable - 3.0).abs() < 1e-9);
-        assert!((r.avg_fail_tcp_ecn - 1.0).abs() < 1e-9, "only the TCP-reachable refuser");
+        assert!(
+            (r.avg_fail_tcp_ecn - 1.0).abs() < 1e-9,
+            "only the TCP-reachable refuser"
+        );
         assert!((r.avg_ok_tcp_ecn - 1.0).abs() < 1e-9);
         assert!((t2.blocked_but_negotiates - 0.5).abs() < 1e-9);
     }
@@ -252,7 +251,10 @@ mod tests {
 
     #[test]
     fn render_matches_table2_shape() {
-        let t2 = table2(&[trace("Perkins home", vec![outcome(1, true, true, true, true)])]);
+        let t2 = table2(&[trace(
+            "Perkins home",
+            vec![outcome(1, true, true, true, true)],
+        )]);
         let r = t2.render();
         assert!(r.contains("Perkins home"));
         assert!(r.contains("Avg. unreachable UDP w/ECT"));

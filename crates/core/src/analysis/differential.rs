@@ -228,7 +228,10 @@ mod tests {
             mk_trace("B", vec![(S1, true, false), (S2, true, true)]),
         ];
         let f = figure3(&traces);
-        assert_eq!(f.high_diff_a, vec![("A".to_string(), 1), ("B".to_string(), 1)]);
+        assert_eq!(
+            f.high_diff_a,
+            vec![("A".to_string(), 1), ("B".to_string(), 1)]
+        );
         assert_eq!(f.persistent_a, vec![S1]);
         assert_eq!(f.high_b_max(), 0);
         assert_eq!(f.high_a_range(), (1, 1));

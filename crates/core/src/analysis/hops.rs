@@ -66,17 +66,41 @@ impl Figure4 {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let rows = vec![
-            vec!["IP-level hops observed".into(), self.total_hops.to_string(), "155439".into()],
-            vec!["… passing ECT(0) unmodified".into(), self.pass_hops.to_string(), "154421".into()],
-            vec!["… with mark stripped".into(), self.strip_hops.to_string(), "1143".into()],
-            vec!["… only sometimes stripping".into(), self.sometimes_hops.to_string(), "125".into()],
-            vec!["ASes covered".into(), self.as_count.to_string(), "1400".into()],
+            vec![
+                "IP-level hops observed".into(),
+                self.total_hops.to_string(),
+                "155439".into(),
+            ],
+            vec![
+                "… passing ECT(0) unmodified".into(),
+                self.pass_hops.to_string(),
+                "154421".into(),
+            ],
+            vec![
+                "… with mark stripped".into(),
+                self.strip_hops.to_string(),
+                "1143".into(),
+            ],
+            vec![
+                "… only sometimes stripping".into(),
+                self.sometimes_hops.to_string(),
+                "125".into(),
+            ],
+            vec![
+                "ASes covered".into(),
+                self.as_count.to_string(),
+                "1400".into(),
+            ],
             vec![
                 "strip locations at AS boundaries".into(),
                 format!("{:.1}%", 100.0 * self.boundary_fraction()),
                 "59.1%".into(),
             ],
-            vec!["ECN-CE marks seen".into(), self.ce_observed.to_string(), "0".into()],
+            vec![
+                "ECN-CE marks seen".into(),
+                self.ce_observed.to_string(),
+                "0".into(),
+            ],
         ];
         let mut out = render_table(
             "Figure 4 / §4.2: ECN mark survival across network hops",
@@ -114,7 +138,7 @@ pub fn figure4(routes: &[VantageRoutes], asdb: &AsDb) -> Figure4 {
             for hop in &path.hops {
                 let Some(router) = hop.router else { continue };
                 let any_mod = hop.modified(sent);
-                let any_pass = hop.quoted_ecn.iter().any(|e| *e == sent);
+                let any_pass = hop.quoted_ecn.contains(&sent);
                 ce_observed += hop.quoted_ecn.iter().filter(|e| **e == Ecn::Ce).count();
                 let e = hop_state.entry((vi, router)).or_insert((false, false));
                 e.0 |= any_pass;

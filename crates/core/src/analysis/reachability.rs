@@ -1,7 +1,7 @@
 //! Figure 2: per-trace UDP reachability with and without ECT(0) marks
 //! (§4.1), plus the headline averages (paper: 98.97% / 99.45%).
 
-use crate::report::{render_bars, pct};
+use crate::report::{pct, render_bars};
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
 
@@ -108,7 +108,8 @@ impl Figure2 {
 
 fn per_vantage_avg(bars: &[TraceBar], f: impl Fn(&TraceBar) -> f64) -> Vec<(String, f64)> {
     let mut order: Vec<String> = Vec::new();
-    let mut sums: std::collections::HashMap<String, (f64, usize)> = std::collections::HashMap::new();
+    let mut sums: std::collections::HashMap<String, (f64, usize)> =
+        std::collections::HashMap::new();
     for b in bars {
         if !sums.contains_key(&b.vantage_name) {
             order.push(b.vantage_name.clone());
@@ -170,8 +171,14 @@ mod tests {
 
     #[test]
     fn averages_and_minima() {
-        let t1 = mk_trace("A", &[(true, true), (true, true), (true, false), (false, false)]);
-        let t2 = mk_trace("B", &[(true, true), (true, true), (true, true), (false, true)]);
+        let t1 = mk_trace(
+            "A",
+            &[(true, true), (true, true), (true, false), (false, false)],
+        );
+        let t2 = mk_trace(
+            "B",
+            &[(true, true), (true, true), (true, true), (false, true)],
+        );
         let f = figure2(&[t1, t2]);
         // t1: a = 2/3, b = 2/2; t2: a = 3/3, b = 3/4
         assert!((f.bars[0].pct_a - 66.6667).abs() < 0.01);

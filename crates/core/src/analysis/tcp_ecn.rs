@@ -154,7 +154,11 @@ mod tests {
     fn counts_and_share() {
         let t1 = trace(
             "A",
-            vec![outcome(true, true), outcome(true, false), outcome(false, false)],
+            vec![
+                outcome(true, true),
+                outcome(true, false),
+                outcome(false, false),
+            ],
         );
         let t2 = trace("A", vec![outcome(true, true), outcome(true, true)]);
         let f = figure5(&[t1, t2]);

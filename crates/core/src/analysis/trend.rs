@@ -84,7 +84,11 @@ pub fn fit_logistic(points: &[TrendPoint]) -> LogisticFit {
         .iter()
         .map(|(x, y)| (y - (k * x + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     LogisticFit { k, t0, r_squared }
 }
 

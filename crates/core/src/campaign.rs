@@ -126,7 +126,14 @@ fn run_trace(
     let mut outcomes = Vec::with_capacity(targets.len());
     for &server in targets {
         capture.lock().clear(); // per-server tcpdump session
-        let udp_plain = probe_udp(&mut sc.sim, &handle, &capture, server, Ecn::NotEct, &cfg.probe);
+        let udp_plain = probe_udp(
+            &mut sc.sim,
+            &handle,
+            &capture,
+            server,
+            Ecn::NotEct,
+            &cfg.probe,
+        );
         let udp_ect = probe_udp(
             &mut sc.sim,
             &handle,
@@ -259,10 +266,7 @@ pub fn run_campaign_parallel(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignR
         .flat_map(|(t, _)| t.iter().cloned())
         .collect();
     traces.sort_by_key(|t| (t.started_at, t.vantage_key.clone()));
-    let routes: Vec<VantageRoutes> = per_vantage
-        .into_iter()
-        .filter_map(|(_, r)| r)
-        .collect();
+    let routes: Vec<VantageRoutes> = per_vantage.into_iter().filter_map(|(_, r)| r).collect();
     finish(proto, targets, discovery, traces, routes)
 }
 
@@ -315,8 +319,18 @@ mod tests {
         let b1 = s.iter().filter(|t| t.batch == 1).count();
         assert_eq!(b1, 15 + 8 + 14, "batch 1 = homes + wireless");
         // batch 2 strictly after batch 1 window
-        let last_b1 = s.iter().filter(|t| t.batch == 1).map(|t| t.start).max().unwrap();
-        let first_b2 = s.iter().filter(|t| t.batch == 2).map(|t| t.start).min().unwrap();
+        let last_b1 = s
+            .iter()
+            .filter(|t| t.batch == 1)
+            .map(|t| t.start)
+            .max()
+            .unwrap();
+        let first_b2 = s
+            .iter()
+            .filter(|t| t.batch == 2)
+            .map(|t| t.start)
+            .min()
+            .unwrap();
         assert!(first_b2 > last_b1);
     }
 
@@ -328,7 +342,11 @@ mod tests {
         let rec = run_trace(&mut sc, 4, 2, &d.targets, &cfg);
         assert_eq!(rec.outcomes.len(), 40);
         // sanity: most servers are up and reachable both ways
-        assert!(rec.udp_plain_reachable() > 25, "{}", rec.udp_plain_reachable());
+        assert!(
+            rec.udp_plain_reachable() > 25,
+            "{}",
+            rec.udp_plain_reachable()
+        );
         assert!(rec.fig2a_pct() > 80.0);
         // at least one ECT-blocked server shows differential reachability
         let diff = rec

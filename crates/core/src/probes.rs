@@ -153,8 +153,7 @@ pub fn probe_tcp(
         let req = HttpRequest::get_root(&server.to_string()).encode();
         handle.tcp_send(sim, conn, &req);
         let deadline = sim.now() + cfg.http_wait;
-        loop {
-            let Some(s) = handle.conn(conn) else { break };
+        while let Some(s) = handle.conn(conn) {
             if HttpResponse::is_complete(&s.received)
                 || s.peer_closed
                 || s.state == TcpState::Closed
@@ -296,7 +295,10 @@ mod tests {
         let r = probe_tcp(&mut sc.sim, &v, &cap, target, true, &cfg);
         assert!(!r.reachable);
         assert_eq!(r.close_reason, Some(CloseReason::Reset));
-        assert!(sc.sim.now().saturating_sub(t0) < Nanos::from_secs(5), "RST is fast");
+        assert!(
+            sc.sim.now().saturating_sub(t0) < Nanos::from_secs(5),
+            "RST is fast"
+        );
     }
 
     #[test]

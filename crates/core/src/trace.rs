@@ -53,7 +53,10 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// Servers reachable via not-ECT UDP.
     pub fn udp_plain_reachable(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.udp_plain.reachable).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.udp_plain.reachable)
+            .count()
     }
 
     /// Servers reachable via ECT(0) UDP.
@@ -91,12 +94,18 @@ impl TraceRecord {
 
     /// Servers answering HTTP (Figure 5 lower series).
     pub fn tcp_reachable(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.tcp_plain.reachable || o.tcp_ecn.reachable).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.tcp_plain.reachable || o.tcp_ecn.reachable)
+            .count()
     }
 
     /// Servers that negotiated ECN over TCP (Figure 5 upper series).
     pub fn tcp_ecn_negotiated(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.tcp_ecn.negotiated_ecn).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.tcp_ecn.negotiated_ecn)
+            .count()
     }
 }
 

@@ -36,7 +36,7 @@ impl HopObservation {
 
     /// Did probes disagree (the "sometimes strips" signature)?
     pub fn mixed(&self, sent: Ecn) -> bool {
-        self.modified(sent) && self.quoted_ecn.iter().any(|e| *e == sent)
+        self.modified(sent) && self.quoted_ecn.contains(&sent)
     }
 }
 
@@ -87,14 +87,7 @@ pub fn traceroute(
                 .base_port
                 .wrapping_add((u16::from(ttl) - 1) * cfg.probes_per_ttl as u16 + probe as u16);
             port_map.insert(dport, hop_idx);
-            handle.udp_send_probe(
-                sim,
-                sock,
-                (dst, dport),
-                b"ecn-traceroute",
-                cfg.ecn,
-                ttl,
-            );
+            handle.udp_send_probe(sim, sock, (dst, dport), b"ecn-traceroute", cfg.ecn, ttl);
             let deadline = sim.now() + cfg.probe_timeout;
             sim.run_until(deadline);
             // Drain ICMP; late answers for earlier TTLs are filed correctly
@@ -102,10 +95,9 @@ pub fn traceroute(
             for icmp in handle.icmp_recv_all() {
                 let (quoted, is_port_unreach) = match &icmp.msg {
                     IcmpMessage::TimeExceeded { quoted } => (quoted, false),
-                    IcmpMessage::DestUnreachable { code, quoted } => (
-                        quoted,
-                        matches!(code, ecn_wire::DestUnreachCode::Port),
-                    ),
+                    IcmpMessage::DestUnreachable { code, quoted } => {
+                        (quoted, matches!(code, ecn_wire::DestUnreachCode::Port))
+                    }
                     _ => continue,
                 };
                 let Ok(qh) = Ipv4Header::decode(quoted) else {
@@ -168,7 +160,11 @@ mod tests {
         let handle = sc.vantages[0].handle.clone();
         let dst = sc.servers[0].addr;
         let path = traceroute(&mut sc.sim, &handle, dst, &TracerouteConfig::default());
-        assert!(path.hops.len() >= 8, "path has realistic depth: {}", path.hops.len());
+        assert!(
+            path.hops.len() >= 8,
+            "path has realistic depth: {}",
+            path.hops.len()
+        );
         // first hop is the vantage CPE (81.0.0.1), all hops answered
         assert_eq!(path.hops[0].router, Some(Ipv4Addr::new(81, 0, 0, 1)));
         let mut quotes = 0usize;

@@ -33,7 +33,10 @@ fn tcp(reachable: bool, negotiated: bool) -> TcpProbeResult {
 fn arb_traces() -> impl Strategy<Value = Vec<TraceRecord>> {
     (2usize..6, 1usize..25).prop_flat_map(|(vantages, servers)| {
         proptest::collection::vec(
-            proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()), servers..=servers),
+            proptest::collection::vec(
+                (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+                servers..=servers,
+            ),
             vantages * 2..vantages * 2 + 3,
         )
         .prop_map(move |trace_bits| {

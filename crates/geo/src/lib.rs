@@ -184,7 +184,9 @@ impl GeoDb {
 
     /// Region of an address, mapping misses to [`Region::Unknown`].
     pub fn region_of(&self, addr: Ipv4Addr) -> Region {
-        self.lookup(addr).map(|r| r.region).unwrap_or(Region::Unknown)
+        self.lookup(addr)
+            .map(|r| r.region)
+            .unwrap_or(Region::Unknown)
     }
 
     /// Number of records.

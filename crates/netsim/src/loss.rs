@@ -189,13 +189,7 @@ impl LossProcess {
     /// the current residence interval. Residence intervals are contiguous
     /// — after a long idle gap the chain replays every intermediate flip,
     /// so sparsely-observed processes keep the correct duty cycle.
-    fn advance_chain(
-        &mut self,
-        now: Nanos,
-        mean_good: Nanos,
-        mean_bad: Nanos,
-        rng: &mut SmallRng,
-    ) {
+    fn advance_chain(&mut self, now: Nanos, mean_good: Nanos, mean_bad: Nanos, rng: &mut SmallRng) {
         while now >= self.state_until {
             self.in_bad = if self.state_until == Nanos::ZERO {
                 // initial state: stationary distribution
@@ -290,8 +284,10 @@ mod tests {
         for t in 0..trials {
             // Five retries, 1 s apart (paper §3 schedule).
             let base = Nanos::from_secs(t * 30);
-            let all_b = (0..5).all(|k| bern.should_drop(base + Nanos::from_secs(k), false, &mut rng_b));
-            let all_g = (0..5).all(|k| ge.should_drop(base + Nanos::from_secs(k), false, &mut rng_g));
+            let all_b =
+                (0..5).all(|k| bern.should_drop(base + Nanos::from_secs(k), false, &mut rng_b));
+            let all_g =
+                (0..5).all(|k| ge.should_drop(base + Nanos::from_secs(k), false, &mut rng_g));
             fail5_b += u64::from(all_b);
             fail5_g += u64::from(all_g);
         }

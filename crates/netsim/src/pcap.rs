@@ -153,7 +153,8 @@ mod tests {
     fn shared_handle_is_concurrent() {
         let c = new_capture();
         let c2 = c.clone();
-        c.lock().record(Nanos::ZERO, Direction::Out, dgram().as_bytes());
+        c.lock()
+            .record(Nanos::ZERO, Direction::Out, dgram().as_bytes());
         assert_eq!(c2.lock().len(), 1);
     }
 

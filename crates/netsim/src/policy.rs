@@ -9,9 +9,10 @@ use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// What a router does to the ECN field of packets it forwards.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum EcnPolicy {
     /// RFC-compliant: leave the field alone.
+    #[default]
     Pass,
     /// "Bleach": reset ECT(0)/ECT(1)/CE to not-ECT on every packet.
     /// This is the §4.2 phenomenon — 1143 of 155439 observed hops did this.
@@ -55,12 +56,6 @@ impl EcnPolicy {
     /// -truth audits in tests.)
     pub fn is_ecn_hostile(&self) -> bool {
         !matches!(self, EcnPolicy::Pass)
-    }
-}
-
-impl Default for EcnPolicy {
-    fn default() -> Self {
-        EcnPolicy::Pass
     }
 }
 

@@ -22,7 +22,11 @@ impl Ipv4Prefix {
     pub fn new(addr: Ipv4Addr, len: u8) -> Ipv4Prefix {
         let len = len.min(32);
         let raw = u32::from(addr);
-        let masked = if len == 0 { 0 } else { raw & (!0u32 << (32 - len)) };
+        let masked = if len == 0 {
+            0
+        } else {
+            raw & (!0u32 << (32 - len))
+        };
         Ipv4Prefix { addr: masked, len }
     }
 
@@ -37,6 +41,7 @@ impl Ipv4Prefix {
     }
 
     /// Mask length.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
     pub fn len(self) -> u8 {
         self.len
     }

@@ -138,8 +138,7 @@ impl QueueState {
                 if backlog_bytes + packet_bytes > limit_bytes {
                     return QueueVerdict::Drop(QueueDropCause::Overflow);
                 }
-                self.avg_bytes =
-                    (1.0 - weight) * self.avg_bytes + weight * backlog_bytes as f64;
+                self.avg_bytes = (1.0 - weight) * self.avg_bytes + weight * backlog_bytes as f64;
                 let avg = self.avg_bytes;
                 if avg < min_th_bytes as f64 {
                     self.count_since_mark += 1;
@@ -193,7 +192,10 @@ mod tests {
     fn droptail_accepts_under_limit() {
         let mut q = QueueState::new(QueueDisc::DropTail { limit_bytes: 3000 });
         let mut rng = derive_rng(1, "q");
-        assert_eq!(q.on_arrival(0, 1500, false, &mut rng), QueueVerdict::Enqueue);
+        assert_eq!(
+            q.on_arrival(0, 1500, false, &mut rng),
+            QueueVerdict::Enqueue
+        );
         assert_eq!(
             q.on_arrival(1500, 1500, false, &mut rng),
             QueueVerdict::Enqueue
@@ -249,7 +251,10 @@ mod tests {
             }
         }
         assert_eq!(marks_ne, 0, "not-ECT packets can never be marked");
-        assert!(drops_ne > 100, "not-ECT packets should be dropped, got {drops_ne}");
+        assert!(
+            drops_ne > 100,
+            "not-ECT packets should be dropped, got {drops_ne}"
+        );
     }
 
     #[test]
@@ -287,10 +292,7 @@ mod tests {
     #[test]
     fn serialisation_delay_math() {
         // 1500 bytes at 12 kbit/s = 1 s
-        assert_eq!(
-            serialisation_delay(Some(12_000), 1500),
-            Nanos::from_secs(1)
-        );
+        assert_eq!(serialisation_delay(Some(12_000), 1500), Nanos::from_secs(1));
         assert_eq!(serialisation_delay(None, 1500), Nanos::ZERO);
         assert_eq!(serialisation_delay(Some(0), 1500), Nanos::ZERO);
     }

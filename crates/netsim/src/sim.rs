@@ -3,7 +3,7 @@
 //! policy, route lookup, link transmission).
 
 use crate::link::{Link, LinkId, LinkProps, NodeId};
-use crate::node::{flow_key, HostAgent, Node, Router, RouteEntry};
+use crate::node::{flow_key, HostAgent, Node, RouteEntry, Router};
 use crate::pcap::{new_capture, CaptureRef, Direction};
 use crate::policy::FirewallAction;
 use crate::prefix::Ipv4Prefix;
@@ -271,7 +271,8 @@ impl Sim {
             Node::Router(_) => panic!("send_from: {host:?} is a router"),
         };
         if let Some(cap) = capture {
-            cap.lock().record(self.now, Direction::Out, dgram.as_bytes());
+            cap.lock()
+                .record(self.now, Direction::Out, dgram.as_bytes());
         }
         let Some(up) = uplink else {
             self.stats.drop(DropCause::NoRoute);
@@ -346,7 +347,11 @@ impl Sim {
             // the study's probes are UDP/TCP, so this only suppresses
             // pathological error-about-error storms).
             if r.responds_ttl_exceeded && dgram.protocol() != IpProto::Icmp {
-                let reply = icmp_reply(r.addr, &dgram, IcmpMessage::time_exceeded_for(dgram.as_bytes()));
+                let reply = icmp_reply(
+                    r.addr,
+                    &dgram,
+                    IcmpMessage::time_exceeded_for(dgram.as_bytes()),
+                );
                 self.stats.icmp_time_exceeded += 1;
                 self.route_and_transmit(node, reply);
             }
@@ -438,9 +443,7 @@ impl Sim {
                 self.schedule(at, Event::Arrival { node: to, dgram });
             }
             crate::link::LinkOutcome::Lost => self.stats.drop(DropCause::Loss),
-            crate::link::LinkOutcome::Dropped(cause) => {
-                self.stats.drop(DropCause::Queue(cause))
-            }
+            crate::link::LinkOutcome::Dropped(cause) => self.stats.drop(DropCause::Queue(cause)),
         }
     }
 }
@@ -481,10 +484,13 @@ impl HostApi<'_> {
     /// Arrange for `on_timer(token)` to fire after `delay`.
     pub fn set_timer(&mut self, delay: Nanos, token: u64) {
         let at = self.sim.now + delay;
-        self.sim.schedule(at, Event::Timer {
-            node: self.node,
-            token,
-        });
+        self.sim.schedule(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+            },
+        );
     }
 
     /// Per-packet randomness shared with the engine.
@@ -518,16 +524,8 @@ mod tests {
         sim.attach_host(a, r1, LinkProps::clean(Nanos::from_millis(1)));
         sim.attach_host(b, r2, LinkProps::clean(Nanos::from_millis(1)));
         let (l12, l21) = sim.add_duplex(r1, r2, LinkProps::clean(Nanos::from_millis(5)));
-        sim.route(
-            r1,
-            "0.0.0.0/0".parse().unwrap(),
-            RouteEntry::Link(l12),
-        );
-        sim.route(
-            r2,
-            "0.0.0.0/0".parse().unwrap(),
-            RouteEntry::Link(l21),
-        );
+        sim.route(r1, "0.0.0.0/0".parse().unwrap(), RouteEntry::Link(l12));
+        sim.route(r2, "0.0.0.0/0".parse().unwrap(), RouteEntry::Link(l21));
         (sim, a, b, r1, r2)
     }
 
@@ -747,11 +745,22 @@ mod tests {
         sim.send_from(a, probe_dgram(src, dst, 64, Ecn::Ect0));
         sim.run_to_idle();
         assert_eq!(sim.stats.drops_for(DropCause::PolicyTos), 1);
-        assert_eq!(cap.lock().packets().iter().filter(|p| p.dir == Direction::In).count(), 0);
+        assert_eq!(
+            cap.lock()
+                .packets()
+                .iter()
+                .filter(|p| p.dir == Direction::In)
+                .count(),
+            0
+        );
         sim.send_from(a, probe_dgram(src, dst, 64, Ecn::NotEct));
         sim.run_to_idle();
         assert_eq!(
-            cap.lock().packets().iter().filter(|p| p.dir == Direction::In).count(),
+            cap.lock()
+                .packets()
+                .iter()
+                .filter(|p| p.dir == Direction::In)
+                .count(),
             1,
             "not-ECT passes the TOS-sensitive hop"
         );

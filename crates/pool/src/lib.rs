@@ -18,4 +18,6 @@ pub use scenario::{
     build_scenario, generate_profiles, BleachSite, GroundTruth, Scenario, ServerInfo, Vantage,
     EC2_SUPER_PREFIX,
 };
-pub use vantage::{all_vantages, total_traces, TraceAllocation, VantageSpec, UDP_RETRIES, UDP_TIMEOUT};
+pub use vantage::{
+    all_vantages, total_traces, TraceAllocation, VantageSpec, UDP_RETRIES, UDP_TIMEOUT,
+};

@@ -230,8 +230,10 @@ mod tests {
     fn scaled_special_counts_fit_population() {
         for n in [20, 50, 100, 400] {
             let p = PoolPlan::scaled(n);
-            let special =
-                p.ect_blocked + p.ect_blocked_flaky + p.not_ect_blocked_global + p.not_ect_blocked_ec2;
+            let special = p.ect_blocked
+                + p.ect_blocked_flaky
+                + p.not_ect_blocked_global
+                + p.not_ect_blocked_ec2;
             assert!(
                 special + p.always_down + p.churn_down < n,
                 "plan for {n} over-allocates: {special} special"

@@ -163,11 +163,14 @@ pub fn generate_profiles(plan: &PoolPlan, rng: &mut SmallRng) -> Vec<ServerProfi
         } else {
             ((count as f64) * scale).round() as usize
         };
-        regions.extend(std::iter::repeat(region).take(n));
+        regions.extend(std::iter::repeat_n(region, n));
     }
     // rounding: trim or pad with Europe
     while regions.len() > plan.servers {
-        let idx = regions.iter().rposition(|r| *r == Region::Europe).unwrap_or(regions.len() - 1);
+        let idx = regions
+            .iter()
+            .rposition(|r| *r == Region::Europe)
+            .unwrap_or(regions.len() - 1);
         regions.remove(idx);
     }
     while regions.len() < plan.servers {
@@ -237,7 +240,9 @@ pub fn generate_profiles(plan: &PoolPlan, rng: &mut SmallRng) -> Vec<ServerProfi
     let alive: Vec<usize> = order[cursor..].to_vec();
     let mut alive_iter = alive.into_iter();
     let mut take_alive = |profiles: &mut Vec<ServerProfile>| -> usize {
-        let idx = alive_iter.next().expect("population exhausted for special servers");
+        let idx = alive_iter
+            .next()
+            .expect("population exhausted for special servers");
         // make the middleboxed servers steady so they show up persistently
         profiles[idx].availability = AvailabilityModel::AlwaysUp;
         idx
@@ -336,7 +341,11 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
         asdb.insert(t2_prefix(j).addr(), 16, asn);
         let primary = rng.gen_range(0..t1_count);
         let (up, down) = sim.add_duplex(node, t1_nodes[primary], LinkProps::clean(CORE_DELAY));
-        sim.route(node, "0.0.0.0/0".parse().expect("prefix"), RouteEntry::Link(up));
+        sim.route(
+            node,
+            "0.0.0.0/0".parse().expect("prefix"),
+            RouteEntry::Link(up),
+        );
         t2_nodes.push(node);
         t2_region.push(region);
         t2_primary_t1.push(primary);
@@ -359,9 +368,21 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
         let asn = 30_000 + spec.net_index as u32;
         let prefix = vantage_prefix(spec);
         asdb.insert(prefix.addr(), 16, asn);
-        let cpe = sim.add_router(Router::new(format!("{}-cpe", spec.key), vantage_addr(spec, 1), asn));
-        let isp_a = sim.add_router(Router::new(format!("{}-isp-a", spec.key), vantage_addr(spec, 2), asn));
-        let isp_b = sim.add_router(Router::new(format!("{}-isp-b", spec.key), vantage_addr(spec, 3), asn));
+        let cpe = sim.add_router(Router::new(
+            format!("{}-cpe", spec.key),
+            vantage_addr(spec, 1),
+            asn,
+        ));
+        let isp_a = sim.add_router(Router::new(
+            format!("{}-isp-a", spec.key),
+            vantage_addr(spec, 2),
+            asn,
+        ));
+        let isp_b = sim.add_router(Router::new(
+            format!("{}-isp-b", spec.key),
+            vantage_addr(spec, 3),
+            asn,
+        ));
         let host_addr = vantage_addr(spec, 100);
         let host = sim.add_host(format!("{}-host", spec.key), host_addr);
 
@@ -388,11 +409,24 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
         let (a_up, b_down) = sim.add_duplex(isp_a, isp_b, LinkProps::clean(EDGE_DELAY));
         // pick a T1 for this region (deterministic spread)
         let t1_index = (spec.net_index as usize * 5 + vi) % t1_count;
-        let (b_up, t1_down) = sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(CORE_DELAY));
-        sim.route(cpe, "0.0.0.0/0".parse().expect("prefix"), RouteEntry::Link(c_up));
-        sim.route(isp_a, "0.0.0.0/0".parse().expect("prefix"), RouteEntry::Link(a_up));
+        let (b_up, t1_down) =
+            sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(CORE_DELAY));
+        sim.route(
+            cpe,
+            "0.0.0.0/0".parse().expect("prefix"),
+            RouteEntry::Link(c_up),
+        );
+        sim.route(
+            isp_a,
+            "0.0.0.0/0".parse().expect("prefix"),
+            RouteEntry::Link(a_up),
+        );
         sim.route(isp_a, prefix, RouteEntry::Link(a_down));
-        sim.route(isp_b, "0.0.0.0/0".parse().expect("prefix"), RouteEntry::Link(b_up));
+        sim.route(
+            isp_b,
+            "0.0.0.0/0".parse().expect("prefix"),
+            RouteEntry::Link(b_up),
+        );
         sim.route(isp_b, prefix, RouteEntry::Link(b_down));
         vantage_routes.push((prefix, t1_index, t1_down));
 
@@ -479,7 +513,11 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
                 t2_pe_addr(j, customer),
                 t2_asn,
             ));
-            let b = sim.add_router(Router::new(format!("d{k}-border"), dest_router_addr(k, 1), asn));
+            let b = sim.add_router(Router::new(
+                format!("d{k}-border"),
+                dest_router_addr(k, 1),
+                asn,
+            ));
             let i1 = sim.add_router(Router::new(format!("d{k}-i1"), dest_router_addr(k, 2), asn));
             let i2 = sim.add_router(Router::new(format!("d{k}-i2"), dest_router_addr(k, 3), asn));
             let i3 = sim.add_router(Router::new(format!("d{k}-i3"), dest_router_addr(k, 4), asn));
@@ -515,11 +553,9 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
 
             // servers
             let mut access_slot = 16u32;
-            let mut server_slot = 2048u32;
-            for (s_in_as, &pidx) in chunk.iter().enumerate() {
+            for (server_slot, (s_in_as, &pidx)) in (2048u32..).zip(chunk.iter().enumerate()) {
                 let profile = &profiles[pidx];
                 let server_addr = dest_router_addr(k, server_slot);
-                server_slot += 1;
                 let host = sim.add_host(format!("srv-{pidx}"), server_addr);
 
                 if profile.special != SpecialBehaviour::None {
@@ -542,7 +578,8 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
                     access_slot += 2;
                     sim.nodes[a_fw.0 as usize].as_router_mut().firewall =
                         Firewall::single(FirewallRule::drop_ect_udp());
-                    let (fw_up, fw_down_i3) = sim.add_duplex(a_fw, i3, LinkProps::clean(EDGE_DELAY));
+                    let (fw_up, fw_down_i3) =
+                        sim.add_duplex(a_fw, i3, LinkProps::clean(EDGE_DELAY));
                     let (cl_up, cl_down_i3) =
                         sim.add_duplex(a_clean, i3, LinkProps::clean(EDGE_DELAY));
                     let _ = (fw_down_i3, cl_down_i3);
@@ -552,7 +589,11 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
                     // delivery link from the clean branch
                     sim.attach_host(host, a_fw, LinkProps::clean(EDGE_DELAY));
                     let clean_down = sim.add_link(a_clean, host, LinkProps::clean(EDGE_DELAY));
-                    sim.route(a_clean, Ipv4Prefix::host(server_addr), RouteEntry::Link(clean_down));
+                    sim.route(
+                        a_clean,
+                        Ipv4Prefix::host(server_addr),
+                        RouteEntry::Link(clean_down),
+                    );
                     // ECMP at I3: epoch-hashed branch choice
                     let to_fw = sim.add_link(i3, a_fw, LinkProps::clean(EDGE_DELAY));
                     let to_clean = sim.add_link(i3, a_clean, LinkProps::clean(EDGE_DELAY));
@@ -727,12 +768,12 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
     candidate_as.shuffle(&mut rng);
     let mut next_as = candidate_as.into_iter();
     let place = |site: BleachSite,
-                     prob: Option<f64>,
-                     sim: &mut Sim,
-                     truth: &mut GroundTruth,
-                     dest_infos: &Vec<DestAsInfo>,
-                     next_as: &mut dyn Iterator<Item = usize>| {
-        while let Some(k) = next_as.next() {
+                 prob: Option<f64>,
+                 sim: &mut Sim,
+                 truth: &mut GroundTruth,
+                 dest_infos: &Vec<DestAsInfo>,
+                 next_as: &mut dyn Iterator<Item = usize>| {
+        for k in &mut *next_as {
             let info = &dest_infos[k];
             let node = match site {
                 BleachSite::ProviderEdge => info.pe,
@@ -760,16 +801,44 @@ pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
         panic!("ran out of candidate ASes for bleacher placement");
     };
     for _ in 0..plan.bleach_pe {
-        place(BleachSite::ProviderEdge, None, &mut sim, &mut truth, &dest_infos, &mut next_as);
+        place(
+            BleachSite::ProviderEdge,
+            None,
+            &mut sim,
+            &mut truth,
+            &dest_infos,
+            &mut next_as,
+        );
     }
     for _ in 0..plan.bleach_border {
-        place(BleachSite::Border, None, &mut sim, &mut truth, &dest_infos, &mut next_as);
+        place(
+            BleachSite::Border,
+            None,
+            &mut sim,
+            &mut truth,
+            &dest_infos,
+            &mut next_as,
+        );
     }
     for _ in 0..plan.bleach_interior {
-        place(BleachSite::Interior, None, &mut sim, &mut truth, &dest_infos, &mut next_as);
+        place(
+            BleachSite::Interior,
+            None,
+            &mut sim,
+            &mut truth,
+            &dest_infos,
+            &mut next_as,
+        );
     }
     for _ in 0..plan.bleach_access {
-        place(BleachSite::Access, None, &mut sim, &mut truth, &dest_infos, &mut next_as);
+        place(
+            BleachSite::Access,
+            None,
+            &mut sim,
+            &mut truth,
+            &dest_infos,
+            &mut next_as,
+        );
     }
     for _ in 0..plan.bleach_prob_pe {
         place(

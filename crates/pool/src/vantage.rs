@@ -97,15 +97,87 @@ pub fn all_vantages() -> Vec<VantageSpec> {
             loss_down: LossModel::congested_access(0.12),
             traces: t(14, 14),
         },
-        ec2("EC2 California", "ec2-california", "EC2\nCal", Region::NorthAmerica, 4, 0.005, t(0, 13)),
-        ec2("EC2 Frankfurt", "ec2-frankfurt", "EC2\nFra", Region::Europe, 5, 0.012, t(0, 13)),
-        ec2("EC2 Ireland", "ec2-ireland", "EC2\nIre", Region::Europe, 6, 0.0055, t(0, 13)),
-        ec2("EC2 Oregon", "ec2-oregon", "EC2\nOre", Region::NorthAmerica, 7, 0.012, t(0, 13)),
-        ec2("EC2 Sao Paulo", "ec2-sao-paulo", "EC2\nSao", Region::SouthAmerica, 8, 0.016, t(0, 13)),
-        ec2("EC2 Singapore", "ec2-singapore", "EC2\nSin", Region::Asia, 9, 0.005, t(0, 13)),
-        ec2("EC2 Sydney", "ec2-sydney", "EC2\nSyd", Region::Australia, 10, 0.0055, t(0, 13)),
-        ec2("EC2 Tokyo", "ec2-tokyo", "EC2\nTok", Region::Asia, 11, 0.012, t(0, 13)),
-        ec2("EC2 Virginia", "ec2-virginia", "EC2\nVir", Region::NorthAmerica, 12, 0.016, t(0, 13)),
+        ec2(
+            "EC2 California",
+            "ec2-california",
+            "EC2\nCal",
+            Region::NorthAmerica,
+            4,
+            0.005,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Frankfurt",
+            "ec2-frankfurt",
+            "EC2\nFra",
+            Region::Europe,
+            5,
+            0.012,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Ireland",
+            "ec2-ireland",
+            "EC2\nIre",
+            Region::Europe,
+            6,
+            0.0055,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Oregon",
+            "ec2-oregon",
+            "EC2\nOre",
+            Region::NorthAmerica,
+            7,
+            0.012,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Sao Paulo",
+            "ec2-sao-paulo",
+            "EC2\nSao",
+            Region::SouthAmerica,
+            8,
+            0.016,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Singapore",
+            "ec2-singapore",
+            "EC2\nSin",
+            Region::Asia,
+            9,
+            0.005,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Sydney",
+            "ec2-sydney",
+            "EC2\nSyd",
+            Region::Australia,
+            10,
+            0.0055,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Tokyo",
+            "ec2-tokyo",
+            "EC2\nTok",
+            Region::Asia,
+            11,
+            0.012,
+            t(0, 13),
+        ),
+        ec2(
+            "EC2 Virginia",
+            "ec2-virginia",
+            "EC2\nVir",
+            Region::NorthAmerica,
+            12,
+            0.016,
+            t(0, 13),
+        ),
     ]
 }
 

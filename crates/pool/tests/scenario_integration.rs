@@ -2,11 +2,11 @@
 //! with both ECN markings, middlebox behaviour, bleached paths observed
 //! via ICMP quotes, and HTTP over TCP with ECN negotiation.
 
+use ecn_netsim::Nanos;
 use ecn_pool::{build_scenario, PoolPlan, Scenario, SpecialBehaviour};
 use ecn_services::NtpClient;
 use ecn_stack::{AvailabilityModel, TcpState};
 use ecn_wire::{DnsMessage, Ecn, HttpResponse, IcmpMessage, Ipv4Header};
-use ecn_netsim::Nanos;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
@@ -118,7 +118,10 @@ fn ec2_only_not_ect_blocker_discriminates_by_source() {
         .first()
         .expect("phoenix-style server");
     // vantage 0 = Perkins home (81.0.0.0/16): unaffected
-    assert!(ntp_probe(&mut sc, 0, addr, Ecn::NotEct), "home not-ECT works");
+    assert!(
+        ntp_probe(&mut sc, 0, addr, Ecn::NotEct),
+        "home not-ECT works"
+    );
     // vantage 4 = EC2 California (54.x): not-ECT blocked, ECT(0) fine
     assert!(
         !ntp_probe(&mut sc, 4, addr, Ecn::NotEct),

@@ -113,13 +113,23 @@ mod tests {
     fn serves_four_answers_and_rotates() {
         let mut s = srv();
         let r1 = s
-            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(1, "pool.ntp.org"))
+            .handle(
+                Nanos::ZERO,
+                SRC,
+                Ecn::NotEct,
+                &query_bytes(1, "pool.ntp.org"),
+            )
             .unwrap();
         let m1 = DnsMessage::decode(&r1).unwrap();
         assert_eq!(m1.a_records().len(), ANSWERS_PER_QUERY);
         assert_eq!(m1.answers[0].ttl, POOL_TTL);
         let r2 = s
-            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(2, "pool.ntp.org"))
+            .handle(
+                Nanos::ZERO,
+                SRC,
+                Ecn::NotEct,
+                &query_bytes(2, "pool.ntp.org"),
+            )
             .unwrap();
         let m2 = DnsMessage::decode(&r2).unwrap();
         assert_ne!(m1.a_records(), m2.a_records(), "rotation advances");
@@ -131,7 +141,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for id in 0..10u16 {
             let r = s
-                .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(id, "pool.ntp.org"))
+                .handle(
+                    Nanos::ZERO,
+                    SRC,
+                    Ecn::NotEct,
+                    &query_bytes(id, "pool.ntp.org"),
+                )
                 .unwrap();
             for a in DnsMessage::decode(&r).unwrap().a_records() {
                 seen.insert(a);
@@ -144,7 +159,12 @@ mod tests {
     fn small_zones_return_each_member_once() {
         let mut s = srv();
         let r = s
-            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(1, "uk.pool.ntp.org"))
+            .handle(
+                Nanos::ZERO,
+                SRC,
+                Ecn::NotEct,
+                &query_bytes(1, "uk.pool.ntp.org"),
+            )
             .unwrap();
         let m = DnsMessage::decode(&r).unwrap();
         assert_eq!(m.a_records().len(), 3);
@@ -156,7 +176,12 @@ mod tests {
     fn unknown_name_is_nxdomain() {
         let mut s = srv();
         let r = s
-            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &query_bytes(1, "nosuch.example"))
+            .handle(
+                Nanos::ZERO,
+                SRC,
+                Ecn::NotEct,
+                &query_bytes(1, "nosuch.example"),
+            )
             .unwrap();
         let m = DnsMessage::decode(&r).unwrap();
         assert!(m.a_records().is_empty());
@@ -180,7 +205,9 @@ mod tests {
     #[test]
     fn garbage_is_ignored() {
         let mut s = srv();
-        assert!(s.handle(Nanos::ZERO, SRC, Ecn::NotEct, b"\x00\x01").is_none());
+        assert!(s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, b"\x00\x01")
+            .is_none());
     }
 
     #[test]

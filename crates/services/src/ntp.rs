@@ -84,14 +84,8 @@ impl UdpService for NtpServerService {
             return Some(NtpPacket::kiss_of_death_rate(&req, ts).encode());
         }
         Some(
-            NtpPacket::server_response(
-                &req,
-                self.config.stratum,
-                self.config.reference_id,
-                ts,
-                ts,
-            )
-            .encode(),
+            NtpPacket::server_response(&req, self.config.stratum, self.config.reference_id, ts, ts)
+                .encode(),
         )
     }
 }
@@ -139,8 +133,12 @@ mod tests {
         let mut s = NtpServerService::new(NtpServerConfig::default());
         let mut req = NtpClient::request(Nanos::ZERO);
         req.mode = ecn_wire::NtpMode::Server;
-        assert!(s.handle(Nanos::ZERO, SRC, Ecn::NotEct, &req.encode()).is_none());
-        assert!(s.handle(Nanos::ZERO, SRC, Ecn::NotEct, b"not ntp").is_none());
+        assert!(s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &req.encode())
+            .is_none());
+        assert!(s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, b"not ntp")
+            .is_none());
     }
 
     #[test]
@@ -186,7 +184,9 @@ mod tests {
             ..NtpServerConfig::default()
         });
         let req = NtpClient::request(Nanos::ZERO);
-        let r1 = s.handle(Nanos::ZERO, SRC, Ecn::NotEct, &req.encode()).unwrap();
+        let r1 = s
+            .handle(Nanos::ZERO, SRC, Ecn::NotEct, &req.encode())
+            .unwrap();
         assert_eq!(NtpPacket::decode(&r1).unwrap().kod_code(), None);
         // far outside the window: no KoD again
         let r2 = s
@@ -205,7 +205,9 @@ mod tests {
         let a = (Ipv4Addr::new(1, 1, 1, 1), 1000);
         let b = (Ipv4Addr::new(2, 2, 2, 2), 1000);
         let _ = s.handle(Nanos::ZERO, a, Ecn::NotEct, &req.encode());
-        let rb = s.handle(Nanos::from_millis(1), b, Ecn::NotEct, &req.encode()).unwrap();
+        let rb = s
+            .handle(Nanos::from_millis(1), b, Ecn::NotEct, &req.encode())
+            .unwrap();
         assert_eq!(NtpPacket::decode(&rb).unwrap().kod_code(), None);
     }
 }

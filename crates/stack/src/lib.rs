@@ -28,7 +28,7 @@ pub mod tcp;
 pub use availability::{Availability, AvailabilityModel};
 pub use services::{TcpService, TcpServiceAction, UdpService};
 pub use stack::{
-    install, ConnId, ConnSnapshot, HostHandle, IcmpReceived, StackAgent, StackConfig,
-    StackShared, UdpReceived,
+    install, ConnId, ConnSnapshot, HostHandle, IcmpReceived, StackAgent, StackConfig, StackShared,
+    UdpReceived,
 };
 pub use tcp::{CloseReason, EcnMode, Emit, HandshakeRecord, TcpConn, TcpState, MSS};

@@ -10,7 +10,7 @@
 use crate::availability::{Availability, AvailabilityModel};
 use crate::services::{TcpService, TcpServiceAction, UdpService};
 use crate::tcp::{CloseReason, EcnMode, Emit, HandshakeRecord, TcpConn, TcpState};
-use ecn_netsim::{HostApi, HostAgent, Nanos, NodeId, Sim};
+use ecn_netsim::{HostAgent, HostApi, Nanos, NodeId, Sim};
 use ecn_wire::{
     Datagram, Ecn, IcmpMessage, IpProto, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, WireError,
 };
@@ -222,10 +222,7 @@ impl StackShared {
         }
         // Server side: if the client half-closed and we have nothing more
         // to say, close our side too.
-        if entry.server
-            && entry.conn.peer_closed()
-            && entry.conn.state == TcpState::CloseWait
-        {
+        if entry.server && entry.conn.peer_closed() && entry.conn.state == TcpState::CloseWait {
             out.extend(entry.conn.close());
         }
         out
@@ -280,8 +277,13 @@ impl StackAgent {
             let response = svc.handle(now, (header.src, uh.src_port), header.ecn, body);
             sh.udp_services.insert(uh.dst_port, svc);
             if let Some(bytes) = response {
-                let reply =
-                    sh.udp_datagram((header.src, uh.src_port), uh.dst_port, &bytes, Ecn::NotEct, 64);
+                let reply = sh.udp_datagram(
+                    (header.src, uh.src_port),
+                    uh.dst_port,
+                    &bytes,
+                    Ecn::NotEct,
+                    64,
+                );
                 return vec![reply];
             }
             return vec![];
@@ -378,7 +380,11 @@ impl StackAgent {
                 let advance = body.len() as u32
                     + u32::from(th.flags.contains(TcpFlags::SYN))
                     + u32::from(th.flags.contains(TcpFlags::FIN));
-                (0, th.seq.wrapping_add(advance), TcpFlags::RST | TcpFlags::ACK)
+                (
+                    0,
+                    th.seq.wrapping_add(advance),
+                    TcpFlags::RST | TcpFlags::ACK,
+                )
             };
             let rst = TcpHeader {
                 src_port: th.dst_port,

@@ -297,8 +297,10 @@ impl TcpConn {
     /// Queue application data; returns segments to send now.
     pub fn send(&mut self, data: &[u8], now: Nanos) -> Vec<Emit> {
         let _ = now;
-        if matches!(self.state, TcpState::Closed | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::LastAck)
-        {
+        if matches!(
+            self.state,
+            TcpState::Closed | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::LastAck
+        ) {
             return vec![];
         }
         self.send_buf.extend(data);
@@ -389,8 +391,13 @@ impl TcpConn {
         if self.fin_queued && self.fin_seq.is_none() {
             let buffered_from = self.snd_nxt.wrapping_sub(self.send_buf_seq) as usize;
             if buffered_from >= self.send_buf.len() {
-                let fin =
-                    self.emit(self.ack_flags() | TcpFlags::FIN, self.snd_nxt, self.rcv_nxt, vec![], Ecn::NotEct);
+                let fin = self.emit(
+                    self.ack_flags() | TcpFlags::FIN,
+                    self.snd_nxt,
+                    self.rcv_nxt,
+                    vec![],
+                    Ecn::NotEct,
+                );
                 self.fin_seq = Some(self.snd_nxt);
                 self.snd_nxt = self.snd_nxt.wrapping_add(1);
                 self.state = match self.state {
@@ -445,7 +452,13 @@ impl TcpConn {
         self.retries = 0;
         self.rto = INITIAL_RTO;
         self.timer_armed = false;
-        let ack = self.emit(TcpFlags::ACK, self.snd_nxt, self.rcv_nxt, vec![], Ecn::NotEct);
+        let ack = self.emit(
+            TcpFlags::ACK,
+            self.snd_nxt,
+            self.rcv_nxt,
+            vec![],
+            Ecn::NotEct,
+        );
         let mut out = vec![ack];
         out.extend(self.pump());
         out
@@ -455,7 +468,10 @@ impl TcpConn {
         let mut out = Vec::new();
 
         // Handshake completion on the server.
-        if self.state == TcpState::SynRcvd && hdr.flags.contains(TcpFlags::ACK) && hdr.ack == self.snd_nxt {
+        if self.state == TcpState::SynRcvd
+            && hdr.flags.contains(TcpFlags::ACK)
+            && hdr.ack == self.snd_nxt
+        {
             self.state = TcpState::Established;
             self.retries = 0;
             self.rto = INITIAL_RTO;
@@ -520,7 +536,13 @@ impl TcpConn {
                 }
             }
             // Out-of-order: fall through and ACK rcv_nxt (dup ACK).
-            out.push(self.emit(self.ack_flags(), self.snd_nxt, self.rcv_nxt, vec![], Ecn::NotEct));
+            out.push(self.emit(
+                self.ack_flags(),
+                self.snd_nxt,
+                self.rcv_nxt,
+                vec![],
+                Ecn::NotEct,
+            ));
         }
 
         // FIN processing (only when in order).
@@ -539,7 +561,13 @@ impl TcpConn {
                     self.close_reason = Some(CloseReason::Graceful);
                     self.timer_armed = false;
                 }
-                out.push(self.emit(self.ack_flags(), self.snd_nxt, self.rcv_nxt, vec![], Ecn::NotEct));
+                out.push(self.emit(
+                    self.ack_flags(),
+                    self.snd_nxt,
+                    self.rcv_nxt,
+                    vec![],
+                    Ecn::NotEct,
+                ));
             }
         }
 
@@ -696,7 +724,10 @@ mod tests {
     fn reflected_flags_are_not_ecn_setup() {
         let (c, _s) = open_pair(EcnMode::On, EcnMode::ReflectFlags);
         assert_eq!(c.state, TcpState::Established);
-        assert!(!c.ecn_negotiated, "reflected ECE+CWR must not negotiate ECN");
+        assert!(
+            !c.ecn_negotiated,
+            "reflected ECE+CWR must not negotiate ECN"
+        );
         assert!(!c.handshake.got_ecn_setup_syn_ack);
         let flags = c.handshake.syn_ack_flags.unwrap();
         assert!(flags.contains(TcpFlags::ECE) && flags.contains(TcpFlags::CWR));
@@ -815,10 +846,7 @@ mod tests {
     fn out_of_order_segment_elicits_dup_ack_and_is_dropped() {
         let (mut c, mut s) = open_pair(EcnMode::Off, EcnMode::Off);
         let seg1 = c.send(b"aaaa", Nanos::ZERO);
-        let seg2_only = {
-            let more = c.send(b"bbbb", Nanos::ZERO);
-            more
-        };
+        let seg2_only = { c.send(b"bbbb", Nanos::ZERO) };
         // deliver segment 2 first: server must dup-ACK and not deliver data
         let acks = s.on_segment(&seg2_only[0].header, &seg2_only[0].payload, Ecn::NotEct);
         assert_eq!(acks.len(), 1);
@@ -873,7 +901,10 @@ mod tests {
     #[test]
     fn data_queued_before_established_flushes_after_handshake() {
         let (mut c, syn) = TcpConn::connect(C, S, 1000, EcnMode::On);
-        assert!(c.send(b"early data", Nanos::ZERO).is_empty(), "nothing before handshake");
+        assert!(
+            c.send(b"early data", Nanos::ZERO).is_empty(),
+            "nothing before handshake"
+        );
         let (mut s, syn_ack) = TcpConn::accept(S, C, 9000, &syn.header, EcnMode::On);
         let out = c.on_segment(&syn_ack.header, &[], Ecn::NotEct);
         // out = [ACK, data]

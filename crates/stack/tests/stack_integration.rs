@@ -35,8 +35,16 @@ fn build(seed: u64, client_cfg: StackConfig, server_cfg: StackConfig) -> World {
     sim.attach_host(c, r1, LinkProps::clean(Nanos::from_millis(2)));
     sim.attach_host(s, r2, LinkProps::clean(Nanos::from_millis(2)));
     let (l12, l21) = sim.add_duplex(r1, r2, LinkProps::clean(Nanos::from_millis(20)));
-    sim.route(r1, "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(), RouteEntry::Link(l12));
-    sim.route(r2, "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(), RouteEntry::Link(l21));
+    sim.route(
+        r1,
+        "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(),
+        RouteEntry::Link(l12),
+    );
+    sim.route(
+        r2,
+        "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(),
+        RouteEntry::Link(l21),
+    );
     let client = install(&mut sim, c, client_cfg);
     let server = install(&mut sim, s, server_cfg);
     World {
@@ -229,8 +237,16 @@ fn tcp_syn_retransmits_through_loss_and_eventually_connects() {
     sim.attach_host(c, r1, LinkProps::clean(Nanos::from_millis(1)));
     sim.attach_host(s, r2, LinkProps::clean(Nanos::from_millis(1)));
     let (l12, l21) = sim.add_duplex(r1, r2, LinkProps::lossy(Nanos::from_millis(10), 0.6));
-    sim.route(r1, "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(), RouteEntry::Link(l12));
-    sim.route(r2, "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(), RouteEntry::Link(l21));
+    sim.route(
+        r1,
+        "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(),
+        RouteEntry::Link(l12),
+    );
+    sim.route(
+        r2,
+        "0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(),
+        RouteEntry::Link(l21),
+    );
     let client = install(&mut sim, c, StackConfig::default());
     let server = install(&mut sim, s, StackConfig::default());
     server.register_tcp_listener(80, EcnMode::On, Some(Box::new(LineUpper)));
@@ -342,7 +358,11 @@ fn icmp_echo_is_answered() {
     let got = w.client.icmp_recv().expect("echo reply");
     assert_eq!(got.from, SERVER);
     match got.msg {
-        IcmpMessage::EchoReply { id: 7, seq: 1, ref payload } if payload == b"ping" => {}
+        IcmpMessage::EchoReply {
+            id: 7,
+            seq: 1,
+            ref payload,
+        } if payload == b"ping" => {}
         ref other => panic!("unexpected {other:?}"),
     }
 }

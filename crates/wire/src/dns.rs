@@ -542,7 +542,11 @@ mod tests {
         let q = DnsMessage::a_query(3, "pool.ntp.org");
         let mut bytes = q.encode();
         bytes[6..8].copy_from_slice(&1u16.to_be_bytes()); // ancount = 1
-        bytes[2..4].copy_from_slice(&DnsFlags::answer_to(q.flags, Rcode::NoError).encode().to_be_bytes());
+        bytes[2..4].copy_from_slice(
+            &DnsFlags::answer_to(q.flags, Rcode::NoError)
+                .encode()
+                .to_be_bytes(),
+        );
         bytes.extend_from_slice(&[0xc0, 12]); // pointer to question name
         bytes.extend_from_slice(&1u16.to_be_bytes()); // type A
         bytes.extend_from_slice(&1u16.to_be_bytes()); // class IN
@@ -565,7 +569,10 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 10]);
         assert!(matches!(
             DnsMessage::decode(&bytes),
-            Err(WireError::Malformed { what: "compression loop", .. })
+            Err(WireError::Malformed {
+                what: "compression loop",
+                ..
+            })
         ));
     }
 

@@ -11,9 +11,12 @@ use std::fmt;
 /// congestion may rewrite either to `Ce`. The measurement study marks probe
 /// packets `Ect0` "to match the typical marking used with ECN for TCP"
 /// (paper §3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Ecn {
     /// `00` — not ECN-capable transport.
+    #[default]
     NotEct,
     /// `01` — ECN-capable transport, codepoint 1.
     Ect1,
@@ -70,12 +73,6 @@ impl Ecn {
         } else {
             self
         }
-    }
-}
-
-impl Default for Ecn {
-    fn default() -> Self {
-        Ecn::NotEct
     }
 }
 

@@ -59,7 +59,11 @@ impl fmt::Display for WireError {
                 f,
                 "{layer}: bad checksum (found {found:#06x}, computed {computed:#06x})"
             ),
-            WireError::InvalidField { layer, field, value } => {
+            WireError::InvalidField {
+                layer,
+                field,
+                value,
+            } => {
                 write!(f, "{layer}: invalid {field} value {value}")
             }
             WireError::Malformed { layer, what } => write!(f, "{layer}: malformed ({what})"),

@@ -94,11 +94,10 @@ pub struct HttpResponse {
 impl HttpResponse {
     /// The canonical pool-member response: a redirect to the pool website.
     pub fn pool_redirect() -> HttpResponse {
-        let body: Vec<u8> =
-            b"<html><head><title>302 Found</title></head>\
+        let body: Vec<u8> = b"<html><head><title>302 Found</title></head>\
               <body>This is a member of the NTP pool. See \
               <a href=\"http://www.pool.ntp.org/\">www.pool.ntp.org</a>.</body></html>"
-                .to_vec();
+            .to_vec();
         HttpResponse {
             status: 302,
             reason: "Found".into(),
@@ -157,17 +156,19 @@ impl HttpResponse {
                 what: "bad status line version",
             });
         }
-        let status: u16 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or(WireError::Malformed {
-                layer: "http",
-                what: "bad status code",
-            })?;
+        let status: u16 =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(WireError::Malformed {
+                    layer: "http",
+                    what: "bad status code",
+                })?;
         let reason = parts.next().unwrap_or("").to_string();
         let headers = parse_headers(lines)?;
         let mut body = buf[head_len.min(buf.len())..].to_vec();
-        if let Some(cl) = header_lookup(&headers, "Content-Length").and_then(|v| v.parse::<usize>().ok())
+        if let Some(cl) =
+            header_lookup(&headers, "Content-Length").and_then(|v| v.parse::<usize>().ok())
         {
             body.truncate(cl);
         }

@@ -210,13 +210,16 @@ mod tests {
             IpProto::Udp,
             Ecn::Ect0,
         );
-        Datagram::new(h, &crate::udp::udp_segment(
-            Ipv4Addr::new(10, 9, 8, 7),
-            Ipv4Addr::new(192, 0, 2, 1),
-            40000,
-            33434,
-            b"probe-payload",
-        ))
+        Datagram::new(
+            h,
+            &crate::udp::udp_segment(
+                Ipv4Addr::new(10, 9, 8, 7),
+                Ipv4Addr::new(192, 0, 2, 1),
+                40000,
+                33434,
+                b"probe-payload",
+            ),
+        )
     }
 
     #[test]

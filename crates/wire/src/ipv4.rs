@@ -243,7 +243,10 @@ mod tests {
         v6[0] = 0x65;
         assert!(matches!(
             Ipv4Header::decode(&v6),
-            Err(WireError::InvalidField { field: "version", .. })
+            Err(WireError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
         let mut opt = out.clone();
         opt[0] = 0x46; // IHL 6 => options present

@@ -83,8 +83,7 @@ impl NtpTimestamp {
 
     /// Convert to nanoseconds since the NTP epoch (lossy below ~0.23 ns).
     pub fn to_nanos(self) -> u64 {
-        u64::from(self.seconds) * 1_000_000_000
-            + ((u64::from(self.fraction) * 1_000_000_000) >> 32)
+        u64::from(self.seconds) * 1_000_000_000 + ((u64::from(self.fraction) * 1_000_000_000) >> 32)
     }
 
     fn encode(self, out: &mut Vec<u8>) {
@@ -102,7 +101,12 @@ impl NtpTimestamp {
 
 impl fmt::Display for NtpTimestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:09}", self.seconds, (self.to_nanos() % 1_000_000_000))
+        write!(
+            f,
+            "{}.{:09}",
+            self.seconds,
+            (self.to_nanos() % 1_000_000_000)
+        )
     }
 }
 
@@ -313,7 +317,13 @@ mod tests {
 
     #[test]
     fn timestamp_nanos_roundtrip_within_precision() {
-        for nanos in [0u64, 1, 999_999_999, 1_000_000_000, 3_650_000_000_123_456_789] {
+        for nanos in [
+            0u64,
+            1,
+            999_999_999,
+            1_000_000_000,
+            3_650_000_000_123_456_789,
+        ] {
             let ts = NtpTimestamp::from_nanos(nanos);
             let back = ts.to_nanos();
             assert!(back.abs_diff(nanos) <= 1, "{nanos} -> {back}");
@@ -327,7 +337,10 @@ mod tests {
         bytes[0] = (bytes[0] & !0b0011_1000) | (7 << 3);
         assert!(matches!(
             NtpPacket::decode(&bytes),
-            Err(WireError::InvalidField { field: "version", .. })
+            Err(WireError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
         assert!(matches!(
             NtpPacket::decode(&bytes[..40]),

@@ -181,7 +181,10 @@ mod tests {
         wire[0] = 0x40; // version 1
         assert!(matches!(
             RtpHeader::decode(&wire),
-            Err(WireError::InvalidField { field: "version", .. })
+            Err(WireError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
         assert!(RtpHeader::decode(&wire[..8]).is_err());
     }

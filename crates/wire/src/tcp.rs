@@ -197,7 +197,7 @@ impl TcpHeader {
     /// Header length on the wire including options, padded to 4 bytes.
     pub fn header_len(&self) -> usize {
         let opt_len: usize = self.options.iter().map(TcpOption::encoded_len).sum();
-        TCP_HEADER_MIN_LEN + (opt_len + 3) / 4 * 4
+        TCP_HEADER_MIN_LEN + opt_len.div_ceil(4) * 4
     }
 
     /// Encode header + payload with a pseudo-header checksum.
@@ -230,11 +230,11 @@ impl TcpHeader {
 
     /// Decode a TCP segment, verifying the pseudo-header checksum, returning
     /// the header and payload slice.
-    pub fn decode<'a>(
+    pub fn decode(
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        buf: &'a [u8],
-    ) -> Result<(TcpHeader, &'a [u8]), WireError> {
+        buf: &[u8],
+    ) -> Result<(TcpHeader, &[u8]), WireError> {
         let header = Self::decode_fields(buf)?;
         let header_len = Self::data_offset_bytes(buf);
         let seg_len = buf.len() as u16;
@@ -351,12 +351,7 @@ impl TcpHeader {
 
 /// Build a TCP segment ready to drop into a [`crate::Datagram`].
 #[allow(clippy::too_many_arguments)]
-pub fn tcp_segment(
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-    header: &TcpHeader,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn tcp_segment(src: Ipv4Addr, dst: Ipv4Addr, header: &TcpHeader, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(header.header_len() + payload.len());
     header.encode(src, dst, payload, &mut out);
     out

@@ -25,13 +25,7 @@ impl UdpHeader {
     ///
     /// The `length` field is derived from the payload; the stored value is
     /// ignored.
-    pub fn encode(
-        &self,
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        payload: &[u8],
-        out: &mut Vec<u8>,
-    ) -> u16 {
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) -> u16 {
         let length = (UDP_HEADER_LEN + payload.len()) as u16;
         let start = out.len();
         out.extend_from_slice(&self.src_port.to_be_bytes());
@@ -54,11 +48,11 @@ impl UdpHeader {
     ///
     /// Verifies the pseudo-header checksum unless the checksum field is zero
     /// (RFC 768 permits uncomputed checksums over IPv4).
-    pub fn decode<'a>(
+    pub fn decode(
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        buf: &'a [u8],
-    ) -> Result<(UdpHeader, &'a [u8]), WireError> {
+        buf: &[u8],
+    ) -> Result<(UdpHeader, &[u8]), WireError> {
         if buf.len() < UDP_HEADER_LEN {
             return Err(WireError::Truncated {
                 layer: "udp",
@@ -197,7 +191,10 @@ mod tests {
         seg[5] = 0xff; // length far beyond buffer
         assert!(matches!(
             UdpHeader::decode(SRC, DST, &seg),
-            Err(WireError::InvalidField { field: "length", .. })
+            Err(WireError::InvalidField {
+                field: "length",
+                ..
+            })
         ));
         let short = [0u8; 4];
         assert!(matches!(

@@ -18,10 +18,7 @@ use ecnudp::pool::PoolPlan;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let servers: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2500);
+    let servers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2500);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2015);
 
     let plan = if servers == 2500 {

@@ -114,7 +114,7 @@ fn run_media(use_ecn: bool, seed: u64) -> RunStats {
             seq = seq.wrapping_add(1);
             ts = ts.wrapping_add(3000);
             let gap = (f64::from(packet_bytes) * 8.0 / rate_bps * 1e9) as u64;
-            next_send = next_send + Nanos(gap);
+            next_send += Nanos(gap);
         }
         let step = next_send.min(sim.now() + Nanos::from_millis(10));
         sim.run_until(step);
@@ -141,7 +141,7 @@ fn run_media(use_ecn: bool, seed: u64) -> RunStats {
 
         // receiver: periodic RFC 6679-style feedback
         if sim.now() >= next_feedback {
-            next_feedback = next_feedback + feedback_every;
+            next_feedback += feedback_every;
             let fb = EcnFeedback {
                 ext_highest_seq: highest_seq,
                 received: interval_received,

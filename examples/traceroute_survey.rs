@@ -17,9 +17,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let servers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2015);
-    let outdir = args
-        .next()
-        .unwrap_or_else(|| "target/fig4".to_string());
+    let outdir = args.next().unwrap_or_else(|| "target/fig4".to_string());
 
     let plan = if servers == 2500 {
         PoolPlan::paper()

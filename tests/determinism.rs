@@ -1,0 +1,34 @@
+//! Determinism regression: the entire pipeline — scenario construction,
+//! discovery, probing, traceroute, analysis, report rendering — must be
+//! a pure function of (plan, config, seed). Guards the seed-derivation
+//! scheme in `ecn_netsim::rng` against accidental global-RNG leaks.
+
+use ecnudp::core::{run_campaign, CampaignConfig, FullReport};
+use ecnudp::pool::PoolPlan;
+
+fn rendered_report(seed: u64) -> String {
+    let plan = PoolPlan::scaled(40);
+    let cfg = CampaignConfig {
+        discovery_rounds: 25,
+        traces_per_vantage: Some(1),
+        ..CampaignConfig::quick(seed)
+    };
+    let result = run_campaign(&plan, &cfg);
+    FullReport::from_campaign(&result).render()
+}
+
+#[test]
+fn same_seed_same_report_different_seed_different_report() {
+    let first = rendered_report(2015);
+    let second = rendered_report(2015);
+    assert_eq!(
+        first, second,
+        "same seed must render a byte-identical report"
+    );
+
+    let other = rendered_report(2016);
+    assert_ne!(
+        first, other,
+        "a different seed must change the measured world"
+    );
+}

@@ -48,7 +48,10 @@ fn pipeline_produces_consistent_artefacts() {
     // Figure 4: the paper's own arithmetic must hold on our data:
     // pass + strip − sometimes = total
     let f4 = &report.figure4;
-    assert_eq!(f4.pass_hops + f4.strip_hops - f4.sometimes_hops, f4.total_hops);
+    assert_eq!(
+        f4.pass_hops + f4.strip_hops - f4.sometimes_hops,
+        f4.total_hops
+    );
     assert!(f4.total_hops > 1000);
     assert!(f4.pass_fraction() > 0.8);
     assert_eq!(f4.ce_observed, 0, "no CE on uncongested paths");

@@ -5,8 +5,8 @@
 
 use ecnudp::core::analysis::{figure3, figure4, figure5};
 use ecnudp::core::{run_campaign, CampaignConfig, CampaignResult};
-use ecnudp::pool::{PoolPlan, Scenario};
 use ecnudp::netsim::NodeId;
+use ecnudp::pool::{PoolPlan, Scenario};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
@@ -144,9 +144,8 @@ fn traceroute_finds_each_always_bleaching_router_region() {
                 let Some(router) = hop.router else { continue };
                 if hop.modified(path.sent_ecn) {
                     checked += 1;
-                    let planted = |a: &Ipv4Addr| {
-                        bleach_addrs.contains(a) || sometimes_addrs.contains(a)
-                    };
+                    let planted =
+                        |a: &Ipv4Addr| bleach_addrs.contains(a) || sometimes_addrs.contains(a);
                     if upstream.last().map(planted).unwrap_or(false) {
                         immediate += 1;
                     } else if upstream.iter().any(planted) {
@@ -164,7 +163,10 @@ fn traceroute_finds_each_always_bleaching_router_region() {
         }
     }
     assert!(checked > 0, "some red runs observed");
-    assert_eq!(unexplained, 0, "every red run has a planted bleacher upstream");
+    assert_eq!(
+        unexplained, 0,
+        "every red run has a planted bleacher upstream"
+    );
     assert!(
         immediate * 10 >= checked * 9,
         "most red runs start immediately after the bleacher: {immediate}/{checked} (deeper: {upstream_only})"

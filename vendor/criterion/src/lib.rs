@@ -1,0 +1,176 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! `[[bench]]` targets use: `Criterion` with the `sample_size` /
+//! `measurement_time` / `warm_up_time` builders, `bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros (both the simple and the
+//! `name/config/targets` forms).
+//!
+//! It measures real wall-clock time — warm-up, then `sample_size`
+//! samples, each sized to roughly `measurement_time / sample_size` —
+//! and prints mean / min / max per-iteration times. No statistics
+//! beyond that, no HTML reports, no baseline comparison.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm up and estimate per-iteration cost.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_up_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_up_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            // grow the batch geometrically so cheap routines amortise
+            // the Instant overhead during calibration too
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+            warm_elapsed += bencher.elapsed;
+            bencher.iters = (bencher.iters * 2).min(1 << 20);
+        }
+        let per_iter = warm_elapsed
+            .checked_div(warm_iters.max(1) as u32)
+            .unwrap_or(Duration::ZERO)
+            .max(Duration::from_nanos(1));
+
+        // Size each sample so the full measurement lands near
+        // measurement_time.
+        let budget = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (budget.as_nanos() / per_iter.as_nanos()).clamp(1, u64::MAX as u128) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the closure `self.iters` times, recording total elapsed time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Like `iter`, but each iteration consumes a fresh input built by
+    /// `setup`; only the routine is timed.
+    pub fn iter_with_setup<I, T, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,51 @@
+//! Offline stub of `crossbeam` (scoped threads only).
+//!
+//! Wraps `std::thread::scope` in crossbeam's API shape: `scope` returns
+//! a `Result`, `spawn` hands the closure a (here: unit) scope argument,
+//! and `join` returns a `Result`. The workspace's call sites ignore the
+//! scope argument (`spawn(move |_| …)`), which is what lets the stub
+//! pass `()` instead of a real nested-spawn handle.
+
+pub mod thread {
+    use std::any::Any;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives `()` where
+        /// crossbeam passes a nested `&Scope`; nested spawning is not
+        /// supported by this stub.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

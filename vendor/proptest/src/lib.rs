@@ -1,0 +1,190 @@
+//! Offline stub of `proptest`.
+//!
+//! The build container cannot reach crates.io, so this in-tree crate
+//! implements the subset of the proptest API the workspace's property
+//! suites use:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, `prop_flat_map`, `boxed`,
+//!   implemented for integer/float ranges, tuples (up to 10), and
+//!   [`strategy::Just`];
+//! - [`arbitrary::any`] for primitives and [`sample::Index`];
+//! - [`collection::vec`] and [`collection::hash_set`];
+//! - the [`proptest!`] macro with optional `#![proptest_config(..)]`,
+//!   plus `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!`, and `prop_oneof!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the deterministic seed, but is not reduced.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test function's name, so runs are reproducible in CI; set
+//!   `PROPTEST_SEED` to explore a different stream.
+//! - **Case count** defaults to 64 and is overridable globally with
+//!   `PROPTEST_CASES` (keeping `cargo test -q` fast) or per-suite with
+//!   `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $crate::__proptest_bindings!((&mut rng) $($params)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed (seed from test name {:?}): {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Turns proptest's two parameter forms — `pat in strategy` and
+/// `name: Type` (sugar for `any::<Type>()`) — into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    (($rng:expr)) => {};
+    (($rng:expr) $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    (($rng:expr) $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bindings!(($rng) $($rest)*);
+    };
+    (($rng:expr) mut $name:ident : $ty:ty) => {
+        let mut $name = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    (($rng:expr) mut $name:ident : $ty:ty, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bindings!(($rng) $($rest)*);
+    };
+    (($rng:expr) $name:ident : $ty:ty) => {
+        let $name = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    (($rng:expr) $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bindings!(($rng) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`", format!($($fmt)+), l, r));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`", l));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "{}\n  both: `{:?}`", format!($($fmt)+), l));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            // discarded case: treated as vacuously passing (no global
+            // discard budget in this stub)
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,23 @@
+//! `sample::Index`: a length-agnostic random index into a collection.
+
+/// Generated via `any::<Index>()`, then projected onto a concrete
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((u128::from(self.0) * len as u128) >> 64) as usize
+    }
+
+    /// A reference to a uniformly chosen element of `slice`.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}

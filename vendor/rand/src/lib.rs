@@ -1,0 +1,206 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The build container has no crates.io access, so this in-tree crate
+//! provides the subset of the `rand 0.8` API the workspace uses:
+//! [`rngs::SmallRng`] (xoshiro256++), [`SeedableRng::seed_from_u64`]
+//! (SplitMix64 expansion, matching upstream's seeding scheme), the
+//! [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`), and
+//! [`seq::SliceRandom`] (`choose`, `shuffle`).
+//!
+//! Streams are fully deterministic for a given seed, which is the only
+//! property the workspace relies on (see `ecn_netsim::rng`). Uniform
+//! integer ranges use multiply-shift rejection-free mapping; the tiny
+//! residual bias (< 2^-32 for the range sizes used here) is irrelevant
+//! to the simulation's statistical tests.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core RNG interface: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64 (the same scheme
+    /// rand uses, so seeded streams are stable and well decorrelated).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut chunks = bytes.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&sm.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = sm.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: used only for seed expansion.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG via [`Rng::gen`].
+pub trait Fill: Sized {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for u128 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Fill for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Fill for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// f64 only: a second float impl would make `gen_range(-2.0..2.0)` with
+// an untyped literal ambiguous at the call sites in this workspace.
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + f64::random(rng) * (self.end - self.start);
+        // rounding in the affine map can land exactly on the exclusive
+        // upper bound; keep the half-open contract
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + f64::random(rng) * (hi - lo)
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        f64::random(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

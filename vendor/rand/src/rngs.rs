@@ -1,0 +1,50 @@
+//! Named RNG types. `SmallRng` is xoshiro256++, the same algorithm the
+//! real `rand 0.8` uses for `SmallRng` on 64-bit targets.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, deterministic, non-cryptographic RNG (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // xoshiro must not start from the all-zero state
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9e37_79b9_7f4a_7c15,
+                0xbf58_476d_1ce4_e5b9,
+                0x94d0_49bb_1331_11eb,
+                0x2545_f491_4f6c_dd1d,
+            ];
+        }
+        SmallRng { s }
+    }
+}

@@ -1,0 +1,365 @@
+//! `Serialize`/`Deserialize` impls for std types used by the workspace.
+
+use crate::json::{write_escaped, Error, Parser};
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&format!("{:?}", self));
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+                let text = p.parse_number_str()?;
+                text.parse().map_err(|e| p.error(format!("bad number {text:?}: {e}")))
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+// Floats: `{:?}` is shortest-roundtrip for finite values, but NaN/inf
+// are not JSON — write `null` (as real serde_json does) and read it
+// back as NaN so round-trips never produce unparseable output.
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&format!("{:?}", self));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+                if p.peeks_null() {
+                    p.expect_keyword("null")?;
+                    return Ok(<$t>::NAN);
+                }
+                let text = p.parse_number_str()?;
+                text.parse().map_err(|e| p.error(format!("bad number {text:?}: {e}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        match p.peek() {
+            Some(b't') => p.expect_keyword("true").map(|()| true),
+            Some(b'f') => p.expect_keyword("false").map(|()| false),
+            _ => Err(p.error("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(&self.to_string(), out);
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        let s = p.parse_string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(p.error("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(&self.to_string(), out);
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        let s = p.parse_string()?;
+        s.parse()
+            .map_err(|e| p.error(format!("bad IPv4 address {s:?}: {e}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        T::deserialize_json(p).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        if p.peeks_null() {
+            p.expect_keyword("null")?;
+            Ok(None)
+        } else {
+            T::deserialize_json(p).map(Some)
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+fn deserialize_seq<'de, T: Deserialize<'de>>(p: &mut Parser<'de>) -> Result<Vec<T>, Error> {
+    p.expect(b'[')?;
+    let mut out = Vec::new();
+    if p.try_consume(b']') {
+        return Ok(out);
+    }
+    loop {
+        out.push(T::deserialize_json(p)?);
+        if !p.try_consume(b',') {
+            break;
+        }
+    }
+    p.expect(b']')?;
+    Ok(out)
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        deserialize_seq(p)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        let items: Vec<T> = deserialize_seq(p)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| p.error(format!("expected array of {N} elements, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        deserialize_seq(p).map(Vec::into)
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        deserialize_seq(p).map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        deserialize_seq(p).map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+// Maps serialise as arrays of [key, value] pairs so non-string keys
+// (Ipv4Addr, NodeId, tuples) round-trip without a string-key encoding.
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    out: &mut String,
+) {
+    out.push('[');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        k.serialize_json(out);
+        out.push(',');
+        v.serialize_json(out);
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn deserialize_map_entries<'de, K: Deserialize<'de>, V: Deserialize<'de>>(
+    p: &mut Parser<'de>,
+) -> Result<Vec<(K, V)>, Error> {
+    deserialize_seq(p)
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map(self.iter(), out);
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        deserialize_map_entries(p).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map(self.iter(), out);
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        deserialize_map_entries(p).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+                p.expect(b'[')?;
+                let mut first = true;
+                let result = ($(
+                    {
+                        if !first { p.expect(b',')?; }
+                        first = false;
+                        $name::deserialize_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect(b']')?;
+                Ok(result)
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_json(&self, out: &mut String) {
+        // [secs, nanos], lossless
+        out.push('[');
+        self.as_secs().serialize_json(out);
+        out.push(',');
+        self.subsec_nanos().serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize_json(p: &mut Parser<'de>) -> Result<Self, Error> {
+        let (secs, nanos): (u64, u32) = Deserialize::deserialize_json(p)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

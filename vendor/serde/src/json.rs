@@ -1,0 +1,266 @@
+//! A small strict-enough JSON lexer/parser shared by the `Deserialize`
+//! impls and the derive-generated code.
+
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    position: usize,
+}
+
+impl Error {
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        Error {
+            message: message.into(),
+            position,
+        }
+    }
+
+    pub fn missing_field(name: &str) -> Self {
+        Error {
+            message: format!("missing field `{name}`"),
+            position: 0,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Append `s` to `out` as a JSON string literal with escaping.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Cursor over the input text.
+pub struct Parser<'de> {
+    input: &'de str,
+    pos: usize,
+}
+
+impl<'de> Parser<'de> {
+    pub fn new(input: &'de str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    pub fn error(&self, message: impl Into<String>) -> Error {
+        Error::new(message, self.pos)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.input.as_bytes()
+    }
+
+    pub fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes().get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte, without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes().get(self.pos).copied()
+    }
+
+    /// Consume `c` or error.
+    pub fn expect(&mut self, c: u8) -> Result<(), Error> {
+        self.skip_ws();
+        if self.bytes().get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{}`, found {:?}",
+                c as char,
+                self.bytes().get(self.pos).map(|b| *b as char)
+            )))
+        }
+    }
+
+    /// Consume `c` if present; report whether it was.
+    pub fn try_consume(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.bytes().get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Verify the input is exhausted (trailing whitespace allowed).
+    pub fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters"))
+        }
+    }
+
+    /// Parse a JSON string literal into an owned string.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let bytes = self.input.as_bytes();
+        loop {
+            let Some(&b) = bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .input
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // no surrogate-pair support: the writer never
+                            // emits \u for chars above 0x1f
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.error(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // advance one whole UTF-8 char
+                    let rest = &self.input[self.pos..];
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Lex a numeric token and return its text.
+    pub fn parse_number_str(&mut self) -> Result<&'de str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected number"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Consume the exact keyword `kw` (e.g. `true`, `null`).
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    /// Does the upcoming token start the keyword `null`?
+    pub fn peeks_null(&mut self) -> bool {
+        self.skip_ws();
+        self.input[self.pos..].starts_with("null")
+    }
+
+    /// Skip one complete JSON value (used for unknown object fields).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.try_consume(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.parse_string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    if !self.try_consume(b',') {
+                        break;
+                    }
+                }
+                self.expect(b'}')
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.try_consume(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if !self.try_consume(b',') {
+                        break;
+                    }
+                }
+                self.expect(b']')
+            }
+            Some(b't') => self.expect_keyword("true"),
+            Some(b'f') => self.expect_keyword("false"),
+            Some(b'n') => self.expect_keyword("null"),
+            Some(_) => self.parse_number_str().map(|_| ()),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}

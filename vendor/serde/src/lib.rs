@@ -1,0 +1,36 @@
+//! Offline stub of `serde`, specialised to JSON.
+//!
+//! The build container cannot reach crates.io, so this in-tree crate
+//! implements the serialisation surface the workspace actually uses:
+//! `#[derive(Serialize, Deserialize)]` plus `serde_json::{to_string,
+//! from_str}` round-trips. Instead of serde's full data-model
+//! (Serializer/Visitor), the traits here are JSON-direct:
+//!
+//! - [`Serialize::serialize_json`] appends JSON text to a `String`;
+//! - [`Deserialize::deserialize_json`] pulls a value off a
+//!   [`json::Parser`].
+//!
+//! Format notes (self-consistent, not serde_json-identical): maps and
+//! sets serialise as arrays (`[[k,v],…]` / `[v,…]`) so non-string keys
+//! round-trip; `Ipv4Addr` as a dotted-quad string; floats via Rust's
+//! shortest-roundtrip `{:?}`. The in-tree `serde_derive` generates
+//! impls of these traits for named structs, tuple structs, and enums
+//! with unit, tuple, and struct variants.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize_json(parser: &mut json::Parser<'de>) -> Result<Self, json::Error>;
+}
+
+/// Owned-deserialisation alias, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+mod impls;

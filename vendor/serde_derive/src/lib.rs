@@ -1,0 +1,460 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Generates impls of the JSON-direct `serde::Serialize` /
+//! `serde::Deserialize` traits defined by the in-tree serde stub. The
+//! item declaration is parsed directly from the token stream (no
+//! syn/quote in the container), which supports exactly the shapes this
+//! workspace uses: non-generic named structs, tuple structs, unit
+//! structs, and enums with unit, tuple, and struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// JSON key for a field/variant ident (raw-identifier prefix stripped).
+fn json_name(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` / `#![...]` attribute tokens at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1;
+        if i < tokens.len() && is_punct(&tokens[i], '!') {
+            i += 1;
+        }
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => i += 1,
+            other => panic!("serde derive: malformed attribute near {other}"),
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level (angle-depth-0) comma-separated items in a token
+/// slice, as used for tuple-struct/tuple-variant field counts.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            t if is_punct(t, '<') => {
+                depth += 1;
+                pending = true;
+            }
+            t if is_punct(t, '>') => {
+                depth -= 1;
+                pending = true;
+            }
+            t if is_punct(t, ',') && depth == 0 => {
+                if pending {
+                    fields += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+        i += 1;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde derive: expected field name, found {}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // skip the type up to the next top-level comma
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde derive: expected variant name, found {}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantFields::Tuple(count_tuple_fields(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantFields::Named(parse_named_fields(&inner))
+                }
+                _ => VariantFields::Unit,
+            }
+        } else {
+            VariantFields::Unit
+        };
+        // skip an explicit discriminant (`= expr`) and the trailing comma
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let item_kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde derive stub: generic type `{name}` not supported");
+    }
+    let kind = match item_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::TupleStruct(count_tuple_fields(&inner))
+            }
+            Some(t) if is_punct(t, ';') => Kind::UnitStruct,
+            other => panic!("serde derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Enum(parse_enum_variants(&inner))
+            }
+            other => panic!("serde derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct/enum, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn push_key(code: &mut String, key: &str, leading_comma: bool) {
+    let comma = if leading_comma { "," } else { "" };
+    code.push_str(&format!("out.push_str(\"{comma}\\\"{key}\\\":\");\n"));
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                push_key(&mut body, json_name(f), i > 0);
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Kind::TupleStruct(n) => {
+            body.push_str("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');\n");
+        }
+        Kind::UnitStruct => {
+            body.push_str("out.push_str(\"null\");\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                let key = json_name(vn);
+                match &v.fields {
+                    VariantFields::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vn} => {{ out.push_str(\"\\\"{key}\\\"\"); }}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        body.push_str(&format!("{name}::{vn}({}) => {{\n", binds.join(", ")));
+                        body.push_str(&format!("out.push_str(\"{{\\\"{key}\\\":[\");\n"));
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        body.push_str("out.push_str(\"]}\");\n}\n");
+                    }
+                    VariantFields::Named(fields) => {
+                        body.push_str(&format!("{name}::{vn} {{ {} }} => {{\n", fields.join(", ")));
+                        body.push_str(&format!("out.push_str(\"{{\\\"{key}\\\":{{\");\n"));
+                        for (i, f) in fields.iter().enumerate() {
+                            push_key(&mut body, json_name(f), i > 0);
+                            body.push_str(&format!(
+                                "::serde::Serialize::serialize_json({f}, out);\n"
+                            ));
+                        }
+                        body.push_str("out.push_str(\"}}\");\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Code that parses `{ "f": v, … }` named fields into `__f_*` options
+/// and builds `ctor { … }` — shared by structs and struct variants.
+fn gen_named_fields_de(fields: &[String], ctor: &str) -> String {
+    let mut code = String::new();
+    code.push_str("p.expect(b'{')?;\n");
+    for f in fields {
+        code.push_str(&format!("let mut __f_{f} = ::std::option::Option::None;\n"));
+    }
+    code.push_str("if !p.try_consume(b'}') {\nloop {\n");
+    code.push_str("let __key = p.parse_string()?;\np.expect(b':')?;\n");
+    code.push_str("match __key.as_str() {\n");
+    for f in fields {
+        code.push_str(&format!(
+            "\"{}\" => {{ __f_{f} = ::std::option::Option::Some(::serde::Deserialize::deserialize_json(p)?); }}\n",
+            json_name(f)
+        ));
+    }
+    code.push_str("_ => { p.skip_value()?; }\n}\n");
+    code.push_str("if !p.try_consume(b',') { break; }\n}\np.expect(b'}')?;\n}\n");
+    code.push_str(&format!("{ctor} {{\n"));
+    for f in fields {
+        code.push_str(&format!(
+            "{f}: __f_{f}.ok_or_else(|| ::serde::json::Error::missing_field(\"{}\"))?,\n",
+            json_name(f)
+        ));
+    }
+    code.push_str("}\n");
+    code
+}
+
+/// Code that parses `[v0, v1, …]` into `ctor(v0, …)`.
+fn gen_tuple_fields_de(n: usize, ctor: &str) -> String {
+    let mut code = String::new();
+    code.push_str("p.expect(b'[')?;\n");
+    for i in 0..n {
+        if i > 0 {
+            code.push_str("p.expect(b',')?;\n");
+        }
+        code.push_str(&format!(
+            "let __v{i} = ::serde::Deserialize::deserialize_json(p)?;\n"
+        ));
+    }
+    code.push_str("p.expect(b']')?;\n");
+    let binds: Vec<String> = (0..n).map(|i| format!("__v{i}")).collect();
+    code.push_str(&format!("{ctor}({})\n", binds.join(", ")));
+    code
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inner = gen_named_fields_de(fields, name);
+            body.push_str(&format!("::std::result::Result::Ok({{\n{inner}}})\n"));
+        }
+        Kind::TupleStruct(n) => {
+            let inner = gen_tuple_fields_de(*n, name);
+            body.push_str(&format!("::std::result::Result::Ok({{\n{inner}}})\n"));
+        }
+        Kind::UnitStruct => {
+            body.push_str(&format!(
+                "p.expect_keyword(\"null\")?;\n::std::result::Result::Ok({name})\n"
+            ));
+        }
+        Kind::Enum(variants) => {
+            let has_unit = variants
+                .iter()
+                .any(|v| matches!(v.fields, VariantFields::Unit));
+            let has_data = variants
+                .iter()
+                .any(|v| !matches!(v.fields, VariantFields::Unit));
+            body.push_str("match p.peek() {\n");
+            // unit variants arrive as a bare string
+            if has_unit {
+                body.push_str("::std::option::Option::Some(b'\"') => {\n");
+                body.push_str("let __variant = p.parse_string()?;\n");
+                body.push_str("match __variant.as_str() {\n");
+                for v in variants {
+                    if matches!(v.fields, VariantFields::Unit) {
+                        body.push_str(&format!(
+                            "\"{}\" => ::std::result::Result::Ok({name}::{}),\n",
+                            json_name(&v.name),
+                            v.name
+                        ));
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(p.error(format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n"
+                ));
+                body.push_str("}\n}\n");
+            }
+            // data variants arrive as {"Variant": payload}
+            if has_data {
+                body.push_str("::std::option::Option::Some(b'{') => {\n");
+                body.push_str("p.expect(b'{')?;\n");
+                body.push_str("let __variant = p.parse_string()?;\np.expect(b':')?;\n");
+                body.push_str("let __value = match __variant.as_str() {\n");
+                for v in variants {
+                    let key = json_name(&v.name);
+                    let ctor = format!("{name}::{}", v.name);
+                    match &v.fields {
+                        VariantFields::Unit => {}
+                        VariantFields::Tuple(n) => {
+                            let inner = gen_tuple_fields_de(*n, &ctor);
+                            body.push_str(&format!("\"{key}\" => {{\n{inner}}}\n"));
+                        }
+                        VariantFields::Named(fields) => {
+                            let inner = gen_named_fields_de(fields, &ctor);
+                            body.push_str(&format!("\"{key}\" => {{\n{inner}}}\n"));
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => return ::std::result::Result::Err(p.error(format!(\"unknown variant `{{__other}}` of {name}\"))),\n"
+                ));
+                body.push_str("};\n");
+                body.push_str("p.expect(b'}')?;\n::std::result::Result::Ok(__value)\n}\n");
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(p.error(\"expected enum {name}\")),\n"
+            ));
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_json(p: &mut ::serde::json::Parser<'de>) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,17 @@
+//! Offline stub of `serde_json`: `to_string` / `from_str` over the
+//! JSON-direct traits of the in-tree serde stub.
+
+pub use serde::json::Error;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(input: &'a str) -> Result<T, Error> {
+    let mut parser = serde::json::Parser::new(input);
+    let value = T::deserialize_json(&mut parser)?;
+    parser.finish()?;
+    Ok(value)
+}
