@@ -12,14 +12,14 @@ use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// A prefix-to-ASN table (longest-prefix match).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AsDb {
     map: PrefixTable,
 }
 
 /// Internal LPM structure (binary trie, same algorithm as the router FIB;
 /// re-implemented here so `ecn-asdb` stays dependency-free below `serde`).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct PrefixTable {
     nodes: Vec<Node>,
 }

@@ -2,15 +2,16 @@
 //! regenerates one of the paper's tables/figures (printing the rows the
 //! paper reports) and then times the computational kernel behind it.
 
-use ecn_core::{CampaignConfig, CampaignResult};
+use ecn_core::{CampaignConfig, CampaignResult, EngineConfig};
 use ecn_pool::PoolPlan;
 use std::time::Instant;
 
 /// Default seed for benchmark runs (fixed so printed artefacts are stable).
 pub const BENCH_SEED: u64 = 2015;
 
-/// Run the full paper-scale campaign (optionally with the traceroute
-/// survey), reporting wall time.
+/// Run the full paper-scale campaign through the sharded engine
+/// (optionally with the traceroute survey), reporting wall time and the
+/// engine's phase breakdown.
 pub fn paper_campaign(run_traceroute: bool) -> CampaignResult {
     let plan = PoolPlan::paper();
     let cfg = CampaignConfig {
@@ -19,18 +20,21 @@ pub fn paper_campaign(run_traceroute: bool) -> CampaignResult {
         ..CampaignConfig::default()
     };
     let t0 = Instant::now();
-    let result = ecn_core::run_campaign_parallel(&plan, &cfg);
+    let run = ecn_core::run_engine(&plan, &cfg, &EngineConfig::default());
     eprintln!(
-        "[bench] paper-scale campaign ({} traces{}) in {:.1}s",
-        result.traces.len(),
+        "[bench] paper-scale campaign ({} traces{}, {} shards x {} units) in {:.1}s\n[bench] {}",
+        run.result.traces.len(),
         if run_traceroute {
             ", with traceroute survey"
         } else {
             ""
         },
-        t0.elapsed().as_secs_f64()
+        run.shards,
+        run.units,
+        t0.elapsed().as_secs_f64(),
+        run.timing.render(),
     );
-    result
+    run.result
 }
 
 /// Time a closure `iters` times and print mean per-iteration milliseconds.

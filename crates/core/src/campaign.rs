@@ -1,21 +1,20 @@
-//! The measurement campaign: discovery, then 210 traces across the 13
-//! vantages and two collection batches, then the traceroute survey —
-//! paper §3 end to end.
+//! Campaign building blocks: the global trace schedule, single-trace
+//! execution (all four probes against every target), the per-vantage
+//! traceroute survey, and the discovery phase — paper §3's mechanics.
 //!
-//! Two runners are provided: [`run_campaign`] executes everything in one
-//! simulator, strictly sequentially (most faithful); [`run_campaign_parallel`]
-//! rebuilds the same seeded world once per vantage and runs vantages on
-//! separate threads — statistically equivalent (vantages share no state but
-//! the ground truth, which is seed-determined) and ~13× faster, which is
-//! what the benches use.
+//! Campaign *execution* lives in [`crate::engine`]: a sharded,
+//! work-stealing engine over (vantage × target-chunk) units that replaced
+//! the two divergent runners this module used to carry. Sequential
+//! execution is the `shards = 1` special case of the same code path.
 
 use crate::config::CampaignConfig;
 use crate::discovery::{discover, Discovery};
 use crate::probes::{probe_tcp, probe_udp};
+use crate::reducers::CampaignAggregates;
 use crate::trace::{ServerOutcome, TraceRecord};
 use crate::traceroute::{traceroute, TraceroutePath};
 use ecn_netsim::Nanos;
-use ecn_pool::{build_scenario, PoolPlan, Scenario};
+use ecn_pool::{PoolPlan, Scenario, WorldBlueprint};
 use ecn_wire::Ecn;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -36,14 +35,20 @@ pub struct CampaignResult {
     pub targets: Vec<Ipv4Addr>,
     /// Discovery statistics.
     pub discovery: DiscoveryStats,
-    /// All trace records, in execution order.
+    /// All trace records, in execution order — the escape hatch the
+    /// report path consumes (`FullReport` derives every table/figure
+    /// from it). Empty when the engine ran reducer-only
+    /// (`EngineConfig::keep_traces = false`); use [`Self::aggregates`]
+    /// then, not a rendered report.
     pub traces: Vec<TraceRecord>,
     /// Traceroute survey (one entry per vantage), if enabled.
     pub routes: Vec<VantageRoutes>,
-    /// Geolocation DB for Table 1 / Figure 1.
-    pub geodb: ecn_geo::GeoDb,
-    /// IP→AS DB for the §4.2 boundary analysis.
-    pub asdb: ecn_asdb::AsDb,
+    /// Streaming-reducer aggregates (always populated by the engine).
+    pub aggregates: CampaignAggregates,
+    /// Geolocation DB for Table 1 / Figure 1 (shared with the blueprint).
+    pub geodb: std::sync::Arc<ecn_geo::GeoDb>,
+    /// IP→AS DB for the §4.2 boundary analysis (shared with the blueprint).
+    pub asdb: std::sync::Arc<ecn_asdb::AsDb>,
     /// Vantage (key, name) in Table 2 order.
     pub vantage_order: Vec<(String, String)>,
     /// Ground truth (audit only).
@@ -73,15 +78,18 @@ impl From<&Discovery> for DiscoveryStats {
 
 /// A scheduled trace, before execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ScheduledTrace {
-    start: Nanos,
-    vantage: usize,
-    batch: u8,
+pub struct ScheduledTrace {
+    /// Earliest start (virtual time).
+    pub start: Nanos,
+    /// Vantage index.
+    pub vantage: usize,
+    /// Collection batch (1 or 2).
+    pub batch: u8,
 }
 
 /// Build the global schedule: batch-1 traces for home/wireless vantages,
 /// batch-2 traces for all, spread across each batch window.
-fn schedule(sc: &Scenario, cfg: &CampaignConfig) -> Vec<ScheduledTrace> {
+pub fn schedule(sc: &Scenario, cfg: &CampaignConfig) -> Vec<ScheduledTrace> {
     let mut out = Vec::new();
     for (vi, v) in sc.vantages.iter().enumerate() {
         let mut budget = cfg.traces_per_vantage.unwrap_or(usize::MAX);
@@ -112,7 +120,7 @@ fn schedule(sc: &Scenario, cfg: &CampaignConfig) -> Vec<ScheduledTrace> {
 
 /// Execute one trace (all four probes against every target) from one
 /// vantage, starting no earlier than its scheduled time.
-fn run_trace(
+pub fn run_trace(
     sc: &mut Scenario,
     vantage: usize,
     batch: u8,
@@ -163,7 +171,7 @@ fn run_trace(
 }
 
 /// Run the traceroute survey from one vantage.
-fn run_traceroute_survey(
+pub fn run_traceroute_survey(
     sc: &mut Scenario,
     vantage: usize,
     targets: &[Ipv4Addr],
@@ -180,108 +188,48 @@ fn run_traceroute_survey(
     }
 }
 
-fn plan_with_churn(plan: &PoolPlan, cfg: &CampaignConfig) -> PoolPlan {
+/// The plan the campaign actually runs: pool churn pinned to the batch-2
+/// boundary.
+pub(crate) fn plan_with_churn(plan: &PoolPlan, cfg: &CampaignConfig) -> PoolPlan {
     PoolPlan {
         churn_at: cfg.batch2_start,
         ..plan.clone()
     }
 }
 
-/// Run discovery only (used by both runners and by Table 1).
-pub fn run_discovery(plan: &PoolPlan, cfg: &CampaignConfig) -> (Discovery, Scenario) {
-    let plan = plan_with_churn(plan, cfg);
-    let mut sc = build_scenario(&plan, cfg.seed);
-    // Discovery runs from the University wired vantage (index 2).
+/// Run the discovery phase in an already-instantiated world.
+/// Discovery runs from the University wired vantage (index 2).
+pub fn discover_in(sc: &mut Scenario, cfg: &CampaignConfig) -> Discovery {
     let handle = sc.vantages[2].handle.clone();
     let dns = sc.dns_addr;
-    let d = discover(&mut sc.sim, &handle, dns, cfg);
+    discover(&mut sc.sim, &handle, dns, cfg)
+}
+
+/// Run discovery only (used by the engine, tests, and Table 1): builds
+/// the blueprint, instantiates the canonical world, and discovers in it.
+pub fn run_discovery(plan: &PoolPlan, cfg: &CampaignConfig) -> (Discovery, Scenario) {
+    let plan = plan_with_churn(plan, cfg);
+    let bp = WorldBlueprint::build(&plan, cfg.seed);
+    let mut sc = bp.instantiate();
+    let d = discover_in(&mut sc, cfg);
     (d, sc)
 }
 
-/// Sequential campaign: one world, traces executed in schedule order.
-pub fn run_campaign(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
-    let (discovery, mut sc) = run_discovery(plan, cfg);
-    let targets = discovery.targets.clone();
-    let plan_order = schedule(&sc, cfg);
-    let mut traces = Vec::with_capacity(plan_order.len());
-    for st in &plan_order {
-        if sc.sim.now() < st.start {
-            let t = st.start;
-            sc.sim.run_until(t);
-        }
-        traces.push(run_trace(&mut sc, st.vantage, st.batch, &targets, cfg));
-    }
-    let mut routes = Vec::new();
-    if cfg.run_traceroute {
-        for vi in 0..sc.vantages.len() {
-            routes.push(run_traceroute_survey(&mut sc, vi, &targets, cfg));
-        }
-    }
-    finish(sc, targets, discovery, traces, routes)
-}
-
-/// Parallel campaign: one seeded world per vantage, vantages on threads.
-pub fn run_campaign_parallel(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
-    let (discovery, proto) = run_discovery(plan, cfg);
-    let targets = discovery.targets.clone();
-    let plan = plan_with_churn(plan, cfg);
-    let vantage_count = proto.vantages.len();
-
-    let mut per_vantage: Vec<(Vec<TraceRecord>, Option<VantageRoutes>)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for vi in 0..vantage_count {
-            let plan = plan.clone();
-            let targets = targets.clone();
-            let cfg = *cfg;
-            handles.push(scope.spawn(move |_| {
-                let mut sc = build_scenario(&plan, cfg.seed);
-                let my_schedule: Vec<ScheduledTrace> = schedule(&sc, &cfg)
-                    .into_iter()
-                    .filter(|t| t.vantage == vi)
-                    .collect();
-                let mut traces = Vec::with_capacity(my_schedule.len());
-                for st in &my_schedule {
-                    if sc.sim.now() < st.start {
-                        let t = st.start;
-                        sc.sim.run_until(t);
-                    }
-                    traces.push(run_trace(&mut sc, vi, st.batch, &targets, &cfg));
-                }
-                let routes = cfg
-                    .run_traceroute
-                    .then(|| run_traceroute_survey(&mut sc, vi, &targets, &cfg));
-                (traces, routes)
-            }));
-        }
-        for h in handles {
-            per_vantage.push(h.join().expect("vantage thread"));
-        }
-    })
-    .expect("campaign threads");
-
-    // merge in schedule order (stable: traces carry start times)
-    let mut traces: Vec<TraceRecord> = per_vantage
-        .iter()
-        .flat_map(|(t, _)| t.iter().cloned())
-        .collect();
-    traces.sort_by_key(|t| (t.started_at, t.vantage_key.clone()));
-    let routes: Vec<VantageRoutes> = per_vantage.into_iter().filter_map(|(_, r)| r).collect();
-    finish(proto, targets, discovery, traces, routes)
-}
-
-fn finish(
+/// Assemble a [`CampaignResult`] from a finished run.
+pub(crate) fn finish(
     sc: Scenario,
     targets: Vec<Ipv4Addr>,
-    discovery: Discovery,
+    discovery: DiscoveryStats,
     traces: Vec<TraceRecord>,
     routes: Vec<VantageRoutes>,
+    aggregates: CampaignAggregates,
 ) -> CampaignResult {
     CampaignResult {
         targets,
-        discovery: DiscoveryStats::from(&discovery),
+        discovery,
         traces,
         routes,
+        aggregates,
         vantage_order: sc
             .vantages
             .iter()
@@ -296,6 +244,7 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ecn_pool::build_scenario;
 
     fn mini_cfg(seed: u64) -> CampaignConfig {
         CampaignConfig {

@@ -1,0 +1,401 @@
+//! The sharded campaign engine.
+//!
+//! One blueprint, many worlds: the engine builds the seeded
+//! [`WorldBlueprint`] **once**, then executes the campaign as a pool of
+//! independent work units — one per (vantage × target-chunk) — scheduled
+//! across a configurable number of work-stealing shards. Each unit
+//! instantiates its own live world from the shared blueprint under an RNG
+//! domain label derived from the *unit identity* (never the shard), so:
+//!
+//! - shard count and work-stealing order cannot change any result byte —
+//!   sequential execution is literally the `shards = 1` special case;
+//! - N shards pay one decision phase plus N cheap instantiations, not N
+//!   full world builds (what the old per-vantage-thread runner did);
+//! - finished records stream straight into shard-local reducers
+//!   ([`crate::reducers`]) instead of first accumulating every
+//!   [`TraceRecord`] in one `Vec` (the raw vector remains available as an
+//!   escape hatch for the report path).
+
+use crate::campaign::{
+    discover_in, finish, plan_with_churn, run_trace, run_traceroute_survey, schedule,
+    CampaignResult, DiscoveryStats, ScheduledTrace, VantageRoutes,
+};
+use crate::config::CampaignConfig;
+use crate::reducers::{CampaignAggregates, Reduce, ShardReducers};
+use crate::trace::TraceRecord;
+use ecn_pool::{PoolPlan, WorldBlueprint};
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+/// How the unit list is ordered before being dealt to the shards. Results
+/// are invariant under this knob (the determinism suite enforces it); it
+/// exists so tests can prove scheduling-order independence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnitOrder {
+    /// Vantage-major, chunk-minor (the canonical order).
+    #[default]
+    AsScheduled,
+    /// Reversed canonical order.
+    Reversed,
+    /// Seeded pseudo-random permutation.
+    Shuffled(u64),
+}
+
+/// Engine knobs, separate from the §3 methodology in [`CampaignConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker shards. `None` = available parallelism. Any value produces
+    /// byte-identical results; it only controls concurrency.
+    pub shards: Option<usize>,
+    /// Target-list chunks per vantage (work granularity). Unlike `shards`
+    /// this knob *is* part of the experiment definition: each chunk probes
+    /// in its own world, so changing it changes the measured noise.
+    pub target_chunks: usize,
+    /// Keep the raw per-trace records. `FullReport` computes its tables
+    /// and figures from `CampaignResult::traces`, so leave this on for
+    /// the report path; with `false` only the streaming-reducer
+    /// aggregates survive (`CampaignResult::aggregates`) and a report
+    /// rendered from the empty trace vec would be all zeroes.
+    pub keep_traces: bool,
+    /// Unit scheduling order (results are invariant; see [`UnitOrder`]).
+    pub unit_order: UnitOrder,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: None,
+            target_chunks: 1,
+            keep_traces: true,
+            unit_order: UnitOrder::AsScheduled,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// An engine pinned to `n` shards.
+    pub fn with_shards(n: usize) -> EngineConfig {
+        EngineConfig {
+            shards: Some(n),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Where the wall-clock went, phase by phase. Per-unit phases
+/// (`instantiate`, `probe`, `reduce`) are summed across shards, so they
+/// can exceed `wall` when shards overlap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineTiming {
+    /// Building the world blueprint (once per campaign).
+    pub blueprint_build: Duration,
+    /// Discovery world instantiation + the DNS discovery loop.
+    pub discovery: Duration,
+    /// Stamping out per-unit worlds from the blueprint (summed).
+    pub instantiate: Duration,
+    /// Probing + traceroute inside unit worlds (summed).
+    pub probe: Duration,
+    /// Streaming reduction and final merge (summed).
+    pub reduce: Duration,
+    /// End-to-end wall clock.
+    pub wall: Duration,
+}
+
+impl EngineTiming {
+    /// Render a one-line breakdown for logs.
+    pub fn render(&self) -> String {
+        format!(
+            "blueprint {:.3}s | discovery {:.1}s | instantiate {:.3}s | probe {:.1}s | reduce {:.3}s | wall {:.1}s",
+            self.blueprint_build.as_secs_f64(),
+            self.discovery.as_secs_f64(),
+            self.instantiate.as_secs_f64(),
+            self.probe.as_secs_f64(),
+            self.reduce.as_secs_f64(),
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// A finished engine run.
+pub struct EngineRun {
+    /// The campaign products (traces, routes, aggregates, databases).
+    pub result: CampaignResult,
+    /// Phase timing breakdown.
+    pub timing: EngineTiming,
+    /// Shards actually used.
+    pub shards: usize,
+    /// Work units executed.
+    pub units: usize,
+}
+
+/// One work unit: one vantage's full schedule against one target chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Unit {
+    vantage: usize,
+    chunk: usize,
+}
+
+/// What one unit produced (partial records when `target_chunks > 1`).
+struct UnitOutput {
+    unit: Unit,
+    traces: Vec<TraceRecord>,
+    routes: Option<VantageRoutes>,
+}
+
+/// Run the full campaign through the sharded engine.
+pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> EngineRun {
+    let wall0 = Instant::now();
+    let mut timing = EngineTiming::default();
+    let plan = plan_with_churn(plan, cfg);
+
+    // Phase 1: decide the world once.
+    let t0 = Instant::now();
+    let bp = WorldBlueprint::build(&plan, cfg.seed);
+    timing.blueprint_build = t0.elapsed();
+
+    // Phase 2: discovery, in the canonical (root-stream) world.
+    let t0 = Instant::now();
+    let mut disco_world = bp.instantiate();
+    let discovery = discover_in(&mut disco_world, cfg);
+    timing.discovery = t0.elapsed();
+    let targets = discovery.targets.clone();
+
+    // Phase 3: the unit pool. Per-vantage schedules are fixed up front;
+    // units exist per (vantage × target chunk).
+    let vantage_count = disco_world.vantages.len();
+    let chunks = eng.target_chunks.max(1);
+    let per_vantage_sched: Vec<Vec<ScheduledTrace>> = {
+        let full = schedule(&disco_world, cfg);
+        let mut per: Vec<Vec<ScheduledTrace>> = vec![Vec::new(); vantage_count];
+        for st in full {
+            per[st.vantage].push(st);
+        }
+        per
+    };
+    let mut units: Vec<Unit> = (0..vantage_count)
+        .flat_map(|vantage| (0..chunks).map(move |chunk| Unit { vantage, chunk }))
+        .collect();
+    match eng.unit_order {
+        UnitOrder::AsScheduled => {}
+        UnitOrder::Reversed => units.reverse(),
+        UnitOrder::Shuffled(seed) => {
+            units.shuffle(&mut ecn_netsim::derive_rng(seed, "engine/unit-order"))
+        }
+    }
+    let unit_count = units.len();
+    let shard_count = eng
+        .shards
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, unit_count.max(1));
+
+    // Phase 4: work-stealing execution. Each shard owns a deque, takes
+    // from its front, and steals from the back of the fullest victim.
+    let queues: Vec<Mutex<VecDeque<Unit>>> = {
+        let mut qs: Vec<VecDeque<Unit>> = (0..shard_count).map(|_| VecDeque::new()).collect();
+        for (i, u) in units.into_iter().enumerate() {
+            qs[i % shard_count].push_back(u);
+        }
+        qs.into_iter().map(Mutex::new).collect()
+    };
+    type ShardYield = (Vec<UnitOutput>, ShardReducers, Duration, Duration, Duration);
+    let mut shard_yields: Vec<ShardYield> = Vec::with_capacity(shard_count);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let queues = &queues;
+            let bp = &bp;
+            let targets = &targets;
+            let per_vantage_sched = &per_vantage_sched;
+            handles.push(scope.spawn(move |_| {
+                let mut outputs = Vec::new();
+                let mut reducers = ShardReducers::default();
+                let mut inst = Duration::ZERO;
+                let mut probe = Duration::ZERO;
+                let mut reduce = Duration::ZERO;
+                while let Some(unit) = next_unit(s, queues) {
+                    let chunk_targets = chunk_slice(targets, unit.chunk, chunks);
+                    let out = run_unit(
+                        bp,
+                        unit,
+                        &per_vantage_sched[unit.vantage],
+                        chunk_targets,
+                        cfg,
+                        eng.keep_traces,
+                        &mut reducers,
+                        (&mut inst, &mut probe, &mut reduce),
+                    );
+                    outputs.push(out);
+                }
+                (outputs, reducers, inst, probe, reduce)
+            }));
+        }
+        for h in handles {
+            shard_yields.push(h.join().expect("engine shard"));
+        }
+    })
+    .expect("engine threads");
+
+    // Phase 5: deterministic merge — shard order for the (commutative)
+    // reducers, canonical unit order for the raw records.
+    let t0 = Instant::now();
+    let mut outputs: Vec<UnitOutput> = Vec::with_capacity(unit_count);
+    let mut reducers = ShardReducers::default();
+    for (outs, red, inst, probe, reduce) in shard_yields {
+        outputs.extend(outs);
+        reducers.merge(red);
+        timing.instantiate += inst;
+        timing.probe += probe;
+        timing.reduce += reduce;
+    }
+    outputs.sort_by_key(|o| (o.unit.vantage, o.unit.chunk));
+
+    let mut traces: Vec<TraceRecord> = Vec::new();
+    let mut routes: Vec<VantageRoutes> = Vec::new();
+    let mut merged_for_vantage: Option<(Vec<TraceRecord>, Option<VantageRoutes>)> = None;
+    let flush = |m: Option<(Vec<TraceRecord>, Option<VantageRoutes>)>,
+                 traces: &mut Vec<TraceRecord>,
+                 routes: &mut Vec<VantageRoutes>| {
+        if let Some((t, r)) = m {
+            traces.extend(t);
+            routes.extend(r);
+        }
+    };
+    let mut current_vantage = usize::MAX;
+    for out in outputs {
+        if out.unit.vantage != current_vantage {
+            flush(merged_for_vantage.take(), &mut traces, &mut routes);
+            current_vantage = out.unit.vantage;
+            merged_for_vantage = Some((out.traces, out.routes));
+        } else if let Some((merged, merged_routes)) = &mut merged_for_vantage {
+            // later chunks extend the partial records in target order
+            for (m, partial) in merged.iter_mut().zip(out.traces) {
+                m.outcomes.extend(partial.outcomes);
+            }
+            if let (Some(r), Some(partial)) = (merged_routes.as_mut(), out.routes) {
+                r.paths.extend(partial.paths);
+            }
+        }
+    }
+    flush(merged_for_vantage.take(), &mut traces, &mut routes);
+    // merge in schedule order (stable: traces carry start times)
+    traces.sort_by_key(|t| (t.started_at, t.vantage_key.clone()));
+    timing.reduce += t0.elapsed();
+    timing.wall = wall0.elapsed();
+
+    let result = finish(
+        disco_world,
+        targets,
+        DiscoveryStats::from(&discovery),
+        traces,
+        routes,
+        CampaignAggregates::from(reducers),
+    );
+    EngineRun {
+        result,
+        timing,
+        shards: shard_count,
+        units: unit_count,
+    }
+}
+
+/// Run the full campaign with default engine settings. This is the single
+/// entry point that replaced the old sequential/parallel runner pair:
+/// results are byte-identical for every shard count.
+pub fn run_campaign(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
+    run_engine(plan, cfg, &EngineConfig::default()).result
+}
+
+/// The `c`-th of `chunks` balanced contiguous slices of `targets`;
+/// concatenating the slices in chunk order reproduces the target order.
+fn chunk_slice(targets: &[Ipv4Addr], c: usize, chunks: usize) -> &[Ipv4Addr] {
+    let n = targets.len();
+    &targets[c * n / chunks..(c + 1) * n / chunks]
+}
+
+/// Pop local work, else steal from the back of the fullest victim.
+fn next_unit(s: usize, queues: &[Mutex<VecDeque<Unit>>]) -> Option<Unit> {
+    if let Some(u) = queues[s].lock().pop_front() {
+        return Some(u);
+    }
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        for (v, q) in queues.iter().enumerate() {
+            if v == s {
+                continue;
+            }
+            let len = q.lock().len();
+            if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
+                best = Some((v, len));
+            }
+        }
+        match best {
+            Some((v, _)) => {
+                if let Some(u) = queues[v].lock().pop_back() {
+                    return Some(u);
+                }
+                // raced with the victim draining its own queue; rescan
+            }
+            None => return None,
+        }
+    }
+}
+
+/// Execute one unit: instantiate its world under the unit-identity RNG
+/// domain, run the vantage's schedule against the unit's target chunk,
+/// then (optionally) its slice of the traceroute survey — streaming every
+/// finished record into the shard's reducers.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    bp: &WorldBlueprint,
+    unit: Unit,
+    sched: &[ScheduledTrace],
+    chunk_targets: &[Ipv4Addr],
+    cfg: &CampaignConfig,
+    keep_traces: bool,
+    reducers: &mut ShardReducers,
+    (inst, probe, reduce): (&mut Duration, &mut Duration, &mut Duration),
+) -> UnitOutput {
+    let first_chunk = unit.chunk == 0;
+    let t0 = Instant::now();
+    let mut sc = bp.instantiate_domain(&format!("engine/unit/v{}/c{}", unit.vantage, unit.chunk));
+    *inst += t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut unit_reduce = Duration::ZERO;
+    let mut traces = Vec::with_capacity(sched.len());
+    for st in sched {
+        if sc.sim.now() < st.start {
+            sc.sim.run_until(st.start);
+        }
+        let rec = run_trace(&mut sc, unit.vantage, st.batch, chunk_targets, cfg);
+        let tr = Instant::now();
+        reducers.observe_trace(&rec, first_chunk);
+        unit_reduce += tr.elapsed();
+        if keep_traces {
+            traces.push(rec);
+        }
+    }
+    let routes = cfg.run_traceroute.then(|| {
+        let r = run_traceroute_survey(&mut sc, unit.vantage, chunk_targets, cfg);
+        let tr = Instant::now();
+        reducers.observe_routes(&r);
+        unit_reduce += tr.elapsed();
+        r
+    });
+    // the probe span encloses the reducer segments; report them disjointly
+    *reduce += unit_reduce;
+    *probe += t0.elapsed().saturating_sub(unit_reduce);
+
+    UnitOutput {
+        unit,
+        traces,
+        routes,
+    }
+}

@@ -17,7 +17,9 @@
 //!    whose ICMP time-exceeded answers quote the header each router saw,
 //!    revealing where marks are bleached (§4.2).
 //! 4. [`campaign`] — the full 210-trace schedule across 13 vantages and
-//!    two collection batches, plus the traceroute survey.
+//!    two collection batches, plus the traceroute survey; [`engine`]
+//!    executes it as blueprint-backed work units over work-stealing
+//!    shards, streaming records into [`reducers`].
 //! 5. [`analysis`] — Table 1/2 and Figures 2–6, each with a
 //!    paper-style text rendering; [`analysis::FullReport`] bundles them.
 //!
@@ -30,18 +32,24 @@ pub mod analysis;
 pub mod campaign;
 pub mod config;
 pub mod discovery;
+pub mod engine;
 pub mod probes;
+pub mod reducers;
 pub mod report;
 pub mod trace;
 pub mod traceroute;
 
 pub use analysis::FullReport;
 pub use campaign::{
-    run_campaign, run_campaign_parallel, run_discovery, CampaignResult, DiscoveryStats,
-    VantageRoutes,
+    discover_in, run_discovery, run_trace, run_traceroute_survey, schedule, CampaignResult,
+    DiscoveryStats, ScheduledTrace, VantageRoutes,
 };
 pub use config::{CampaignConfig, ProbeConfig, TracerouteConfig};
 pub use discovery::{discover, discovery_names, Discovery};
+pub use engine::{run_campaign, run_engine, EngineConfig, EngineRun, EngineTiming, UnitOrder};
 pub use probes::{probe_tcp, probe_udp, TcpProbeResult, UdpProbeResult};
+pub use reducers::{
+    CampaignAggregates, ReachabilityCounts, Reduce, ShardReducers, SurveyCounts, Table2Counts,
+};
 pub use trace::{ServerOutcome, TraceRecord};
 pub use traceroute::{traceroute, HopObservation, TraceroutePath};

@@ -1,0 +1,479 @@
+//! Streaming trace reducers: aggregate campaign results trace-by-trace as
+//! the engine produces them, instead of accumulating every [`TraceRecord`]
+//! in one `Vec` before analysis.
+//!
+//! ## Reducer contract
+//!
+//! Each shard of the execution engine owns one [`ShardReducers`] instance
+//! and feeds it records the moment a work unit finishes them; at the end
+//! the engine merges the shard instances. Because work stealing makes the
+//! observation *order* nondeterministic, a reducer must be
+//! **order-invariant**: observation and [`Reduce::merge`] must be
+//! commutative and associative. In practice that means integer counters
+//! (never running `f64` sums, whose rounding depends on order) and keyed
+//! maps with deterministic iteration (`BTreeMap`). Ratios are computed
+//! only in `finalize`-style accessors, from the merged integer counts.
+//!
+//! Per-logical-trace bookkeeping under target chunking: a trace split
+//! across chunks arrives as several partial records, so anything counted
+//! once per trace (e.g. the Table 2 trace denominator) is counted only
+//! when `first_chunk` is true.
+
+use crate::campaign::VantageRoutes;
+use crate::trace::TraceRecord;
+use std::collections::BTreeMap;
+
+/// The streaming-reduction contract (see module docs): observe records in
+/// any order, merge shard instances in any order, same result.
+pub trait Reduce: Send + Sized {
+    /// Fold one (possibly partial) trace record into the accumulator.
+    /// `first_chunk` is true exactly once per logical trace.
+    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool);
+    /// Fold one (possibly partial) vantage traceroute survey.
+    fn observe_routes(&mut self, _routes: &VantageRoutes) {}
+    /// Absorb another shard's accumulator.
+    fn merge(&mut self, other: Self);
+}
+
+// ---------------------------------------------------------------- table 2
+
+/// Per-vantage Table 2 counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VantageTable2 {
+    /// Logical traces observed from this vantage.
+    pub traces: u64,
+    /// (server, trace) observations reachable via not-ECT UDP but not
+    /// ECT(0) — the per-vantage ECT-marked-reachability deficit.
+    pub udp_ect_unreachable: u64,
+    /// Of those, TCP-reachable observations failing to negotiate ECN.
+    pub fail_tcp_ecn: u64,
+    /// Of those, TCP-reachable observations that did negotiate.
+    pub ok_tcp_ecn: u64,
+}
+
+/// Streaming accumulator behind Table 2 (§4.4): per-vantage differential
+/// reachability plus the global UDP/TCP contingency table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table2Counts {
+    /// Per-vantage counters, keyed by vantage name (Table 2 spelling).
+    pub per_vantage: BTreeMap<String, VantageTable2>,
+    /// 2×2 contingency counts over (udp_diff, refuses_tcp_ecn), restricted
+    /// to observations where both verdicts are defined.
+    pub n11: u64,
+    /// diff ∧ negotiates.
+    pub n10: u64,
+    /// ¬diff ∧ refuses.
+    pub n01: u64,
+    /// ¬diff ∧ negotiates.
+    pub n00: u64,
+    /// UDP-ECT-blocked, TCP-reachable observations.
+    pub blocked_tcp_reachable: u64,
+    /// Of those, observations that negotiated ECN anyway.
+    pub blocked_negotiated: u64,
+}
+
+impl Reduce for Table2Counts {
+    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool) {
+        let mut udp_unreach = 0;
+        let mut fail = 0;
+        let mut ok = 0;
+        for o in &rec.outcomes {
+            let diff = o.udp_diff_plain_only();
+            if diff {
+                udp_unreach += 1;
+                if o.tcp_ecn.reachable {
+                    self.blocked_tcp_reachable += 1;
+                    if o.tcp_ecn.negotiated_ecn {
+                        ok += 1;
+                        self.blocked_negotiated += 1;
+                    } else {
+                        fail += 1;
+                    }
+                }
+            }
+            if o.udp_plain.reachable && o.tcp_ecn.reachable {
+                match (diff, !o.tcp_ecn.negotiated_ecn) {
+                    (true, true) => self.n11 += 1,
+                    (true, false) => self.n10 += 1,
+                    (false, true) => self.n01 += 1,
+                    (false, false) => self.n00 += 1,
+                }
+            }
+        }
+        let e = self
+            .per_vantage
+            .entry(rec.vantage_name.clone())
+            .or_default();
+        if first_chunk {
+            e.traces += 1;
+        }
+        e.udp_ect_unreachable += udp_unreach;
+        e.fail_tcp_ecn += fail;
+        e.ok_tcp_ecn += ok;
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (name, v) in other.per_vantage {
+            let e = self.per_vantage.entry(name).or_default();
+            e.traces += v.traces;
+            e.udp_ect_unreachable += v.udp_ect_unreachable;
+            e.fail_tcp_ecn += v.fail_tcp_ecn;
+            e.ok_tcp_ecn += v.ok_tcp_ecn;
+        }
+        self.n11 += other.n11;
+        self.n10 += other.n10;
+        self.n01 += other.n01;
+        self.n00 += other.n00;
+        self.blocked_tcp_reachable += other.blocked_tcp_reachable;
+        self.blocked_negotiated += other.blocked_negotiated;
+    }
+}
+
+impl Table2Counts {
+    /// φ correlation between "UDP-ECT unreachable" and "refuses TCP ECN",
+    /// computed from the merged integer contingency table.
+    pub fn phi(&self) -> f64 {
+        let (n11, n10, n01, n00) = (
+            self.n11 as f64,
+            self.n10 as f64,
+            self.n01 as f64,
+            self.n00 as f64,
+        );
+        let denom = ((n11 + n10) * (n01 + n00) * (n11 + n01) * (n10 + n00)).sqrt();
+        if denom < 1e-12 {
+            0.0
+        } else {
+            (n11 * n00 - n10 * n01) / denom
+        }
+    }
+
+    /// Fraction of blocked-but-TCP-reachable observations that negotiated
+    /// ECN (the paper's "majority" claim).
+    pub fn blocked_but_negotiates(&self) -> f64 {
+        if self.blocked_tcp_reachable == 0 {
+            0.0
+        } else {
+            self.blocked_negotiated as f64 / self.blocked_tcp_reachable as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------- figure 2
+
+/// Per-vantage UDP/TCP reachability counters (Figure 2/5 numerators and
+/// denominators, kept linear so streaming stays order-invariant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VantageReachability {
+    /// Logical traces observed.
+    pub traces: u64,
+    /// (server, trace) observations reachable via not-ECT UDP.
+    pub udp_plain: u64,
+    /// Observations reachable via ECT(0) UDP.
+    pub udp_ect: u64,
+    /// Observations reachable both ways.
+    pub udp_both: u64,
+    /// Observations answering HTTP on either TCP probe.
+    pub tcp_reachable: u64,
+    /// Observations negotiating ECN over TCP.
+    pub tcp_negotiated: u64,
+}
+
+/// Streaming reachability accumulator (the counts behind Figures 2 and 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReachabilityCounts {
+    /// Per-vantage counters, keyed by vantage key.
+    pub per_vantage: BTreeMap<String, VantageReachability>,
+}
+
+impl Reduce for ReachabilityCounts {
+    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool) {
+        let e = self.per_vantage.entry(rec.vantage_key.clone()).or_default();
+        if first_chunk {
+            e.traces += 1;
+        }
+        for o in &rec.outcomes {
+            e.udp_plain += u64::from(o.udp_plain.reachable);
+            e.udp_ect += u64::from(o.udp_ect.reachable);
+            e.udp_both += u64::from(o.udp_plain.reachable && o.udp_ect.reachable);
+            e.tcp_reachable += u64::from(o.tcp_plain.reachable || o.tcp_ecn.reachable);
+            e.tcp_negotiated += u64::from(o.tcp_ecn.negotiated_ecn);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (key, v) in other.per_vantage {
+            let e = self.per_vantage.entry(key).or_default();
+            e.traces += v.traces;
+            e.udp_plain += v.udp_plain;
+            e.udp_ect += v.udp_ect;
+            e.udp_both += v.udp_both;
+            e.tcp_reachable += v.tcp_reachable;
+            e.tcp_negotiated += v.tcp_negotiated;
+        }
+    }
+}
+
+impl ReachabilityCounts {
+    /// Aggregate Figure 2a value: of not-ECT-reachable observations, the
+    /// percentage also reachable with ECT(0).
+    pub fn pct_a(&self) -> f64 {
+        let plain: u64 = self.per_vantage.values().map(|v| v.udp_plain).sum();
+        let both: u64 = self.per_vantage.values().map(|v| v.udp_both).sum();
+        if plain == 0 {
+            100.0
+        } else {
+            100.0 * both as f64 / plain as f64
+        }
+    }
+
+    /// Aggregate Figure 2b value.
+    pub fn pct_b(&self) -> f64 {
+        let ect: u64 = self.per_vantage.values().map(|v| v.udp_ect).sum();
+        let both: u64 = self.per_vantage.values().map(|v| v.udp_both).sum();
+        if ect == 0 {
+            100.0
+        } else {
+            100.0 * both as f64 / ect as f64
+        }
+    }
+
+    /// Aggregate ECN negotiation share among TCP-reachable observations
+    /// (Figure 5's headline).
+    pub fn negotiated_pct(&self) -> f64 {
+        let reach: u64 = self.per_vantage.values().map(|v| v.tcp_reachable).sum();
+        let neg: u64 = self.per_vantage.values().map(|v| v.tcp_negotiated).sum();
+        if reach == 0 {
+            0.0
+        } else {
+            100.0 * neg as f64 / reach as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------- survey
+
+/// Streaming traceroute-survey accumulator (the counts behind Figure 4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SurveyCounts {
+    /// Paths observed per vantage key.
+    pub paths_per_vantage: BTreeMap<String, u64>,
+    /// Responding hop observations.
+    pub hops_responded: u64,
+    /// Silent hops (`*`).
+    pub hops_silent: u64,
+    /// Responding hops whose quotes all still carried the sent mark.
+    pub hops_pass: u64,
+    /// Responding hops showing a modified mark in at least one quote.
+    pub hops_modified: u64,
+    /// Modified hops with disagreeing probes (the "sometimes" signature).
+    pub hops_mixed: u64,
+    /// Paths whose ICMP port-unreachable reached back from the target.
+    pub reached_destination: u64,
+}
+
+impl Reduce for SurveyCounts {
+    fn observe_trace(&mut self, _rec: &TraceRecord, _first_chunk: bool) {}
+
+    fn observe_routes(&mut self, routes: &VantageRoutes) {
+        *self
+            .paths_per_vantage
+            .entry(routes.vantage_key.clone())
+            .or_default() += routes.paths.len() as u64;
+        for path in &routes.paths {
+            self.reached_destination += u64::from(path.reached_destination);
+            for hop in &path.hops {
+                if hop.router.is_none() {
+                    self.hops_silent += 1;
+                    continue;
+                }
+                self.hops_responded += 1;
+                if hop.modified(path.sent_ecn) {
+                    self.hops_modified += 1;
+                    if hop.mixed(path.sent_ecn) {
+                        self.hops_mixed += 1;
+                    }
+                } else {
+                    self.hops_pass += 1;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (key, n) in other.paths_per_vantage {
+            *self.paths_per_vantage.entry(key).or_default() += n;
+        }
+        self.hops_responded += other.hops_responded;
+        self.hops_silent += other.hops_silent;
+        self.hops_pass += other.hops_pass;
+        self.hops_modified += other.hops_modified;
+        self.hops_mixed += other.hops_mixed;
+        self.reached_destination += other.reached_destination;
+    }
+}
+
+// ---------------------------------------------------------------- composite
+
+/// The reducer set each engine shard owns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardReducers {
+    /// Table 2 accumulator.
+    pub table2: Table2Counts,
+    /// Figure 2/5 reachability accumulator.
+    pub reachability: ReachabilityCounts,
+    /// Traceroute survey accumulator.
+    pub survey: SurveyCounts,
+}
+
+impl Reduce for ShardReducers {
+    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool) {
+        self.table2.observe_trace(rec, first_chunk);
+        self.reachability.observe_trace(rec, first_chunk);
+    }
+
+    fn observe_routes(&mut self, routes: &VantageRoutes) {
+        self.survey.observe_routes(routes);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.table2.merge(other.table2);
+        self.reachability.merge(other.reachability);
+        self.survey.merge(other.survey);
+    }
+}
+
+/// Finalized aggregates attached to an engine run, alongside (or instead
+/// of) the raw trace vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignAggregates {
+    /// Table 2 counters.
+    pub table2: Table2Counts,
+    /// Figure 2/5 counters.
+    pub reachability: ReachabilityCounts,
+    /// Traceroute survey counters.
+    pub survey: SurveyCounts,
+}
+
+impl From<ShardReducers> for CampaignAggregates {
+    fn from(r: ShardReducers) -> Self {
+        CampaignAggregates {
+            table2: r.table2,
+            reachability: r.reachability,
+            survey: r.survey,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes::{TcpProbeResult, UdpProbeResult};
+    use crate::trace::ServerOutcome;
+    use ecn_netsim::Nanos;
+    use std::net::Ipv4Addr;
+
+    fn outcome(i: u8, plain: bool, ect: bool, tcp: bool, neg: bool) -> ServerOutcome {
+        let udp = |r| UdpProbeResult {
+            reachable: r,
+            attempts: 1,
+            response_ecn: None,
+            rtt: None,
+        };
+        let tcpr = |r, n| TcpProbeResult {
+            reachable: r,
+            http_status: if r { Some(302) } else { None },
+            requested_ecn: true,
+            negotiated_ecn: n,
+            syn_ack_flags: None,
+            close_reason: None,
+        };
+        ServerOutcome {
+            server: Ipv4Addr::new(10, 0, 0, i),
+            udp_plain: udp(plain),
+            udp_ect: udp(ect),
+            tcp_plain: tcpr(tcp, false),
+            tcp_ecn: tcpr(tcp, neg),
+        }
+    }
+
+    fn rec(name: &str, outcomes: Vec<ServerOutcome>) -> TraceRecord {
+        TraceRecord {
+            vantage_key: name.to_lowercase(),
+            vantage_name: name.into(),
+            batch: 2,
+            started_at: Nanos::ZERO,
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn table2_counts_match_batch_analysis() {
+        let traces = vec![
+            rec(
+                "A",
+                vec![
+                    outcome(1, true, false, true, true),
+                    outcome(2, true, false, true, false),
+                    outcome(3, true, true, true, true),
+                ],
+            ),
+            rec("B", vec![outcome(4, true, false, false, false)]),
+        ];
+        let mut streamed = Table2Counts::default();
+        for t in &traces {
+            streamed.observe_trace(t, true);
+        }
+        let batch = crate::analysis::table2(&traces);
+        // per-vantage averages agree with the batch analysis
+        for row in &batch.rows {
+            let v = &streamed.per_vantage[&row.location];
+            assert_eq!(v.udp_ect_unreachable as f64 / v.traces as f64, {
+                row.avg_udp_ect_unreachable
+            });
+            assert_eq!(
+                v.fail_tcp_ecn as f64 / v.traces as f64,
+                row.avg_fail_tcp_ecn
+            );
+        }
+        assert!((streamed.phi() - batch.phi).abs() < 1e-12);
+        assert!((streamed.blocked_but_negotiates() - batch.blocked_but_negotiates).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let a = rec("A", vec![outcome(1, true, false, true, true)]);
+        let b = rec("B", vec![outcome(2, true, true, true, false)]);
+        let c = rec("A", vec![outcome(3, false, true, false, false)]);
+
+        let mut left = ShardReducers::default();
+        left.observe_trace(&a, true);
+        left.observe_trace(&b, true);
+        let mut right = ShardReducers::default();
+        right.observe_trace(&c, true);
+        left.merge(right);
+
+        let mut other_order = ShardReducers::default();
+        other_order.observe_trace(&c, true);
+        let mut rest = ShardReducers::default();
+        rest.observe_trace(&b, true);
+        rest.observe_trace(&a, true);
+        other_order.merge(rest);
+
+        assert_eq!(left, other_order);
+    }
+
+    #[test]
+    fn partial_chunks_count_one_trace() {
+        let mut r = ReachabilityCounts::default();
+        // one logical trace split across two chunks
+        r.observe_trace(&rec("A", vec![outcome(1, true, true, true, true)]), true);
+        r.observe_trace(
+            &rec("A", vec![outcome(2, true, false, false, false)]),
+            false,
+        );
+        let v = &r.per_vantage["a"];
+        assert_eq!(v.traces, 1);
+        assert_eq!(v.udp_plain, 2);
+        assert_eq!(v.udp_both, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests of the sharded engine: for arbitrary seeds, shard
+//! counts and work-stealing schedules, the aggregate Table 2 counts
+//! (per-vantage ECT-marked reachability) — and every other streamed
+//! aggregate — must be invariant. Only the seed is allowed to change the
+//! measurement.
+
+use ecn_core::{run_engine, CampaignConfig, EngineConfig, UnitOrder};
+use ecn_pool::PoolPlan;
+use proptest::prelude::*;
+
+fn mini_cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        discovery_rounds: 20,
+        traces_per_vantage: Some(1),
+        run_traceroute: false,
+        ..CampaignConfig::quick(seed)
+    }
+}
+
+proptest! {
+    // Each case runs two scaled-down campaigns; 3 cases keeps the suite
+    // inside the CI budget regardless of PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn table2_counts_invariant_under_sharding(
+        seed in 1u64..10_000,
+        shards in 1usize..9,
+        order_seed in 0u64..1_000,
+    ) {
+        let plan = PoolPlan::scaled(24);
+        let cfg = mini_cfg(seed);
+        let baseline = run_engine(&plan, &cfg, &EngineConfig::with_shards(1));
+        let sharded = run_engine(
+            &plan,
+            &cfg,
+            &EngineConfig {
+                shards: Some(shards),
+                unit_order: UnitOrder::Shuffled(order_seed),
+                keep_traces: false,
+                ..EngineConfig::default()
+            },
+        );
+
+        // The tentpole property: per-vantage Table 2 counts do not depend
+        // on shard count or on which shard stole which unit.
+        prop_assert_eq!(
+            &baseline.result.aggregates.table2,
+            &sharded.result.aggregates.table2
+        );
+        // Neither do the remaining streamed aggregates.
+        prop_assert_eq!(
+            &baseline.result.aggregates.reachability,
+            &sharded.result.aggregates.reachability
+        );
+        prop_assert_eq!(
+            &baseline.result.aggregates.survey,
+            &sharded.result.aggregates.survey
+        );
+        // reducer-only runs drop the raw trace vector but keep the counts
+        prop_assert!(sharded.result.traces.is_empty());
+        let traced: u64 = sharded
+            .result
+            .aggregates
+            .table2
+            .per_vantage
+            .values()
+            .map(|v| v.traces)
+            .sum();
+        prop_assert_eq!(traced as usize, baseline.result.traces.len());
+    }
+}
+
+/// The streamed Table 2 counts must agree with the batch `analysis::table2`
+/// computed from the raw trace vector of the same run.
+#[test]
+fn streamed_table2_matches_batch_analysis() {
+    let plan = PoolPlan::scaled(30);
+    let cfg = mini_cfg(77);
+    let run = run_engine(&plan, &cfg, &EngineConfig::with_shards(3));
+    let batch = ecn_core::analysis::table2(&run.result.traces);
+    let streamed = &run.result.aggregates.table2;
+    for row in &batch.rows {
+        let v = &streamed.per_vantage[&row.location];
+        assert_eq!(
+            v.udp_ect_unreachable as f64 / v.traces as f64,
+            row.avg_udp_ect_unreachable,
+            "{}: streamed vs batch ECT-unreachable average",
+            row.location
+        );
+        assert_eq!(v.traces as usize, row.traces);
+    }
+    assert!((streamed.phi() - batch.phi).abs() < 1e-12);
+}

@@ -9,14 +9,15 @@
 //! Everything is seeded: [`scenario::build_scenario`] with the same plan
 //! and seed yields the same Internet, packet for packet.
 
+pub mod blueprint;
 pub mod plan;
 pub mod scenario;
 pub mod vantage;
 
+pub use blueprint::{generate_profiles, WorldBlueprint};
 pub use plan::{PoolPlan, ServerProfile, SpecialBehaviour, WebProfile};
 pub use scenario::{
-    build_scenario, generate_profiles, BleachSite, GroundTruth, Scenario, ServerInfo, Vantage,
-    EC2_SUPER_PREFIX,
+    build_scenario, BleachSite, GroundTruth, Scenario, ServerInfo, Vantage, EC2_SUPER_PREFIX,
 };
 pub use vantage::{
     all_vantages, total_traces, TraceAllocation, VantageSpec, UDP_RETRIES, UDP_TIMEOUT,

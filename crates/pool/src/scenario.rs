@@ -1,30 +1,21 @@
-//! Assembles the full simulated Internet: tier-1 mesh, regional transits,
+//! The assembled world and its types: tier-1 mesh, regional transits,
 //! destination ASes with per-server access chains, the 13 vantage points,
 //! the pool DNS, and the planted ground truth (middleboxes, bleachers,
 //! churn) that the measurement campaign will rediscover through packets.
+//!
+//! Construction is split in two (see [`crate::blueprint`]):
+//! [`crate::WorldBlueprint::build`] makes every seeded decision once,
+//! and `instantiate` stamps out a live world from it. [`build_scenario`]
+//! composes the two for callers that want one world from one seed.
 
-use crate::plan::{PoolPlan, ServerProfile, SpecialBehaviour, WebProfile};
-use crate::vantage::{all_vantages, VantageSpec};
+use crate::plan::{PoolPlan, ServerProfile};
 use ecn_asdb::AsDb;
-use ecn_geo::{sample_country, sample_location, GeoDb, GeoRecord, Region, TABLE1_DISTRIBUTION};
-use ecn_netsim::{
-    derive_rng, EcnPolicy, Firewall, FirewallRule, Ipv4Prefix, LinkProps, Nanos, NodeId,
-    RouteEntry, Router, Sim,
-};
-use ecn_services::{
-    HttpServerKind, NtpServerConfig, NtpServerService, PoolDnsService, PoolHttpService,
-};
-use ecn_stack::{install, AvailabilityModel, EcnMode, HostHandle, StackConfig};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use ecn_geo::GeoDb;
+use ecn_netsim::{NodeId, Sim};
+use ecn_stack::HostHandle;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
-/// Delay used for core links.
-const CORE_DELAY: Nanos = Nanos(8_000_000); // 8 ms
-/// Delay used for edge links.
-const EDGE_DELAY: Nanos = Nanos(2_000_000); // 2 ms
 /// The super-prefix all EC2 vantages live in (the Phoenix firewall rule).
 pub const EC2_SUPER_PREFIX: &str = "54.0.0.0/8";
 
@@ -43,7 +34,7 @@ pub enum BleachSite {
 }
 
 /// The planted ground truth, for audits only — the prober never reads it.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     /// Servers behind an always-on ECT-dropping middlebox.
     pub ect_blocked: Vec<Ipv4Addr>,
@@ -72,7 +63,7 @@ pub struct GroundTruth {
 /// One built vantage point.
 pub struct Vantage {
     /// Static spec (name, loss, traces).
-    pub spec: VantageSpec,
+    pub spec: crate::vantage::VantageSpec,
     /// The measurement host.
     pub node: NodeId,
     /// Stack handle driven by the prober.
@@ -103,805 +94,23 @@ pub struct Scenario {
     pub servers: Vec<ServerInfo>,
     /// Address of the pool DNS server.
     pub dns_addr: Ipv4Addr,
-    /// Geolocation database (Table 1 / Figure 1).
-    pub geodb: GeoDb,
-    /// IP→AS database (§4.2 boundary analysis).
-    pub asdb: AsDb,
+    /// Geolocation database (Table 1 / Figure 1), shared with the
+    /// owning blueprint.
+    pub geodb: Arc<GeoDb>,
+    /// IP→AS database (§4.2 boundary analysis), shared with the owning
+    /// blueprint.
+    pub asdb: Arc<AsDb>,
     /// Planted ground truth.
     pub truth: GroundTruth,
     /// The plan that built this.
     pub plan: PoolPlan,
 }
 
-// ---------------------------------------------------------------- addressing
-
-fn t1_addr(i: usize) -> Ipv4Addr {
-    Ipv4Addr::new(5, i as u8, 0, 1)
-}
-fn t1_prefix(i: usize) -> Ipv4Prefix {
-    Ipv4Prefix::new(Ipv4Addr::new(5, i as u8, 0, 0), 16)
-}
-fn t2_core_addr(j: usize) -> Ipv4Addr {
-    Ipv4Addr::new(62, j as u8, 0, 1)
-}
-fn t2_prefix(j: usize) -> Ipv4Prefix {
-    Ipv4Prefix::new(Ipv4Addr::new(62, j as u8, 0, 0), 16)
-}
-fn t2_pe_addr(j: usize, customer: usize) -> Ipv4Addr {
-    Ipv4Addr::new(62, j as u8, (1 + customer % 254) as u8, 1)
-}
-fn dest_base(k: usize) -> u32 {
-    0x8000_0000 | ((k as u32) << 12)
-}
-fn dest_prefix(k: usize) -> Ipv4Prefix {
-    Ipv4Prefix::new(Ipv4Addr::from(dest_base(k)), 20)
-}
-fn dest_router_addr(k: usize, slot: u32) -> Ipv4Addr {
-    Ipv4Addr::from(dest_base(k) + slot)
-}
-fn vantage_prefix(spec: &VantageSpec) -> Ipv4Prefix {
-    let first = if spec.ec2 { 54 } else { 81 };
-    Ipv4Prefix::new(Ipv4Addr::new(first, spec.net_index, 0, 0), 16)
-}
-fn vantage_addr(spec: &VantageSpec, slot: u8) -> Ipv4Addr {
-    let first = if spec.ec2 { 54 } else { 81 };
-    Ipv4Addr::new(first, spec.net_index, 0, slot)
-}
-
-const DNS_ADDR: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
-const DNS_PREFIX_STR: &str = "198.41.0.0/24";
-
-// ---------------------------------------------------------------- profiles
-
-/// Generate the population (regions per Table 1 marginals, scaled).
-pub fn generate_profiles(plan: &PoolPlan, rng: &mut SmallRng) -> Vec<ServerProfile> {
-    let scale = plan.servers as f64 / ecn_geo::TABLE1_TOTAL as f64;
-    let mut regions: Vec<Region> = Vec::with_capacity(plan.servers);
-    for (region, count) in TABLE1_DISTRIBUTION {
-        let n = if (scale - 1.0).abs() < 1e-9 {
-            count
-        } else {
-            ((count as f64) * scale).round() as usize
-        };
-        regions.extend(std::iter::repeat_n(region, n));
-    }
-    // rounding: trim or pad with Europe
-    while regions.len() > plan.servers {
-        let idx = regions
-            .iter()
-            .rposition(|r| *r == Region::Europe)
-            .unwrap_or(regions.len() - 1);
-        regions.remove(idx);
-    }
-    while regions.len() < plan.servers {
-        regions.push(Region::Europe);
-    }
-    regions.shuffle(rng);
-
-    let mut profiles: Vec<ServerProfile> = regions
-        .into_iter()
-        .enumerate()
-        .map(|(index, region)| {
-            let web = if rng.gen_bool(plan.web_fraction) {
-                let ecn = if rng.gen_bool(plan.web_ecn_reflect) {
-                    EcnMode::ReflectFlags
-                } else if rng.gen_bool(plan.web_ecn_on) {
-                    EcnMode::On
-                } else {
-                    EcnMode::Off
-                };
-                Some(WebProfile {
-                    ecn,
-                    plain_ok: rng.gen_bool(plan.plain_ok_fraction),
-                })
-            } else {
-                None
-            };
-            let access_chain_len = *[1usize, 2, 2, 3, 3, 3, 3, 4, 4, 4]
-                .choose(rng)
-                .expect("non-empty");
-            ServerProfile {
-                index,
-                region,
-                country: sample_country(region, rng),
-                web,
-                availability: AvailabilityModel::AlwaysUp,
-                special: SpecialBehaviour::None,
-                stratum: *[1u8, 2, 2, 2, 3, 3].choose(rng).expect("non-empty"),
-                access_chain_len,
-            }
-        })
-        .collect();
-
-    // Availability: always-down, churned, flapping; assigned to distinct
-    // indices so special behaviours (below) can avoid dead hosts.
-    let mut order: Vec<usize> = (0..plan.servers).collect();
-    order.shuffle(rng);
-    let mut cursor = 0;
-    for _ in 0..plan.always_down.min(plan.servers / 3) {
-        profiles[order[cursor]].availability = AvailabilityModel::AlwaysDown;
-        cursor += 1;
-    }
-    for _ in 0..plan.churn_down.min(plan.servers / 3) {
-        profiles[order[cursor]].availability = AvailabilityModel::DownAfter(plan.churn_at);
-        cursor += 1;
-    }
-    for &idx in order.iter().skip(cursor) {
-        if rng.gen_bool(plan.flapping_fraction) {
-            profiles[idx].availability = AvailabilityModel::Flapping {
-                mean_up: plan.flap_mean_up,
-                mean_down: plan.flap_mean_down,
-            };
-        }
-    }
-
-    // Special behaviours go on always-up or flapping servers (the paper's
-    // persistently-ECT-unreachable servers are otherwise healthy).
-    let alive: Vec<usize> = order[cursor..].to_vec();
-    let mut alive_iter = alive.into_iter();
-    let mut take_alive = |profiles: &mut Vec<ServerProfile>| -> usize {
-        let idx = alive_iter
-            .next()
-            .expect("population exhausted for special servers");
-        // make the middleboxed servers steady so they show up persistently
-        profiles[idx].availability = AvailabilityModel::AlwaysUp;
-        idx
-    };
-
-    // ECT-blocked: web mix calibrated for Table 2 column 2 (~3 of the
-    // blocked set are TCP-reachable but refuse ECN).
-    let ect_total = plan.ect_blocked + plan.ect_blocked_flaky;
-    for i in 0..ect_total {
-        let idx = take_alive(&mut profiles);
-        profiles[idx].special = SpecialBehaviour::EctBlocked {
-            flaky: i < plan.ect_blocked_flaky,
-        };
-        profiles[idx].web = match i % 10 {
-            0..=3 => Some(WebProfile {
-                ecn: EcnMode::On,
-                plain_ok: false,
-            }),
-            4..=6 => Some(WebProfile {
-                ecn: EcnMode::Off,
-                plain_ok: false,
-            }),
-            _ => None,
-        };
-    }
-    for _ in 0..plan.not_ect_blocked_global {
-        let idx = take_alive(&mut profiles);
-        profiles[idx].special = SpecialBehaviour::NotEctBlocked { ec2_only: false };
-    }
-    for _ in 0..plan.not_ect_blocked_ec2 {
-        let idx = take_alive(&mut profiles);
-        profiles[idx].special = SpecialBehaviour::NotEctBlocked { ec2_only: true };
-        // the paper's pair are Phoenix Public Library machines
-        profiles[idx].region = Region::NorthAmerica;
-        profiles[idx].country = "us".into();
-    }
-    profiles
-}
-
-// ---------------------------------------------------------------- builder
-
-/// Build the full scenario.
+/// Build the full scenario: decide once, instantiate once.
+///
+/// Campaign engines that need many live worlds from one seed should hold
+/// the [`crate::WorldBlueprint`] and call `instantiate` per world instead
+/// of calling this repeatedly.
 pub fn build_scenario(plan: &PoolPlan, seed: u64) -> Scenario {
-    let mut rng = derive_rng(seed, "scenario");
-    let mut sim = Sim::new(seed);
-    let mut asdb = AsDb::new();
-    let mut geodb = GeoDb::new();
-    let mut truth = GroundTruth::default();
-
-    let profiles = generate_profiles(plan, &mut rng);
-
-    // --- tier-1 mesh -----------------------------------------------------
-    let t1_count = plan.t1_count.max(2);
-    let mut t1_nodes = Vec::with_capacity(t1_count);
-    for i in 0..t1_count {
-        let node = sim.add_router(Router::new(format!("t1-{i}"), t1_addr(i), 100 + i as u32));
-        asdb.insert(t1_prefix(i).addr(), 16, 100 + i as u32);
-        t1_nodes.push(node);
-    }
-    // full mesh peer links: peer[i][j] = link i->j
-    let mut t1_peer: HashMap<(usize, usize), ecn_netsim::LinkId> = HashMap::new();
-    for i in 0..t1_count {
-        for j in (i + 1)..t1_count {
-            let (ij, ji) = sim.add_duplex(t1_nodes[i], t1_nodes[j], LinkProps::clean(CORE_DELAY));
-            t1_peer.insert((i, j), ij);
-            t1_peer.insert((j, i), ji);
-        }
-    }
-
-    // --- tier-2 transits ---------------------------------------------------
-    let t2_count = plan.t2_count.max(2);
-    // region-weighted assignment proportional to the server distribution
-    let region_weights: Vec<(Region, usize)> = TABLE1_DISTRIBUTION
-        .iter()
-        .filter(|(r, _)| *r != Region::Unknown)
-        .map(|(r, n)| (*r, (*n).max(1)))
-        .collect();
-    let weight_total: usize = region_weights.iter().map(|(_, n)| n).sum();
-    let mut t2_nodes = Vec::with_capacity(t2_count);
-    let mut t2_region = Vec::with_capacity(t2_count);
-    let mut t2_primary_t1 = Vec::with_capacity(t2_count);
-    let mut t2_uplink = Vec::with_capacity(t2_count); // core -> T1
-    let mut t1_downlink = Vec::with_capacity(t2_count); // T1 -> core
-    for j in 0..t2_count {
-        let mut pick = rng.gen_range(0..weight_total);
-        let mut region = Region::Europe;
-        for (r, w) in &region_weights {
-            if pick < *w {
-                region = *r;
-                break;
-            }
-            pick -= w;
-        }
-        let asn = 1000 + j as u32;
-        let node = sim.add_router(Router::new(format!("t2-{j}"), t2_core_addr(j), asn));
-        asdb.insert(t2_prefix(j).addr(), 16, asn);
-        let primary = rng.gen_range(0..t1_count);
-        let (up, down) = sim.add_duplex(node, t1_nodes[primary], LinkProps::clean(CORE_DELAY));
-        sim.route(
-            node,
-            "0.0.0.0/0".parse().expect("prefix"),
-            RouteEntry::Link(up),
-        );
-        t2_nodes.push(node);
-        t2_region.push(region);
-        t2_primary_t1.push(primary);
-        t2_uplink.push(up);
-        t1_downlink.push(down);
-    }
-    let t2_by_region: BTreeMap<Region, Vec<usize>> = {
-        let mut m: BTreeMap<Region, Vec<usize>> = BTreeMap::new();
-        for (j, r) in t2_region.iter().enumerate() {
-            m.entry(*r).or_default().push(j);
-        }
-        m
-    };
-
-    // --- vantages ----------------------------------------------------------
-    let specs = all_vantages();
-    let mut vantages = Vec::with_capacity(specs.len());
-    let mut vantage_routes: Vec<(Ipv4Prefix, usize, ecn_netsim::LinkId)> = Vec::new();
-    for (vi, spec) in specs.iter().enumerate() {
-        let asn = 30_000 + spec.net_index as u32;
-        let prefix = vantage_prefix(spec);
-        asdb.insert(prefix.addr(), 16, asn);
-        let cpe = sim.add_router(Router::new(
-            format!("{}-cpe", spec.key),
-            vantage_addr(spec, 1),
-            asn,
-        ));
-        let isp_a = sim.add_router(Router::new(
-            format!("{}-isp-a", spec.key),
-            vantage_addr(spec, 2),
-            asn,
-        ));
-        let isp_b = sim.add_router(Router::new(
-            format!("{}-isp-b", spec.key),
-            vantage_addr(spec, 3),
-            asn,
-        ));
-        let host_addr = vantage_addr(spec, 100);
-        let host = sim.add_host(format!("{}-host", spec.key), host_addr);
-
-        // access link carries the calibrated loss models
-        let up_props = LinkProps {
-            delay: EDGE_DELAY,
-            rate_bps: None,
-            queue: ecn_netsim::QueueDisc::deep_fifo(),
-            loss: spec.loss_up,
-        };
-        let down_props = LinkProps {
-            loss: spec.loss_down,
-            ..up_props
-        };
-        let up = sim.add_link(host, cpe, up_props);
-        let down = sim.add_link(cpe, host, down_props);
-        match &mut sim.nodes[host.0 as usize] {
-            ecn_netsim::Node::Host(h) => h.uplink = Some(up),
-            _ => unreachable!(),
-        }
-        sim.route(cpe, Ipv4Prefix::host(host_addr), RouteEntry::Link(down));
-
-        let (c_up, a_down) = sim.add_duplex(cpe, isp_a, LinkProps::clean(EDGE_DELAY));
-        let (a_up, b_down) = sim.add_duplex(isp_a, isp_b, LinkProps::clean(EDGE_DELAY));
-        // pick a T1 for this region (deterministic spread)
-        let t1_index = (spec.net_index as usize * 5 + vi) % t1_count;
-        let (b_up, t1_down) =
-            sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(CORE_DELAY));
-        sim.route(
-            cpe,
-            "0.0.0.0/0".parse().expect("prefix"),
-            RouteEntry::Link(c_up),
-        );
-        sim.route(
-            isp_a,
-            "0.0.0.0/0".parse().expect("prefix"),
-            RouteEntry::Link(a_up),
-        );
-        sim.route(isp_a, prefix, RouteEntry::Link(a_down));
-        sim.route(
-            isp_b,
-            "0.0.0.0/0".parse().expect("prefix"),
-            RouteEntry::Link(b_up),
-        );
-        sim.route(isp_b, prefix, RouteEntry::Link(b_down));
-        vantage_routes.push((prefix, t1_index, t1_down));
-
-        let handle = install(
-            &mut sim,
-            host,
-            StackConfig {
-                udp_port_unreachable: true,
-                seed: seed ^ (vi as u64) << 32,
-                ..StackConfig::default()
-            },
-        );
-        vantages.push(Vantage {
-            spec: spec.clone(),
-            node: host,
-            handle,
-            addr: host_addr,
-        });
-    }
-
-    // --- DNS host ----------------------------------------------------------
-    let dns_router = t1_nodes[0];
-    let dns_host = sim.add_host("pool-dns", DNS_ADDR);
-    sim.attach_host(dns_host, dns_router, LinkProps::clean(EDGE_DELAY));
-    asdb.insert(Ipv4Addr::new(198, 41, 0, 0), 24, 100);
-
-    // --- destination ASes with servers --------------------------------------
-    // group servers by region, pack into ASes of size 1..=4
-    let mut by_region: BTreeMap<Region, Vec<usize>> = BTreeMap::new();
-    for p in &profiles {
-        by_region.entry(p.region).or_default().push(p.index);
-    }
-    let mut servers: Vec<Option<ServerInfo>> = (0..plan.servers).map(|_| None).collect();
-    let mut dest_as_index = 0usize;
-    // per-AS bookkeeping for bleach placement
-    struct DestAsInfo {
-        pe: NodeId,
-        border: NodeId,
-        i2: NodeId,
-        has_special: bool,
-        /// (first access router, chain length) per server
-        access_heads: Vec<(NodeId, usize)>,
-    }
-    let mut dest_infos: Vec<DestAsInfo> = Vec::new();
-    let default_route: Ipv4Prefix = "0.0.0.0/0".parse().expect("prefix");
-    let ec2_prefix: Ipv4Prefix = EC2_SUPER_PREFIX.parse().expect("prefix");
-    let mut t1_leaf_routes: Vec<(Ipv4Prefix, usize)> = Vec::new(); // (prefix, primary t1)
-    let mut t2_customer_count = vec![0usize; t2_count];
-
-    for (region, mut members) in by_region {
-        members.sort_unstable();
-        members.shuffle(&mut rng);
-        let lookup_region = if region == Region::Unknown {
-            Region::Europe // unknown-geo servers still live somewhere
-        } else {
-            region
-        };
-        let t2_candidates = t2_by_region
-            .get(&lookup_region)
-            .cloned()
-            .unwrap_or_else(|| (0..t2_count).collect());
-        let mut i = 0;
-        while i < members.len() {
-            let size = *[1usize, 1, 2, 2, 2, 2, 3, 4]
-                .choose(&mut rng)
-                .expect("non-empty");
-            let chunk: Vec<usize> = members[i..(i + size).min(members.len())].to_vec();
-            i += chunk.len();
-            let k = dest_as_index;
-            dest_as_index += 1;
-            let asn = 20_000 + k as u32;
-            let prefix = dest_prefix(k);
-            asdb.insert(prefix.addr(), 20, asn);
-
-            // provider
-            let j = t2_candidates[rng.gen_range(0..t2_candidates.len())];
-            let customer = t2_customer_count[j];
-            t2_customer_count[j] += 1;
-            let t2_asn = 1000 + j as u32;
-
-            // routers: PE (provider AS) + B + I1 + I2 + I3
-            let pe = sim.add_router(Router::new(
-                format!("pe-{j}-{customer}"),
-                t2_pe_addr(j, customer),
-                t2_asn,
-            ));
-            let b = sim.add_router(Router::new(
-                format!("d{k}-border"),
-                dest_router_addr(k, 1),
-                asn,
-            ));
-            let i1 = sim.add_router(Router::new(format!("d{k}-i1"), dest_router_addr(k, 2), asn));
-            let i2 = sim.add_router(Router::new(format!("d{k}-i2"), dest_router_addr(k, 3), asn));
-            let i3 = sim.add_router(Router::new(format!("d{k}-i3"), dest_router_addr(k, 4), asn));
-
-            let (t2_to_pe, pe_to_t2) = {
-                let (a, bb) = sim.add_duplex(t2_nodes[j], pe, LinkProps::clean(EDGE_DELAY));
-                (a, bb)
-            };
-            let (pe_to_b, b_to_pe) = sim.add_duplex(pe, b, LinkProps::clean(EDGE_DELAY));
-            let (b_to_i1, i1_to_b) = sim.add_duplex(b, i1, LinkProps::clean(EDGE_DELAY));
-            let (i1_to_i2, i2_to_i1) = sim.add_duplex(i1, i2, LinkProps::clean(EDGE_DELAY));
-            let (i2_to_i3, i3_to_i2) = sim.add_duplex(i2, i3, LinkProps::clean(EDGE_DELAY));
-
-            sim.route(t2_nodes[j], prefix, RouteEntry::Link(t2_to_pe));
-            sim.route(pe, default_route, RouteEntry::Link(pe_to_t2));
-            sim.route(pe, prefix, RouteEntry::Link(pe_to_b));
-            sim.route(b, default_route, RouteEntry::Link(b_to_pe));
-            sim.route(b, prefix, RouteEntry::Link(b_to_i1));
-            sim.route(i1, default_route, RouteEntry::Link(i1_to_b));
-            sim.route(i1, prefix, RouteEntry::Link(i1_to_i2));
-            sim.route(i2, default_route, RouteEntry::Link(i2_to_i1));
-            sim.route(i2, prefix, RouteEntry::Link(i2_to_i3));
-            sim.route(i3, default_route, RouteEntry::Link(i3_to_i2));
-            t1_leaf_routes.push((prefix, j));
-
-            let mut info = DestAsInfo {
-                pe,
-                border: b,
-                i2,
-                has_special: false,
-                access_heads: Vec::new(),
-            };
-
-            // servers
-            let mut access_slot = 16u32;
-            for (server_slot, (s_in_as, &pidx)) in (2048u32..).zip(chunk.iter().enumerate()) {
-                let profile = &profiles[pidx];
-                let server_addr = dest_router_addr(k, server_slot);
-                let host = sim.add_host(format!("srv-{pidx}"), server_addr);
-
-                if profile.special != SpecialBehaviour::None {
-                    info.has_special = true;
-                }
-
-                let flaky_ect = profile.special == SpecialBehaviour::EctBlocked { flaky: true };
-                if flaky_ect {
-                    // two parallel single-router branches; only one filtered
-                    let a_fw = sim.add_router(Router::new(
-                        format!("d{k}-s{s_in_as}-fw"),
-                        dest_router_addr(k, access_slot),
-                        asn,
-                    ));
-                    let a_clean = sim.add_router(Router::new(
-                        format!("d{k}-s{s_in_as}-alt"),
-                        dest_router_addr(k, access_slot + 1),
-                        asn,
-                    ));
-                    access_slot += 2;
-                    sim.nodes[a_fw.0 as usize].as_router_mut().firewall =
-                        Firewall::single(FirewallRule::drop_ect_udp());
-                    let (fw_up, fw_down_i3) =
-                        sim.add_duplex(a_fw, i3, LinkProps::clean(EDGE_DELAY));
-                    let (cl_up, cl_down_i3) =
-                        sim.add_duplex(a_clean, i3, LinkProps::clean(EDGE_DELAY));
-                    let _ = (fw_down_i3, cl_down_i3);
-                    sim.route(a_fw, default_route, RouteEntry::Link(fw_up));
-                    sim.route(a_clean, default_route, RouteEntry::Link(cl_up));
-                    // host attaches to the firewalled branch; extra
-                    // delivery link from the clean branch
-                    sim.attach_host(host, a_fw, LinkProps::clean(EDGE_DELAY));
-                    let clean_down = sim.add_link(a_clean, host, LinkProps::clean(EDGE_DELAY));
-                    sim.route(
-                        a_clean,
-                        Ipv4Prefix::host(server_addr),
-                        RouteEntry::Link(clean_down),
-                    );
-                    // ECMP at I3: epoch-hashed branch choice
-                    let to_fw = sim.add_link(i3, a_fw, LinkProps::clean(EDGE_DELAY));
-                    let to_clean = sim.add_link(i3, a_clean, LinkProps::clean(EDGE_DELAY));
-                    sim.route(
-                        i3,
-                        Ipv4Prefix::host(server_addr),
-                        RouteEntry::Ecmp(vec![to_fw, to_clean]),
-                    );
-                    info.access_heads.push((a_fw, 1));
-                } else {
-                    // linear access chain of profile.access_chain_len routers
-                    let mut chain = Vec::new();
-                    for c in 0..profile.access_chain_len {
-                        let r = sim.add_router(Router::new(
-                            format!("d{k}-s{s_in_as}-a{c}"),
-                            dest_router_addr(k, access_slot),
-                            asn,
-                        ));
-                        access_slot += 1;
-                        chain.push(r);
-                    }
-                    // wire i3 -> chain[0] -> ... -> host
-                    let mut prev = i3;
-                    for (ci, &r) in chain.iter().enumerate() {
-                        let (down, up) = {
-                            let (d, u) = sim.add_duplex(prev, r, LinkProps::clean(EDGE_DELAY));
-                            (d, u)
-                        };
-                        sim.route(prev, Ipv4Prefix::host(server_addr), RouteEntry::Link(down));
-                        sim.route(r, default_route, RouteEntry::Link(up));
-                        let _ = ci;
-                        prev = r;
-                    }
-                    sim.attach_host(host, prev, LinkProps::clean(EDGE_DELAY));
-                    // firewall on the last access router for special servers
-                    let last = prev;
-                    match profile.special {
-                        SpecialBehaviour::EctBlocked { flaky: false } => {
-                            sim.nodes[last.0 as usize].as_router_mut().firewall =
-                                Firewall::single(FirewallRule::drop_ect_udp());
-                        }
-                        SpecialBehaviour::NotEctBlocked { ec2_only: false } => {
-                            sim.nodes[last.0 as usize].as_router_mut().firewall =
-                                Firewall::single(FirewallRule::drop_not_ect_udp());
-                        }
-                        SpecialBehaviour::NotEctBlocked { ec2_only: true } => {
-                            sim.nodes[last.0 as usize].as_router_mut().firewall = Firewall::single(
-                                FirewallRule::drop_not_ect_udp().from_sources(ec2_prefix),
-                            );
-                        }
-                        _ => {}
-                    }
-                    info.access_heads.push((chain[0], chain.len()));
-                }
-
-                // stack + services
-                let handle = install(
-                    &mut sim,
-                    host,
-                    StackConfig {
-                        udp_port_unreachable: false,
-                        tcp_rst_on_closed: true,
-                        echo_replies: true,
-                        availability: profile.availability,
-                        seed: seed ^ 0x5e17_0000 ^ pidx as u64,
-                    },
-                );
-                handle.register_udp_service(
-                    123,
-                    Box::new(NtpServerService::new(NtpServerConfig {
-                        stratum: profile.stratum,
-                        reference_id: *b"POOL",
-                        kod: None,
-                    })),
-                );
-                if let Some(web) = &profile.web {
-                    let kind = if web.plain_ok {
-                        HttpServerKind::PlainOk
-                    } else {
-                        HttpServerKind::PoolRedirect
-                    };
-                    handle.register_tcp_listener(
-                        80,
-                        web.ecn,
-                        Some(Box::new(PoolHttpService::new(kind))),
-                    );
-                }
-
-                // geo + truth bookkeeping
-                let (lat, lon) = sample_location(profile.region, &mut rng);
-                if profile.region != Region::Unknown {
-                    geodb.insert(
-                        server_addr,
-                        GeoRecord {
-                            region: profile.region,
-                            country: profile.country.clone(),
-                            lat,
-                            lon,
-                        },
-                    );
-                }
-                match profile.special {
-                    SpecialBehaviour::EctBlocked { flaky: true } => {
-                        truth.ect_blocked_flaky.push(server_addr)
-                    }
-                    SpecialBehaviour::EctBlocked { flaky: false } => {
-                        truth.ect_blocked.push(server_addr)
-                    }
-                    SpecialBehaviour::NotEctBlocked { ec2_only: false } => {
-                        truth.not_ect_blocked.push(server_addr)
-                    }
-                    SpecialBehaviour::NotEctBlocked { ec2_only: true } => {
-                        truth.not_ect_blocked_ec2.push(server_addr)
-                    }
-                    SpecialBehaviour::None => {}
-                }
-                if profile.web.is_some() {
-                    truth.web_server_count += 1;
-                    if profile.web.as_ref().map(|w| w.ecn) == Some(EcnMode::On) {
-                        truth.web_ecn_on_count += 1;
-                    }
-                }
-                match profile.availability {
-                    AvailabilityModel::AlwaysDown => truth.always_down_count += 1,
-                    AvailabilityModel::DownAfter(_) => truth.churn_down_count += 1,
-                    _ => {}
-                }
-
-                servers[pidx] = Some(ServerInfo {
-                    addr: server_addr,
-                    profile: profile.clone(),
-                    node: host,
-                    as_index: k,
-                });
-            }
-            dest_infos.push(info);
-        }
-    }
-    truth.dest_as_count = dest_as_index;
-
-    // --- T1 full tables -----------------------------------------------------
-    // `t1_leaf_routes` records (dest prefix, serving T2 index): the owning
-    // T1 routes down its T2 link; every other T1 routes across the mesh to
-    // the owner.
-    for (i, &t1) in t1_nodes.iter().enumerate() {
-        for (prefix, j) in &t1_leaf_routes {
-            let owner = t2_primary_t1[*j];
-            let entry = if owner == i {
-                RouteEntry::Link(t1_downlink[*j])
-            } else {
-                RouteEntry::Link(t1_peer[&(i, owner)])
-            };
-            sim.route(t1, *prefix, entry);
-        }
-        for (prefix, t1_index, down) in &vantage_routes {
-            if *t1_index == i {
-                sim.route(t1, *prefix, RouteEntry::Link(*down));
-            } else {
-                sim.route(t1, *prefix, RouteEntry::Link(t1_peer[&(i, *t1_index)]));
-            }
-        }
-        let dns_prefix: Ipv4Prefix = DNS_PREFIX_STR.parse().expect("prefix");
-        if i != 0 {
-            sim.route(t1, dns_prefix, RouteEntry::Link(t1_peer[&(i, 0)]));
-        }
-    }
-
-    // --- wire ground-truth bleachers -----------------------------------------
-    let mut candidate_as: Vec<usize> = (0..dest_infos.len())
-        .filter(|&k| !dest_infos[k].has_special)
-        .collect();
-    candidate_as.shuffle(&mut rng);
-    let mut next_as = candidate_as.into_iter();
-    let place = |site: BleachSite,
-                 prob: Option<f64>,
-                 sim: &mut Sim,
-                 truth: &mut GroundTruth,
-                 dest_infos: &Vec<DestAsInfo>,
-                 next_as: &mut dyn Iterator<Item = usize>| {
-        for k in &mut *next_as {
-            let info = &dest_infos[k];
-            let node = match site {
-                BleachSite::ProviderEdge => info.pe,
-                BleachSite::Border => info.border,
-                BleachSite::Interior => info.i2,
-                BleachSite::Access => {
-                    // need a chain of length >= 2 so a red tail exists
-                    match info.access_heads.iter().find(|(_, len)| *len >= 2) {
-                        Some((head, _)) => *head,
-                        None => continue,
-                    }
-                }
-            };
-            let policy = match prob {
-                None => EcnPolicy::Bleach,
-                Some(p) => EcnPolicy::BleachProb(p),
-            };
-            sim.nodes[node.0 as usize].as_router_mut().ecn_policy = policy;
-            match prob {
-                None => truth.bleach_always.push((node, site)),
-                Some(_) => truth.bleach_sometimes.push((node, site)),
-            }
-            return;
-        }
-        panic!("ran out of candidate ASes for bleacher placement");
-    };
-    for _ in 0..plan.bleach_pe {
-        place(
-            BleachSite::ProviderEdge,
-            None,
-            &mut sim,
-            &mut truth,
-            &dest_infos,
-            &mut next_as,
-        );
-    }
-    for _ in 0..plan.bleach_border {
-        place(
-            BleachSite::Border,
-            None,
-            &mut sim,
-            &mut truth,
-            &dest_infos,
-            &mut next_as,
-        );
-    }
-    for _ in 0..plan.bleach_interior {
-        place(
-            BleachSite::Interior,
-            None,
-            &mut sim,
-            &mut truth,
-            &dest_infos,
-            &mut next_as,
-        );
-    }
-    for _ in 0..plan.bleach_access {
-        place(
-            BleachSite::Access,
-            None,
-            &mut sim,
-            &mut truth,
-            &dest_infos,
-            &mut next_as,
-        );
-    }
-    for _ in 0..plan.bleach_prob_pe {
-        place(
-            BleachSite::ProviderEdge,
-            Some(plan.bleach_prob),
-            &mut sim,
-            &mut truth,
-            &dest_infos,
-            &mut next_as,
-        );
-    }
-    for _ in 0..plan.bleach_prob_access {
-        place(
-            BleachSite::Access,
-            Some(plan.bleach_prob),
-            &mut sim,
-            &mut truth,
-            &dest_infos,
-            &mut next_as,
-        );
-    }
-
-    // --- DNS zone -------------------------------------------------------------
-    let server_infos: Vec<ServerInfo> = servers
-        .into_iter()
-        .map(|s| s.expect("every profile placed"))
-        .collect();
-    let mut zone: HashMap<String, Vec<Ipv4Addr>> = HashMap::new();
-    let all_addrs: Vec<Ipv4Addr> = server_infos.iter().map(|s| s.addr).collect();
-    zone.insert("pool.ntp.org".into(), all_addrs.clone());
-    for i in 0..4 {
-        zone.insert(format!("{i}.pool.ntp.org"), all_addrs.clone());
-    }
-    for s in &server_infos {
-        if let Some(zone_name) = ecn_geo::region_zone(s.profile.region) {
-            zone.entry(format!("{zone_name}.pool.ntp.org"))
-                .or_default()
-                .push(s.addr);
-        }
-        if !s.profile.country.is_empty() {
-            zone.entry(format!("{}.pool.ntp.org", s.profile.country))
-                .or_default()
-                .push(s.addr);
-        }
-    }
-    let dns_handle = install(
-        &mut sim,
-        dns_host,
-        StackConfig {
-            seed: seed ^ 0xd15,
-            ..StackConfig::default()
-        },
-    );
-    dns_handle.register_udp_service(53, Box::new(PoolDnsService::new(zone)));
-
-    Scenario {
-        sim,
-        vantages,
-        servers: server_infos,
-        dns_addr: DNS_ADDR,
-        geodb,
-        asdb,
-        truth,
-        plan: plan.clone(),
-    }
+    crate::blueprint::WorldBlueprint::build(plan, seed).instantiate()
 }

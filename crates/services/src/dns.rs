@@ -8,6 +8,7 @@ use ecn_stack::UdpService;
 use ecn_wire::{DnsMessage, Ecn};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// How many A records one answer carries (the real pool returns 4).
 pub const ANSWERS_PER_QUERY: usize = 4;
@@ -15,8 +16,11 @@ pub const ANSWERS_PER_QUERY: usize = 4;
 pub const POOL_TTL: u32 = 150;
 
 /// The authoritative zone: name → member addresses, served round-robin.
+/// The zone itself is immutable and shareable (`Arc`), so stamping out
+/// many simulated worlds from one blueprint costs no zone copies; only
+/// the per-world rotation cursor is owned.
 pub struct PoolDnsService {
-    zone: HashMap<String, Vec<Ipv4Addr>>,
+    zone: Arc<HashMap<String, Vec<Ipv4Addr>>>,
     cursor: HashMap<String, usize>,
 }
 
@@ -25,10 +29,21 @@ impl PoolDnsService {
     /// without a trailing dot.
     pub fn new(zone: impl IntoIterator<Item = (String, Vec<Ipv4Addr>)>) -> PoolDnsService {
         PoolDnsService {
-            zone: zone
-                .into_iter()
-                .map(|(n, v)| (n.trim_end_matches('.').to_ascii_lowercase(), v))
-                .collect(),
+            zone: Arc::new(
+                zone.into_iter()
+                    .map(|(n, v)| (n.trim_end_matches('.').to_ascii_lowercase(), v))
+                    .collect(),
+            ),
+            cursor: HashMap::new(),
+        }
+    }
+
+    /// Share an already-normalised zone (lowercase names, no trailing
+    /// dots) without copying it. Blueprint-backed world instantiation
+    /// uses this to give every world the same zone for free.
+    pub fn new_shared(zone: Arc<HashMap<String, Vec<Ipv4Addr>>>) -> PoolDnsService {
+        PoolDnsService {
+            zone,
             cursor: HashMap::new(),
         }
     }

@@ -1,6 +1,6 @@
 //! The complete measurement study, end to end: discovery, the 210-trace
 //! campaign from all 13 vantages, the traceroute survey, and every table
-//! and figure of the paper.
+//! and figure of the paper — executed by the sharded campaign engine.
 //!
 //! Usage:
 //!
@@ -8,18 +8,26 @@
 //! cargo run --release --example full_study                 # paper scale (2500 servers)
 //! cargo run --release --example full_study -- 250          # scaled-down population
 //! cargo run --release --example full_study -- 250 42       # custom seed
+//! ECNUDP_SHARDS=4 cargo run --release --example full_study # pin the shard count
 //! ```
+//!
+//! `ECNUDP_SHARDS` selects the engine's shard count (default: available
+//! parallelism). Any value yields byte-identical reports; it only changes
+//! how the work units spread across threads.
 //!
 //! At paper scale this simulates hundreds of millions of per-hop packet
 //! events; build with `--release`.
 
-use ecnudp::core::{run_campaign_parallel, CampaignConfig, FullReport};
+use ecnudp::core::{run_engine, CampaignConfig, EngineConfig, FullReport};
 use ecnudp::pool::PoolPlan;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let servers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2500);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2015);
+    let shards: Option<usize> = std::env::var("ECNUDP_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok());
 
     let plan = if servers == 2500 {
         PoolPlan::paper()
@@ -30,6 +38,10 @@ fn main() {
         seed,
         ..CampaignConfig::default()
     };
+    let eng = EngineConfig {
+        shards,
+        ..EngineConfig::default()
+    };
 
     eprintln!(
         "building the simulated Internet: {} servers, ~{} ASes, 13 vantages…",
@@ -37,16 +49,27 @@ fn main() {
         plan.total_as_count()
     );
     let t0 = std::time::Instant::now();
-    let result = run_campaign_parallel(&plan, &cfg);
+    let run = run_engine(&plan, &cfg, &eng);
+    let result = &run.result;
     eprintln!(
-        "campaign done in {:.1}s wall: {} targets discovered, {} traces, {} traceroute paths",
+        "campaign done in {:.1}s wall ({} shards over {} work units): {} targets discovered, {} traces, {} traceroute paths",
         t0.elapsed().as_secs_f64(),
+        run.shards,
+        run.units,
         result.targets.len(),
         result.traces.len(),
         result.routes.iter().map(|r| r.paths.len()).sum::<usize>(),
     );
+    eprintln!(
+        "engine timing: blueprint build {:.3}s | discovery {:.1}s | instantiate {:.3}s | probe {:.1}s | reduce {:.3}s",
+        run.timing.blueprint_build.as_secs_f64(),
+        run.timing.discovery.as_secs_f64(),
+        run.timing.instantiate.as_secs_f64(),
+        run.timing.probe.as_secs_f64(),
+        run.timing.reduce.as_secs_f64(),
+    );
 
-    let report = FullReport::from_campaign(&result);
+    let report = FullReport::from_campaign(result);
     println!("{}", report.render());
 
     // Ground-truth audit (not visible to the prober; printed for

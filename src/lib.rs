@@ -6,12 +6,18 @@
 //! simulator, host stack, application services, pool population model).
 //!
 //! ```no_run
-//! use ecnudp::core::{run_campaign_parallel, CampaignConfig, FullReport};
+//! use ecnudp::core::{run_engine, CampaignConfig, EngineConfig, FullReport};
 //! use ecnudp::pool::PoolPlan;
 //!
-//! let result = run_campaign_parallel(&PoolPlan::paper(), &CampaignConfig::default());
-//! let report = FullReport::from_campaign(&result);
+//! // One blueprint, work-stealing shards, byte-identical for any shard count.
+//! let run = run_engine(
+//!     &PoolPlan::paper(),
+//!     &CampaignConfig::default(),
+//!     &EngineConfig::default(),
+//! );
+//! let report = FullReport::from_campaign(&run.result);
 //! println!("{}", report.render());
+//! eprintln!("{}", run.timing.render());
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the

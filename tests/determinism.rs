@@ -1,34 +1,70 @@
-//! Determinism regression: the entire pipeline — scenario construction,
-//! discovery, probing, traceroute, analysis, report rendering — must be
-//! a pure function of (plan, config, seed). Guards the seed-derivation
-//! scheme in `ecn_netsim::rng` against accidental global-RNG leaks.
+//! Determinism regressions: the entire pipeline — blueprint construction,
+//! world instantiation, discovery, probing, traceroute, analysis, report
+//! rendering — must be a pure function of (plan, config, seed), and of
+//! *nothing else*. In particular the engine's shard count and its
+//! work-stealing schedule are pure concurrency knobs: `FullReport::render`
+//! must be byte-identical across `shards = 1, 4, 13, 32` (sharding
+//! invariance, not just same-seed stability).
 
-use ecnudp::core::{run_campaign, CampaignConfig, FullReport};
+use ecnudp::core::{run_engine, CampaignConfig, EngineConfig, FullReport, UnitOrder};
 use ecnudp::pool::PoolPlan;
+use std::sync::OnceLock;
 
-fn rendered_report(seed: u64) -> String {
-    let plan = PoolPlan::scaled(40);
-    let cfg = CampaignConfig {
+fn mini_cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig {
         discovery_rounds: 25,
         traces_per_vantage: Some(1),
         ..CampaignConfig::quick(seed)
-    };
-    let result = run_campaign(&plan, &cfg);
-    FullReport::from_campaign(&result).render()
+    }
+}
+
+fn rendered_with(seed: u64, eng: &EngineConfig) -> String {
+    let plan = PoolPlan::scaled(40);
+    let run = run_engine(&plan, &mini_cfg(seed), eng);
+    FullReport::from_campaign(&run.result).render()
+}
+
+/// The shards=1 baseline for seed 2015, computed once and shared by both
+/// tests below.
+fn baseline_2015() -> &'static String {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| rendered_with(2015, &EngineConfig::with_shards(1)))
 }
 
 #[test]
 fn same_seed_same_report_different_seed_different_report() {
-    let first = rendered_report(2015);
-    let second = rendered_report(2015);
+    let first = baseline_2015();
+    let second = rendered_with(2015, &EngineConfig::with_shards(1));
     assert_eq!(
-        first, second,
+        *first, second,
         "same seed must render a byte-identical report"
     );
 
-    let other = rendered_report(2016);
+    let other = rendered_with(2016, &EngineConfig::with_shards(1));
     assert_ne!(
-        first, other,
+        *first, other,
         "a different seed must change the measured world"
     );
+}
+
+#[test]
+fn report_is_byte_identical_across_shard_counts() {
+    let sequential = baseline_2015();
+    for shards in [4usize, 13, 32] {
+        let sharded = rendered_with(2015, &EngineConfig::with_shards(shards));
+        assert_eq!(
+            *sequential, sharded,
+            "shards={shards} must render the exact sequential report"
+        );
+    }
+    // and the work-stealing schedule must not matter either
+    let reversed = rendered_with(
+        2015,
+        &EngineConfig {
+            shards: Some(4),
+            unit_order: UnitOrder::Reversed,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(*sequential, reversed, "unit scheduling order leaks");
 }
