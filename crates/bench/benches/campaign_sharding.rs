@@ -128,7 +128,8 @@ fn main() {
         legacy_ms / engine_at_cpus
     );
 
-    // BENCH_campaign.json: the perf trajectory artefact.
+    // BENCH_campaign.json: the perf trajectory artefact. Each bench target
+    // owns one top-level section; `update_bench_json` preserves the rest.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"servers\": {servers},\n"));
     json.push_str(&format!(
@@ -148,10 +149,10 @@ fn main() {
         "  \"speedup_at_num_cpus\": {:.3}\n",
         legacy_ms / engine_at_cpus
     ));
-    json.push_str("}\n");
+    json.push('}');
     // cargo runs benches with CWD = the package dir; emit at the workspace
     // root where CI picks the artefact up
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
-    std::fs::write(&out, &json).expect("write BENCH_campaign.json");
+    ecn_bench::update_bench_json(&out, "campaign_sharding", &json);
     println!("[campaign_sharding] wall-clock table -> BENCH_campaign.json");
 }

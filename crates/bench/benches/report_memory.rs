@@ -1,0 +1,86 @@
+//! Report-path memory bench: the streamed-aggregate (trace-free) default
+//! versus the legacy trace-keeping escape hatch, on the same campaign.
+//!
+//! The metric that matters is `peak_resident_traces` — the maximum number
+//! of `TraceRecord`s simultaneously retained across all shards. The
+//! trace-free path must report **zero** (the engine's reducers are the
+//! report path's only data source); the keeping path retains every record
+//! it schedules, which is the O(traces) memory floor this bench tracks
+//! the removal of. Both paths must render byte-identical reports.
+//!
+//! Emits the `report_memory` section of `BENCH_campaign.json`.
+//!
+//! Scale knobs (env): `ECNUDP_BENCH_SERVERS` (default 150),
+//! `ECNUDP_BENCH_TRACES` (per vantage, default 2).
+
+use ecn_bench::BENCH_SEED;
+use ecn_core::{run_engine, CampaignConfig, EngineConfig, FullReport};
+use ecn_pool::PoolPlan;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let servers = env_usize("ECNUDP_BENCH_SERVERS", 150);
+    let traces_per_vantage = env_usize("ECNUDP_BENCH_TRACES", 2);
+    let plan = PoolPlan::scaled(servers);
+    let cfg = CampaignConfig {
+        discovery_rounds: 40,
+        traces_per_vantage: Some(traces_per_vantage),
+        ..CampaignConfig::quick(BENCH_SEED)
+    };
+
+    println!("[report_memory] {servers} servers, {traces_per_vantage} traces/vantage");
+
+    // The default: reducer-only campaign + aggregates-first render.
+    let t0 = Instant::now();
+    let lean = run_engine(&plan, &cfg, &EngineConfig::default());
+    let lean_report = FullReport::from_aggregates(&lean.result).render();
+    let lean_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    // The escape hatch: retain every TraceRecord, render via the legacy
+    // trace walk.
+    let t0 = Instant::now();
+    let kept = run_engine(&plan, &cfg, &EngineConfig::default().keeping_traces());
+    let kept_report = FullReport::from_traces(&kept.result).render();
+    let kept_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    assert_eq!(
+        lean_report, kept_report,
+        "trace-free and trace-derived reports must be byte-identical"
+    );
+    assert_eq!(
+        lean.peak_resident_traces, 0,
+        "trace-free path retained a TraceRecord"
+    );
+    let logical_traces = lean.result.aggregates.trace_stats.len();
+    assert_eq!(kept.peak_resident_traces, kept.result.traces.len());
+
+    // Outcome observations per second through the streaming path: the
+    // (server, trace) measurements the reducers absorbed per wall second.
+    let observations = logical_traces * lean.result.targets.len();
+    let obs_per_sec = observations as f64 / (lean_ms / 1000.0);
+
+    println!(
+        "[report_memory] trace-free: {lean_ms:.0} ms, peak resident traces {} ({} logical traces, {observations} observations, {obs_per_sec:.0} obs/s)",
+        lean.peak_resident_traces, logical_traces,
+    );
+    println!(
+        "[report_memory] keep-traces: {kept_ms:.0} ms, peak resident traces {}",
+        kept.peak_resident_traces,
+    );
+    println!("[report_memory] reports byte-identical across both paths");
+
+    let json = format!(
+        "{{\n  \"servers\": {servers},\n  \"traces_per_vantage\": {traces_per_vantage},\n  \"logical_traces\": {logical_traces},\n  \"observations\": {observations},\n  \"trace_free_peak_resident_traces\": {},\n  \"keep_traces_peak_resident_traces\": {},\n  \"trace_free_ms\": {lean_ms:.1},\n  \"keep_traces_ms\": {kept_ms:.1},\n  \"observations_per_sec\": {obs_per_sec:.0},\n  \"reports_byte_identical\": true\n}}",
+        lean.peak_resident_traces, kept.peak_resident_traces,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    ecn_bench::update_bench_json(&out, "report_memory", &json);
+    println!("[report_memory] memory table -> BENCH_campaign.json");
+}

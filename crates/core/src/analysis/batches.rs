@@ -5,10 +5,10 @@
 //! churned servers — reachable in a majority of batch-1 traces, gone in
 //! batch 2.
 
+use crate::reducers::{BatchCounts, Reduce, TraceCtx};
 use crate::report::render_table;
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Per-batch aggregates plus the churn inference.
@@ -29,59 +29,57 @@ pub struct BatchComparison {
     pub never_reachable: usize,
 }
 
-/// Compare the two collection batches.
+/// Compare the two collection batches (the legacy trace walk): replay the
+/// records through the streaming reducer, then finalize.
 pub fn batch_comparison(traces: &[TraceRecord]) -> BatchComparison {
-    let mut per_server: BTreeMap<Ipv4Addr, [(u32, u32); 2]> = BTreeMap::new();
-    let mut batch_traces = [0usize; 2];
-    let mut batch_reach_sum = [0usize; 2];
-    for t in traces {
-        let b = usize::from(t.batch.clamp(1, 2)) - 1;
-        batch_traces[b] += 1;
-        batch_reach_sum[b] += t.udp_plain_reachable();
-        for o in &t.outcomes {
-            let e = per_server.entry(o.server).or_insert([(0, 0), (0, 0)]);
-            e[b].1 += 1;
-            e[b].0 += u32::from(o.udp_plain.reachable);
-        }
+    let mut counts = BatchCounts::default();
+    for (i, t) in traces.iter().enumerate() {
+        counts.observe_trace(t, &TraceCtx::whole(0, i));
     }
-    let frac = |(hits, total): (u32, u32)| {
-        if total == 0 {
-            f64::NAN
-        } else {
-            f64::from(hits) / f64::from(total)
-        }
-    };
-    let mut churned = Vec::new();
-    let mut never = 0usize;
-    for (addr, counts) in &per_server {
-        let f1 = frac(counts[0]);
-        let f2 = frac(counts[1]);
-        if counts[0].0 == 0 && counts[1].0 == 0 {
-            never += 1;
-            continue;
-        }
-        if f1.is_finite() && f2.is_finite() && f1 > 0.5 && f2 < 0.1 {
-            churned.push(*addr);
-        }
-    }
-    let avg = |b: usize| {
-        if batch_traces[b] == 0 {
-            0.0
-        } else {
-            batch_reach_sum[b] as f64 / batch_traces[b] as f64
-        }
-    };
-    BatchComparison {
-        batch1_traces: batch_traces[0],
-        batch2_traces: batch_traces[1],
-        batch1_avg_reachable: avg(0),
-        batch2_avg_reachable: avg(1),
-        churned,
-        never_reachable: never,
-    }
+    BatchComparison::from_counts(&counts)
 }
 
 impl BatchComparison {
+    /// Finalize the streamed batch counters — the single derivation both
+    /// report paths share.
+    pub fn from_counts(counts: &BatchCounts) -> BatchComparison {
+        let frac = |(hits, total): (u32, u32)| {
+            if total == 0 {
+                f64::NAN
+            } else {
+                f64::from(hits) / f64::from(total)
+            }
+        };
+        let mut churned = Vec::new();
+        let mut never = 0usize;
+        for (addr, c) in &counts.per_server {
+            let f1 = frac(c[0]);
+            let f2 = frac(c[1]);
+            if c[0].0 == 0 && c[1].0 == 0 {
+                never += 1;
+                continue;
+            }
+            if f1.is_finite() && f2.is_finite() && f1 > 0.5 && f2 < 0.1 {
+                churned.push(*addr);
+            }
+        }
+        let avg = |b: usize| {
+            if counts.batch_traces[b] == 0 {
+                0.0
+            } else {
+                counts.batch_reach_sum[b] as f64 / counts.batch_traces[b] as f64
+            }
+        };
+        BatchComparison {
+            batch1_traces: counts.batch_traces[0] as usize,
+            batch2_traces: counts.batch_traces[1] as usize,
+            batch1_avg_reachable: avg(0),
+            batch2_avg_reachable: avg(1),
+            churned,
+            never_reachable: never,
+        }
+    }
+
     /// Drop in mean reachability from batch 1 to batch 2.
     pub fn reachability_drop(&self) -> f64 {
         self.batch1_avg_reachable - self.batch2_avg_reachable

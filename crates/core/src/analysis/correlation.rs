@@ -3,6 +3,7 @@
 //! most servers that blackhole ECT-marked UDP still negotiate ECN fine
 //! over TCP — evidence of UDP-specific ECT filtering.
 
+use crate::reducers::{Reduce, Table2Counts, TraceCtx};
 use crate::report::render_table;
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
@@ -37,91 +38,45 @@ pub struct Table2 {
     pub blocked_but_negotiates: f64,
 }
 
-/// Compute Table 2.
+/// Compute Table 2 from campaign traces (the legacy trace walk): replay
+/// the records through the streaming reducer, then finalize.
 pub fn table2(traces: &[TraceRecord]) -> Table2 {
     let mut order: Vec<String> = Vec::new();
-    let mut acc: std::collections::HashMap<String, (f64, f64, f64, usize)> =
-        std::collections::HashMap::new();
-    // 2x2 contingency counts over (udp_diff, tcp_ecn_fail)
-    let (mut n11, mut n10, mut n01, mut n00) = (0f64, 0f64, 0f64, 0f64);
-    let mut blocked_negotiated = 0usize;
-    let mut blocked_tcp_reachable = 0usize;
-
-    for t in traces {
-        if !acc.contains_key(&t.vantage_name) {
+    let mut counts = Table2Counts::default();
+    for (i, t) in traces.iter().enumerate() {
+        if !order.contains(&t.vantage_name) {
             order.push(t.vantage_name.clone());
         }
-        let mut udp_unreach = 0usize;
-        let mut fail = 0usize;
-        let mut ok = 0usize;
-        for o in &t.outcomes {
-            let diff = o.udp_diff_plain_only();
-            if diff {
-                udp_unreach += 1;
-                if o.tcp_ecn.reachable {
-                    blocked_tcp_reachable += 1;
-                    if o.tcp_ecn.negotiated_ecn {
-                        ok += 1;
-                        blocked_negotiated += 1;
-                    } else {
-                        fail += 1;
-                    }
-                }
-            }
-            // contingency over observations where both verdicts are defined
-            if o.udp_plain.reachable && o.tcp_ecn.reachable {
-                let refuses = !o.tcp_ecn.negotiated_ecn;
-                match (diff, refuses) {
-                    (true, true) => n11 += 1.0,
-                    (true, false) => n10 += 1.0,
-                    (false, true) => n01 += 1.0,
-                    (false, false) => n00 += 1.0,
-                }
-            }
-        }
-        let e = acc
-            .entry(t.vantage_name.clone())
-            .or_insert((0.0, 0.0, 0.0, 0));
-        e.0 += udp_unreach as f64;
-        e.1 += fail as f64;
-        e.2 += ok as f64;
-        e.3 += 1;
+        counts.observe_trace(t, &TraceCtx::whole(0, i));
     }
-
-    let rows: Vec<Table2Row> = order
-        .into_iter()
-        .map(|name| {
-            let (u, f, k, c) = acc[&name];
-            Table2Row {
-                location: name,
-                avg_udp_ect_unreachable: u / c as f64,
-                avg_fail_tcp_ecn: f / c as f64,
-                avg_ok_tcp_ecn: k / c as f64,
-                traces: c,
-            }
-        })
-        .collect();
-
-    let denom = ((n11 + n10) * (n01 + n00) * (n11 + n01) * (n10 + n00)).sqrt();
-    let phi = if denom < 1e-12 {
-        0.0
-    } else {
-        (n11 * n00 - n10 * n01) / denom
-    };
-    let blocked_but_negotiates = if blocked_tcp_reachable == 0 {
-        0.0
-    } else {
-        blocked_negotiated as f64 / blocked_tcp_reachable as f64
-    };
-
-    Table2 {
-        rows,
-        phi,
-        blocked_but_negotiates,
-    }
+    Table2::from_counts(&counts, &order)
 }
 
 impl Table2 {
+    /// Finalize the streamed Table 2 counters, with rows in `order`
+    /// (first-seen campaign order). Averages and φ are exact integer
+    /// ratios, so both report paths produce identical floats.
+    pub fn from_counts(counts: &Table2Counts, order: &[String]) -> Table2 {
+        let rows: Vec<Table2Row> = order
+            .iter()
+            .filter_map(|name| {
+                let v = counts.per_vantage.get(name)?;
+                Some(Table2Row {
+                    location: name.clone(),
+                    avg_udp_ect_unreachable: v.udp_ect_unreachable as f64 / v.traces as f64,
+                    avg_fail_tcp_ecn: v.fail_tcp_ecn as f64 / v.traces as f64,
+                    avg_ok_tcp_ecn: v.ok_tcp_ecn as f64 / v.traces as f64,
+                    traces: v.traces as usize,
+                })
+            })
+            .collect();
+        Table2 {
+            rows,
+            phi: counts.phi(),
+            blocked_but_negotiates: counts.blocked_but_negotiates(),
+        }
+    }
+
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let rows: Vec<Vec<String>> = self

@@ -5,14 +5,15 @@
 //! per location above 50% in 3a (the same set everywhere ⇒ drops near the
 //! destination), at most 3 in 3b.
 
+use crate::reducers::{DifferentialCounts, Reduce, TraceCtx};
 use crate::report::render_table;
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Differential reachability of one server from one location.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerDifferential {
     /// Traces (from this location) where the server answered not-ECT.
     pub plain_traces: u32,
@@ -64,83 +65,83 @@ pub struct Figure3 {
     pub persistent_b: Vec<Ipv4Addr>,
 }
 
-/// Compute Figure 3 from campaign traces.
+/// Compute Figure 3 from campaign traces (the legacy trace walk): replay
+/// the records through the streaming reducer, then finalize.
 pub fn figure3(traces: &[TraceRecord]) -> Figure3 {
     let mut order: Vec<String> = Vec::new();
-    let mut by_loc: HashMap<String, BTreeMap<Ipv4Addr, ServerDifferential>> = HashMap::new();
-    for t in traces {
-        if !by_loc.contains_key(&t.vantage_name) {
+    let mut counts = DifferentialCounts::default();
+    for (i, t) in traces.iter().enumerate() {
+        if !order.contains(&t.vantage_name) {
             order.push(t.vantage_name.clone());
         }
-        let loc = by_loc.entry(t.vantage_name.clone()).or_default();
-        for o in &t.outcomes {
-            let d = loc.entry(o.server).or_insert(ServerDifferential {
-                plain_traces: 0,
-                ect_traces: 0,
-                diff_a: 0,
-                diff_b: 0,
-                traces: 0,
-            });
-            d.traces += 1;
-            d.plain_traces += u32::from(o.udp_plain.reachable);
-            d.ect_traces += u32::from(o.udp_ect.reachable);
-            d.diff_a += u32::from(o.udp_diff_plain_only());
-            d.diff_b += u32::from(o.udp_diff_ect_only());
-        }
+        counts.observe_trace(t, &TraceCtx::whole(0, i));
     }
-
-    let per_location: Vec<(String, BTreeMap<Ipv4Addr, ServerDifferential>)> = order
-        .iter()
-        .map(|name| (name.clone(), by_loc.remove(name).expect("present")))
-        .collect();
-
-    let high = |f: &dyn Fn(&ServerDifferential) -> f64| -> Vec<(String, usize)> {
-        per_location
-            .iter()
-            .map(|(name, servers)| {
-                (
-                    name.clone(),
-                    servers.values().filter(|d| f(d) > 0.5).count(),
-                )
-            })
-            .collect()
-    };
-    let high_diff_a = high(&|d: &ServerDifferential| d.frac_a());
-    let high_diff_b = high(&|d: &ServerDifferential| d.frac_b());
-
-    // servers >50% 3a from EVERY location
-    let mut persistent_a: Vec<Ipv4Addr> = Vec::new();
-    if let Some((_, first)) = per_location.first() {
-        'server: for (&addr, _) in first.iter() {
-            for (_, servers) in &per_location {
-                match servers.get(&addr) {
-                    Some(d) if d.frac_a() > 0.5 => {}
-                    _ => continue 'server,
-                }
-            }
-            persistent_a.push(addr);
-        }
-    }
-    let mut persistent_b: Vec<Ipv4Addr> = Vec::new();
-    for (_, servers) in &per_location {
-        for (&addr, d) in servers {
-            if d.frac_b() > 0.5 && !persistent_b.contains(&addr) {
-                persistent_b.push(addr);
-            }
-        }
-    }
-    persistent_b.sort();
-
-    Figure3 {
-        per_location,
-        high_diff_a,
-        high_diff_b,
-        persistent_a,
-        persistent_b,
-    }
+    Figure3::from_counts(counts, &order)
 }
 
 impl Figure3 {
+    /// Finalize the streamed per-(location, server) counters into the
+    /// Figure 3 dataset, with locations in `order` (first-seen campaign
+    /// order). The single derivation both report paths share. Takes the
+    /// counts by value so the server maps move into the figure instead of
+    /// being deep-copied.
+    pub fn from_counts(mut counts: DifferentialCounts, order: &[String]) -> Figure3 {
+        let per_location: Vec<(String, BTreeMap<Ipv4Addr, ServerDifferential>)> = order
+            .iter()
+            .map(|name| {
+                (
+                    name.clone(),
+                    counts.per_location.remove(name).unwrap_or_default(),
+                )
+            })
+            .collect();
+
+        let high = |f: &dyn Fn(&ServerDifferential) -> f64| -> Vec<(String, usize)> {
+            per_location
+                .iter()
+                .map(|(name, servers)| {
+                    (
+                        name.clone(),
+                        servers.values().filter(|d| f(d) > 0.5).count(),
+                    )
+                })
+                .collect()
+        };
+        let high_diff_a = high(&|d: &ServerDifferential| d.frac_a());
+        let high_diff_b = high(&|d: &ServerDifferential| d.frac_b());
+
+        // servers >50% 3a from EVERY location
+        let mut persistent_a: Vec<Ipv4Addr> = Vec::new();
+        if let Some((_, first)) = per_location.first() {
+            'server: for (&addr, _) in first.iter() {
+                for (_, servers) in &per_location {
+                    match servers.get(&addr) {
+                        Some(d) if d.frac_a() > 0.5 => {}
+                        _ => continue 'server,
+                    }
+                }
+                persistent_a.push(addr);
+            }
+        }
+        let mut persistent_b: Vec<Ipv4Addr> = Vec::new();
+        for (_, servers) in &per_location {
+            for (&addr, d) in servers {
+                if d.frac_b() > 0.5 && !persistent_b.contains(&addr) {
+                    persistent_b.push(addr);
+                }
+            }
+        }
+        persistent_b.sort();
+
+        Figure3 {
+            per_location,
+            high_diff_a,
+            high_diff_b,
+            persistent_a,
+            persistent_b,
+        }
+    }
+
     /// Range of the per-location >50% 3a counts (paper: 9–14).
     pub fn high_a_range(&self) -> (usize, usize) {
         let min = self.high_diff_a.iter().map(|(_, c)| *c).min().unwrap_or(0);

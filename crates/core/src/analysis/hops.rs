@@ -9,11 +9,11 @@
 //! (paper: 59.1% of determinable strip locations were at AS boundaries).
 
 use crate::campaign::VantageRoutes;
+use crate::reducers::{HopSurveyCounts, Reduce, RouteCtx};
 use crate::report::render_table;
 use ecn_asdb::AsDb;
-use ecn_wire::Ecn;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// Aggregated §4.2 statistics.
@@ -117,82 +117,56 @@ impl Figure4 {
     }
 }
 
-/// Compute the Figure 4 statistics from the traceroute survey.
+/// Compute the Figure 4 statistics from the traceroute survey (the legacy
+/// route walk): replay the survey through the streaming reducer, then
+/// finalize.
 pub fn figure4(routes: &[VantageRoutes], asdb: &AsDb) -> Figure4 {
-    // per (vantage, hop ip): (seen unmodified, seen modified)
-    let mut hop_state: BTreeMap<(usize, Ipv4Addr), (bool, bool)> = BTreeMap::new();
-    let mut strip_locs: BTreeSet<(usize, Ipv4Addr)> = BTreeSet::new();
-    let mut strip_loc_boundary: BTreeMap<(usize, Ipv4Addr), bool> = BTreeMap::new();
-    let mut strip_loc_mapped: BTreeMap<(usize, Ipv4Addr), bool> = BTreeMap::new();
-    let mut ce_observed = 0usize;
-    let mut reached = 0usize;
-    let mut paths = 0usize;
-
+    let mut counts = HopSurveyCounts::default();
     for (vi, vr) in routes.iter().enumerate() {
-        for path in &vr.paths {
-            paths += 1;
-            reached += usize::from(path.reached_destination);
-            let sent = path.sent_ecn;
-            let mut prev_responding: Option<Ipv4Addr> = None;
-            let mut first_modified_recorded = false;
-            for hop in &path.hops {
-                let Some(router) = hop.router else { continue };
-                let any_mod = hop.modified(sent);
-                let any_pass = hop.quoted_ecn.contains(&sent);
-                ce_observed += hop.quoted_ecn.iter().filter(|e| **e == Ecn::Ce).count();
-                let e = hop_state.entry((vi, router)).or_insert((false, false));
-                e.0 |= any_pass;
-                e.1 |= any_mod;
-                if any_mod && !first_modified_recorded {
-                    first_modified_recorded = true;
-                    let key = (vi, router);
-                    strip_locs.insert(key);
-                    let class = asdb.classify_hop(prev_responding, router);
-                    let mapped = class.asn().is_some();
-                    let boundary = class.is_boundary();
-                    // a location is boundary if EVER classified so
-                    let b = strip_loc_boundary.entry(key).or_insert(false);
-                    *b |= boundary;
-                    let m = strip_loc_mapped.entry(key).or_insert(false);
-                    *m |= mapped;
-                }
-                prev_responding = Some(router);
-            }
-        }
+        counts.observe_routes(vr, &RouteCtx { vantage: vi, asdb });
     }
+    Figure4::from_counts(&counts, asdb)
+}
 
-    let total_hops = hop_state.len();
-    let strip_hops = hop_state.values().filter(|(_, m)| *m).count();
-    let sometimes_hops = hop_state.values().filter(|(p, m)| *p && *m).count();
-    let pass_hops = hop_state.values().filter(|(p, _)| *p).count();
-    let as_count = {
-        let mut set = BTreeSet::new();
-        for (_, ip) in hop_state.keys() {
-            if let Some(asn) = asdb.lookup(*ip) {
-                set.insert(asn);
+impl Figure4 {
+    /// Finalize the streamed hop-survey state — the single derivation both
+    /// report paths share. Only `as_count` still needs the AS database
+    /// here (a lookup over the merged hop identities); the per-path strip
+    /// classification happened at observe time.
+    pub fn from_counts(counts: &HopSurveyCounts, asdb: &AsDb) -> Figure4 {
+        let total_hops = counts.hop_state.len();
+        let strip_hops = counts.hop_state.values().filter(|(_, m)| *m).count();
+        let sometimes_hops = counts.hop_state.values().filter(|(p, m)| *p && *m).count();
+        let pass_hops = counts.hop_state.values().filter(|(p, _)| *p).count();
+        let as_count = {
+            let mut set = BTreeSet::new();
+            for (_, ip) in counts.hop_state.keys() {
+                if let Some(asn) = asdb.lookup(*ip) {
+                    set.insert(asn);
+                }
             }
-        }
-        set.len()
-    };
-    let located = strip_loc_mapped.values().filter(|m| **m).count();
-    let boundary = strip_locs
-        .iter()
-        .filter(|k| strip_loc_mapped.get(*k).copied().unwrap_or(false))
-        .filter(|k| strip_loc_boundary.get(*k).copied().unwrap_or(false))
-        .count();
+            set.len()
+        };
+        let located = counts.strip_locations.values().filter(|(m, _)| *m).count();
+        let boundary = counts
+            .strip_locations
+            .values()
+            .filter(|(m, b)| *m && *b)
+            .count();
 
-    Figure4 {
-        total_hops,
-        pass_hops,
-        strip_hops,
-        sometimes_hops,
-        as_count,
-        strip_locations: strip_locs.len(),
-        located,
-        boundary,
-        ce_observed,
-        reached_destination: reached,
-        paths,
+        Figure4 {
+            total_hops,
+            pass_hops,
+            strip_hops,
+            sometimes_hops,
+            as_count,
+            strip_locations: counts.strip_locations.len(),
+            located,
+            boundary,
+            ce_observed: counts.ce_observed as usize,
+            reached_destination: counts.reached_destination as usize,
+            paths: counts.paths as usize,
+        }
     }
 }
 
@@ -242,6 +216,7 @@ pub fn figure4_dot(vr: &VantageRoutes) -> String {
 mod tests {
     use super::*;
     use crate::traceroute::{HopObservation, TraceroutePath};
+    use ecn_wire::Ecn;
 
     fn ip(a: u8, b: u8) -> Ipv4Addr {
         Ipv4Addr::new(10, a, b, 1)

@@ -15,9 +15,9 @@ pub use batches::{batch_comparison, BatchComparison};
 pub use correlation::{table2, Table2, Table2Row};
 pub use differential::{figure3, Figure3, ServerDifferential};
 pub use hops::{figure4, figure4_dot, Figure4};
-pub use reachability::{figure2, Figure2, TraceBar};
+pub use reachability::{figure2, figure2_from_counters, Figure2, TraceBar};
 pub use table1::{table1, Table1};
-pub use tcp_ecn::{figure5, Fig5Bar, Figure5};
+pub use tcp_ecn::{figure5, figure5_from_counters, Fig5Bar, Figure5};
 pub use trend::{figure6, fit_logistic, historical_points, Figure6, LogisticFit, TrendPoint};
 
 use crate::campaign::CampaignResult;
@@ -43,8 +43,50 @@ pub struct FullReport {
 }
 
 impl FullReport {
-    /// Compute everything.
+    /// Compute everything. Delegates to [`Self::from_aggregates`]: the
+    /// streamed aggregates are the single source of truth for the report
+    /// path, so this works on reducer-only runs
+    /// (`EngineConfig::keep_traces = false`, the default) with no raw
+    /// traces at all.
     pub fn from_campaign(result: &CampaignResult) -> FullReport {
+        FullReport::from_aggregates(result)
+    }
+
+    /// Compute everything from the streamed aggregates — O(aggregates)
+    /// memory, no `TraceRecord` or per-trace walk involved. Renders
+    /// byte-identically to [`Self::from_traces`]
+    /// (`crates/core/tests/report_differential.rs` is the gate).
+    pub fn from_aggregates(result: &CampaignResult) -> FullReport {
+        let a = &result.aggregates;
+        // campaign order is sorted out once; every per-trace artefact
+        // derives from the same sequence
+        let ordered = a.trace_stats.ordered();
+        let order = crate::reducers::location_order_of(&ordered);
+        let figure5 = figure5_from_counters(&ordered);
+        let measured_pct = figure5.negotiated_pct();
+        FullReport {
+            table1: table1(&result.geodb, &result.targets),
+            figure2: figure2_from_counters(&ordered),
+            figure3: Figure3::from_counts(a.differential.clone(), &order),
+            figure4: Figure4::from_counts(&a.hops, &result.asdb),
+            figure5,
+            figure6: figure6(measured_pct),
+            table2: Table2::from_counts(&a.table2, &order),
+            batches: BatchComparison::from_counts(&a.batches),
+        }
+    }
+
+    /// Compute everything by walking the raw trace/route vectors — the
+    /// legacy derivation, kept as the cross-check for the differential
+    /// suite and for per-trace consumers that already opted into
+    /// `EngineConfig::keep_traces`. Panics if the campaign ran
+    /// reducer-only (there is nothing to walk).
+    pub fn from_traces(result: &CampaignResult) -> FullReport {
+        assert!(
+            !result.traces.is_empty() || result.aggregates.trace_stats.is_empty(),
+            "FullReport::from_traces needs raw traces; this campaign ran \
+             with keep_traces = false — use from_aggregates (or from_campaign)"
+        );
         let figure5 = figure5(&result.traces);
         let measured_pct = figure5.negotiated_pct();
         FullReport {

@@ -1,6 +1,7 @@
 //! Figure 2: per-trace UDP reachability with and without ECT(0) marks
 //! (§4.1), plus the headline averages (paper: 98.97% / 99.45%).
 
+use crate::reducers::TraceCounters;
 use crate::report::{pct, render_bars};
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
@@ -39,31 +40,65 @@ pub struct Figure2 {
     pub avg_plain_reachable: f64,
 }
 
-/// Compute Figure 2 from the campaign traces.
+/// Compute Figure 2 from the campaign traces (the legacy trace walk).
 pub fn figure2(traces: &[TraceRecord]) -> Figure2 {
-    let bars: Vec<TraceBar> = traces
-        .iter()
-        .map(|t| TraceBar {
-            vantage_key: t.vantage_key.clone(),
-            vantage_name: t.vantage_name.clone(),
-            pct_a: t.fig2a_pct(),
-            pct_b: t.fig2b_pct(),
-            plain_reachable: t.udp_plain_reachable(),
-            ect_reachable: t.udp_ect_reachable(),
-        })
-        .collect();
-    let n = bars.len().max(1) as f64;
-    Figure2 {
-        avg_a: bars.iter().map(|b| b.pct_a).sum::<f64>() / n,
-        avg_b: bars.iter().map(|b| b.pct_b).sum::<f64>() / n,
-        min_a: bars.iter().map(|b| b.pct_a).fold(f64::INFINITY, f64::min),
-        min_b: bars.iter().map(|b| b.pct_b).fold(f64::INFINITY, f64::min),
-        avg_plain_reachable: bars.iter().map(|b| b.plain_reachable as f64).sum::<f64>() / n,
-        bars,
-    }
+    Figure2::from_bars(
+        traces
+            .iter()
+            .map(|t| TraceBar {
+                vantage_key: t.vantage_key.clone(),
+                vantage_name: t.vantage_name.clone(),
+                pct_a: t.fig2a_pct(),
+                pct_b: t.fig2b_pct(),
+                plain_reachable: t.udp_plain_reachable(),
+                ect_reachable: t.udp_ect_reachable(),
+            })
+            .collect(),
+    )
+}
+
+/// Compute Figure 2 from the streamed per-trace counters, already in
+/// campaign order (see [`crate::reducers::TraceStats::ordered`]) — no
+/// [`TraceRecord`] needed. Bars carry the exact integer-ratio
+/// percentages of the trace walk, so both paths render byte-identically.
+pub fn figure2_from_counters(ordered: &[&TraceCounters]) -> Figure2 {
+    let ratio = |num: u32, den: u32| {
+        if den == 0 {
+            100.0
+        } else {
+            100.0 * f64::from(num) / f64::from(den)
+        }
+    };
+    Figure2::from_bars(
+        ordered
+            .iter()
+            .map(|t| TraceBar {
+                vantage_key: t.vantage_key.clone(),
+                vantage_name: t.vantage_name.clone(),
+                pct_a: ratio(t.udp_both, t.udp_plain),
+                pct_b: ratio(t.udp_both, t.udp_ect),
+                plain_reachable: t.udp_plain as usize,
+                ect_reachable: t.udp_ect as usize,
+            })
+            .collect(),
+    )
 }
 
 impl Figure2 {
+    /// Aggregate the per-trace bars — the single derivation of the
+    /// averages and minima both report paths share.
+    pub fn from_bars(bars: Vec<TraceBar>) -> Figure2 {
+        let n = bars.len().max(1) as f64;
+        Figure2 {
+            avg_a: bars.iter().map(|b| b.pct_a).sum::<f64>() / n,
+            avg_b: bars.iter().map(|b| b.pct_b).sum::<f64>() / n,
+            min_a: bars.iter().map(|b| b.pct_a).fold(f64::INFINITY, f64::min),
+            min_b: bars.iter().map(|b| b.pct_b).fold(f64::INFINITY, f64::min),
+            avg_plain_reachable: bars.iter().map(|b| b.plain_reachable as f64).sum::<f64>() / n,
+            bars,
+        }
+    }
+
     /// Per-vantage mean of Figure 2a (for compact reporting).
     pub fn per_vantage_avg_a(&self) -> Vec<(String, f64)> {
         per_vantage_avg(&self.bars, |b| b.pct_a)

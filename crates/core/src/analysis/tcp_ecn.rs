@@ -2,6 +2,7 @@
 //! negotiation success (§4.3). Paper: on average 1334 of the 2500 hosts
 //! answer HTTP; 1095 (82.0%) negotiate ECN when asked.
 
+use crate::reducers::TraceCounters;
 use crate::report::render_table;
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,17 @@ pub struct Figure5 {
 }
 
 impl Figure5 {
+    /// Aggregate the per-trace bars — the single derivation both report
+    /// paths share.
+    pub fn from_bars(bars: Vec<Fig5Bar>) -> Figure5 {
+        let n = bars.len().max(1) as f64;
+        Figure5 {
+            avg_reachable: bars.iter().map(|b| b.tcp_reachable as f64).sum::<f64>() / n,
+            avg_negotiated: bars.iter().map(|b| b.negotiated as f64).sum::<f64>() / n,
+            bars,
+        }
+    }
+
     /// Percentage of TCP-reachable servers that negotiate ECN
     /// (paper: 82.0%).
     pub fn negotiated_pct(&self) -> f64 {
@@ -90,22 +102,34 @@ impl Figure5 {
     }
 }
 
-/// Compute Figure 5 from campaign traces.
+/// Compute Figure 5 from campaign traces (the legacy trace walk).
 pub fn figure5(traces: &[TraceRecord]) -> Figure5 {
-    let bars: Vec<Fig5Bar> = traces
-        .iter()
-        .map(|t| Fig5Bar {
-            vantage_name: t.vantage_name.clone(),
-            tcp_reachable: t.tcp_reachable(),
-            negotiated: t.tcp_ecn_negotiated(),
-        })
-        .collect();
-    let n = bars.len().max(1) as f64;
-    Figure5 {
-        avg_reachable: bars.iter().map(|b| b.tcp_reachable as f64).sum::<f64>() / n,
-        avg_negotiated: bars.iter().map(|b| b.negotiated as f64).sum::<f64>() / n,
-        bars,
-    }
+    Figure5::from_bars(
+        traces
+            .iter()
+            .map(|t| Fig5Bar {
+                vantage_name: t.vantage_name.clone(),
+                tcp_reachable: t.tcp_reachable(),
+                negotiated: t.tcp_ecn_negotiated(),
+            })
+            .collect(),
+    )
+}
+
+/// Compute Figure 5 from the streamed per-trace counters, already in
+/// campaign order (see [`crate::reducers::TraceStats::ordered`]) — no
+/// [`TraceRecord`] needed.
+pub fn figure5_from_counters(ordered: &[&TraceCounters]) -> Figure5 {
+    Figure5::from_bars(
+        ordered
+            .iter()
+            .map(|t| Fig5Bar {
+                vantage_name: t.vantage_name.clone(),
+                tcp_reachable: t.tcp_reachable as usize,
+                negotiated: t.tcp_negotiated as usize,
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -35,15 +35,16 @@ pub struct CampaignResult {
     pub targets: Vec<Ipv4Addr>,
     /// Discovery statistics.
     pub discovery: DiscoveryStats,
-    /// All trace records, in execution order — the escape hatch the
-    /// report path consumes (`FullReport` derives every table/figure
-    /// from it). Empty when the engine ran reducer-only
-    /// (`EngineConfig::keep_traces = false`); use [`Self::aggregates`]
-    /// then, not a rendered report.
+    /// Raw trace records in execution order — the opt-in escape hatch
+    /// for per-trace consumers (dataset export, pcap artefacts, the
+    /// legacy `FullReport::from_traces` cross-check). Empty by default:
+    /// the engine runs reducer-only (`EngineConfig::keep_traces =
+    /// false`) and the report path renders from [`Self::aggregates`].
     pub traces: Vec<TraceRecord>,
     /// Traceroute survey (one entry per vantage), if enabled.
     pub routes: Vec<VantageRoutes>,
-    /// Streaming-reducer aggregates (always populated by the engine).
+    /// Streaming-reducer aggregates (always populated by the engine) —
+    /// the single source of truth for `FullReport`.
     pub aggregates: CampaignAggregates,
     /// Geolocation DB for Table 1 / Figure 1 (shared with the blueprint).
     pub geodb: std::sync::Arc<ecn_geo::GeoDb>,

@@ -13,21 +13,24 @@
 //!   full world builds (what the old per-vantage-thread runner did);
 //! - finished records stream straight into shard-local reducers
 //!   ([`crate::reducers`]) instead of first accumulating every
-//!   [`TraceRecord`] in one `Vec` (the raw vector remains available as an
-//!   escape hatch for the report path).
+//!   [`TraceRecord`] in one `Vec`; the streamed aggregates are what the
+//!   report path renders from, so the default campaign retains zero raw
+//!   records ([`EngineConfig::keep_traces`] is the opt-in escape hatch
+//!   for per-trace consumers).
 
 use crate::campaign::{
     discover_in, finish, plan_with_churn, run_trace, run_traceroute_survey, schedule,
     CampaignResult, DiscoveryStats, ScheduledTrace, VantageRoutes,
 };
 use crate::config::CampaignConfig;
-use crate::reducers::{CampaignAggregates, Reduce, ShardReducers};
+use crate::reducers::{Reduce, RouteCtx, ShardReducers, TraceCtx};
 use crate::trace::TraceRecord;
 use ecn_pool::{PoolPlan, WorldBlueprint};
 use parking_lot::Mutex;
 use rand::seq::SliceRandom;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// How the unit list is ordered before being dealt to the shards. Results
@@ -54,11 +57,12 @@ pub struct EngineConfig {
     /// this knob *is* part of the experiment definition: each chunk probes
     /// in its own world, so changing it changes the measured noise.
     pub target_chunks: usize,
-    /// Keep the raw per-trace records. `FullReport` computes its tables
-    /// and figures from `CampaignResult::traces`, so leave this on for
-    /// the report path; with `false` only the streaming-reducer
-    /// aggregates survive (`CampaignResult::aggregates`) and a report
-    /// rendered from the empty trace vec would be all zeroes.
+    /// Keep the raw per-trace records (default: **off**). The report path
+    /// no longer needs them — `FullReport` renders from
+    /// `CampaignResult::aggregates` — so the default campaign retains
+    /// zero `TraceRecord`s at peak and runs in O(aggregates) memory.
+    /// Turn this on only for per-trace consumers (dataset export, pcap
+    /// artefacts, the legacy `FullReport::from_traces` cross-check).
     pub keep_traces: bool,
     /// Unit scheduling order (results are invariant; see [`UnitOrder`]).
     pub unit_order: UnitOrder,
@@ -69,7 +73,7 @@ impl Default for EngineConfig {
         EngineConfig {
             shards: None,
             target_chunks: 1,
-            keep_traces: true,
+            keep_traces: false,
             unit_order: UnitOrder::AsScheduled,
         }
     }
@@ -81,6 +85,14 @@ impl EngineConfig {
         EngineConfig {
             shards: Some(n),
             ..EngineConfig::default()
+        }
+    }
+
+    /// This configuration, with the raw-trace escape hatch enabled.
+    pub fn keeping_traces(self) -> EngineConfig {
+        EngineConfig {
+            keep_traces: true,
+            ..self
         }
     }
 }
@@ -129,6 +141,11 @@ pub struct EngineRun {
     pub shards: usize,
     /// Work units executed.
     pub units: usize,
+    /// Peak number of `TraceRecord`s simultaneously *retained* across all
+    /// shards (records held in vectors, not the O(1) in-flight record
+    /// being probed/reduced). Zero on reducer-only runs — the memory
+    /// claim `report_memory` benches.
+    pub peak_resident_traces: usize,
 }
 
 /// One work unit: one vantage's full schedule against one target chunk.
@@ -206,6 +223,8 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
     };
     type ShardYield = (Vec<UnitOutput>, ShardReducers, Duration, Duration, Duration);
     let mut shard_yields: Vec<ShardYield> = Vec::with_capacity(shard_count);
+    let resident_traces = AtomicUsize::new(0);
+    let peak_resident_traces = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shard_count);
         for s in 0..shard_count {
@@ -213,6 +232,7 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
             let bp = &bp;
             let targets = &targets;
             let per_vantage_sched = &per_vantage_sched;
+            let resident = (&resident_traces, &peak_resident_traces);
             handles.push(scope.spawn(move |_| {
                 let mut outputs = Vec::new();
                 let mut reducers = ShardReducers::default();
@@ -229,6 +249,7 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
                         cfg,
                         eng.keep_traces,
                         &mut reducers,
+                        resident,
                         (&mut inst, &mut probe, &mut reduce),
                     );
                     outputs.push(out);
@@ -295,21 +316,31 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
         DiscoveryStats::from(&discovery),
         traces,
         routes,
-        CampaignAggregates::from(reducers),
+        reducers,
     );
     EngineRun {
         result,
         timing,
         shards: shard_count,
         units: unit_count,
+        peak_resident_traces: peak_resident_traces.load(Ordering::Relaxed),
     }
 }
 
-/// Run the full campaign with default engine settings. This is the single
-/// entry point that replaced the old sequential/parallel runner pair:
-/// results are byte-identical for every shard count.
+/// Run the full campaign with default engine settings: reducer-only
+/// (`keep_traces = false`), so the result carries streamed aggregates —
+/// everything `FullReport` needs — and an empty trace vector. This is the
+/// single entry point that replaced the old sequential/parallel runner
+/// pair: results are byte-identical for every shard count.
 pub fn run_campaign(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
     run_engine(plan, cfg, &EngineConfig::default()).result
+}
+
+/// Run the full campaign retaining the raw per-trace records — the
+/// escape hatch for per-trace consumers (dataset export, pcap artefacts,
+/// `FullReport::from_traces`).
+pub fn run_campaign_with_traces(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
+    run_engine(plan, cfg, &EngineConfig::default().keeping_traces()).result
 }
 
 /// The `c`-th of `chunks` balanced contiguous slices of `targets`;
@@ -360,6 +391,7 @@ fn run_unit(
     cfg: &CampaignConfig,
     keep_traces: bool,
     reducers: &mut ShardReducers,
+    (resident, peak): (&AtomicUsize, &AtomicUsize),
     (inst, probe, reduce): (&mut Duration, &mut Duration, &mut Duration),
 ) -> UnitOutput {
     let first_chunk = unit.chunk == 0;
@@ -369,23 +401,38 @@ fn run_unit(
 
     let t0 = Instant::now();
     let mut unit_reduce = Duration::ZERO;
-    let mut traces = Vec::with_capacity(sched.len());
-    for st in sched {
+    let mut traces = Vec::with_capacity(if keep_traces { sched.len() } else { 0 });
+    for (trace_index, st) in sched.iter().enumerate() {
         if sc.sim.now() < st.start {
             sc.sim.run_until(st.start);
         }
         let rec = run_trace(&mut sc, unit.vantage, st.batch, chunk_targets, cfg);
         let tr = Instant::now();
-        reducers.observe_trace(&rec, first_chunk);
+        reducers.observe_trace(
+            &rec,
+            &TraceCtx {
+                first_chunk,
+                vantage: unit.vantage,
+                trace_index,
+            },
+        );
         unit_reduce += tr.elapsed();
         if keep_traces {
             traces.push(rec);
+            let now = resident.fetch_add(1, Ordering::Relaxed) + 1;
+            peak.fetch_max(now, Ordering::Relaxed);
         }
     }
     let routes = cfg.run_traceroute.then(|| {
         let r = run_traceroute_survey(&mut sc, unit.vantage, chunk_targets, cfg);
         let tr = Instant::now();
-        reducers.observe_routes(&r);
+        reducers.observe_routes(
+            &r,
+            &RouteCtx {
+                vantage: unit.vantage,
+                asdb: &sc.asdb,
+            },
+        );
         unit_reduce += tr.elapsed();
         r
     });

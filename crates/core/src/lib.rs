@@ -46,10 +46,15 @@ pub use campaign::{
 };
 pub use config::{CampaignConfig, ProbeConfig, TracerouteConfig};
 pub use discovery::{discover, discovery_names, Discovery};
-pub use engine::{run_campaign, run_engine, EngineConfig, EngineRun, EngineTiming, UnitOrder};
+pub use engine::{
+    run_campaign, run_campaign_with_traces, run_engine, EngineConfig, EngineRun, EngineTiming,
+    UnitOrder,
+};
 pub use probes::{probe_tcp, probe_udp, TcpProbeResult, UdpProbeResult};
 pub use reducers::{
-    CampaignAggregates, ReachabilityCounts, Reduce, ShardReducers, SurveyCounts, Table2Counts,
+    BatchCounts, CampaignAggregates, DifferentialCounts, HopSurveyCounts, ReachabilityCounts,
+    Reduce, RouteCtx, ShardReducers, SurveyCounts, Table2Counts, TraceCounters, TraceCtx,
+    TraceStats,
 };
 pub use trace::{ServerOutcome, TraceRecord};
 pub use traceroute::{traceroute, HopObservation, TraceroutePath};

@@ -2,6 +2,14 @@
 //! the engine produces them, instead of accumulating every [`TraceRecord`]
 //! in one `Vec` before analysis.
 //!
+//! These accumulators are the **single source of truth for the report
+//! path**: [`CampaignAggregates`] carries everything
+//! [`crate::analysis::FullReport::from_aggregates`] needs to render every
+//! table and figure byte-identically to the legacy trace-walk derivation
+//! (`crates/core/tests/report_differential.rs` proves it), so the default
+//! campaign runs with `EngineConfig::keep_traces = false` and never holds
+//! an O(traces × servers) structure.
+//!
 //! ## Reducer contract
 //!
 //! Each shard of the execution engine owns one [`ShardReducers`] instance
@@ -17,20 +25,63 @@
 //! Per-logical-trace bookkeeping under target chunking: a trace split
 //! across chunks arrives as several partial records, so anything counted
 //! once per trace (e.g. the Table 2 trace denominator) is counted only
-//! when `first_chunk` is true.
+//! when [`TraceCtx::first_chunk`] is true. Per-trace *figures* (the
+//! Figure 2/5 bars are one bar per trace) live in [`TraceStats`]: a map
+//! keyed by the chunk-invariant unit identity `(vantage, trace index)`
+//! whose values are small integer counters — O(#traces) entries, not
+//! O(#traces × #servers) records.
 
+use crate::analysis::differential::ServerDifferential;
 use crate::campaign::VantageRoutes;
 use crate::trace::TraceRecord;
+use ecn_asdb::AsDb;
+use ecn_netsim::Nanos;
+use ecn_wire::Ecn;
 use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Chunk-invariant identity of one observed (partial) trace record. The
+/// engine derives it from the work unit, never from the shard, so two
+/// chunks of the same logical trace carry the same `(vantage,
+/// trace_index)` no matter which shard ran them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// True exactly once per logical trace (the chunk-0 partial).
+    pub first_chunk: bool,
+    /// Vantage index (Table 2 order).
+    pub vantage: usize,
+    /// Index of this trace in the vantage's schedule.
+    pub trace_index: usize,
+}
+
+impl TraceCtx {
+    /// Context for observing a whole (unchunked) trace — what the legacy
+    /// trace-walk analyses use when replaying a `&[TraceRecord]`.
+    pub fn whole(vantage: usize, trace_index: usize) -> TraceCtx {
+        TraceCtx {
+            first_chunk: true,
+            vantage,
+            trace_index,
+        }
+    }
+}
+
+/// Context for observing a (partial) traceroute survey.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteCtx<'a> {
+    /// Vantage index (Table 2 order).
+    pub vantage: usize,
+    /// IP→AS database, for classifying strip locations at observe time.
+    pub asdb: &'a AsDb,
+}
 
 /// The streaming-reduction contract (see module docs): observe records in
 /// any order, merge shard instances in any order, same result.
 pub trait Reduce: Send + Sized {
     /// Fold one (possibly partial) trace record into the accumulator.
-    /// `first_chunk` is true exactly once per logical trace.
-    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool);
+    fn observe_trace(&mut self, _rec: &TraceRecord, _ctx: &TraceCtx) {}
     /// Fold one (possibly partial) vantage traceroute survey.
-    fn observe_routes(&mut self, _routes: &VantageRoutes) {}
+    fn observe_routes(&mut self, _routes: &VantageRoutes, _ctx: &RouteCtx<'_>) {}
     /// Absorb another shard's accumulator.
     fn merge(&mut self, other: Self);
 }
@@ -73,7 +124,7 @@ pub struct Table2Counts {
 }
 
 impl Reduce for Table2Counts {
-    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool) {
+    fn observe_trace(&mut self, rec: &TraceRecord, ctx: &TraceCtx) {
         let mut udp_unreach = 0;
         let mut fail = 0;
         let mut ok = 0;
@@ -104,7 +155,7 @@ impl Reduce for Table2Counts {
             .per_vantage
             .entry(rec.vantage_name.clone())
             .or_default();
-        if first_chunk {
+        if ctx.first_chunk {
             e.traces += 1;
         }
         e.udp_ect_unreachable += udp_unreach;
@@ -178,7 +229,8 @@ pub struct VantageReachability {
     pub tcp_negotiated: u64,
 }
 
-/// Streaming reachability accumulator (the counts behind Figures 2 and 5).
+/// Streaming reachability accumulator (the per-vantage counts behind
+/// Figures 2 and 5's headline ratios).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReachabilityCounts {
     /// Per-vantage counters, keyed by vantage key.
@@ -186,9 +238,9 @@ pub struct ReachabilityCounts {
 }
 
 impl Reduce for ReachabilityCounts {
-    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool) {
+    fn observe_trace(&mut self, rec: &TraceRecord, ctx: &TraceCtx) {
         let e = self.per_vantage.entry(rec.vantage_key.clone()).or_default();
-        if first_chunk {
+        if ctx.first_chunk {
             e.traces += 1;
         }
         for o in &rec.outcomes {
@@ -250,9 +302,222 @@ impl ReachabilityCounts {
     }
 }
 
+// ------------------------------------------------------- per-trace figures
+
+/// Integer counters for one logical trace — the data behind one Figure 2
+/// bar and one Figure 5 bar. Chunk partials of the same trace merge by
+/// addition; the identity fields are set by whichever chunk arrives first
+/// and the start time by the chunk-0 partial (whose world's clock is the
+/// one the legacy trace vector reports).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Vantage key (stable identifier).
+    pub vantage_key: String,
+    /// Vantage display name (Table 2 spelling).
+    pub vantage_name: String,
+    /// Virtual start time of the chunk-0 partial; `None` until observed.
+    pub started_at: Option<Nanos>,
+    /// Servers reachable via not-ECT UDP.
+    pub udp_plain: u32,
+    /// Servers reachable via ECT(0) UDP.
+    pub udp_ect: u32,
+    /// Servers reachable both ways.
+    pub udp_both: u32,
+    /// Servers answering HTTP on either TCP probe.
+    pub tcp_reachable: u32,
+    /// Servers negotiating ECN over TCP.
+    pub tcp_negotiated: u32,
+}
+
+impl TraceCounters {
+    fn absorb(&mut self, other: TraceCounters) {
+        if self.vantage_key.is_empty() {
+            self.vantage_key = other.vantage_key;
+            self.vantage_name = other.vantage_name;
+        }
+        if self.started_at.is_none() {
+            self.started_at = other.started_at;
+        }
+        self.udp_plain += other.udp_plain;
+        self.udp_ect += other.udp_ect;
+        self.udp_both += other.udp_both;
+        self.tcp_reachable += other.tcp_reachable;
+        self.tcp_negotiated += other.tcp_negotiated;
+    }
+}
+
+/// Streaming per-logical-trace accumulator: one [`TraceCounters`] per
+/// `(vantage, trace index)`. This is what lets the report path rebuild the
+/// per-trace Figure 2/5 bars — and the campaign-order trace sequence their
+/// averages are computed over — without retaining any [`TraceRecord`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Counters keyed by the chunk-invariant trace identity.
+    pub per_trace: BTreeMap<(usize, usize), TraceCounters>,
+}
+
+impl Reduce for TraceStats {
+    fn observe_trace(&mut self, rec: &TraceRecord, ctx: &TraceCtx) {
+        let mut c = TraceCounters {
+            vantage_key: rec.vantage_key.clone(),
+            vantage_name: rec.vantage_name.clone(),
+            started_at: ctx.first_chunk.then_some(rec.started_at),
+            ..TraceCounters::default()
+        };
+        for o in &rec.outcomes {
+            c.udp_plain += u32::from(o.udp_plain.reachable);
+            c.udp_ect += u32::from(o.udp_ect.reachable);
+            c.udp_both += u32::from(o.udp_plain.reachable && o.udp_ect.reachable);
+            c.tcp_reachable += u32::from(o.tcp_plain.reachable || o.tcp_ecn.reachable);
+            c.tcp_negotiated += u32::from(o.tcp_ecn.negotiated_ecn);
+        }
+        self.per_trace
+            .entry((ctx.vantage, ctx.trace_index))
+            .or_default()
+            .absorb(c);
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (key, v) in other.per_trace {
+            self.per_trace.entry(key).or_default().absorb(v);
+        }
+    }
+}
+
+impl TraceStats {
+    /// Logical traces observed.
+    pub fn len(&self) -> usize {
+        self.per_trace.len()
+    }
+
+    /// True when no trace has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.per_trace.is_empty()
+    }
+
+    /// Traces in campaign order — the exact order of the legacy
+    /// `CampaignResult::traces` vector, which the engine sorts by
+    /// `(started_at, vantage_key)` with schedule order as the (stable)
+    /// tiebreak within a vantage.
+    pub fn ordered(&self) -> Vec<&TraceCounters> {
+        let mut v: Vec<(&(usize, usize), &TraceCounters)> = self.per_trace.iter().collect();
+        v.sort_by(|(&(_, ai), a), (&(_, bi), b)| {
+            (a.started_at.unwrap_or(Nanos::MAX), &a.vantage_key, ai).cmp(&(
+                b.started_at.unwrap_or(Nanos::MAX),
+                &b.vantage_key,
+                bi,
+            ))
+        });
+        v.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Vantage display names in first-seen campaign order — the row order
+    /// of Table 2 / Figure 3 and the bar order of the per-vantage figures.
+    pub fn location_order(&self) -> Vec<String> {
+        location_order_of(&self.ordered())
+    }
+}
+
+/// Vantage display names in first-seen order over an already-sorted trace
+/// sequence (see [`TraceStats::ordered`]).
+pub fn location_order_of(ordered: &[&TraceCounters]) -> Vec<String> {
+    let mut order = Vec::new();
+    for t in ordered {
+        if !order.contains(&t.vantage_name) {
+            order.push(t.vantage_name.clone());
+        }
+    }
+    order
+}
+
+// ---------------------------------------------------------------- figure 3
+
+/// Streaming accumulator behind Figure 3: per (location, server)
+/// differential-reachability counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DifferentialCounts {
+    /// location name → server → counters.
+    pub per_location: BTreeMap<String, BTreeMap<Ipv4Addr, ServerDifferential>>,
+}
+
+impl Reduce for DifferentialCounts {
+    fn observe_trace(&mut self, rec: &TraceRecord, _ctx: &TraceCtx) {
+        let loc = self
+            .per_location
+            .entry(rec.vantage_name.clone())
+            .or_default();
+        for o in &rec.outcomes {
+            let d = loc.entry(o.server).or_default();
+            d.traces += 1;
+            d.plain_traces += u32::from(o.udp_plain.reachable);
+            d.ect_traces += u32::from(o.udp_ect.reachable);
+            d.diff_a += u32::from(o.udp_diff_plain_only());
+            d.diff_b += u32::from(o.udp_diff_ect_only());
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (name, servers) in other.per_location {
+            let loc = self.per_location.entry(name).or_default();
+            for (addr, v) in servers {
+                let d = loc.entry(addr).or_default();
+                d.traces += v.traces;
+                d.plain_traces += v.plain_traces;
+                d.ect_traces += v.ect_traces;
+                d.diff_a += v.diff_a;
+                d.diff_b += v.diff_b;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ §4.1 batches
+
+/// Streaming accumulator behind the §4.1 batch comparison: per-batch trace
+/// counts and per-server reachability histories.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchCounts {
+    /// Logical traces per batch.
+    pub batch_traces: [u64; 2],
+    /// Sum over traces of not-ECT-reachable server counts, per batch.
+    pub batch_reach_sum: [u64; 2],
+    /// Per server and batch: (reachable observations, observations).
+    pub per_server: BTreeMap<Ipv4Addr, [(u32, u32); 2]>,
+}
+
+impl Reduce for BatchCounts {
+    fn observe_trace(&mut self, rec: &TraceRecord, ctx: &TraceCtx) {
+        let b = usize::from(rec.batch.clamp(1, 2)) - 1;
+        if ctx.first_chunk {
+            self.batch_traces[b] += 1;
+        }
+        for o in &rec.outcomes {
+            self.batch_reach_sum[b] += u64::from(o.udp_plain.reachable);
+            let e = self.per_server.entry(o.server).or_insert([(0, 0), (0, 0)]);
+            e[b].1 += 1;
+            e[b].0 += u32::from(o.udp_plain.reachable);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for b in 0..2 {
+            self.batch_traces[b] += other.batch_traces[b];
+            self.batch_reach_sum[b] += other.batch_reach_sum[b];
+        }
+        for (addr, v) in other.per_server {
+            let e = self.per_server.entry(addr).or_insert([(0, 0), (0, 0)]);
+            for b in 0..2 {
+                e[b].0 += v[b].0;
+                e[b].1 += v[b].1;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------- survey
 
-/// Streaming traceroute-survey accumulator (the counts behind Figure 4).
+/// Streaming traceroute-survey totals (hop observation counters; the
+/// hop-identity state behind Figure 4 lives in [`HopSurveyCounts`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SurveyCounts {
     /// Paths observed per vantage key.
@@ -272,9 +537,7 @@ pub struct SurveyCounts {
 }
 
 impl Reduce for SurveyCounts {
-    fn observe_trace(&mut self, _rec: &TraceRecord, _first_chunk: bool) {}
-
-    fn observe_routes(&mut self, routes: &VantageRoutes) {
+    fn observe_routes(&mut self, routes: &VantageRoutes, _ctx: &RouteCtx<'_>) {
         *self
             .paths_per_vantage
             .entry(routes.vantage_key.clone())
@@ -312,57 +575,131 @@ impl Reduce for SurveyCounts {
     }
 }
 
-// ---------------------------------------------------------------- composite
+// ---------------------------------------------------------------- figure 4
 
-/// The reducer set each engine shard owns.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct ShardReducers {
-    /// Table 2 accumulator.
-    pub table2: Table2Counts,
-    /// Figure 2/5 reachability accumulator.
-    pub reachability: ReachabilityCounts,
-    /// Traceroute survey accumulator.
-    pub survey: SurveyCounts,
+/// Streaming accumulator behind Figure 4 / §4.2: per-(vantage, router)
+/// mark-survival state and first-modified-hop strip locations, classified
+/// against the AS database at observe time. All fields merge by `|`/`+`,
+/// so the result is invariant under sharding and chunking (a traceroute
+/// path is always wholly contained in one observation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HopSurveyCounts {
+    /// (vantage index, router) → (ever passed the mark, ever modified it).
+    pub hop_state: BTreeMap<(usize, Ipv4Addr), (bool, bool)>,
+    /// First-modified-hop locations → (AS ever determinable, ever
+    /// classified as an AS-boundary crossing).
+    pub strip_locations: BTreeMap<(usize, Ipv4Addr), (bool, bool)>,
+    /// CE marks observed in quotes (paper: none).
+    pub ce_observed: u64,
+    /// Paths answered by the destination itself.
+    pub reached_destination: u64,
+    /// Paths traced.
+    pub paths: u64,
 }
 
-impl Reduce for ShardReducers {
-    fn observe_trace(&mut self, rec: &TraceRecord, first_chunk: bool) {
-        self.table2.observe_trace(rec, first_chunk);
-        self.reachability.observe_trace(rec, first_chunk);
+impl Reduce for HopSurveyCounts {
+    fn observe_routes(&mut self, routes: &VantageRoutes, ctx: &RouteCtx<'_>) {
+        for path in &routes.paths {
+            self.paths += 1;
+            self.reached_destination += u64::from(path.reached_destination);
+            let sent = path.sent_ecn;
+            let mut prev_responding: Option<Ipv4Addr> = None;
+            let mut first_modified_recorded = false;
+            for hop in &path.hops {
+                let Some(router) = hop.router else { continue };
+                let any_mod = hop.modified(sent);
+                let any_pass = hop.quoted_ecn.contains(&sent);
+                self.ce_observed += hop.quoted_ecn.iter().filter(|e| **e == Ecn::Ce).count() as u64;
+                let e = self
+                    .hop_state
+                    .entry((ctx.vantage, router))
+                    .or_insert((false, false));
+                e.0 |= any_pass;
+                e.1 |= any_mod;
+                if any_mod && !first_modified_recorded {
+                    first_modified_recorded = true;
+                    let class = ctx.asdb.classify_hop(prev_responding, router);
+                    let loc = self
+                        .strip_locations
+                        .entry((ctx.vantage, router))
+                        .or_insert((false, false));
+                    loc.0 |= class.asn().is_some();
+                    loc.1 |= class.is_boundary();
+                }
+                prev_responding = Some(router);
+            }
+        }
     }
 
-    fn observe_routes(&mut self, routes: &VantageRoutes) {
-        self.survey.observe_routes(routes);
+    fn merge(&mut self, other: Self) {
+        for (key, (pass, modified)) in other.hop_state {
+            let e = self.hop_state.entry(key).or_insert((false, false));
+            e.0 |= pass;
+            e.1 |= modified;
+        }
+        for (key, (mapped, boundary)) in other.strip_locations {
+            let e = self.strip_locations.entry(key).or_insert((false, false));
+            e.0 |= mapped;
+            e.1 |= boundary;
+        }
+        self.ce_observed += other.ce_observed;
+        self.reached_destination += other.reached_destination;
+        self.paths += other.paths;
+    }
+}
+
+// ---------------------------------------------------------------- composite
+
+/// The full streamed-aggregate set: everything the report path needs,
+/// finalized. Each engine shard owns one instance (see [`ShardReducers`])
+/// and the engine merges them; the result rides on
+/// `CampaignResult::aggregates`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignAggregates {
+    /// Table 2 counters.
+    pub table2: Table2Counts,
+    /// Per-vantage Figure 2/5 ratio counters.
+    pub reachability: ReachabilityCounts,
+    /// Per-logical-trace counters (the Figure 2/5 bars).
+    pub trace_stats: TraceStats,
+    /// Figure 3 per-(location, server) differential counters.
+    pub differential: DifferentialCounts,
+    /// §4.1 batch-comparison counters.
+    pub batches: BatchCounts,
+    /// Traceroute survey totals.
+    pub survey: SurveyCounts,
+    /// Figure 4 hop-identity state.
+    pub hops: HopSurveyCounts,
+}
+
+impl Reduce for CampaignAggregates {
+    fn observe_trace(&mut self, rec: &TraceRecord, ctx: &TraceCtx) {
+        self.table2.observe_trace(rec, ctx);
+        self.reachability.observe_trace(rec, ctx);
+        self.trace_stats.observe_trace(rec, ctx);
+        self.differential.observe_trace(rec, ctx);
+        self.batches.observe_trace(rec, ctx);
+    }
+
+    fn observe_routes(&mut self, routes: &VantageRoutes, ctx: &RouteCtx<'_>) {
+        self.survey.observe_routes(routes, ctx);
+        self.hops.observe_routes(routes, ctx);
     }
 
     fn merge(&mut self, other: Self) {
         self.table2.merge(other.table2);
         self.reachability.merge(other.reachability);
+        self.trace_stats.merge(other.trace_stats);
+        self.differential.merge(other.differential);
+        self.batches.merge(other.batches);
         self.survey.merge(other.survey);
+        self.hops.merge(other.hops);
     }
 }
 
-/// Finalized aggregates attached to an engine run, alongside (or instead
-/// of) the raw trace vector.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct CampaignAggregates {
-    /// Table 2 counters.
-    pub table2: Table2Counts,
-    /// Figure 2/5 counters.
-    pub reachability: ReachabilityCounts,
-    /// Traceroute survey counters.
-    pub survey: SurveyCounts,
-}
-
-impl From<ShardReducers> for CampaignAggregates {
-    fn from(r: ShardReducers) -> Self {
-        CampaignAggregates {
-            table2: r.table2,
-            reachability: r.reachability,
-            survey: r.survey,
-        }
-    }
-}
+/// The reducer set each engine shard owns — the same type as the merged
+/// result: a shard's accumulator *is* a partial [`CampaignAggregates`].
+pub type ShardReducers = CampaignAggregates;
 
 #[cfg(test)]
 mod tests {
@@ -420,8 +757,8 @@ mod tests {
             rec("B", vec![outcome(4, true, false, false, false)]),
         ];
         let mut streamed = Table2Counts::default();
-        for t in &traces {
-            streamed.observe_trace(t, true);
+        for (i, t) in traces.iter().enumerate() {
+            streamed.observe_trace(t, &TraceCtx::whole(i, 0));
         }
         let batch = crate::analysis::table2(&traces);
         // per-vantage averages agree with the batch analysis
@@ -444,19 +781,22 @@ mod tests {
         let a = rec("A", vec![outcome(1, true, false, true, true)]);
         let b = rec("B", vec![outcome(2, true, true, true, false)]);
         let c = rec("A", vec![outcome(3, false, true, false, false)]);
+        let (ka, kb, kc) = (TraceCtx::whole(0, 0), TraceCtx::whole(1, 0), {
+            TraceCtx::whole(0, 1)
+        });
 
         let mut left = ShardReducers::default();
-        left.observe_trace(&a, true);
-        left.observe_trace(&b, true);
+        left.observe_trace(&a, &ka);
+        left.observe_trace(&b, &kb);
         let mut right = ShardReducers::default();
-        right.observe_trace(&c, true);
+        right.observe_trace(&c, &kc);
         left.merge(right);
 
         let mut other_order = ShardReducers::default();
-        other_order.observe_trace(&c, true);
+        other_order.observe_trace(&c, &kc);
         let mut rest = ShardReducers::default();
-        rest.observe_trace(&b, true);
-        rest.observe_trace(&a, true);
+        rest.observe_trace(&b, &kb);
+        rest.observe_trace(&a, &ka);
         other_order.merge(rest);
 
         assert_eq!(left, other_order);
@@ -466,14 +806,63 @@ mod tests {
     fn partial_chunks_count_one_trace() {
         let mut r = ReachabilityCounts::default();
         // one logical trace split across two chunks
-        r.observe_trace(&rec("A", vec![outcome(1, true, true, true, true)]), true);
+        let first = TraceCtx {
+            first_chunk: true,
+            vantage: 0,
+            trace_index: 0,
+        };
+        let rest = TraceCtx {
+            first_chunk: false,
+            ..first
+        };
+        r.observe_trace(&rec("A", vec![outcome(1, true, true, true, true)]), &first);
         r.observe_trace(
             &rec("A", vec![outcome(2, true, false, false, false)]),
-            false,
+            &rest,
         );
         let v = &r.per_vantage["a"];
         assert_eq!(v.traces, 1);
         assert_eq!(v.udp_plain, 2);
         assert_eq!(v.udp_both, 1);
+    }
+
+    #[test]
+    fn trace_stats_merge_partials_into_one_bar() {
+        let first = TraceCtx {
+            first_chunk: true,
+            vantage: 3,
+            trace_index: 7,
+        };
+        let rest = TraceCtx {
+            first_chunk: false,
+            ..first
+        };
+        // chunk 1 observed before chunk 0 (stealing order): identity and
+        // counters must come out the same
+        let mut s = TraceStats::default();
+        s.observe_trace(&rec("A", vec![outcome(2, true, false, true, false)]), &rest);
+        s.observe_trace(&rec("A", vec![outcome(1, true, true, true, true)]), &first);
+        assert_eq!(s.len(), 1);
+        let t = &s.per_trace[&(3, 7)];
+        assert_eq!(t.started_at, Some(Nanos::ZERO));
+        assert_eq!(t.vantage_name, "A");
+        assert_eq!((t.udp_plain, t.udp_ect, t.udp_both), (2, 1, 1));
+        assert_eq!((t.tcp_reachable, t.tcp_negotiated), (2, 1));
+    }
+
+    #[test]
+    fn batch_counts_split_by_batch() {
+        let mut b = BatchCounts::default();
+        let mut t1 = rec("A", vec![outcome(1, true, true, false, false)]);
+        t1.batch = 1;
+        b.observe_trace(&t1, &TraceCtx::whole(0, 0));
+        b.observe_trace(
+            &rec("A", vec![outcome(1, false, false, false, false)]),
+            &TraceCtx::whole(0, 1),
+        );
+        assert_eq!(b.batch_traces, [1, 1]);
+        assert_eq!(b.batch_reach_sum, [1, 0]);
+        let s = b.per_server[&Ipv4Addr::new(10, 0, 0, 1)];
+        assert_eq!(s, [(1, 1), (0, 1)]);
     }
 }

@@ -2,14 +2,23 @@
 //! tables and simple bar charts, so every bench target can print
 //! paper-style artefacts to the terminal.
 
-/// Render an aligned text table.
+/// Render an aligned text table. Column count and widths are sized from
+/// the widest row as well as the headers, so rows with more cells than
+/// headers still align with the separator.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let columns = rows
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+        .max(headers.len());
+    let mut widths: Vec<usize> = vec![0; columns];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
+            widths[i] = widths[i].max(cell.len());
         }
     }
     let mut out = String::new();
@@ -26,13 +35,7 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| {
-                format!(
-                    " {:<width$} ",
-                    c,
-                    width = widths.get(i).copied().unwrap_or(8)
-                )
-            })
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
             .collect::<Vec<_>>()
             .join("|")
     };
@@ -109,6 +112,35 @@ mod tests {
         let lines: Vec<&str> = t.lines().filter(|l| l.contains('|')).collect();
         let w = lines[0].len();
         assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn wide_rows_size_the_columns_and_separator() {
+        // a row with more cells than headers used to fall back to width 8
+        // and misalign the separator; widths now come from the widest row
+        let t = render_table(
+            "Table Y",
+            &["Region"],
+            &[
+                vec!["Europe".into(), "a long second cell".into()],
+                vec!["NA".into(), "x".into(), "third".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        let body: Vec<&str> = lines.iter().filter(|l| l.contains('|')).copied().collect();
+        let seps: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with('-'))
+            .copied()
+            .collect();
+        let w = body.iter().map(|l| l.len()).max().unwrap();
+        assert!(
+            seps.iter().all(|s| s.len() == w),
+            "separator spans all columns:\n{t}"
+        );
+        assert!(t.contains("a long second cell"));
+        // every cell is padded to its column width
+        assert!(body[0].contains(" a long second cell "));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Differential suite: the streamed-aggregate report path must render
+//! **byte-identically** to the legacy trace-walk derivation, for random
+//! seeds, shard counts, work-stealing orders, and target chunkings. This
+//! is the gate that let `FullReport` switch its default to
+//! `from_aggregates` and the engine flip `keep_traces` off: any
+//! divergence between the two derivations — a chunk double-count, a
+//! merge that isn't commutative, a ratio computed in a different order —
+//! shows up here as a unified report diff.
+
+use ecn_core::{run_engine, CampaignConfig, EngineConfig, FullReport, UnitOrder};
+use ecn_pool::PoolPlan;
+use proptest::prelude::*;
+
+fn mini_cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        discovery_rounds: 20,
+        traces_per_vantage: Some(1),
+        ..CampaignConfig::quick(seed)
+    }
+}
+
+/// Campaign-pair cases are expensive; run PROPTEST_CASES/16 of them
+/// (≥ 2), so the default CI budget stays intact while the deep-property
+/// job (PROPTEST_CASES=256) widens the sweep.
+fn cases() -> u32 {
+    let base: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    (base / 16).max(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+    #[test]
+    fn aggregate_report_renders_byte_identically_to_trace_walk(
+        seed in 1u64..10_000,
+        shards in 1usize..9,
+        target_chunks in 1usize..4,
+        order_seed in 0u64..1_000,
+        with_traceroute in proptest::arbitrary::any::<bool>(),
+    ) {
+        let plan = PoolPlan::scaled(24);
+        let cfg = CampaignConfig {
+            run_traceroute: with_traceroute,
+            ..mini_cfg(seed)
+        };
+        // one run, both derivations: keep the raw traces so the legacy
+        // walk has something to walk
+        let run = run_engine(
+            &plan,
+            &cfg,
+            &EngineConfig {
+                shards: Some(shards),
+                target_chunks,
+                unit_order: UnitOrder::Shuffled(order_seed),
+                ..EngineConfig::default()
+            }
+            .keeping_traces(),
+        );
+        let legacy = FullReport::from_traces(&run.result).render();
+        let streamed = FullReport::from_aggregates(&run.result).render();
+        prop_assert_eq!(
+            legacy, streamed,
+            "seed {} shards {} chunks {} order {} traceroute {}",
+            seed, shards, target_chunks, order_seed, with_traceroute
+        );
+    }
+}
+
+/// The same differential, pinned: a reducer-only run must render exactly
+/// what a trace-keeping run of the same campaign derives from its raw
+/// records — the aggregates lose no report-relevant information.
+#[test]
+fn reducer_only_run_renders_what_the_trace_walk_would() {
+    let plan = PoolPlan::scaled(30);
+    let cfg = mini_cfg(2015);
+    let lean = run_engine(&plan, &cfg, &EngineConfig::with_shards(4));
+    let kept = run_engine(&plan, &cfg, &EngineConfig::with_shards(2).keeping_traces());
+    assert!(lean.result.traces.is_empty());
+    assert_eq!(lean.peak_resident_traces, 0, "no TraceRecord retained");
+    assert!(!kept.result.traces.is_empty());
+    assert_eq!(
+        FullReport::from_aggregates(&lean.result).render(),
+        FullReport::from_traces(&kept.result).render(),
+    );
+}
+
+/// Chunked campaigns re-assemble per-trace bars from partial records; the
+/// bar counts must match the logical schedule, not the partial count.
+#[test]
+fn chunked_bars_are_per_logical_trace() {
+    let plan = PoolPlan::scaled(24);
+    let cfg = CampaignConfig {
+        run_traceroute: false,
+        ..mini_cfg(99)
+    };
+    let chunked = run_engine(
+        &plan,
+        &cfg,
+        &EngineConfig {
+            shards: Some(3),
+            target_chunks: 3,
+            ..EngineConfig::default()
+        }
+        .keeping_traces(),
+    );
+    let report = FullReport::from_aggregates(&chunked.result);
+    assert_eq!(
+        report.figure2.bars.len(),
+        chunked.result.traces.len(),
+        "one Figure 2 bar per merged logical trace"
+    );
+    assert_eq!(
+        FullReport::from_traces(&chunked.result).render(),
+        report.render(),
+        "chunked render differential"
+    );
+}

@@ -29,14 +29,16 @@ proptest! {
     ) {
         let plan = PoolPlan::scaled(24);
         let cfg = mini_cfg(seed);
-        let baseline = run_engine(&plan, &cfg, &EngineConfig::with_shards(1));
+        // baseline keeps raw traces so the trace count can cross-check the
+        // streamed denominator below; the sharded run is reducer-only (the
+        // default)
+        let baseline = run_engine(&plan, &cfg, &EngineConfig::with_shards(1).keeping_traces());
         let sharded = run_engine(
             &plan,
             &cfg,
             &EngineConfig {
                 shards: Some(shards),
                 unit_order: UnitOrder::Shuffled(order_seed),
-                keep_traces: false,
                 ..EngineConfig::default()
             },
         );
@@ -56,8 +58,17 @@ proptest! {
             &baseline.result.aggregates.survey,
             &sharded.result.aggregates.survey
         );
-        // reducer-only runs drop the raw trace vector but keep the counts
+        // ... and so does the full aggregate set (per-trace stats, figure 3
+        // differentials, batch counters, figure 4 hop state included)
+        prop_assert_eq!(&baseline.result.aggregates, &sharded.result.aggregates);
+        // reducer-only runs drop the raw trace vector but keep the counts,
+        // and retain zero TraceRecords at peak
         prop_assert!(sharded.result.traces.is_empty());
+        prop_assert_eq!(sharded.peak_resident_traces, 0);
+        prop_assert_eq!(
+            baseline.peak_resident_traces,
+            baseline.result.traces.len()
+        );
         let traced: u64 = sharded
             .result
             .aggregates
@@ -76,7 +87,7 @@ proptest! {
 fn streamed_table2_matches_batch_analysis() {
     let plan = PoolPlan::scaled(30);
     let cfg = mini_cfg(77);
-    let run = run_engine(&plan, &cfg, &EngineConfig::with_shards(3));
+    let run = run_engine(&plan, &cfg, &EngineConfig::with_shards(3).keeping_traces());
     let batch = ecn_core::analysis::table2(&run.result.traces);
     let streamed = &run.result.aggregates.table2;
     for row in &batch.rows {

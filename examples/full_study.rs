@@ -15,6 +15,12 @@
 //! parallelism). Any value yields byte-identical reports; it only changes
 //! how the work units spread across threads.
 //!
+//! The study runs the trace-free default path: every table and figure is
+//! rendered from the engine's streamed aggregates, so memory stays
+//! O(aggregates) no matter how many traces the campaign schedules. Set
+//! `ECNUDP_KEEP_TRACES=1` to retain the raw per-trace records (the
+//! dataset escape hatch).
+//!
 //! At paper scale this simulates hundreds of millions of per-hop packet
 //! events; build with `--release`.
 
@@ -38,8 +44,10 @@ fn main() {
         seed,
         ..CampaignConfig::default()
     };
+    let keep_traces = std::env::var("ECNUDP_KEEP_TRACES").is_ok_and(|v| v == "1");
     let eng = EngineConfig {
         shards,
+        keep_traces,
         ..EngineConfig::default()
     };
 
@@ -57,8 +65,17 @@ fn main() {
         run.shards,
         run.units,
         result.targets.len(),
-        result.traces.len(),
+        result.aggregates.trace_stats.len(),
         result.routes.iter().map(|r| r.paths.len()).sum::<usize>(),
+    );
+    eprintln!(
+        "peak resident TraceRecords: {}{}",
+        run.peak_resident_traces,
+        if keep_traces {
+            " (ECNUDP_KEEP_TRACES=1)"
+        } else {
+            " (trace-free default; report rendered from streamed aggregates)"
+        },
     );
     eprintln!(
         "engine timing: blueprint build {:.3}s | discovery {:.1}s | instantiate {:.3}s | probe {:.1}s | reduce {:.3}s",

@@ -10,6 +10,8 @@
 //! use ecnudp::pool::PoolPlan;
 //!
 //! // One blueprint, work-stealing shards, byte-identical for any shard count.
+//! // The default is reducer-only: the report renders from streamed
+//! // aggregates and the run retains zero raw TraceRecords at peak.
 //! let run = run_engine(
 //!     &PoolPlan::paper(),
 //!     &CampaignConfig::default(),
@@ -18,6 +20,7 @@
 //! let report = FullReport::from_campaign(&run.result);
 //! println!("{}", report.render());
 //! eprintln!("{}", run.timing.render());
+//! assert_eq!(run.peak_resident_traces, 0);
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the

@@ -5,6 +5,10 @@
 //! work-stealing schedule are pure concurrency knobs: `FullReport::render`
 //! must be byte-identical across `shards = 1, 4, 13, 32` (sharding
 //! invariance, not just same-seed stability).
+//!
+//! Every render below runs the **trace-free default path**
+//! (`keep_traces = false`, report from streamed aggregates); the last
+//! test pins that path to the legacy trace-walk derivation.
 
 use ecnudp::core::{run_engine, CampaignConfig, EngineConfig, FullReport, UnitOrder};
 use ecnudp::pool::PoolPlan;
@@ -21,6 +25,10 @@ fn mini_cfg(seed: u64) -> CampaignConfig {
 fn rendered_with(seed: u64, eng: &EngineConfig) -> String {
     let plan = PoolPlan::scaled(40);
     let run = run_engine(&plan, &mini_cfg(seed), eng);
+    assert!(
+        run.result.traces.is_empty() || eng.keep_traces,
+        "reducer-only run retains no traces"
+    );
     FullReport::from_campaign(&run.result).render()
 }
 
@@ -49,6 +57,8 @@ fn same_seed_same_report_different_seed_different_report() {
 
 #[test]
 fn report_is_byte_identical_across_shard_counts() {
+    // the whole sweep runs without raw traces: reducer merges alone must
+    // carry the byte-identical contract
     let sequential = baseline_2015();
     for shards in [4usize, 13, 32] {
         let sharded = rendered_with(2015, &EngineConfig::with_shards(shards));
@@ -58,13 +68,41 @@ fn report_is_byte_identical_across_shard_counts() {
         );
     }
     // and the work-stealing schedule must not matter either
-    let reversed = rendered_with(
-        2015,
-        &EngineConfig {
-            shards: Some(4),
-            unit_order: UnitOrder::Reversed,
-            ..EngineConfig::default()
-        },
+    for unit_order in [
+        UnitOrder::Reversed,
+        UnitOrder::Shuffled(7),
+        UnitOrder::Shuffled(7777),
+    ] {
+        let permuted = rendered_with(
+            2015,
+            &EngineConfig {
+                shards: Some(4),
+                unit_order,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(
+            *sequential, permuted,
+            "unit scheduling order leaks ({unit_order:?})"
+        );
+    }
+}
+
+#[test]
+fn trace_free_report_matches_trace_derived_report() {
+    // the aggregates-first default must render exactly what the legacy
+    // trace walk derives from the raw records of the same campaign
+    let plan = PoolPlan::scaled(40);
+    let kept = run_engine(
+        &plan,
+        &mini_cfg(2015),
+        &EngineConfig::with_shards(4).keeping_traces(),
     );
-    assert_eq!(*sequential, reversed, "unit scheduling order leaks");
+    assert!(!kept.result.traces.is_empty());
+    let trace_derived = FullReport::from_traces(&kept.result).render();
+    assert_eq!(
+        *baseline_2015(),
+        trace_derived,
+        "aggregates-first and trace-walk derivations diverge"
+    );
 }

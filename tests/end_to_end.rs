@@ -3,17 +3,23 @@
 //! internal consistency of every analysis artefact.
 
 use ecnudp::core::analysis::{figure2, figure3, figure4, figure5, table1, table2, FullReport};
-use ecnudp::core::{run_campaign, CampaignConfig, CampaignResult};
+use ecnudp::core::{run_campaign, run_campaign_with_traces, CampaignConfig, CampaignResult};
 use ecnudp::pool::PoolPlan;
 
-fn mini_campaign(seed: u64, traces_per_vantage: usize) -> CampaignResult {
-    let plan = PoolPlan::scaled(50);
-    let cfg = CampaignConfig {
+fn mini_cfg(seed: u64, traces_per_vantage: usize) -> CampaignConfig {
+    CampaignConfig {
         discovery_rounds: 25,
         traces_per_vantage: Some(traces_per_vantage),
         ..CampaignConfig::quick(seed)
-    };
-    run_campaign(&plan, &cfg)
+    }
+}
+
+/// These integration tests cross-check the analyses against the raw
+/// records, so they opt into the trace-keeping escape hatch; the default
+/// reducer-only path is covered by
+/// `default_campaign_is_trace_free_and_reports_identically` below.
+fn mini_campaign(seed: u64, traces_per_vantage: usize) -> CampaignResult {
+    run_campaign_with_traces(&PoolPlan::scaled(50), &mini_cfg(seed, traces_per_vantage))
 }
 
 #[test]
@@ -83,6 +89,21 @@ fn pipeline_produces_consistent_artefacts() {
     ] {
         assert!(text.contains(needle), "missing {needle}");
     }
+}
+
+#[test]
+fn default_campaign_is_trace_free_and_reports_identically() {
+    // run_campaign (the default path) retains no raw records…
+    let lean = run_campaign(&PoolPlan::scaled(50), &mini_cfg(1, 2));
+    assert!(lean.traces.is_empty(), "default path keeps no TraceRecord");
+    assert_eq!(lean.aggregates.trace_stats.len(), 2 * 13);
+    // …yet renders byte-for-byte what the trace walk derives from a
+    // trace-keeping run of the same campaign.
+    let kept = mini_campaign(1, 2);
+    assert_eq!(
+        FullReport::from_campaign(&lean).render(),
+        FullReport::from_traces(&kept).render(),
+    );
 }
 
 #[test]
@@ -185,7 +206,7 @@ fn engine_results_are_invariant_to_shards_and_stealing_order() {
         run_traceroute: false,
         ..CampaignConfig::quick(11)
     };
-    let seq = run_engine(&plan, &cfg, &EngineConfig::with_shards(1));
+    let seq = run_engine(&plan, &cfg, &EngineConfig::with_shards(1).keeping_traces());
     let par = run_engine(
         &plan,
         &cfg,
@@ -193,7 +214,8 @@ fn engine_results_are_invariant_to_shards_and_stealing_order() {
             shards: Some(5),
             unit_order: UnitOrder::Shuffled(99),
             ..EngineConfig::default()
-        },
+        }
+        .keeping_traces(),
     );
     assert_eq!(seq.units, par.units, "unit pool is shard-independent");
     assert_eq!(seq.result.targets, par.result.targets);

@@ -2,9 +2,12 @@
 //! working only from packets, must rediscover the ground truth the
 //! scenario planted — blocked servers, bleaching routers, the EC2-only
 //! oddity, web/ECN rates — without ever reading it.
+//!
+//! These campaigns run the trace-free default path (`keep_traces =
+//! false`): every figure below is derived from the streamed aggregates,
+//! proving the validity checks need no raw `TraceRecord`s either.
 
-use ecnudp::core::analysis::{figure3, figure4, figure5};
-use ecnudp::core::{run_campaign, CampaignConfig, CampaignResult};
+use ecnudp::core::{run_campaign, CampaignConfig, CampaignResult, FullReport};
 use ecnudp::netsim::NodeId;
 use ecnudp::pool::{PoolPlan, Scenario};
 use std::collections::HashSet;
@@ -23,7 +26,8 @@ fn campaign(seed: u64) -> CampaignResult {
 #[test]
 fn planted_ect_blackholes_are_measured_and_nothing_else() {
     let result = campaign(21);
-    let f3 = figure3(&result.traces);
+    assert!(result.traces.is_empty(), "default campaign is trace-free");
+    let f3 = FullReport::from_aggregates(&result).figure3;
     let planted: HashSet<Ipv4Addr> = result.truth.ect_blocked.iter().copied().collect();
     let measured: HashSet<Ipv4Addr> = f3.persistent_a.iter().copied().collect();
     // every always-blocked server is found from every location
@@ -45,7 +49,7 @@ fn planted_ect_blackholes_are_measured_and_nothing_else() {
 #[test]
 fn ec2_only_oddity_is_visible_only_from_ec2() {
     let result = campaign(22);
-    let f3 = figure3(&result.traces);
+    let f3 = FullReport::from_aggregates(&result).figure3;
     let phoenix = result.truth.not_ect_blocked_ec2[0];
     for (location, servers) in &f3.per_location {
         let d = servers.get(&phoenix).expect("probed everywhere");
@@ -69,7 +73,7 @@ fn ec2_only_oddity_is_visible_only_from_ec2() {
 #[test]
 fn measured_ecn_share_tracks_planted_share() {
     let result = campaign(23);
-    let f5 = figure5(&result.traces);
+    let f5 = FullReport::from_aggregates(&result).figure5;
     let planted_share =
         result.truth.web_ecn_on_count as f64 / result.truth.web_server_count.max(1) as f64;
     let measured_share = f5.negotiated_pct() / 100.0;
@@ -91,7 +95,7 @@ fn traceroute_finds_each_always_bleaching_router_region() {
         ..CampaignConfig::quick(24)
     };
     let result = run_campaign(&plan, &cfg);
-    let f4 = figure4(&result.routes, &result.asdb);
+    let f4 = FullReport::from_aggregates(&result).figure4;
     assert!(
         f4.strip_locations as usize >= result.truth.bleach_always.len(),
         "each planted bleacher produces at least one observed strip location: {} < {}",
@@ -196,13 +200,14 @@ fn no_ecn_blackhole_false_positives_without_planted_middleboxes() {
         ..CampaignConfig::quick(25)
     };
     let result = run_campaign(&plan, &cfg);
-    let f3 = figure3(&result.traces);
+    let report = FullReport::from_aggregates(&result);
+    let f3 = &report.figure3;
     assert!(
         f3.persistent_a.is_empty(),
         "no planted middleboxes, no persistent blackholes: {:?}",
         f3.persistent_a
     );
-    let f4 = figure4(&result.routes, &result.asdb);
+    let f4 = &report.figure4;
     assert_eq!(f4.strip_hops, 0, "no bleachers, no red hops");
     assert_eq!(f4.pass_hops, f4.total_hops);
 }
