@@ -1,0 +1,94 @@
+//! Probe hot-loop bench: throughput and allocation discipline of the
+//! (instantiate → probe → reduce) inner loop on a single shard.
+//!
+//! Reports, per `BENCH_campaign.json` section `probe_hot_loop`:
+//! - `observations_per_sec` — (server, trace) observations absorbed per
+//!   wall second, single shard (so scheduler parallelism can't flatter
+//!   the inner loop);
+//! - `instantiate_ms_per_unit` — what stamping one unit world from the
+//!   blueprint skeleton costs;
+//! - `allocations_per_observation` — only when built with
+//!   `--features alloc-count`, which installs the counting global
+//!   allocator (left out of default runs so the gauge can't perturb the
+//!   wall-clock numbers).
+//!
+//! Scale knobs (env): `ECNUDP_BENCH_SERVERS` (default 150),
+//! `ECNUDP_BENCH_TRACES` (per vantage, default 2).
+
+use ecn_bench::BENCH_SEED;
+use ecn_core::{run_engine, CampaignConfig, EngineConfig};
+use ecn_pool::PoolPlan;
+use std::time::Instant;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: ecn_bench::alloc::CountingAlloc = ecn_bench::alloc::CountingAlloc;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let servers = env_usize("ECNUDP_BENCH_SERVERS", 150);
+    let traces_per_vantage = env_usize("ECNUDP_BENCH_TRACES", 2);
+    let plan = PoolPlan::scaled(servers);
+    let cfg = CampaignConfig {
+        discovery_rounds: 40,
+        traces_per_vantage: Some(traces_per_vantage),
+        run_traceroute: false,
+        ..CampaignConfig::quick(BENCH_SEED)
+    };
+    let eng = EngineConfig::with_shards(1);
+
+    println!(
+        "[probe_hot_loop] {servers} servers, {traces_per_vantage} traces/vantage, 1 shard{}",
+        if cfg!(feature = "alloc-count") {
+            ", counting allocations"
+        } else {
+            ""
+        }
+    );
+
+    // Warm-up: fault in code paths and allocator arenas.
+    std::hint::black_box(run_engine(&plan, &cfg, &eng));
+
+    let t0 = Instant::now();
+    let (run, allocs) = ecn_bench::alloc::count_allocations(|| run_engine(&plan, &cfg, &eng));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let logical_traces = run.result.aggregates.trace_stats.len();
+    let observations = logical_traces * run.result.targets.len();
+    let obs_per_sec = observations as f64 / (wall_ms / 1000.0);
+    let inst_ms_per_unit = run.timing.instantiate.as_secs_f64() * 1000.0 / run.units.max(1) as f64;
+
+    println!(
+        "[probe_hot_loop] {observations} observations in {wall_ms:.0} ms -> {obs_per_sec:.0} obs/s ({})",
+        run.timing.render()
+    );
+    println!(
+        "[probe_hot_loop] instantiate: {inst_ms_per_unit:.3} ms/unit over {} units",
+        run.units
+    );
+
+    let mut json = format!(
+        "{{\n  \"servers\": {servers},\n  \"traces_per_vantage\": {traces_per_vantage},\n  \"observations\": {observations},\n  \"wall_ms\": {wall_ms:.1},\n  \"observations_per_sec\": {obs_per_sec:.0},\n  \"instantiate_ms_per_unit\": {inst_ms_per_unit:.3},\n  \"alloc_counting\": {}",
+        cfg!(feature = "alloc-count"),
+    );
+    if cfg!(feature = "alloc-count") {
+        let per_obs = allocs as f64 / observations.max(1) as f64;
+        println!(
+            "[probe_hot_loop] {allocs} allocations for {observations} observations -> {per_obs:.2} allocs/observation"
+        );
+        json.push_str(&format!(
+            ",\n  \"allocations\": {allocs},\n  \"allocations_per_observation\": {per_obs:.2}"
+        ));
+    }
+    json.push_str("\n}");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    ecn_bench::update_bench_json(&out, "probe_hot_loop", &json);
+    println!("[probe_hot_loop] hot-loop table -> BENCH_campaign.json");
+}

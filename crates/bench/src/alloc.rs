@@ -1,0 +1,67 @@
+//! A counting global allocator: turns "the hot loop is allocation-free"
+//! from prose into a measured number.
+//!
+//! The type is always compiled (it is inert unless installed); binaries
+//! that want the gauge install it explicitly:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: ecn_bench::alloc::CountingAlloc = ecn_bench::alloc::CountingAlloc;
+//! ```
+//!
+//! The `probe_hot_loop` bench installs it behind the `alloc-count`
+//! feature (so default bench runs measure undisturbed wall clock), and
+//! the `alloc_regression` integration test installs it unconditionally —
+//! its whole point is the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// `System`, plus two relaxed counters per allocation.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side-effect-only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // only the growth is newly-requested memory; counting the full
+        // new_size would overstate realloc-heavy (Vec-growth) workloads
+        ALLOCATED_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocations (malloc + realloc calls) since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Allocation count delta across `f` (meaningful only in binaries that
+/// installed [`CountingAlloc`]; returns 0 delta otherwise).
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocation_count();
+    let value = f();
+    (value, allocation_count() - before)
+}

@@ -7,6 +7,8 @@ use ecn_pool::PoolPlan;
 use std::path::Path;
 use std::time::Instant;
 
+pub mod alloc;
+
 /// Default seed for benchmark runs (fixed so printed artefacts are stable).
 pub const BENCH_SEED: u64 = 2015;
 
@@ -69,6 +71,26 @@ pub fn update_bench_json(path: &Path, section: &str, section_body: &str) {
     }
     out.push_str("}\n");
     std::fs::write(path, out).expect("write bench json");
+}
+
+/// Read one numeric leaf out of a `BENCH_campaign.json` document:
+/// `section` selects the top-level object, `keys` walk down it in order
+/// (each key is found by textual scan — sufficient for the flat objects
+/// the bench writers emit). Returns `None` when any key is missing.
+pub fn bench_json_number(doc: &str, section: &str, keys: &[&str]) -> Option<f64> {
+    let (_, body) = parse_top_level_sections(doc)
+        .into_iter()
+        .find(|(name, _)| name == section)?;
+    let mut at = 0usize;
+    for k in keys {
+        let needle = format!("\"{k}\"");
+        at += body[at..].find(&needle)? + needle.len();
+    }
+    let rest = body[at..].trim_start_matches([':', ' ', '\t']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Split a `{ "name": {...}, ... }` document into (name, object) pairs by

@@ -1,0 +1,86 @@
+//! Allocation-regression gate for the probe hot loop.
+//!
+//! This test binary installs the counting global allocator and measures
+//! the two per-unit costs the engine pays for every work unit, in their
+//! warm steady state (pools filled, capture freelists populated):
+//!
+//! - `instantiate_unit` — stamping a live world from the blueprint
+//!   skeleton. Pooling/`Arc`-sharing took this from 2634 to 564
+//!   allocations per unit at this scale (the remainder is genuinely
+//!   per-world state: node boxes, host stacks, services).
+//! - `run_trace` — the probe inner loop. Buffer pooling, capture
+//!   freelists, borrow-based verdict scans and no-clone polling took
+//!   this from 176 to ~80 allocations per (server, trace) observation
+//!   (the remainder is TCP connection machinery and per-delivery
+//!   inbox copies).
+//!
+//! The budgets sit ~50% above the measured numbers: enough headroom for
+//! allocator jitter across platforms, tight enough that reintroducing
+//! per-packet `Vec` churn (owned `encode()`, capture copies, per-unit
+//! `format!` labels…) fails immediately.
+
+use ecn_bench::alloc::{count_allocations, CountingAlloc};
+use ecn_core::{run_discovery, run_trace, CampaignConfig};
+use ecn_pool::{PoolPlan, WorldBlueprint};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Budget for stamping one unit world from the skeleton (measured: 564).
+const INSTANTIATE_BUDGET: u64 = 900;
+
+/// Budget per (server, trace) observation in the probe loop
+/// (measured: ~80).
+const PER_OBSERVATION_BUDGET: f64 = 120.0;
+
+fn test_cfg() -> CampaignConfig {
+    CampaignConfig {
+        discovery_rounds: 30,
+        traces_per_vantage: Some(1),
+        run_traceroute: false,
+        ..CampaignConfig::quick(11)
+    }
+}
+
+#[test]
+fn unit_instantiation_allocations_stay_within_budget() {
+    let cfg = test_cfg();
+    let plan = PoolPlan {
+        churn_at: cfg.batch2_start,
+        ..PoolPlan::scaled(40)
+    };
+    let bp = WorldBlueprint::build(&plan, cfg.seed);
+    let _warm = bp.instantiate_unit(0, 0);
+    let (_, allocs) = count_allocations(|| bp.instantiate_unit(0, 0));
+    println!("instantiate_unit: {allocs} allocations");
+    assert!(
+        allocs < INSTANTIATE_BUDGET,
+        "unit instantiation allocation regression: {allocs} (budget {INSTANTIATE_BUDGET})"
+    );
+}
+
+#[test]
+fn probe_loop_allocations_stay_within_budget() {
+    let cfg = test_cfg();
+    let (d, mut sc) = run_discovery(&PoolPlan::scaled(40), &cfg);
+
+    // Warm-up trace fills the packet pool and capture freelists.
+    let warm = run_trace(&mut sc, 4, 2, &d.targets, &cfg);
+
+    let (rec, allocs) = count_allocations(|| run_trace(&mut sc, 4, 2, &d.targets, &cfg));
+    assert_eq!(
+        rec.outcomes.len(),
+        warm.outcomes.len(),
+        "counted trace probed a different target set"
+    );
+    let per_obs = allocs as f64 / rec.outcomes.len().max(1) as f64;
+    println!(
+        "run_trace: {allocs} allocations / {} observations = {per_obs:.1} per observation",
+        rec.outcomes.len()
+    );
+    assert!(
+        per_obs < PER_OBSERVATION_BUDGET,
+        "probe hot-loop allocation regression: {per_obs:.1} allocs/observation \
+         (budget {PER_OBSERVATION_BUDGET})"
+    );
+}

@@ -52,8 +52,8 @@ pub struct CampaignResult {
     pub asdb: std::sync::Arc<ecn_asdb::AsDb>,
     /// Vantage (key, name) in Table 2 order.
     pub vantage_order: Vec<(String, String)>,
-    /// Ground truth (audit only).
-    pub truth: ecn_pool::GroundTruth,
+    /// Ground truth (audit only), shared with the blueprint.
+    pub truth: std::sync::Arc<ecn_pool::GroundTruth>,
 }
 
 /// Summary of the discovery phase.

@@ -305,8 +305,12 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
         }
     }
     flush(merged_for_vantage.take(), &mut traces, &mut routes);
-    // merge in schedule order (stable: traces carry start times)
-    traces.sort_by_key(|t| (t.started_at, t.vantage_key.clone()));
+    // merge in schedule order (stable: traces carry start times); compare
+    // the vantage key by reference — a sort key would clone the String
+    // on every comparison
+    traces.sort_by(|a, b| {
+        (a.started_at, a.vantage_key.as_str()).cmp(&(b.started_at, b.vantage_key.as_str()))
+    });
     timing.reduce += t0.elapsed();
     timing.wall = wall0.elapsed();
 
@@ -350,32 +354,26 @@ fn chunk_slice(targets: &[Ipv4Addr], c: usize, chunks: usize) -> &[Ipv4Addr] {
     &targets[c * n / chunks..(c + 1) * n / chunks]
 }
 
-/// Pop local work, else steal from the back of the fullest victim.
+/// Pop local work, else steal from the back of a victim.
+///
+/// Victims are visited round-robin starting at the shard's right-hand
+/// neighbour, and each visit is a single lock-and-pop. The previous
+/// "steal from the fullest" policy locked every queue once to measure
+/// lengths and then re-locked the chosen victim — O(shards²) lock
+/// traffic per steal across the drain phase, for no placement benefit
+/// (results are order-invariant and units are uniform).
 fn next_unit(s: usize, queues: &[Mutex<VecDeque<Unit>>]) -> Option<Unit> {
     if let Some(u) = queues[s].lock().pop_front() {
         return Some(u);
     }
-    loop {
-        let mut best: Option<(usize, usize)> = None;
-        for (v, q) in queues.iter().enumerate() {
-            if v == s {
-                continue;
-            }
-            let len = q.lock().len();
-            if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
-                best = Some((v, len));
-            }
-        }
-        match best {
-            Some((v, _)) => {
-                if let Some(u) = queues[v].lock().pop_back() {
-                    return Some(u);
-                }
-                // raced with the victim draining its own queue; rescan
-            }
-            None => return None,
+    let n = queues.len();
+    for off in 1..n {
+        let v = (s + off) % n;
+        if let Some(u) = queues[v].lock().pop_back() {
+            return Some(u);
         }
     }
+    None
 }
 
 /// Execute one unit: instantiate its world under the unit-identity RNG
@@ -396,7 +394,7 @@ fn run_unit(
 ) -> UnitOutput {
     let first_chunk = unit.chunk == 0;
     let t0 = Instant::now();
-    let mut sc = bp.instantiate_domain(&format!("engine/unit/v{}/c{}", unit.vantage, unit.chunk));
+    let mut sc = bp.instantiate_unit(unit.vantage, unit.chunk);
     *inst += t0.elapsed();
 
     let t0 = Instant::now();

@@ -14,7 +14,7 @@ use crate::config::ProbeConfig;
 use ecn_netsim::{CaptureRef, Direction, Nanos, Sim};
 use ecn_services::NtpClient;
 use ecn_stack::{CloseReason, HostHandle, TcpState};
-use ecn_wire::{Ecn, HttpRequest, HttpResponse, IpProto, TcpFlags, TcpHeader, UdpHeader};
+use ecn_wire::{Ecn, HttpResponse, IpProto, TcpFlags, TcpHeader, UdpHeader};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -42,7 +42,8 @@ pub fn probe_udp(
 ) -> UdpProbeResult {
     let sock = handle.udp_bind(0);
     let session_start = sim.now();
-    let mut sent = Vec::new();
+    let mut sent = Vec::with_capacity(1 + cfg.udp_retries as usize);
+    let mut req_wire = ecn_wire::WireBuf::with_capacity(ecn_wire::NTP_PACKET_LEN);
     let mut attempts = 0;
     let mut outcome = UdpProbeResult {
         reachable: false,
@@ -53,21 +54,24 @@ pub fn probe_udp(
     'session: for _ in 0..=cfg.udp_retries {
         attempts += 1;
         let req = NtpClient::request(sim.now());
-        handle.udp_send(sim, sock, (server, 123), &req.encode(), ecn);
+        req.encode_into(req_wire.start());
+        handle.udp_send(sim, sock, (server, 123), req_wire.as_slice(), ecn);
         sent.push(req);
         let deadline = sim.now() + cfg.udp_timeout;
         sim.run_until(deadline);
-        // Verdict from the capture, as per the methodology.
+        // Verdict from the capture, as per the methodology. The scan
+        // borrows each captured packet in place (header decode + payload
+        // slice) instead of re-materialising owned datagrams.
         let cap = capture.lock();
         for p in cap.since(session_start) {
             if p.dir != Direction::In {
                 continue;
             }
-            let Some(d) = p.datagram() else { continue };
-            if d.src() != server || d.protocol() != IpProto::Udp {
+            let Some(h) = p.ip_header() else { continue };
+            if h.src != server || h.protocol != IpProto::Udp {
                 continue;
             }
-            let Ok((uh, body)) = UdpHeader::decode(d.src(), d.dst(), d.payload()) else {
+            let Ok((uh, body)) = UdpHeader::decode(h.src, h.dst, p.ip_payload()) else {
                 continue;
             };
             if uh.src_port != 123 || uh.dst_port != sock {
@@ -77,7 +81,7 @@ pub fn probe_udp(
                 outcome = UdpProbeResult {
                     reachable: true,
                     attempts,
-                    response_ecn: Some(d.ecn()),
+                    response_ecn: Some(h.ecn),
                     rtt: Some(p.ts.saturating_sub(session_start)),
                 };
                 break 'session;
@@ -123,11 +127,11 @@ pub fn probe_tcp(
     let session_start = sim.now();
     let conn = handle.tcp_connect(sim, (server, 80), use_ecn);
 
-    // Wait for the handshake to resolve.
+    // Wait for the handshake to resolve (state-only polls: no snapshot
+    // buffer clones in the wait loop).
     let deadline = sim.now() + cfg.tcp_handshake_wait;
     loop {
-        let state = handle.conn(conn).map(|s| s.state);
-        match state {
+        match handle.conn_state(conn) {
             Some(TcpState::Established) | Some(TcpState::Closed) | None => break,
             _ if sim.now() >= deadline => break,
             _ => {
@@ -146,19 +150,24 @@ pub fn probe_tcp(
         close_reason: None,
     };
 
-    let snap = handle.conn(conn);
-    let established = matches!(snap.as_ref().map(|s| s.state), Some(TcpState::Established));
+    let established = matches!(handle.conn_state(conn), Some(TcpState::Established));
     if established {
-        // Issue the GET and wait for a complete response or teardown.
-        let req = HttpRequest::get_root(&server.to_string()).encode();
+        // Issue the GET and wait for a complete response or teardown. The
+        // request bytes are `HttpRequest::get_root(&server.to_string())
+        // .encode()` formatted in one pass — same wire bytes, one buffer
+        // instead of an owned request struct's dozen small strings.
+        use std::io::Write as _;
+        let mut req = Vec::with_capacity(96);
+        let _ = write!(
+            req,
+            "GET / HTTP/1.1\r\nHost: {server}\r\nUser-Agent: ecn-udp-study/1.0\r\nConnection: close\r\n\r\n"
+        );
         handle.tcp_send(sim, conn, &req);
         let deadline = sim.now() + cfg.http_wait;
-        while let Some(s) = handle.conn(conn) {
-            if HttpResponse::is_complete(&s.received)
-                || s.peer_closed
-                || s.state == TcpState::Closed
-                || sim.now() >= deadline
-            {
+        while let Some((state, peer_closed, done)) =
+            handle.conn_ready(conn, HttpResponse::is_complete)
+        {
+            if done || peer_closed || state == TcpState::Closed || sim.now() >= deadline {
                 break;
             }
             let step = (deadline.0 - sim.now().0).min(cfg.poll_quantum.0);
@@ -184,11 +193,11 @@ pub fn probe_tcp(
         if p.dir != Direction::In {
             continue;
         }
-        let Some(d) = p.datagram() else { continue };
-        if d.src() != server || d.protocol() != IpProto::Tcp {
+        let Some(h) = p.ip_header() else { continue };
+        if h.src != server || h.protocol != IpProto::Tcp {
             continue;
         }
-        let Ok(th) = TcpHeader::decode_fields(d.payload()) else {
+        let Ok(th) = TcpHeader::decode_fields(p.ip_payload()) else {
             continue;
         };
         if th.flags.contains(TcpFlags::SYN) && th.flags.contains(TcpFlags::ACK) {
@@ -205,6 +214,23 @@ mod tests {
     use super::*;
     use ecn_pool::{build_scenario, PoolPlan, SpecialBehaviour};
     use ecn_stack::AvailabilityModel;
+
+    #[test]
+    fn inline_get_matches_http_request_encoding() {
+        // probe_tcp formats the GET in one pass; it must stay
+        // byte-identical to the structured request it replaced, or the
+        // probe silently diverges from the documented methodology.
+        use std::io::Write as _;
+        for server in [Ipv4Addr::new(192, 0, 2, 80), Ipv4Addr::new(128, 1, 24, 0)] {
+            let mut inline = Vec::with_capacity(96);
+            let _ = write!(
+                inline,
+                "GET / HTTP/1.1\r\nHost: {server}\r\nUser-Agent: ecn-udp-study/1.0\r\nConnection: close\r\n\r\n"
+            );
+            let structured = ecn_wire::HttpRequest::get_root(&server.to_string()).encode();
+            assert_eq!(inline, structured);
+        }
+    }
 
     #[test]
     fn udp_probe_reaches_healthy_server_and_reports_rtt() {

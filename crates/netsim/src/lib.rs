@@ -33,6 +33,7 @@ pub mod loss;
 pub mod node;
 pub mod pcap;
 pub mod policy;
+pub mod pool;
 pub mod prefix;
 pub mod queue;
 pub mod rng;
@@ -45,9 +46,10 @@ pub use loss::{LossModel, LossProcess};
 pub use node::{flow_key, HostAgent, HostNode, Node, RouteEntry, Router};
 pub use pcap::{new_capture, write_pcap, Capture, CaptureRef, CapturedPacket, Direction};
 pub use policy::{EcnMatch, EcnPolicy, Firewall, FirewallAction, FirewallRule};
+pub use pool::PacketPool;
 pub use prefix::{Ipv4Prefix, PrefixMap};
 pub use queue::{QueueDisc, QueueDropCause, QueueState, QueueVerdict};
-pub use rng::{derive_rng, derive_rng_indexed, derive_seed};
-pub use sim::{HostApi, Sim, SimConfig};
+pub use rng::{derive_rng, derive_rng_indexed, derive_seed, derive_seed_indexed, LabelBuf};
+pub use sim::{HostApi, Sim, SimConfig, SimSkeleton};
 pub use stats::{DropCause, Stats};
 pub use time::Nanos;

@@ -91,7 +91,7 @@ pub enum LinkOutcome {
 }
 
 /// A directed link plus its runtime state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Own id.
     pub id: LinkId,

@@ -8,6 +8,7 @@ use crate::prefix::PrefixMap;
 use crate::sim::HostApi;
 use ecn_wire::Datagram;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// A forwarding-table entry: single next hop or ECMP set.
 #[derive(Debug, Clone)]
@@ -41,10 +42,17 @@ impl RouteEntry {
 }
 
 /// A router: forwarding table plus the per-hop behaviours under study.
-#[derive(Debug)]
+///
+/// The label and the compiled forwarding table are `Arc`-shared: cloning a
+/// router (the blueprint-skeleton instantiation path) costs two reference
+/// bumps, not a name allocation plus a table rebuild. Construction-time
+/// mutation still works transparently via [`Router::table_mut`]
+/// (copy-on-write while unshared, which is always the case during world
+/// construction).
+#[derive(Debug, Clone)]
 pub struct Router {
     /// Human-readable label (also used to derive per-router randomness).
-    pub label: String,
+    pub label: Arc<str>,
     /// The address this router answers ICMP from (its "hop IP").
     pub addr: Ipv4Addr,
     /// AS this router belongs to.
@@ -56,13 +64,14 @@ pub struct Router {
     /// Does this router generate ICMP time-exceeded? (Silent routers show
     /// up as `*` in traceroute.)
     pub responds_ttl_exceeded: bool,
-    /// Longest-prefix-match forwarding table.
-    pub table: PrefixMap<RouteEntry>,
+    /// Longest-prefix-match forwarding table (shared with sibling worlds
+    /// stamped from the same skeleton).
+    pub table: Arc<PrefixMap<RouteEntry>>,
 }
 
 impl Router {
     /// A plain RFC-compliant router.
-    pub fn new(label: impl Into<String>, addr: Ipv4Addr, asn: u32) -> Router {
+    pub fn new(label: impl Into<Arc<str>>, addr: Ipv4Addr, asn: u32) -> Router {
         Router {
             label: label.into(),
             addr,
@@ -70,8 +79,14 @@ impl Router {
             ecn_policy: EcnPolicy::Pass,
             firewall: Firewall::allow_all(),
             responds_ttl_exceeded: true,
-            table: PrefixMap::new(),
+            table: Arc::new(PrefixMap::new()),
         }
+    }
+
+    /// Mutable access to the forwarding table (construction-time only;
+    /// clones the table if it is currently shared with another world).
+    pub fn table_mut(&mut self) -> &mut PrefixMap<RouteEntry> {
+        Arc::make_mut(&mut self.table)
     }
 }
 
@@ -79,16 +94,18 @@ impl Router {
 /// while dispatching, so the agent gets full mutable access to both itself
 /// and the simulation (via [`HostApi`]).
 pub trait HostAgent {
-    /// A datagram addressed to this host arrived.
-    fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: Datagram);
+    /// A datagram addressed to this host arrived. The simulator retains
+    /// ownership (it recycles the buffer into its [`crate::PacketPool`]
+    /// afterwards); agents copy out what they keep.
+    fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: &Datagram);
     /// A timer set through [`HostApi::set_timer`] fired.
     fn on_timer(&mut self, api: &mut HostApi<'_>, token: u64);
 }
 
 /// A host node: one address, one uplink, an optional agent and capture.
 pub struct HostNode {
-    /// Human-readable label.
-    pub label: String,
+    /// Human-readable label (shared with sibling worlds).
+    pub label: Arc<str>,
     /// The host's address.
     pub addr: Ipv4Addr,
     /// The host's access link (towards its first-hop router).
@@ -164,7 +181,12 @@ impl Node {
 
 /// Flow key used for ECMP hashing: stable per (src, dst, proto).
 pub fn flow_key(dgram: &Datagram) -> u64 {
-    let h = dgram.header();
+    flow_key_header(&dgram.header())
+}
+
+/// [`flow_key`] over an already-decoded header (the forwarding pipeline
+/// decodes each packet's header exactly once per hop).
+pub fn flow_key_header(h: &ecn_wire::Ipv4Header) -> u64 {
     (u64::from(u32::from(h.src)) << 32)
         ^ u64::from(u32::from(h.dst))
         ^ (u64::from(h.protocol.number()) << 17)

@@ -36,24 +36,49 @@ pub struct CapturedPacket {
 impl CapturedPacket {
     /// Parse the bytes back into a datagram (captures only ever store
     /// well-formed datagrams, but the parse is still fallible by design).
+    ///
+    /// Copies the packet; verdict scans that only need header fields and
+    /// the payload slice should use [`CapturedPacket::ip_header`] /
+    /// [`CapturedPacket::ip_payload`], which borrow.
     pub fn datagram(&self) -> Option<Datagram> {
         Datagram::from_bytes(self.bytes.clone()).ok()
+    }
+
+    /// Decode the IPv4 header in place (checksum-verified, no copy).
+    pub fn ip_header(&self) -> Option<ecn_wire::Ipv4Header> {
+        ecn_wire::Ipv4Header::decode(&self.bytes).ok()
+    }
+
+    /// The transport payload slice (bytes after the IPv4 header).
+    pub fn ip_payload(&self) -> &[u8] {
+        &self.bytes[ecn_wire::IPV4_HEADER_LEN.min(self.bytes.len())..]
     }
 }
 
 /// An append-only capture buffer.
+///
+/// Cleared captures keep their packet byte buffers on an internal
+/// freelist, so the per-server "tcpdump session" pattern (clear, probe,
+/// scan, clear …) stops allocating once warm.
 #[derive(Debug, Default)]
 pub struct Capture {
     packets: Vec<CapturedPacket>,
+    free: Vec<Vec<u8>>,
 }
+
+/// Idle byte buffers a capture retains across `clear()` calls.
+const CAPTURE_RETAIN: usize = 512;
 
 impl Capture {
     /// Record a packet.
     pub fn record(&mut self, ts: Nanos, dir: Direction, bytes: &[u8]) {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(bytes);
         self.packets.push(CapturedPacket {
             ts,
             dir,
-            bytes: bytes.to_vec(),
+            bytes: buf,
         });
     }
 
@@ -72,9 +97,14 @@ impl Capture {
         self.packets.is_empty()
     }
 
-    /// Drop all packets captured so far (start of a new probe).
+    /// Drop all packets captured so far (start of a new probe), recycling
+    /// their byte buffers for the next session.
     pub fn clear(&mut self) {
-        self.packets.clear();
+        for p in self.packets.drain(..) {
+            if self.free.len() < CAPTURE_RETAIN && p.bytes.capacity() > 0 {
+                self.free.push(p.bytes);
+            }
+        }
     }
 
     /// Packets captured at or after `since`, in order.

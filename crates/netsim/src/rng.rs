@@ -11,8 +11,12 @@ use rand::SeedableRng;
 
 /// Derive a child seed from `seed` and a label, via FNV-1a over the label.
 pub fn derive_seed(seed: u64, label: &str) -> u64 {
+    derive_seed_bytes(seed, label.as_bytes())
+}
+
+fn derive_seed_bytes(seed: u64, label: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed.rotate_left(17);
-    for b in label.as_bytes() {
+    for b in label {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
@@ -23,6 +27,35 @@ pub fn derive_seed(seed: u64, label: &str) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derive a child seed for a numbered instance of `label` without heap
+/// allocation. Produces exactly the same seed as
+/// `derive_seed(derive_seed(seed, label), &index.to_string())` — the
+/// historical path — so existing random streams are unperturbed; the
+/// decimal digits are formatted on the stack instead.
+pub fn derive_seed_indexed(seed: u64, label: &str, index: u64) -> u64 {
+    let mut digits = [0u8; 20];
+    let n = write_decimal(index, &mut digits);
+    derive_seed_bytes(derive_seed(seed, label), &digits[..n])
+}
+
+/// Decimal-format `v` into `buf`, returning the digit count.
+fn write_decimal(mut v: u64, buf: &mut [u8; 20]) -> usize {
+    let mut tmp = [0u8; 20];
+    let mut i = 0;
+    loop {
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        i += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    for (j, d) in tmp[..i].iter().rev().enumerate() {
+        buf[j] = *d;
+    }
+    i
+}
+
 /// A `SmallRng` for the component identified by `label`.
 pub fn derive_rng(seed: u64, label: &str) -> SmallRng {
     SmallRng::seed_from_u64(derive_seed(seed, label))
@@ -30,7 +63,59 @@ pub fn derive_rng(seed: u64, label: &str) -> SmallRng {
 
 /// A `SmallRng` for a numbered instance of a component (e.g. per-link loss).
 pub fn derive_rng_indexed(seed: u64, label: &str, index: u64) -> SmallRng {
-    SmallRng::seed_from_u64(derive_seed(derive_seed(seed, label), &index.to_string()))
+    SmallRng::seed_from_u64(derive_seed_indexed(seed, label, index))
+}
+
+/// A fixed-capacity, stack-allocated label formatter: lets hot paths build
+/// RNG-domain labels (`engine/unit/v3/c1`, `avail-192.0.2.7`) through
+/// `core::fmt` without touching the heap, then hash them with
+/// [`derive_seed`]. Labels longer than the capacity are a programming
+/// error (formatting fails; [`LabelBuf::format`] panics) rather than a
+/// silent truncation that would fork a random stream.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelBuf {
+    buf: [u8; 96],
+    len: usize,
+}
+
+impl LabelBuf {
+    /// Format `args` into a fresh stack label.
+    ///
+    /// ```
+    /// use ecn_netsim::{derive_seed, LabelBuf};
+    /// let label = LabelBuf::format(format_args!("engine/unit/v{}/c{}", 3, 1));
+    /// assert_eq!(label.as_str(), "engine/unit/v3/c1");
+    /// assert_eq!(
+    ///     derive_seed(7, label.as_str()),
+    ///     derive_seed(7, "engine/unit/v3/c1"),
+    /// );
+    /// ```
+    pub fn format(args: std::fmt::Arguments<'_>) -> LabelBuf {
+        let mut lb = LabelBuf {
+            buf: [0; 96],
+            len: 0,
+        };
+        std::fmt::Write::write_fmt(&mut lb, args).expect("label exceeds LabelBuf capacity");
+        lb
+    }
+
+    /// The formatted label.
+    pub fn as_str(&self) -> &str {
+        // Only &str fragments are ever written, always at UTF-8 boundaries.
+        std::str::from_utf8(&self.buf[..self.len]).expect("LabelBuf holds UTF-8")
+    }
+}
+
+impl std::fmt::Write for LabelBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            return Err(std::fmt::Error);
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +153,32 @@ mod tests {
         let mut r0 = derive_rng_indexed(7, "link", 0);
         let mut r1 = derive_rng_indexed(7, "link", 1);
         assert_ne!(r0.gen::<u64>(), r1.gen::<u64>());
+    }
+
+    #[test]
+    fn indexed_seed_matches_historical_string_path() {
+        // The non-allocating digit formatter must reproduce the exact
+        // seeds the to_string() path produced, or every per-link loss
+        // stream in every committed golden report would fork.
+        for seed in [0u64, 7, u64::MAX] {
+            for index in [0u64, 1, 9, 10, 123, 1_000_000, u64::MAX] {
+                assert_eq!(
+                    derive_seed_indexed(seed, "link", index),
+                    derive_seed(derive_seed(seed, "link"), &index.to_string()),
+                    "seed {seed} index {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_buf_formats_without_truncation() {
+        let lb = LabelBuf::format(format_args!("engine/unit/v{}/c{}", 12, 3));
+        assert_eq!(lb.as_str(), "engine/unit/v12/c3");
+        assert_eq!(
+            derive_seed(42, lb.as_str()),
+            derive_seed(42, &format!("engine/unit/v{}/c{}", 12, 3))
+        );
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! policy, route lookup, link transmission).
 
 use crate::link::{Link, LinkId, LinkProps, NodeId};
-use crate::node::{flow_key, HostAgent, Node, RouteEntry, Router};
+use crate::node::{flow_key_header, HostAgent, HostNode, Node, RouteEntry, Router};
 use crate::pcap::{new_capture, CaptureRef, Direction};
 use crate::policy::FirewallAction;
+use crate::pool::PacketPool;
 use crate::prefix::Ipv4Prefix;
 use crate::stats::{DropCause, Stats};
 use crate::time::Nanos;
@@ -15,6 +16,7 @@ use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +78,9 @@ pub struct Sim {
     pub links: Vec<Link>,
     /// Ground-truth counters (not visible to the measurement application).
     pub stats: Stats,
+    /// Datagram buffer freelist: checked out on encode, refilled when the
+    /// simulator consumes a packet (delivery or drop).
+    pub pool: PacketPool,
     rng: SmallRng,
     config: SimConfig,
 }
@@ -112,9 +117,16 @@ impl Sim {
             nodes: Vec::new(),
             links: Vec::new(),
             stats: Stats::default(),
+            pool: PacketPool::new(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0xec00_5eed),
             config,
         }
+    }
+
+    /// Check a recycled byte buffer out of the simulator's packet pool
+    /// (for encoding an outgoing datagram via [`Datagram::compose`]).
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.take()
     }
 
     /// Current virtual time.
@@ -128,6 +140,15 @@ impl Sim {
     pub fn reserve(&mut self, nodes: usize, links: usize) {
         self.nodes.reserve(nodes);
         self.links.reserve(links);
+    }
+
+    /// Pre-size the event queue so the first probe bursts don't grow the
+    /// heap incrementally.
+    pub fn reserve_events(&mut self, events: usize) {
+        let have = self.queue.capacity();
+        if events > have {
+            self.queue.reserve(events - have);
+        }
     }
 
     /// Number of pending events.
@@ -145,7 +166,7 @@ impl Sim {
     }
 
     /// Add a host node (no uplink yet).
-    pub fn add_host(&mut self, label: impl Into<String>, addr: Ipv4Addr) -> NodeId {
+    pub fn add_host(&mut self, label: impl Into<Arc<str>>, addr: Ipv4Addr) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::Host(Box::new(crate::node::HostNode {
             label: label.into(),
@@ -185,7 +206,7 @@ impl Sim {
         }
         self.nodes[router.0 as usize]
             .as_router_mut()
-            .table
+            .table_mut()
             .insert(Ipv4Prefix::host(addr), RouteEntry::Link(down));
         (up, down)
     }
@@ -194,7 +215,7 @@ impl Sim {
     pub fn route(&mut self, router: NodeId, prefix: Ipv4Prefix, entry: RouteEntry) {
         self.nodes[router.0 as usize]
             .as_router_mut()
-            .table
+            .table_mut()
             .insert(prefix, entry);
     }
 
@@ -298,6 +319,7 @@ impl Sim {
         }
         let Some(up) = uplink else {
             self.stats.drop(DropCause::NoRoute);
+            self.pool.recycle_datagram(dgram);
             return;
         };
         self.stats.originated += 1;
@@ -329,16 +351,19 @@ impl Sim {
         };
         if !matches {
             self.stats.drop(DropCause::HostMismatch);
+            self.pool.recycle_datagram(dgram);
             return;
         }
         self.stats.delivered += 1;
         if let Some(mut agent) = agent {
             let mut api = HostApi { sim: self, node };
-            agent.on_datagram(&mut api, dgram);
+            agent.on_datagram(&mut api, &dgram);
             if let Node::Host(h) = &mut self.nodes[idx] {
                 h.agent = Some(agent);
             }
         }
+        // the packet's life ends here; its buffer goes back to the pool
+        self.pool.recycle_datagram(dgram);
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
@@ -356,27 +381,37 @@ impl Sim {
         }
     }
 
+    /// The router pipeline decodes the IPv4 header exactly **once** per
+    /// hop into a stack copy, mutates fields there (TTL, ECN), and writes
+    /// the bytes back in a single [`Datagram::write_header`] at transmit
+    /// time. The previous field-accessor style re-decoded (and
+    /// checksum-verified) the header up to eight times per hop — the
+    /// dominant CPU cost of the forwarding hot loop.
     fn router_receive(&mut self, node: NodeId, mut dgram: Datagram) {
         let idx = node.0 as usize;
+        let mut hdr = dgram.header();
 
         // 1. TTL. Decrement; on expiry, answer with time-exceeded quoting
         // the datagram as this router saw it — including any upstream ECN
         // mangling, which is precisely what ECN traceroute measures.
-        if dgram.decrement_ttl() == 0 {
+        hdr.ttl = hdr.ttl.saturating_sub(1);
+        if hdr.ttl == 0 {
+            // the quote must show the decremented TTL on the wire
+            dgram.write_header(&hdr);
             self.stats.drop(DropCause::TtlExpired);
             let r = self.nodes[idx].as_router().expect("router");
             // No ICMP errors about ICMP (RFC 1812 §4.3.2.7 simplification:
             // the study's probes are UDP/TCP, so this only suppresses
             // pathological error-about-error storms).
-            if r.responds_ttl_exceeded && dgram.protocol() != IpProto::Icmp {
-                let reply = icmp_reply(
-                    r.addr,
-                    &dgram,
-                    IcmpMessage::time_exceeded_for(dgram.as_bytes()),
-                );
+            if r.responds_ttl_exceeded && hdr.protocol != IpProto::Icmp {
+                let reply_hdr = Ipv4Header::probe(r.addr, hdr.src, IpProto::Icmp, Ecn::NotEct);
+                let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
+                    IcmpMessage::encode_time_exceeded_into(dgram.as_bytes(), out)
+                });
                 self.stats.icmp_time_exceeded += 1;
-                self.route_and_transmit(node, reply);
+                self.route_and_transmit(node, reply, reply_hdr, false);
             }
+            self.pool.recycle_datagram(dgram);
             return;
         }
 
@@ -384,30 +419,34 @@ impl Sim {
         let action = {
             let r = self.nodes[idx].as_router().expect("router");
             r.firewall
-                .evaluate(dgram.src(), dgram.protocol(), dgram.ecn(), &mut self.rng)
+                .evaluate(hdr.src, hdr.protocol, hdr.ecn, &mut self.rng)
         };
         match action {
             FirewallAction::Drop => {
                 self.stats.drop(DropCause::Firewall);
                 *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
+                self.pool.recycle_datagram(dgram);
                 return;
             }
             FirewallAction::Reject => {
                 self.stats.drop(DropCause::Firewall);
                 *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
                 let r = self.nodes[idx].as_router().expect("router");
-                if dgram.protocol() != IpProto::Icmp {
-                    let reply = icmp_reply(
-                        r.addr,
-                        &dgram,
-                        IcmpMessage::dest_unreachable_for(
+                if hdr.protocol != IpProto::Icmp {
+                    // the quote shows the packet as this hop saw it
+                    dgram.write_header(&hdr);
+                    let reply_hdr = Ipv4Header::probe(r.addr, hdr.src, IpProto::Icmp, Ecn::NotEct);
+                    let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
+                        IcmpMessage::encode_dest_unreachable_into(
                             DestUnreachCode::AdminProhibited,
                             dgram.as_bytes(),
-                        ),
-                    );
+                            out,
+                        )
+                    });
                     self.stats.icmp_dest_unreachable += 1;
-                    self.route_and_transmit(node, reply);
+                    self.route_and_transmit(node, reply, reply_hdr, false);
                 }
+                self.pool.recycle_datagram(dgram);
                 return;
             }
             FirewallAction::Allow => {}
@@ -415,65 +454,87 @@ impl Sim {
 
         // 3. ECN policy.
         let policy = self.nodes[idx].as_router().expect("router").ecn_policy;
-        let before = dgram.ecn();
+        let before = hdr.ecn;
         let (after, dropped) = policy.apply(before, &mut self.rng);
         if dropped {
             self.stats.drop(DropCause::PolicyTos);
+            self.pool.recycle_datagram(dgram);
             return;
         }
         if after != before {
-            dgram.set_ecn(after);
+            hdr.ecn = after;
             *self.stats.bleached_by_node.entry(node).or_insert(0) += 1;
         }
 
-        // 4+5. Route and transmit.
-        self.route_and_transmit(node, dgram);
+        // 4+5. Route and transmit (the TTL decrement makes the header
+        // dirty; the wire bytes are rewritten once, at transmit).
+        self.route_and_transmit(node, dgram, hdr, true);
     }
 
-    fn route_and_transmit(&mut self, node: NodeId, dgram: Datagram) {
+    /// `hdr` is the caller's decoded (and possibly mutated) copy of
+    /// `dgram`'s header; `dirty` says the copy differs from the wire
+    /// bytes and must be written back before the packet moves on.
+    fn route_and_transmit(&mut self, node: NodeId, dgram: Datagram, hdr: Ipv4Header, dirty: bool) {
         let idx = node.0 as usize;
         let epoch = self.now.0 / self.config.flap_period.0.max(1);
-        let key = flow_key(&dgram) ^ (u64::from(node.0) << 48);
+        let key = flow_key_header(&hdr) ^ (u64::from(node.0) << 48);
         let link = {
             let r = self.nodes[idx].as_router().expect("router");
             r.table
-                .lookup(dgram.dst())
+                .lookup(hdr.dst)
                 .and_then(|entry| entry.select(key, epoch))
         };
         match link {
-            Some(lid) => self.transmit(lid, dgram),
-            None => self.stats.drop(DropCause::NoRoute),
+            Some(lid) => self.transmit_with(lid, dgram, hdr, dirty),
+            None => {
+                self.stats.drop(DropCause::NoRoute);
+                self.pool.recycle_datagram(dgram);
+            }
         }
     }
 
-    fn transmit(&mut self, lid: LinkId, mut dgram: Datagram) {
+    fn transmit(&mut self, lid: LinkId, dgram: Datagram) {
+        let hdr = dgram.header();
+        self.transmit_with(lid, dgram, hdr, false);
+    }
+
+    fn transmit_with(
+        &mut self,
+        lid: LinkId,
+        mut dgram: Datagram,
+        mut hdr: Ipv4Header,
+        dirty: bool,
+    ) {
         let now = self.now;
         let link = &mut self.links[lid.0 as usize];
         let to = link.to;
         match link.offer(
             now,
             dgram.len() as u64,
-            dgram.ecn().is_markable(),
+            hdr.ecn.is_markable(),
             &mut self.rng,
         ) {
             crate::link::LinkOutcome::Deliver { at, ce_mark } => {
                 if ce_mark {
-                    dgram.set_ecn(Ecn::Ce);
+                    hdr.ecn = Ecn::Ce;
                     self.stats.ce_marked += 1;
+                }
+                if dirty || ce_mark {
+                    dgram.write_header(&hdr);
                 }
                 self.stats.forwarded += 1;
                 self.schedule(at, Event::Arrival { node: to, dgram });
             }
-            crate::link::LinkOutcome::Lost => self.stats.drop(DropCause::Loss),
-            crate::link::LinkOutcome::Dropped(cause) => self.stats.drop(DropCause::Queue(cause)),
+            crate::link::LinkOutcome::Lost => {
+                self.stats.drop(DropCause::Loss);
+                self.pool.recycle_datagram(dgram);
+            }
+            crate::link::LinkOutcome::Dropped(cause) => {
+                self.stats.drop(DropCause::Queue(cause));
+                self.pool.recycle_datagram(dgram);
+            }
         }
     }
-}
-
-/// Build a router-originated ICMP reply to the sender of `original`.
-fn icmp_reply(router_addr: Ipv4Addr, original: &Datagram, msg: IcmpMessage) -> Datagram {
-    let hdr = Ipv4Header::probe(router_addr, original.src(), IpProto::Icmp, Ecn::NotEct);
-    Datagram::new(hdr, &msg.encode())
 }
 
 /// Mutable view of the simulation handed to host agents during dispatch.
@@ -519,6 +580,103 @@ impl HostApi<'_> {
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.sim.rng
     }
+
+    /// Check a recycled byte buffer out of the simulator's packet pool.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.sim.pool.take()
+    }
+}
+
+/// An immutable, thread-shareable snapshot of a constructed topology:
+/// nodes (with `Arc`-shared labels and forwarding tables) and links, no
+/// agents, captures, or pending events. One skeleton is built per
+/// blueprint; every work unit then stamps a live [`Sim`] from it with
+/// [`SimSkeleton::instantiate`] — a vector clone plus reference bumps
+/// instead of re-running topology construction.
+pub struct SimSkeleton {
+    nodes: Vec<SkeletonNode>,
+    links: Vec<Link>,
+}
+
+enum SkeletonNode {
+    Router(Router),
+    Host {
+        label: Arc<str>,
+        addr: Ipv4Addr,
+        uplink: Option<LinkId>,
+    },
+}
+
+impl Sim {
+    /// Freeze this simulator's topology into a shareable skeleton.
+    ///
+    /// Panics if the simulator has run (pending events), or carries
+    /// agents/captures — a skeleton snapshots *construction* output, not
+    /// runtime state.
+    pub fn freeze(self) -> SimSkeleton {
+        assert_eq!(self.queue.len(), 0, "freeze: pending events");
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| match n {
+                Node::Router(r) => SkeletonNode::Router(*r),
+                Node::Host(h) => {
+                    assert!(h.agent.is_none(), "freeze: host {} has an agent", h.label);
+                    assert!(
+                        h.capture.is_none(),
+                        "freeze: host {} has a capture",
+                        h.label
+                    );
+                    SkeletonNode::Host {
+                        label: h.label,
+                        addr: h.addr,
+                        uplink: h.uplink,
+                    }
+                }
+            })
+            .collect();
+        SimSkeleton {
+            nodes,
+            links: self.links,
+        }
+    }
+}
+
+impl SimSkeleton {
+    /// Stamp a live simulator from this skeleton under `config`.
+    pub fn instantiate(&self, config: SimConfig) -> Sim {
+        let mut sim = Sim::with_config(config);
+        sim.nodes = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                SkeletonNode::Router(r) => Node::Router(Box::new(r.clone())),
+                SkeletonNode::Host {
+                    label,
+                    addr,
+                    uplink,
+                } => Node::Host(Box::new(HostNode {
+                    label: label.clone(),
+                    addr: *addr,
+                    uplink: *uplink,
+                    agent: None,
+                    capture: None,
+                })),
+            })
+            .collect();
+        sim.links = self.links.clone();
+        sim
+    }
+
+    /// Nodes in the skeleton.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Links in the skeleton.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
 }
 
 #[cfg(test)]
@@ -553,7 +711,7 @@ mod tests {
 
     struct Echoer;
     impl HostAgent for Echoer {
-        fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: Datagram) {
+        fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: &Datagram) {
             // reflect payload back to the source, preserving ECN
             let h = dgram.header();
             let reply_h = Ipv4Header::probe(api.addr(), h.src, h.protocol, h.ecn);
@@ -684,7 +842,7 @@ mod tests {
             fired: Arc<Mutex<Vec<u64>>>,
         }
         impl HostAgent for TimerAgent {
-            fn on_datagram(&mut self, _api: &mut HostApi<'_>, _d: Datagram) {}
+            fn on_datagram(&mut self, _api: &mut HostApi<'_>, _d: &Datagram) {}
             fn on_timer(&mut self, api: &mut HostApi<'_>, token: u64) {
                 self.fired.lock().push(token);
                 if token == 1 {

@@ -29,8 +29,8 @@ use ecn_geo::{
     sample_country, sample_location, GeoDb, GeoRecord, Region, TABLE1_DISTRIBUTION, TABLE1_TOTAL,
 };
 use ecn_netsim::{
-    derive_rng, EcnPolicy, Firewall, FirewallRule, Ipv4Prefix, LinkProps, Nanos, NodeId,
-    RouteEntry, Router, Sim,
+    derive_rng, derive_seed, EcnPolicy, Firewall, FirewallRule, Ipv4Prefix, LabelBuf, LinkProps,
+    Nanos, NodeId, RouteEntry, Router, Sim, SimConfig, SimSkeleton,
 };
 use ecn_services::{
     HttpServerKind, NtpServerConfig, NtpServerService, PoolDnsService, PoolHttpService,
@@ -241,7 +241,11 @@ struct BleachPlan {
 ///
 /// Cheap to share across threads (`&WorldBlueprint` is `Sync`); each call
 /// to [`instantiate`](Self::instantiate) stamps out an identical live
-/// world.
+/// world. The topology itself is *compiled once* at build time into a
+/// [`SimSkeleton`] — router names, firewalls, and longest-prefix-match
+/// forwarding tables are `Arc`-shared immutables — so per-world
+/// instantiation only allocates genuinely per-world state: host stacks,
+/// services, captures, and the domain RNG.
 pub struct WorldBlueprint {
     /// The plan this blueprint realises (churn already applied).
     pub plan: PoolPlan,
@@ -257,14 +261,18 @@ pub struct WorldBlueprint {
     /// IP→AS database (§4.2 boundary analysis) — simulator-independent,
     /// shared by reference with every instantiated world.
     pub asdb: Arc<AsDb>,
-    /// Primary tier-1 per tier-2 transit.
-    t2_primary_t1: Vec<usize>,
-    /// Destination ASes in index order.
-    dest_as: Vec<DestAsPlan>,
-    /// Bleacher placements in plant order.
-    bleachers: Vec<BleachPlan>,
-    /// Ground truth minus the simulator-dependent bleach node ids.
-    truth_proto: GroundTruth,
+    /// The compiled topology every world is stamped from.
+    skeleton: SimSkeleton,
+    /// Vantage measurement-host node ids, in Table 2 order.
+    vantage_hosts: Vec<NodeId>,
+    /// The pool DNS host node.
+    dns_host: NodeId,
+    /// Complete ground truth (incl. skeleton bleach node ids), shared with
+    /// every world.
+    truth: Arc<GroundTruth>,
+    /// The built server population (node ids are skeleton-deterministic),
+    /// shared with every world.
+    servers: Arc<Vec<ServerInfo>>,
     /// The pool DNS zone, shared with every instantiated world's DNS
     /// service.
     zone: Arc<HashMap<String, Vec<Ipv4Addr>>>,
@@ -517,6 +525,38 @@ impl WorldBlueprint {
             }
         }
 
+        // --- compile the topology once ---------------------------------------
+        // Replay the decisions into a construction simulator, freeze it
+        // into the Arc-shared skeleton, and record everything node-id
+        // dependent (bleach truth, server node ids) while we're at it.
+        let decisions = Decisions {
+            plan,
+            profiles: &profiles,
+            server_addrs: &server_addrs,
+            t2_primary_t1: &t2_primary_t1,
+            dest_as: &dest_as,
+            bleachers: &bleachers,
+        };
+        let topo = compile_topology(&decisions, node_count, link_count, &mut truth);
+        let servers: Vec<ServerInfo> = {
+            let mut as_index = vec![0usize; plan.servers];
+            for (k, d) in dest_as.iter().enumerate() {
+                for &pidx in &d.members {
+                    as_index[pidx] = k;
+                }
+            }
+            profiles
+                .iter()
+                .enumerate()
+                .map(|(pidx, profile)| ServerInfo {
+                    addr: server_addrs[pidx],
+                    profile: profile.clone(),
+                    node: topo.server_hosts[pidx],
+                    as_index: as_index[pidx],
+                })
+                .collect()
+        };
+
         WorldBlueprint {
             plan: plan.clone(),
             seed,
@@ -524,10 +564,11 @@ impl WorldBlueprint {
             server_addrs,
             geodb: Arc::new(geodb),
             asdb: Arc::new(asdb),
-            t2_primary_t1,
-            dest_as,
-            bleachers,
-            truth_proto: truth,
+            skeleton: topo.sim.freeze(),
+            vantage_hosts: topo.vantage_hosts,
+            dns_host: topo.dns_host,
+            truth: Arc::new(truth),
+            servers: Arc::new(servers),
             zone: Arc::new(zone),
             node_count,
             link_count,
@@ -536,13 +577,26 @@ impl WorldBlueprint {
 
     /// Destination ASes this blueprint decided on.
     pub fn dest_as_count(&self) -> usize {
-        self.dest_as.len()
+        self.truth.dest_as_count
+    }
+
+    /// Exact node count of every instantiated world.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Exact link count of every instantiated world.
+    pub fn link_count(&self) -> usize {
+        self.link_count
     }
 
     /// Instantiate the canonical world: packet randomness on the root
     /// stream, exactly as `build_scenario` always produced.
     pub fn instantiate(&self) -> Scenario {
-        self.instantiate_with(Sim::new(self.seed))
+        self.instantiate_config(SimConfig {
+            seed: self.seed,
+            ..SimConfig::default()
+        })
     }
 
     /// Instantiate a world whose packet randomness lives in its own
@@ -552,110 +606,36 @@ impl WorldBlueprint {
     /// probabilistic firewalls/bleachers, queue marking) differs — and
     /// depends only on the label, never on how many sibling worlds exist.
     pub fn instantiate_domain(&self, domain: &str) -> Scenario {
-        self.instantiate_with(Sim::with_domain(self.seed, domain))
+        self.instantiate_config(SimConfig {
+            seed: derive_seed(self.seed, domain),
+            ..SimConfig::default()
+        })
     }
 
-    /// The RNG-free construction phase: replay the recorded decisions into
-    /// a live simulator.
-    fn instantiate_with(&self, mut sim: Sim) -> Scenario {
+    /// Instantiate the world for engine unit `(vantage, chunk)`: the
+    /// packet-RNG domain label `engine/unit/v{vantage}/c{chunk}` is
+    /// formatted on the stack (same bytes, same seed, no allocation).
+    pub fn instantiate_unit(&self, vantage: usize, chunk: usize) -> Scenario {
+        let label = LabelBuf::format(format_args!("engine/unit/v{vantage}/c{chunk}"));
+        self.instantiate_domain(label.as_str())
+    }
+
+    /// The per-world construction phase: stamp a simulator from the
+    /// skeleton and install what is genuinely per-world — host stacks,
+    /// services, and the vantage handles.
+    fn instantiate_config(&self, config: SimConfig) -> Scenario {
         let seed = self.seed;
-        let plan = &self.plan;
-        sim.reserve(self.node_count, self.link_count);
-        let mut truth = self.truth_proto.clone();
+        let mut sim = self.skeleton.instantiate(config);
+        sim.reserve_events(256);
 
-        // --- tier-1 mesh -----------------------------------------------------
-        let t1_count = plan.t1_count.max(2);
-        let mut t1_nodes = Vec::with_capacity(t1_count);
-        for i in 0..t1_count {
-            let node = sim.add_router(Router::new(format!("t1-{i}"), t1_addr(i), 100 + i as u32));
-            t1_nodes.push(node);
-        }
-        // full mesh peer links: peer[i][j] = link i->j
-        let mut t1_peer: HashMap<(usize, usize), ecn_netsim::LinkId> = HashMap::new();
-        for i in 0..t1_count {
-            for j in (i + 1)..t1_count {
-                let (ij, ji) =
-                    sim.add_duplex(t1_nodes[i], t1_nodes[j], LinkProps::clean(CORE_DELAY));
-                t1_peer.insert((i, j), ij);
-                t1_peer.insert((j, i), ji);
-            }
-        }
-
-        // --- tier-2 transits ---------------------------------------------------
-        let t2_count = plan.t2_count.max(2);
-        let default_route: Ipv4Prefix = "0.0.0.0/0".parse().expect("prefix");
-        let mut t2_nodes = Vec::with_capacity(t2_count);
-        let mut t1_downlink = Vec::with_capacity(t2_count); // T1 -> core
-        for j in 0..t2_count {
-            let asn = 1000 + j as u32;
-            let node = sim.add_router(Router::new(format!("t2-{j}"), t2_core_addr(j), asn));
-            let primary = self.t2_primary_t1[j];
-            let (up, down) = sim.add_duplex(node, t1_nodes[primary], LinkProps::clean(CORE_DELAY));
-            sim.route(node, default_route, RouteEntry::Link(up));
-            t2_nodes.push(node);
-            t1_downlink.push(down);
-        }
-
-        // --- vantages ----------------------------------------------------------
         let specs = all_vantages();
         let mut vantages = Vec::with_capacity(specs.len());
-        let mut vantage_routes: Vec<(Ipv4Prefix, usize, ecn_netsim::LinkId)> = Vec::new();
-        for (vi, spec) in specs.iter().enumerate() {
-            let asn = 30_000 + spec.net_index as u32;
-            let prefix = vantage_prefix(spec);
-            let cpe = sim.add_router(Router::new(
-                format!("{}-cpe", spec.key),
-                vantage_addr(spec, 1),
-                asn,
-            ));
-            let isp_a = sim.add_router(Router::new(
-                format!("{}-isp-a", spec.key),
-                vantage_addr(spec, 2),
-                asn,
-            ));
-            let isp_b = sim.add_router(Router::new(
-                format!("{}-isp-b", spec.key),
-                vantage_addr(spec, 3),
-                asn,
-            ));
-            let host_addr = vantage_addr(spec, 100);
-            let host = sim.add_host(format!("{}-host", spec.key), host_addr);
-
-            // access link carries the calibrated loss models
-            let up_props = LinkProps {
-                delay: EDGE_DELAY,
-                rate_bps: None,
-                queue: ecn_netsim::QueueDisc::deep_fifo(),
-                loss: spec.loss_up,
-            };
-            let down_props = LinkProps {
-                loss: spec.loss_down,
-                ..up_props
-            };
-            let up = sim.add_link(host, cpe, up_props);
-            let down = sim.add_link(cpe, host, down_props);
-            match &mut sim.nodes[host.0 as usize] {
-                ecn_netsim::Node::Host(h) => h.uplink = Some(up),
-                _ => unreachable!(),
-            }
-            sim.route(cpe, Ipv4Prefix::host(host_addr), RouteEntry::Link(down));
-
-            let (c_up, a_down) = sim.add_duplex(cpe, isp_a, LinkProps::clean(EDGE_DELAY));
-            let (a_up, b_down) = sim.add_duplex(isp_a, isp_b, LinkProps::clean(EDGE_DELAY));
-            // pick a T1 for this region (deterministic spread)
-            let t1_index = (spec.net_index as usize * 5 + vi) % t1_count;
-            let (b_up, t1_down) =
-                sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(CORE_DELAY));
-            sim.route(cpe, default_route, RouteEntry::Link(c_up));
-            sim.route(isp_a, default_route, RouteEntry::Link(a_up));
-            sim.route(isp_a, prefix, RouteEntry::Link(a_down));
-            sim.route(isp_b, default_route, RouteEntry::Link(b_up));
-            sim.route(isp_b, prefix, RouteEntry::Link(b_down));
-            vantage_routes.push((prefix, t1_index, t1_down));
-
+        for (vi, spec) in specs.into_iter().enumerate() {
+            let node = self.vantage_hosts[vi];
+            let addr = sim.nodes[node.0 as usize].addr();
             let handle = install(
                 &mut sim,
-                host,
+                node,
                 StackConfig {
                     udp_port_unreachable: true,
                     seed: seed ^ (vi as u64) << 32,
@@ -663,276 +643,51 @@ impl WorldBlueprint {
                 },
             );
             vantages.push(Vantage {
-                spec: spec.clone(),
-                node: host,
+                spec,
+                node,
                 handle,
-                addr: host_addr,
+                addr,
             });
         }
 
-        // --- DNS host ----------------------------------------------------------
-        let dns_router = t1_nodes[0];
-        let dns_host = sim.add_host("pool-dns", DNS_ADDR);
-        sim.attach_host(dns_host, dns_router, LinkProps::clean(EDGE_DELAY));
-
-        // --- destination ASes with servers --------------------------------------
-        let ec2_prefix: Ipv4Prefix = EC2_SUPER_PREFIX.parse().expect("prefix");
-        let mut servers: Vec<Option<ServerInfo>> = (0..plan.servers).map(|_| None).collect();
-        // per-AS bookkeeping for bleach placement
-        struct DestAsNodes {
-            pe: NodeId,
-            border: NodeId,
-            i2: NodeId,
-            /// (first access router, chain length) per server
-            access_heads: Vec<(NodeId, usize)>,
-        }
-        let mut dest_nodes: Vec<DestAsNodes> = Vec::with_capacity(self.dest_as.len());
-        let mut t1_leaf_routes: Vec<(Ipv4Prefix, usize)> = Vec::with_capacity(self.dest_as.len());
-        let mut t2_customer_count = vec![0usize; t2_count];
-
-        for (k, d) in self.dest_as.iter().enumerate() {
-            let asn = 20_000 + k as u32;
-            let prefix = dest_prefix(k);
-            let j = d.provider_t2;
-            let customer = t2_customer_count[j];
-            t2_customer_count[j] += 1;
-            let t2_asn = 1000 + j as u32;
-
-            // routers: PE (provider AS) + B + I1 + I2 + I3
-            let pe = sim.add_router(Router::new(
-                format!("pe-{j}-{customer}"),
-                t2_pe_addr(j, customer),
-                t2_asn,
-            ));
-            let b = sim.add_router(Router::new(
-                format!("d{k}-border"),
-                dest_router_addr(k, 1),
-                asn,
-            ));
-            let i1 = sim.add_router(Router::new(format!("d{k}-i1"), dest_router_addr(k, 2), asn));
-            let i2 = sim.add_router(Router::new(format!("d{k}-i2"), dest_router_addr(k, 3), asn));
-            let i3 = sim.add_router(Router::new(format!("d{k}-i3"), dest_router_addr(k, 4), asn));
-
-            let (t2_to_pe, pe_to_t2) =
-                sim.add_duplex(t2_nodes[j], pe, LinkProps::clean(EDGE_DELAY));
-            let (pe_to_b, b_to_pe) = sim.add_duplex(pe, b, LinkProps::clean(EDGE_DELAY));
-            let (b_to_i1, i1_to_b) = sim.add_duplex(b, i1, LinkProps::clean(EDGE_DELAY));
-            let (i1_to_i2, i2_to_i1) = sim.add_duplex(i1, i2, LinkProps::clean(EDGE_DELAY));
-            let (i2_to_i3, i3_to_i2) = sim.add_duplex(i2, i3, LinkProps::clean(EDGE_DELAY));
-
-            sim.route(t2_nodes[j], prefix, RouteEntry::Link(t2_to_pe));
-            sim.route(pe, default_route, RouteEntry::Link(pe_to_t2));
-            sim.route(pe, prefix, RouteEntry::Link(pe_to_b));
-            sim.route(b, default_route, RouteEntry::Link(b_to_pe));
-            sim.route(b, prefix, RouteEntry::Link(b_to_i1));
-            sim.route(i1, default_route, RouteEntry::Link(i1_to_b));
-            sim.route(i1, prefix, RouteEntry::Link(i1_to_i2));
-            sim.route(i2, default_route, RouteEntry::Link(i2_to_i1));
-            sim.route(i2, prefix, RouteEntry::Link(i2_to_i3));
-            sim.route(i3, default_route, RouteEntry::Link(i3_to_i2));
-            t1_leaf_routes.push((prefix, j));
-
-            let mut info = DestAsNodes {
-                pe,
-                border: b,
-                i2,
-                access_heads: Vec::new(),
-            };
-
-            // servers
-            let mut access_slot = 16u32;
-            for (server_slot, (s_in_as, &pidx)) in (2048u32..).zip(d.members.iter().enumerate()) {
-                let profile = &self.profiles[pidx];
-                let server_addr = dest_router_addr(k, server_slot);
-                debug_assert_eq!(server_addr, self.server_addrs[pidx]);
-                let host = sim.add_host(format!("srv-{pidx}"), server_addr);
-
-                let flaky_ect = profile.special == SpecialBehaviour::EctBlocked { flaky: true };
-                if flaky_ect {
-                    // two parallel single-router branches; only one filtered
-                    let a_fw = sim.add_router(Router::new(
-                        format!("d{k}-s{s_in_as}-fw"),
-                        dest_router_addr(k, access_slot),
-                        asn,
-                    ));
-                    let a_clean = sim.add_router(Router::new(
-                        format!("d{k}-s{s_in_as}-alt"),
-                        dest_router_addr(k, access_slot + 1),
-                        asn,
-                    ));
-                    access_slot += 2;
-                    sim.nodes[a_fw.0 as usize].as_router_mut().firewall =
-                        Firewall::single(FirewallRule::drop_ect_udp());
-                    let (fw_up, _fw_down_i3) =
-                        sim.add_duplex(a_fw, i3, LinkProps::clean(EDGE_DELAY));
-                    let (cl_up, _cl_down_i3) =
-                        sim.add_duplex(a_clean, i3, LinkProps::clean(EDGE_DELAY));
-                    sim.route(a_fw, default_route, RouteEntry::Link(fw_up));
-                    sim.route(a_clean, default_route, RouteEntry::Link(cl_up));
-                    // host attaches to the firewalled branch; extra
-                    // delivery link from the clean branch
-                    sim.attach_host(host, a_fw, LinkProps::clean(EDGE_DELAY));
-                    let clean_down = sim.add_link(a_clean, host, LinkProps::clean(EDGE_DELAY));
-                    sim.route(
-                        a_clean,
-                        Ipv4Prefix::host(server_addr),
-                        RouteEntry::Link(clean_down),
-                    );
-                    // ECMP at I3: epoch-hashed branch choice
-                    let to_fw = sim.add_link(i3, a_fw, LinkProps::clean(EDGE_DELAY));
-                    let to_clean = sim.add_link(i3, a_clean, LinkProps::clean(EDGE_DELAY));
-                    sim.route(
-                        i3,
-                        Ipv4Prefix::host(server_addr),
-                        RouteEntry::Ecmp(vec![to_fw, to_clean]),
-                    );
-                    info.access_heads.push((a_fw, 1));
+        for info in self.servers.iter() {
+            let profile = &info.profile;
+            let handle = install(
+                &mut sim,
+                info.node,
+                StackConfig {
+                    udp_port_unreachable: false,
+                    tcp_rst_on_closed: true,
+                    echo_replies: true,
+                    availability: profile.availability,
+                    seed: seed ^ 0x5e17_0000 ^ profile.index as u64,
+                },
+            );
+            handle.register_udp_service(
+                123,
+                Box::new(NtpServerService::new(NtpServerConfig {
+                    stratum: profile.stratum,
+                    reference_id: *b"POOL",
+                    kod: None,
+                })),
+            );
+            if let Some(web) = &profile.web {
+                let kind = if web.plain_ok {
+                    HttpServerKind::PlainOk
                 } else {
-                    // linear access chain of profile.access_chain_len routers
-                    let mut chain = Vec::new();
-                    for c in 0..profile.access_chain_len {
-                        let r = sim.add_router(Router::new(
-                            format!("d{k}-s{s_in_as}-a{c}"),
-                            dest_router_addr(k, access_slot),
-                            asn,
-                        ));
-                        access_slot += 1;
-                        chain.push(r);
-                    }
-                    // wire i3 -> chain[0] -> ... -> host
-                    let mut prev = i3;
-                    for &r in &chain {
-                        let (down, up) = sim.add_duplex(prev, r, LinkProps::clean(EDGE_DELAY));
-                        sim.route(prev, Ipv4Prefix::host(server_addr), RouteEntry::Link(down));
-                        sim.route(r, default_route, RouteEntry::Link(up));
-                        prev = r;
-                    }
-                    sim.attach_host(host, prev, LinkProps::clean(EDGE_DELAY));
-                    // firewall on the last access router for special servers
-                    let last = prev;
-                    match profile.special {
-                        SpecialBehaviour::EctBlocked { flaky: false } => {
-                            sim.nodes[last.0 as usize].as_router_mut().firewall =
-                                Firewall::single(FirewallRule::drop_ect_udp());
-                        }
-                        SpecialBehaviour::NotEctBlocked { ec2_only: false } => {
-                            sim.nodes[last.0 as usize].as_router_mut().firewall =
-                                Firewall::single(FirewallRule::drop_not_ect_udp());
-                        }
-                        SpecialBehaviour::NotEctBlocked { ec2_only: true } => {
-                            sim.nodes[last.0 as usize].as_router_mut().firewall = Firewall::single(
-                                FirewallRule::drop_not_ect_udp().from_sources(ec2_prefix),
-                            );
-                        }
-                        _ => {}
-                    }
-                    info.access_heads.push((chain[0], chain.len()));
-                }
-
-                // stack + services
-                let handle = install(
-                    &mut sim,
-                    host,
-                    StackConfig {
-                        udp_port_unreachable: false,
-                        tcp_rst_on_closed: true,
-                        echo_replies: true,
-                        availability: profile.availability,
-                        seed: seed ^ 0x5e17_0000 ^ pidx as u64,
-                    },
-                );
-                handle.register_udp_service(
-                    123,
-                    Box::new(NtpServerService::new(NtpServerConfig {
-                        stratum: profile.stratum,
-                        reference_id: *b"POOL",
-                        kod: None,
-                    })),
-                );
-                if let Some(web) = &profile.web {
-                    let kind = if web.plain_ok {
-                        HttpServerKind::PlainOk
-                    } else {
-                        HttpServerKind::PoolRedirect
-                    };
-                    handle.register_tcp_listener(
-                        80,
-                        web.ecn,
-                        Some(Box::new(PoolHttpService::new(kind))),
-                    );
-                }
-
-                servers[pidx] = Some(ServerInfo {
-                    addr: server_addr,
-                    profile: profile.clone(),
-                    node: host,
-                    as_index: k,
-                });
-            }
-            dest_nodes.push(info);
-        }
-
-        // --- T1 full tables -----------------------------------------------------
-        // `t1_leaf_routes` records (dest prefix, serving T2 index): the owning
-        // T1 routes down its T2 link; every other T1 routes across the mesh to
-        // the owner.
-        for (i, &t1) in t1_nodes.iter().enumerate() {
-            for (prefix, j) in &t1_leaf_routes {
-                let owner = self.t2_primary_t1[*j];
-                let entry = if owner == i {
-                    RouteEntry::Link(t1_downlink[*j])
-                } else {
-                    RouteEntry::Link(t1_peer[&(i, owner)])
+                    HttpServerKind::PoolRedirect
                 };
-                sim.route(t1, *prefix, entry);
-            }
-            for (prefix, t1_index, down) in &vantage_routes {
-                if *t1_index == i {
-                    sim.route(t1, *prefix, RouteEntry::Link(*down));
-                } else {
-                    sim.route(t1, *prefix, RouteEntry::Link(t1_peer[&(i, *t1_index)]));
-                }
-            }
-            let dns_prefix: Ipv4Prefix = DNS_PREFIX_STR.parse().expect("prefix");
-            if i != 0 {
-                sim.route(t1, dns_prefix, RouteEntry::Link(t1_peer[&(i, 0)]));
+                handle.register_tcp_listener(
+                    80,
+                    web.ecn,
+                    Some(Box::new(PoolHttpService::new(kind))),
+                );
             }
         }
 
-        // --- wire ground-truth bleachers -----------------------------------------
-        for bp in &self.bleachers {
-            let info = &dest_nodes[bp.as_index];
-            let node = match bp.site {
-                BleachSite::ProviderEdge => info.pe,
-                BleachSite::Border => info.border,
-                BleachSite::Interior => info.i2,
-                BleachSite::Access => {
-                    info.access_heads
-                        .iter()
-                        .find(|(_, len)| *len >= 2)
-                        .expect("validated during blueprint build")
-                        .0
-                }
-            };
-            let policy = match bp.prob {
-                None => EcnPolicy::Bleach,
-                Some(p) => EcnPolicy::BleachProb(p),
-            };
-            sim.nodes[node.0 as usize].as_router_mut().ecn_policy = policy;
-            match bp.prob {
-                None => truth.bleach_always.push((node, bp.site)),
-                Some(_) => truth.bleach_sometimes.push((node, bp.site)),
-            }
-        }
-
-        // --- DNS service ----------------------------------------------------------
-        let server_infos: Vec<ServerInfo> = servers
-            .into_iter()
-            .map(|s| s.expect("every profile placed"))
-            .collect();
         let dns_handle: HostHandle = install(
             &mut sim,
-            dns_host,
+            self.dns_host,
             StackConfig {
                 seed: seed ^ 0xd15,
                 ..StackConfig::default()
@@ -944,13 +699,366 @@ impl WorldBlueprint {
         Scenario {
             sim,
             vantages,
-            servers: server_infos,
+            servers: self.servers.clone(),
             dns_addr: DNS_ADDR,
             geodb: self.geodb.clone(),
             asdb: self.asdb.clone(),
-            truth,
-            plan: plan.clone(),
+            truth: self.truth.clone(),
+            plan: self.plan.clone(),
         }
+    }
+}
+
+/// The decision-phase outputs `compile_topology` replays.
+struct Decisions<'a> {
+    plan: &'a PoolPlan,
+    profiles: &'a [ServerProfile],
+    server_addrs: &'a [Ipv4Addr],
+    t2_primary_t1: &'a [usize],
+    dest_as: &'a [DestAsPlan],
+    bleachers: &'a [BleachPlan],
+}
+
+/// What topology compilation yields besides the simulator itself.
+struct CompiledTopology {
+    sim: Sim,
+    vantage_hosts: Vec<NodeId>,
+    dns_host: NodeId,
+    /// Server host node id per profile index.
+    server_hosts: Vec<NodeId>,
+}
+
+/// The RNG-free topology phase, run **once** per blueprint: replay the
+/// recorded decisions into a construction simulator (routers with their
+/// compiled forwarding tables, links, firewalls, bleachers), completing
+/// `truth` with the node-id-dependent bleach entries. Host stacks and
+/// services are *not* installed here — they are per-world state.
+fn compile_topology(
+    d: &Decisions<'_>,
+    node_count: usize,
+    link_count: usize,
+    truth: &mut GroundTruth,
+) -> CompiledTopology {
+    let plan = d.plan;
+    let mut sim = Sim::new(0); // construction only; never runs an event
+
+    sim.reserve(node_count, link_count);
+
+    // --- tier-1 mesh -----------------------------------------------------
+    let t1_count = plan.t1_count.max(2);
+    let mut t1_nodes = Vec::with_capacity(t1_count);
+    for i in 0..t1_count {
+        let node = sim.add_router(Router::new(format!("t1-{i}"), t1_addr(i), 100 + i as u32));
+        t1_nodes.push(node);
+    }
+    // full mesh peer links: peer[i][j] = link i->j
+    let mut t1_peer: HashMap<(usize, usize), ecn_netsim::LinkId> = HashMap::new();
+    for i in 0..t1_count {
+        for j in (i + 1)..t1_count {
+            let (ij, ji) = sim.add_duplex(t1_nodes[i], t1_nodes[j], LinkProps::clean(CORE_DELAY));
+            t1_peer.insert((i, j), ij);
+            t1_peer.insert((j, i), ji);
+        }
+    }
+
+    // --- tier-2 transits ---------------------------------------------------
+    let t2_count = plan.t2_count.max(2);
+    let default_route: Ipv4Prefix = "0.0.0.0/0".parse().expect("prefix");
+    let mut t2_nodes = Vec::with_capacity(t2_count);
+    let mut t1_downlink = Vec::with_capacity(t2_count); // T1 -> core
+    for j in 0..t2_count {
+        let asn = 1000 + j as u32;
+        let node = sim.add_router(Router::new(format!("t2-{j}"), t2_core_addr(j), asn));
+        let primary = d.t2_primary_t1[j];
+        let (up, down) = sim.add_duplex(node, t1_nodes[primary], LinkProps::clean(CORE_DELAY));
+        sim.route(node, default_route, RouteEntry::Link(up));
+        t2_nodes.push(node);
+        t1_downlink.push(down);
+    }
+
+    // --- vantages ----------------------------------------------------------
+    let specs = all_vantages();
+    let mut vantage_hosts = Vec::with_capacity(specs.len());
+    let mut vantage_routes: Vec<(Ipv4Prefix, usize, ecn_netsim::LinkId)> = Vec::new();
+    for (vi, spec) in specs.iter().enumerate() {
+        let asn = 30_000 + spec.net_index as u32;
+        let prefix = vantage_prefix(spec);
+        let cpe = sim.add_router(Router::new(
+            format!("{}-cpe", spec.key),
+            vantage_addr(spec, 1),
+            asn,
+        ));
+        let isp_a = sim.add_router(Router::new(
+            format!("{}-isp-a", spec.key),
+            vantage_addr(spec, 2),
+            asn,
+        ));
+        let isp_b = sim.add_router(Router::new(
+            format!("{}-isp-b", spec.key),
+            vantage_addr(spec, 3),
+            asn,
+        ));
+        let host_addr = vantage_addr(spec, 100);
+        let host = sim.add_host(format!("{}-host", spec.key), host_addr);
+
+        // access link carries the calibrated loss models
+        let up_props = LinkProps {
+            delay: EDGE_DELAY,
+            rate_bps: None,
+            queue: ecn_netsim::QueueDisc::deep_fifo(),
+            loss: spec.loss_up,
+        };
+        let down_props = LinkProps {
+            loss: spec.loss_down,
+            ..up_props
+        };
+        let up = sim.add_link(host, cpe, up_props);
+        let down = sim.add_link(cpe, host, down_props);
+        match &mut sim.nodes[host.0 as usize] {
+            ecn_netsim::Node::Host(h) => h.uplink = Some(up),
+            _ => unreachable!(),
+        }
+        sim.route(cpe, Ipv4Prefix::host(host_addr), RouteEntry::Link(down));
+
+        let (c_up, a_down) = sim.add_duplex(cpe, isp_a, LinkProps::clean(EDGE_DELAY));
+        let (a_up, b_down) = sim.add_duplex(isp_a, isp_b, LinkProps::clean(EDGE_DELAY));
+        // pick a T1 for this region (deterministic spread)
+        let t1_index = (spec.net_index as usize * 5 + vi) % t1_count;
+        let (b_up, t1_down) =
+            sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(CORE_DELAY));
+        sim.route(cpe, default_route, RouteEntry::Link(c_up));
+        sim.route(isp_a, default_route, RouteEntry::Link(a_up));
+        sim.route(isp_a, prefix, RouteEntry::Link(a_down));
+        sim.route(isp_b, default_route, RouteEntry::Link(b_up));
+        sim.route(isp_b, prefix, RouteEntry::Link(b_down));
+        vantage_routes.push((prefix, t1_index, t1_down));
+        vantage_hosts.push(host);
+    }
+
+    // --- DNS host ----------------------------------------------------------
+    let dns_router = t1_nodes[0];
+    let dns_host = sim.add_host("pool-dns", DNS_ADDR);
+    sim.attach_host(dns_host, dns_router, LinkProps::clean(EDGE_DELAY));
+
+    // --- destination ASes with servers --------------------------------------
+    let ec2_prefix: Ipv4Prefix = EC2_SUPER_PREFIX.parse().expect("prefix");
+    let mut server_hosts: Vec<NodeId> = vec![NodeId(u32::MAX); plan.servers];
+    // per-AS bookkeeping for bleach placement
+    struct DestAsNodes {
+        pe: NodeId,
+        border: NodeId,
+        i2: NodeId,
+        /// (first access router, chain length) per server
+        access_heads: Vec<(NodeId, usize)>,
+    }
+    let mut dest_nodes: Vec<DestAsNodes> = Vec::with_capacity(d.dest_as.len());
+    let mut t1_leaf_routes: Vec<(Ipv4Prefix, usize)> = Vec::with_capacity(d.dest_as.len());
+    let mut t2_customer_count = vec![0usize; t2_count];
+
+    for (k, das) in d.dest_as.iter().enumerate() {
+        let asn = 20_000 + k as u32;
+        let prefix = dest_prefix(k);
+        let j = das.provider_t2;
+        let customer = t2_customer_count[j];
+        t2_customer_count[j] += 1;
+        let t2_asn = 1000 + j as u32;
+
+        // routers: PE (provider AS) + B + I1 + I2 + I3
+        let pe = sim.add_router(Router::new(
+            format!("pe-{j}-{customer}"),
+            t2_pe_addr(j, customer),
+            t2_asn,
+        ));
+        let b = sim.add_router(Router::new(
+            format!("d{k}-border"),
+            dest_router_addr(k, 1),
+            asn,
+        ));
+        let i1 = sim.add_router(Router::new(format!("d{k}-i1"), dest_router_addr(k, 2), asn));
+        let i2 = sim.add_router(Router::new(format!("d{k}-i2"), dest_router_addr(k, 3), asn));
+        let i3 = sim.add_router(Router::new(format!("d{k}-i3"), dest_router_addr(k, 4), asn));
+
+        let (t2_to_pe, pe_to_t2) = sim.add_duplex(t2_nodes[j], pe, LinkProps::clean(EDGE_DELAY));
+        let (pe_to_b, b_to_pe) = sim.add_duplex(pe, b, LinkProps::clean(EDGE_DELAY));
+        let (b_to_i1, i1_to_b) = sim.add_duplex(b, i1, LinkProps::clean(EDGE_DELAY));
+        let (i1_to_i2, i2_to_i1) = sim.add_duplex(i1, i2, LinkProps::clean(EDGE_DELAY));
+        let (i2_to_i3, i3_to_i2) = sim.add_duplex(i2, i3, LinkProps::clean(EDGE_DELAY));
+
+        sim.route(t2_nodes[j], prefix, RouteEntry::Link(t2_to_pe));
+        sim.route(pe, default_route, RouteEntry::Link(pe_to_t2));
+        sim.route(pe, prefix, RouteEntry::Link(pe_to_b));
+        sim.route(b, default_route, RouteEntry::Link(b_to_pe));
+        sim.route(b, prefix, RouteEntry::Link(b_to_i1));
+        sim.route(i1, default_route, RouteEntry::Link(i1_to_b));
+        sim.route(i1, prefix, RouteEntry::Link(i1_to_i2));
+        sim.route(i2, default_route, RouteEntry::Link(i2_to_i1));
+        sim.route(i2, prefix, RouteEntry::Link(i2_to_i3));
+        sim.route(i3, default_route, RouteEntry::Link(i3_to_i2));
+        t1_leaf_routes.push((prefix, j));
+
+        let mut info = DestAsNodes {
+            pe,
+            border: b,
+            i2,
+            access_heads: Vec::new(),
+        };
+
+        // servers
+        let mut access_slot = 16u32;
+        for (server_slot, (s_in_as, &pidx)) in (2048u32..).zip(das.members.iter().enumerate()) {
+            let profile = &d.profiles[pidx];
+            let server_addr = dest_router_addr(k, server_slot);
+            debug_assert_eq!(server_addr, d.server_addrs[pidx]);
+            let host = sim.add_host(format!("srv-{pidx}"), server_addr);
+
+            let flaky_ect = profile.special == SpecialBehaviour::EctBlocked { flaky: true };
+            if flaky_ect {
+                // two parallel single-router branches; only one filtered
+                let a_fw = sim.add_router(Router::new(
+                    format!("d{k}-s{s_in_as}-fw"),
+                    dest_router_addr(k, access_slot),
+                    asn,
+                ));
+                let a_clean = sim.add_router(Router::new(
+                    format!("d{k}-s{s_in_as}-alt"),
+                    dest_router_addr(k, access_slot + 1),
+                    asn,
+                ));
+                access_slot += 2;
+                sim.nodes[a_fw.0 as usize].as_router_mut().firewall =
+                    Firewall::single(FirewallRule::drop_ect_udp());
+                let (fw_up, _fw_down_i3) = sim.add_duplex(a_fw, i3, LinkProps::clean(EDGE_DELAY));
+                let (cl_up, _cl_down_i3) =
+                    sim.add_duplex(a_clean, i3, LinkProps::clean(EDGE_DELAY));
+                sim.route(a_fw, default_route, RouteEntry::Link(fw_up));
+                sim.route(a_clean, default_route, RouteEntry::Link(cl_up));
+                // host attaches to the firewalled branch; extra
+                // delivery link from the clean branch
+                sim.attach_host(host, a_fw, LinkProps::clean(EDGE_DELAY));
+                let clean_down = sim.add_link(a_clean, host, LinkProps::clean(EDGE_DELAY));
+                sim.route(
+                    a_clean,
+                    Ipv4Prefix::host(server_addr),
+                    RouteEntry::Link(clean_down),
+                );
+                // ECMP at I3: epoch-hashed branch choice
+                let to_fw = sim.add_link(i3, a_fw, LinkProps::clean(EDGE_DELAY));
+                let to_clean = sim.add_link(i3, a_clean, LinkProps::clean(EDGE_DELAY));
+                sim.route(
+                    i3,
+                    Ipv4Prefix::host(server_addr),
+                    RouteEntry::Ecmp(vec![to_fw, to_clean]),
+                );
+                info.access_heads.push((a_fw, 1));
+            } else {
+                // linear access chain of profile.access_chain_len routers
+                let mut chain = Vec::new();
+                for c in 0..profile.access_chain_len {
+                    let r = sim.add_router(Router::new(
+                        format!("d{k}-s{s_in_as}-a{c}"),
+                        dest_router_addr(k, access_slot),
+                        asn,
+                    ));
+                    access_slot += 1;
+                    chain.push(r);
+                }
+                // wire i3 -> chain[0] -> ... -> host
+                let mut prev = i3;
+                for &r in &chain {
+                    let (down, up) = sim.add_duplex(prev, r, LinkProps::clean(EDGE_DELAY));
+                    sim.route(prev, Ipv4Prefix::host(server_addr), RouteEntry::Link(down));
+                    sim.route(r, default_route, RouteEntry::Link(up));
+                    prev = r;
+                }
+                sim.attach_host(host, prev, LinkProps::clean(EDGE_DELAY));
+                // firewall on the last access router for special servers
+                let last = prev;
+                match profile.special {
+                    SpecialBehaviour::EctBlocked { flaky: false } => {
+                        sim.nodes[last.0 as usize].as_router_mut().firewall =
+                            Firewall::single(FirewallRule::drop_ect_udp());
+                    }
+                    SpecialBehaviour::NotEctBlocked { ec2_only: false } => {
+                        sim.nodes[last.0 as usize].as_router_mut().firewall =
+                            Firewall::single(FirewallRule::drop_not_ect_udp());
+                    }
+                    SpecialBehaviour::NotEctBlocked { ec2_only: true } => {
+                        sim.nodes[last.0 as usize].as_router_mut().firewall = Firewall::single(
+                            FirewallRule::drop_not_ect_udp().from_sources(ec2_prefix),
+                        );
+                    }
+                    _ => {}
+                }
+                info.access_heads.push((chain[0], chain.len()));
+            }
+
+            server_hosts[pidx] = host;
+        }
+        dest_nodes.push(info);
+    }
+
+    // --- T1 full tables -----------------------------------------------------
+    // `t1_leaf_routes` records (dest prefix, serving T2 index): the owning
+    // T1 routes down its T2 link; every other T1 routes across the mesh to
+    // the owner.
+    for (i, &t1) in t1_nodes.iter().enumerate() {
+        for (prefix, j) in &t1_leaf_routes {
+            let owner = d.t2_primary_t1[*j];
+            let entry = if owner == i {
+                RouteEntry::Link(t1_downlink[*j])
+            } else {
+                RouteEntry::Link(t1_peer[&(i, owner)])
+            };
+            sim.route(t1, *prefix, entry);
+        }
+        for (prefix, t1_index, down) in &vantage_routes {
+            if *t1_index == i {
+                sim.route(t1, *prefix, RouteEntry::Link(*down));
+            } else {
+                sim.route(t1, *prefix, RouteEntry::Link(t1_peer[&(i, *t1_index)]));
+            }
+        }
+        let dns_prefix: Ipv4Prefix = DNS_PREFIX_STR.parse().expect("prefix");
+        if i != 0 {
+            sim.route(t1, dns_prefix, RouteEntry::Link(t1_peer[&(i, 0)]));
+        }
+    }
+
+    // --- wire ground-truth bleachers -----------------------------------------
+    for bp in d.bleachers {
+        let info = &dest_nodes[bp.as_index];
+        let node = match bp.site {
+            BleachSite::ProviderEdge => info.pe,
+            BleachSite::Border => info.border,
+            BleachSite::Interior => info.i2,
+            BleachSite::Access => {
+                info.access_heads
+                    .iter()
+                    .find(|(_, len)| *len >= 2)
+                    .expect("validated during blueprint build")
+                    .0
+            }
+        };
+        let policy = match bp.prob {
+            None => EcnPolicy::Bleach,
+            Some(p) => EcnPolicy::BleachProb(p),
+        };
+        sim.nodes[node.0 as usize].as_router_mut().ecn_policy = policy;
+        match bp.prob {
+            None => truth.bleach_always.push((node, bp.site)),
+            Some(_) => truth.bleach_sometimes.push((node, bp.site)),
+        }
+    }
+
+    debug_assert!(
+        server_hosts.iter().all(|n| n.0 != u32::MAX),
+        "every profile placed"
+    );
+    CompiledTopology {
+        sim,
+        vantage_hosts,
+        dns_host,
+        server_hosts,
     }
 }
 
@@ -966,7 +1074,7 @@ mod tests {
         assert_eq!(a.sim.nodes.len(), b.sim.nodes.len());
         assert_eq!(a.sim.links.len(), b.sim.links.len());
         assert_eq!(a.servers.len(), b.servers.len());
-        for (sa, sb) in a.servers.iter().zip(&b.servers) {
+        for (sa, sb) in a.servers.iter().zip(b.servers.iter()) {
             assert_eq!(sa.addr, sb.addr);
             assert_eq!(sa.node, sb.node);
             assert_eq!(sa.as_index, sb.as_index);
@@ -979,8 +1087,8 @@ mod tests {
     fn capacity_hints_are_exact() {
         let bp = WorldBlueprint::build(&PoolPlan::scaled(60), 3);
         let sc = bp.instantiate();
-        assert_eq!(sc.sim.nodes.len(), bp.node_count, "node count hint");
-        assert_eq!(sc.sim.links.len(), bp.link_count, "link count hint");
+        assert_eq!(sc.sim.nodes.len(), bp.node_count(), "node count hint");
+        assert_eq!(sc.sim.links.len(), bp.link_count(), "link count hint");
     }
 
     #[test]

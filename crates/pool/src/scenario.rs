@@ -90,8 +90,10 @@ pub struct Scenario {
     pub sim: Sim,
     /// The 13 vantage points.
     pub vantages: Vec<Vantage>,
-    /// The pool population in index order.
-    pub servers: Vec<ServerInfo>,
+    /// The pool population in index order, shared with the owning
+    /// blueprint (node ids are skeleton-deterministic, so one list serves
+    /// every stamped world).
+    pub servers: Arc<Vec<ServerInfo>>,
     /// Address of the pool DNS server.
     pub dns_addr: Ipv4Addr,
     /// Geolocation database (Table 1 / Figure 1), shared with the
@@ -100,8 +102,8 @@ pub struct Scenario {
     /// IP→AS database (§4.2 boundary analysis), shared with the owning
     /// blueprint.
     pub asdb: Arc<AsDb>,
-    /// Planted ground truth.
-    pub truth: GroundTruth,
+    /// Planted ground truth, shared with the owning blueprint.
+    pub truth: Arc<GroundTruth>,
     /// The plan that built this.
     pub plan: PoolPlan,
 }

@@ -140,7 +140,7 @@ impl StackShared {
             availability: Availability::new(
                 config.availability,
                 config.seed,
-                &format!("avail-{addr}"),
+                ecn_netsim::LabelBuf::format(format_args!("avail-{addr}")).as_str(),
             ),
             udp_socks: HashMap::new(),
             udp_services: HashMap::new(),
@@ -161,32 +161,35 @@ impl StackShared {
         id
     }
 
+    // The datagram builders compose straight into `buf` — a buffer checked
+    // out of the simulator's packet pool — so the encode path allocates
+    // nothing once the pool is warm.
+
     fn udp_datagram(
         &mut self,
+        buf: Vec<u8>,
         dst: (Ipv4Addr, u16),
         src_port: u16,
         payload: &[u8],
         ecn: Ecn,
         ttl: u8,
     ) -> Datagram {
-        let seg = ecn_wire::udp::udp_segment(self.addr, dst.0, src_port, dst.1, payload);
         let mut h = Ipv4Header::probe(self.addr, dst.0, IpProto::Udp, ecn);
         h.ttl = ttl;
         h.identification = self.next_ident();
-        Datagram::new(h, &seg)
+        let src = self.addr;
+        Datagram::compose(buf, h, |out| {
+            ecn_wire::udp::udp_segment_into(src, dst.0, src_port, dst.1, payload, out)
+        })
     }
 
-    fn tcp_datagram(&mut self, remote: Ipv4Addr, emit: &Emit) -> Datagram {
-        let seg = ecn_wire::tcp::tcp_segment(self.addr, remote, &emit.header, &emit.payload);
+    fn tcp_datagram(&mut self, buf: Vec<u8>, remote: Ipv4Addr, emit: &Emit) -> Datagram {
         let mut h = Ipv4Header::probe(self.addr, remote, IpProto::Tcp, emit.ip_ecn);
         h.identification = self.next_ident();
-        Datagram::new(h, &seg)
-    }
-
-    fn icmp_datagram(&mut self, dst: Ipv4Addr, msg: &IcmpMessage) -> Datagram {
-        let mut h = Ipv4Header::probe(self.addr, dst, IpProto::Icmp, Ecn::NotEct);
-        h.identification = self.next_ident();
-        Datagram::new(h, &msg.encode())
+        let src = self.addr;
+        Datagram::compose(buf, h, |out| {
+            ecn_wire::tcp::tcp_segment_into(src, remote, &emit.header, &emit.payload, out)
+        })
     }
 
     /// Run the listener service against a connection's buffered request.
@@ -232,35 +235,38 @@ impl StackShared {
 /// The in-sim agent half of the stack.
 pub struct StackAgent {
     shared: Arc<Mutex<StackShared>>,
+    /// Reusable outgoing-datagram scratch (capacity survives dispatches).
+    out: Vec<Datagram>,
 }
 
 impl StackAgent {
-    fn process(&mut self, api: &mut HostApi<'_>, dgram: Datagram) -> Vec<Datagram> {
+    fn process(&mut self, api: &mut HostApi<'_>, dgram: &Datagram, out: &mut Vec<Datagram>) {
         let now = api.now();
-        let mut sh = self.shared.lock();
+        let sh = &mut *self.shared.lock();
         if !sh.availability.is_up(now) {
-            return vec![];
+            return;
         }
         let header = dgram.header();
         match header.protocol {
-            IpProto::Udp => self.process_udp(&mut sh, now, &header, &dgram),
-            IpProto::Tcp => self.process_tcp(&mut sh, now, &header, &dgram, api),
-            IpProto::Icmp => self.process_icmp(&mut sh, now, &header, &dgram),
-            IpProto::Other(_) => vec![],
+            IpProto::Udp => Self::process_udp(sh, api, now, &header, dgram, out),
+            IpProto::Tcp => Self::process_tcp(sh, api, now, &header, dgram, out),
+            IpProto::Icmp => Self::process_icmp(sh, api, now, &header, dgram, out),
+            IpProto::Other(_) => {}
         }
     }
 
     fn process_udp(
-        &self,
         sh: &mut StackShared,
+        api: &mut HostApi<'_>,
         now: Nanos,
         header: &Ipv4Header,
         dgram: &Datagram,
-    ) -> Vec<Datagram> {
+        out: &mut Vec<Datagram>,
+    ) {
         let decoded: Result<(UdpHeader, &[u8]), WireError> =
             UdpHeader::decode(header.src, header.dst, dgram.payload());
         let Ok((uh, body)) = decoded else {
-            return vec![]; // corrupt: silently dropped, like a real stack
+            return; // corrupt: silently dropped, like a real stack
         };
         if let Some(inbox) = sh.udp_socks.get_mut(&uh.dst_port) {
             inbox.push_back(UdpReceived {
@@ -270,7 +276,7 @@ impl StackAgent {
                 ecn: header.ecn,
                 payload: body.to_vec(),
             });
-            return vec![];
+            return;
         }
         if sh.udp_services.contains_key(&uh.dst_port) {
             let mut svc = sh.udp_services.remove(&uh.dst_port).expect("present");
@@ -278,39 +284,42 @@ impl StackAgent {
             sh.udp_services.insert(uh.dst_port, svc);
             if let Some(bytes) = response {
                 let reply = sh.udp_datagram(
+                    api.take_buf(),
                     (header.src, uh.src_port),
                     uh.dst_port,
                     &bytes,
                     Ecn::NotEct,
                     64,
                 );
-                return vec![reply];
+                out.push(reply);
             }
-            return vec![];
+            return;
         }
         if sh.config.udp_port_unreachable {
-            let msg = IcmpMessage::dest_unreachable_for(
-                ecn_wire::DestUnreachCode::Port,
-                dgram.as_bytes(),
-            );
-            return vec![sh.icmp_datagram(header.src, &msg)];
+            let mut h = Ipv4Header::probe(sh.addr, header.src, IpProto::Icmp, Ecn::NotEct);
+            h.identification = sh.next_ident();
+            out.push(Datagram::compose(api.take_buf(), h, |o| {
+                IcmpMessage::encode_dest_unreachable_into(
+                    ecn_wire::DestUnreachCode::Port,
+                    dgram.as_bytes(),
+                    o,
+                )
+            }));
         }
-        vec![]
     }
 
     fn process_tcp(
-        &self,
         sh: &mut StackShared,
+        api: &mut HostApi<'_>,
         now: Nanos,
         header: &Ipv4Header,
         dgram: &Datagram,
-        api: &mut HostApi<'_>,
-    ) -> Vec<Datagram> {
+        out: &mut Vec<Datagram>,
+    ) {
         let Ok((th, body)) = TcpHeader::decode(header.src, header.dst, dgram.payload()) else {
-            return vec![];
+            return;
         };
         let key = (th.dst_port, header.src, th.src_port);
-        let mut wire_out = Vec::new();
 
         if let Some(&id) = sh.conn_lookup.get(&key) {
             let mut emits = {
@@ -330,14 +339,15 @@ impl StackAgent {
                 entry.timer_deadline = None;
             }
             for e in emits {
-                wire_out.push(sh.tcp_datagram(remote, &e));
+                let buf = api.take_buf();
+                out.push(sh.tcp_datagram(buf, remote, &e));
             }
             if closed && server {
                 // server connections are garbage-collected once done
                 sh.conns.remove(&id);
                 sh.conn_lookup.remove(&key);
             }
-            return wire_out;
+            return;
         }
 
         // No connection: maybe a listener?
@@ -367,8 +377,9 @@ impl StackAgent {
                 );
                 sh.conn_lookup.insert(key, id);
                 api.set_timer(rto, id);
-                wire_out.push(sh.tcp_datagram(header.src, &syn_ack));
-                return wire_out;
+                let buf = api.take_buf();
+                out.push(sh.tcp_datagram(buf, header.src, &syn_ack));
+                return;
             }
         }
 
@@ -401,29 +412,38 @@ impl StackAgent {
                 payload: vec![],
                 ip_ecn: Ecn::NotEct,
             };
-            wire_out.push(sh.tcp_datagram(header.src, &emit));
+            let buf = api.take_buf();
+            out.push(sh.tcp_datagram(buf, header.src, &emit));
         }
-        wire_out
     }
 
     fn process_icmp(
-        &self,
         sh: &mut StackShared,
+        api: &mut HostApi<'_>,
         now: Nanos,
         header: &Ipv4Header,
         dgram: &Datagram,
-    ) -> Vec<Datagram> {
+        out: &mut Vec<Datagram>,
+    ) {
         let Ok(msg) = IcmpMessage::decode(dgram.payload()) else {
-            return vec![];
+            return;
         };
         if let IcmpMessage::EchoRequest { id, seq, payload } = &msg {
             if sh.config.echo_replies {
-                let reply = IcmpMessage::EchoReply {
-                    id: *id,
-                    seq: *seq,
-                    payload: payload.clone(),
-                };
-                return vec![sh.icmp_datagram(header.src, &reply)];
+                let mut h = Ipv4Header::probe(sh.addr, header.src, IpProto::Icmp, Ecn::NotEct);
+                h.identification = sh.next_ident();
+                // same bytes as IcmpMessage::EchoReply{..}.encode(), minus
+                // the owned round-trip through a cloned payload
+                out.push(Datagram::compose(api.take_buf(), h, |o| {
+                    let start = o.len();
+                    o.extend_from_slice(&[0, 0, 0, 0]);
+                    o.extend_from_slice(&id.to_be_bytes());
+                    o.extend_from_slice(&seq.to_be_bytes());
+                    o.extend_from_slice(payload);
+                    let ck = ecn_wire::internet_checksum(&o[start..]);
+                    o[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+                }));
+                return;
             }
         }
         sh.icmp_inbox.push_back(IcmpReceived {
@@ -432,27 +452,30 @@ impl StackAgent {
             ecn: header.ecn,
             msg,
         });
-        vec![]
     }
 }
 
 impl HostAgent for StackAgent {
-    fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: Datagram) {
-        let out = self.process(api, dgram);
-        for d in out {
+    fn on_datagram(&mut self, api: &mut HostApi<'_>, dgram: &Datagram) {
+        let mut out = std::mem::take(&mut self.out);
+        self.process(api, dgram, &mut out);
+        for d in out.drain(..) {
             api.send(d);
         }
+        self.out = out;
     }
 
     fn on_timer(&mut self, api: &mut HostApi<'_>, token: u64) {
         let now = api.now();
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.out);
         {
             let mut sh = self.shared.lock();
             let Some(entry) = sh.conns.get_mut(&token) else {
+                self.out = out;
                 return;
             };
             if entry.timer_deadline != Some(now) {
+                self.out = out;
                 return; // superseded timer
             }
             entry.timer_deadline = None;
@@ -464,12 +487,14 @@ impl HostAgent for StackAgent {
                 api.set_timer(rto, token);
             }
             for e in emits {
-                out.push(sh.tcp_datagram(remote, &e));
+                let buf = api.take_buf();
+                out.push(sh.tcp_datagram(buf, remote, &e));
             }
         }
-        for d in out {
+        for d in out.drain(..) {
             api.send(d);
         }
+        self.out = out;
     }
 }
 
@@ -532,10 +557,11 @@ impl HostHandle {
         ecn: Ecn,
         ttl: u8,
     ) {
+        let buf = sim.take_buf();
         let d = self
             .shared
             .lock()
-            .udp_datagram(dst, src_port, payload, ecn, ttl);
+            .udp_datagram(buf, dst, src_port, payload, ecn, ttl);
         sim.send_from(self.node, d);
     }
 
@@ -578,6 +604,7 @@ impl HostHandle {
     /// (an ECN-setup SYN). Returns the connection id immediately; progress
     /// is observed via [`HostHandle::conn`] snapshots as the sim runs.
     pub fn tcp_connect(&self, sim: &mut Sim, remote: (Ipv4Addr, u16), ecn: bool) -> ConnId {
+        let buf = sim.take_buf();
         let (id, dgram, rto) = {
             let mut sh = self.shared.lock();
             let port = loop {
@@ -605,7 +632,7 @@ impl HostHandle {
                 },
             );
             sh.conn_lookup.insert((port, remote.0, remote.1), id);
-            let d = sh.tcp_datagram(remote.0, &syn);
+            let d = sh.tcp_datagram(buf, remote.0, &syn);
             (id, d, rto)
         };
         sim.send_from(self.node, dgram);
@@ -639,7 +666,7 @@ impl HostHandle {
             }
             emits
                 .into_iter()
-                .map(|e| sh.tcp_datagram(remote, &e))
+                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, &e))
                 .collect::<Vec<_>>()
         };
         for d in out {
@@ -664,7 +691,7 @@ impl HostHandle {
             }
             emits
                 .into_iter()
-                .map(|e| sh.tcp_datagram(remote, &e))
+                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, &e))
                 .collect::<Vec<_>>()
         };
         for d in out {
@@ -683,12 +710,34 @@ impl HostHandle {
             let remote = entry.conn.remote.0;
             emits
                 .into_iter()
-                .map(|e| sh.tcp_datagram(remote, &e))
+                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, &e))
                 .collect::<Vec<_>>()
         };
         for d in out {
             sim.send_from(self.node, d);
         }
+    }
+
+    /// The connection's protocol state alone — the cheap polling
+    /// companion of [`HostHandle::conn`], which clones the receive buffer
+    /// on every call. Handshake wait-loops should poll this.
+    pub fn conn_state(&self, id: ConnId) -> Option<TcpState> {
+        self.shared.lock().conns.get(&id).map(|e| e.conn.state)
+    }
+
+    /// Poll a connection's progress without cloning its buffers: returns
+    /// `(state, peer_closed, done)` where `done` is the predicate
+    /// evaluated over the in-order received bytes under the lock (e.g.
+    /// `HttpResponse::is_complete`).
+    pub fn conn_ready(
+        &self,
+        id: ConnId,
+        done: impl FnOnce(&[u8]) -> bool,
+    ) -> Option<(TcpState, bool, bool)> {
+        let sh = self.shared.lock();
+        sh.conns
+            .get(&id)
+            .map(|e| (e.conn.state, e.conn.peer_closed(), done(e.conn.received())))
     }
 
     /// Snapshot a connection's state.
@@ -756,6 +805,7 @@ pub fn install(sim: &mut Sim, node: NodeId, config: StackConfig) -> HostHandle {
         node,
         Box::new(StackAgent {
             shared: shared.clone(),
+            out: Vec::new(),
         }),
     );
     HostHandle { node, addr, shared }

@@ -1,0 +1,90 @@
+//! Reusable wire-encoding buffers.
+//!
+//! Every codec in this crate exposes an `encode_into(&mut Vec<u8>)` entry
+//! point that appends to a caller-owned buffer; the owned-`Vec<u8>`
+//! `encode()` signatures are thin convenience wrappers over it. [`WireBuf`]
+//! is the companion scratch type: a byte buffer a hot loop clears and
+//! refills instead of allocating per packet. It derefs to `Vec<u8>`, so it
+//! plugs into any `encode_into` surface directly.
+
+use std::ops::{Deref, DerefMut};
+
+/// A reusable byte buffer for wire encoding.
+///
+/// Semantically a `Vec<u8>` whose capacity is meant to survive reuse:
+/// [`WireBuf::start`] clears the contents but keeps the allocation, so a
+/// probe loop that encodes the same packet shape every iteration settles
+/// into a zero-allocation steady state after the first encode.
+#[derive(Debug, Default, Clone)]
+pub struct WireBuf {
+    bytes: Vec<u8>,
+}
+
+impl WireBuf {
+    /// An empty buffer.
+    pub fn new() -> WireBuf {
+        WireBuf::default()
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> WireBuf {
+        WireBuf {
+            bytes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Begin a fresh encode: clear contents, keep capacity, hand out the
+    /// underlying vector for `encode_into`-style writers.
+    pub fn start(&mut self) -> &mut Vec<u8> {
+        self.bytes.clear();
+        &mut self.bytes
+    }
+
+    /// The encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Deref for WireBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.bytes
+    }
+}
+
+impl DerefMut for WireBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+}
+
+impl From<Vec<u8>> for WireBuf {
+    fn from(bytes: Vec<u8>) -> WireBuf {
+        WireBuf { bytes }
+    }
+}
+
+impl From<WireBuf> for Vec<u8> {
+    fn from(buf: WireBuf) -> Vec<u8> {
+        buf.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_clears_but_keeps_capacity() {
+        let mut b = WireBuf::with_capacity(64);
+        b.start().extend_from_slice(&[1, 2, 3]);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        let cap = b.capacity();
+        let out = b.start();
+        assert!(out.is_empty());
+        out.extend_from_slice(&[9]);
+        assert_eq!(b.as_slice(), &[9]);
+        assert_eq!(b.capacity(), cap);
+    }
+}

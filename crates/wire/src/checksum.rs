@@ -17,15 +17,31 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 /// computed without concatenating buffers. **Note:** each call treats its
 /// slice as starting on an even word boundary, so only the *final* slice of
 /// a multi-part sum may have odd length.
-pub fn sum_words(data: &[u8], mut acc: u32) -> u32 {
-    let mut chunks = data.chunks_exact(2);
+pub fn sum_words(data: &[u8], acc: u32) -> u32 {
+    // One's-complement addition is commutative and associative over the
+    // 16-bit words, so the bulk of the buffer can be consumed eight bytes
+    // at a time (four words per load) with the carries folded at the end
+    // — ~4x fewer loop iterations than the word-at-a-time version on the
+    // checksum-heavy simulator paths (every encode, every hop rewrite).
+    let mut sum = u64::from(acc);
+    let mut wide = data.chunks_exact(8);
+    for chunk in &mut wide {
+        let v = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        sum += (v >> 48) + ((v >> 32) & 0xffff) + ((v >> 16) & 0xffff) + (v & 0xffff);
+    }
+    let mut chunks = wide.remainder().chunks_exact(2);
     for chunk in &mut chunks {
-        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        sum += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
     }
     if let [last] = chunks.remainder() {
-        acc += u32::from(u16::from_be_bytes([*last, 0]));
+        sum += u64::from(u16::from_be_bytes([*last, 0]));
     }
-    acc
+    // Fold back into the u32 accumulator domain (preserves the value
+    // modulo 0xffff, which is all `finish` depends on).
+    while sum > u64::from(u32::MAX) {
+        sum = (sum & 0xffff_ffff) + (sum >> 32);
+    }
+    sum as u32
 }
 
 /// Fold carries and complement, producing the wire checksum.

@@ -284,9 +284,16 @@ impl DnsMessage {
             .collect()
     }
 
-    /// Encode to wire bytes (no name compression; answers repeat the name).
+    /// Encode to wire bytes, no name compression (convenience wrapper;
+    /// prefer [`DnsMessage::encode_into`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire bytes (no name compression) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.id.to_be_bytes());
         out.extend_from_slice(&self.flags.encode().to_be_bytes());
         out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
@@ -294,12 +301,12 @@ impl DnsMessage {
         out.extend_from_slice(&0u16.to_be_bytes()); // nscount
         out.extend_from_slice(&0u16.to_be_bytes()); // arcount
         for q in &self.questions {
-            encode_name(&q.name, &mut out);
+            encode_name(&q.name, out);
             out.extend_from_slice(&q.qtype.value().to_be_bytes());
             out.extend_from_slice(&q.qclass.value().to_be_bytes());
         }
         for r in &self.answers {
-            encode_name(&r.name, &mut out);
+            encode_name(&r.name, out);
             out.extend_from_slice(&r.rtype.value().to_be_bytes());
             out.extend_from_slice(&r.rclass.value().to_be_bytes());
             out.extend_from_slice(&r.ttl.to_be_bytes());
@@ -314,7 +321,6 @@ impl DnsMessage {
                 }
             }
         }
-        out
     }
 
     /// Decode from wire bytes. Handles compression pointers in names.

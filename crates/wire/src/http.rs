@@ -30,17 +30,21 @@ impl HttpRequest {
         }
     }
 
-    /// Serialise to wire form.
+    /// Serialise to wire form (convenience wrapper; prefer
+    /// [`HttpRequest::encode_into`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
-        let mut s = format!("{} {} HTTP/1.1\r\n", self.method, self.path);
-        for (k, v) in &self.headers {
-            s.push_str(k);
-            s.push_str(": ");
-            s.push_str(v);
-            s.push_str("\r\n");
-        }
-        s.push_str("\r\n");
-        s.into_bytes()
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire form to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        encode_headers(&self.headers, out);
     }
 
     /// Parse a request from a byte stream. Requires the full head
@@ -76,6 +80,35 @@ impl HttpRequest {
     pub fn header(&self, name: &str) -> Option<&str> {
         header_lookup(&self.headers, name)
     }
+}
+
+fn encode_headers(headers: &[(String, String)], out: &mut Vec<u8>) {
+    for (k, v) in headers {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(v.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Decimal-format `v` into `buf`, returning the digit count (no heap).
+fn encode_u16(v: u16, buf: &mut [u8; 5]) -> usize {
+    let mut tmp = [0u8; 5];
+    let mut v = v;
+    let mut i = 0;
+    loop {
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        i += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    for (j, d) in tmp[..i].iter().rev().enumerate() {
+        buf[j] = *d;
+    }
+    i
 }
 
 /// An HTTP/1.1 response.
@@ -125,19 +158,25 @@ impl HttpResponse {
         }
     }
 
-    /// Serialise to wire form.
+    /// Serialise to wire form (convenience wrapper; prefer
+    /// [`HttpResponse::encode_into`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
-        let mut s = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
-        for (k, v) in &self.headers {
-            s.push_str(k);
-            s.push_str(": ");
-            s.push_str(v);
-            s.push_str("\r\n");
-        }
-        s.push_str("\r\n");
-        let mut out = s.into_bytes();
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Append the wire form to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"HTTP/1.1 ");
+        let mut status = [0u8; 5];
+        let n = encode_u16(self.status, &mut status);
+        out.extend_from_slice(&status[..n]);
+        out.push(b' ');
+        out.extend_from_slice(self.reason.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        encode_headers(&self.headers, out);
+        out.extend_from_slice(&self.body);
     }
 
     /// Parse a response. The body is everything after the head, trimmed to

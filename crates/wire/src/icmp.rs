@@ -120,9 +120,17 @@ impl IcmpMessage {
         }
     }
 
-    /// Encode to wire bytes (checksum computed).
+    /// Encode to wire bytes, checksum computed (convenience wrapper;
+    /// prefer [`IcmpMessage::encode_into`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 + QUOTE_BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire bytes (checksum computed) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
         match self {
             IcmpMessage::EchoRequest { id, seq, payload } => {
                 out.extend_from_slice(&[8, 0, 0, 0]);
@@ -145,9 +153,32 @@ impl IcmpMessage {
                 out.extend_from_slice(quoted);
             }
         }
-        let ck = internet_checksum(&out);
-        out[2..4].copy_from_slice(&ck.to_be_bytes());
-        out
+        let ck = internet_checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Append a time-exceeded message quoting `original` directly to
+    /// `out` — byte-identical to
+    /// `IcmpMessage::time_exceeded_for(original).encode()` without
+    /// materialising the intermediate message (the router TTL-expiry hot
+    /// path).
+    pub fn encode_time_exceeded_into(original: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[11, 0, 0, 0, 0, 0, 0, 0]);
+        out.extend_from_slice(&original[..original.len().min(QUOTE_BYTES)]);
+        let ck = internet_checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Append a destination-unreachable message quoting `original`
+    /// directly to `out` — byte-identical to
+    /// `IcmpMessage::dest_unreachable_for(code, original).encode()`.
+    pub fn encode_dest_unreachable_into(code: DestUnreachCode, original: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[3, code.code(), 0, 0, 0, 0, 0, 0]);
+        out.extend_from_slice(&original[..original.len().min(QUOTE_BYTES)]);
+        let ck = internet_checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
     }
 
     /// Decode and checksum-verify an ICMP message.

@@ -146,6 +146,18 @@ impl Ipv4Header {
 
     /// Decode and checksum-verify a header from the front of `buf`.
     pub fn decode(buf: &[u8]) -> Result<Ipv4Header, WireError> {
+        Self::decode_inner(buf, true)
+    }
+
+    /// Decode *without* checksum verification — for buffers whose
+    /// integrity the caller already guarantees (e.g. the simulator's
+    /// per-hop pipeline re-reading a header it wrote itself). Endpoint
+    /// stacks and captures keep using the verifying [`Ipv4Header::decode`].
+    pub fn decode_trusted(buf: &[u8]) -> Result<Ipv4Header, WireError> {
+        Self::decode_inner(buf, false)
+    }
+
+    fn decode_inner(buf: &[u8], verify: bool) -> Result<Ipv4Header, WireError> {
         if buf.len() < IPV4_HEADER_LEN {
             return Err(WireError::Truncated {
                 layer: "ipv4",
@@ -171,14 +183,16 @@ impl Ipv4Header {
                 value: ihl as u64,
             });
         }
-        let computed = finish(sum_words(&buf[..IPV4_HEADER_LEN], 0));
-        if computed != 0 {
-            let found = u16::from_be_bytes([buf[10], buf[11]]);
-            return Err(WireError::BadChecksum {
-                layer: "ipv4",
-                found,
-                computed,
-            });
+        if verify {
+            let computed = finish(sum_words(&buf[..IPV4_HEADER_LEN], 0));
+            if computed != 0 {
+                let found = u16::from_be_bytes([buf[10], buf[11]]);
+                return Err(WireError::BadChecksum {
+                    layer: "ipv4",
+                    found,
+                    computed,
+                });
+            }
         }
         let (dscp, ecn) = Dscp::from_tos(buf[1]);
         let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);

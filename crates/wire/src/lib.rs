@@ -23,6 +23,7 @@
 //! Checksums are always computed on encode and verified on decode; decode
 //! errors are explicit ([`WireError`]), never panics.
 
+pub mod buf;
 pub mod checksum;
 pub mod dns;
 pub mod ecn;
@@ -35,6 +36,7 @@ pub mod rtp;
 pub mod tcp;
 pub mod udp;
 
+pub use buf::WireBuf;
 pub use checksum::internet_checksum;
 pub use dns::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, DnsRecordData, QClass, QType, Rcode};
 pub use ecn::{Dscp, Ecn};
@@ -68,6 +70,42 @@ impl Datagram {
         Datagram { bytes }
     }
 
+    /// Assemble a datagram *into* a recycled buffer: `bytes` is cleared
+    /// (capacity kept), the header is written with `total_len`/checksum
+    /// patched after `write_payload` has appended the transport bytes.
+    ///
+    /// This is the allocation-free construction path: a buffer checked out
+    /// of a pool flows through here, around the simulator, and back to the
+    /// pool via [`Datagram::into_bytes`].
+    pub fn compose(
+        mut bytes: Vec<u8>,
+        mut header: Ipv4Header,
+        write_payload: impl FnOnce(&mut Vec<u8>),
+    ) -> Self {
+        bytes.clear();
+        bytes.resize(IPV4_HEADER_LEN, 0);
+        write_payload(&mut bytes);
+        header.total_len = bytes.len() as u16;
+        header.encode_into(&mut bytes);
+        Datagram { bytes }
+    }
+
+    /// Recover the owned byte buffer (for recycling into a pool).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Re-encode `header` over this datagram's first 20 bytes (checksum
+    /// recomputed). The single write-back for a forwarding pipeline that
+    /// decoded the header once, mutated fields (TTL, ECN) in the copy,
+    /// and wants the wire bytes to match again. `total_len` is forced to
+    /// the buffer's actual length, so a stale copy cannot corrupt it.
+    pub fn write_header(&mut self, header: &Ipv4Header) {
+        let mut h = *header;
+        h.total_len = self.bytes.len() as u16;
+        h.encode_into(&mut self.bytes);
+    }
+
     /// Wrap raw bytes that are already a well-formed datagram.
     ///
     /// Fails if the IPv4 header does not parse or the buffer is shorter than
@@ -84,11 +122,15 @@ impl Datagram {
         Ok(Datagram { bytes })
     }
 
-    /// Parse the IPv4 header (checksum-verified).
+    /// Parse the IPv4 header.
+    ///
+    /// The checksum is *not* re-verified: a `Datagram` is only ever
+    /// constructed from a valid header, and every in-place mutation below
+    /// re-encodes a valid one — re-summing 20 bytes on each of the many
+    /// per-hop reads was pure overhead. Paths that receive untrusted
+    /// bytes go through [`Datagram::from_bytes`], which verifies.
     pub fn header(&self) -> Ipv4Header {
-        // A `Datagram` is only ever constructed from a valid header, and all
-        // in-place mutations below re-encode a valid header.
-        Ipv4Header::decode(&self.bytes).expect("datagram invariant: valid IPv4 header")
+        Ipv4Header::decode_trusted(&self.bytes).expect("datagram invariant: valid IPv4 header")
     }
 
     /// The transport payload (bytes after the IPv4 header).

@@ -214,9 +214,17 @@ impl NtpPacket {
         self.mode == NtpMode::Server && self.origin_ts == request.transmit_ts
     }
 
-    /// Encode to the 48-byte wire format.
+    /// Encode to the 48-byte wire format (convenience wrapper; prefer
+    /// [`NtpPacket::encode_into`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(NTP_PACKET_LEN);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the 48-byte wire format to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
         out.push(((self.leap & 0b11) << 6) | ((self.version & 0b111) << 3) | self.mode.value());
         out.push(self.stratum);
         out.push(self.poll as u8);
@@ -224,12 +232,11 @@ impl NtpPacket {
         out.extend_from_slice(&self.root_delay.to_be_bytes());
         out.extend_from_slice(&self.root_dispersion.to_be_bytes());
         out.extend_from_slice(&self.reference_id);
-        self.reference_ts.encode(&mut out);
-        self.origin_ts.encode(&mut out);
-        self.receive_ts.encode(&mut out);
-        self.transmit_ts.encode(&mut out);
-        debug_assert_eq!(out.len(), NTP_PACKET_LEN);
-        out
+        self.reference_ts.encode(out);
+        self.origin_ts.encode(out);
+        self.receive_ts.encode(out);
+        self.transmit_ts.encode(out);
+        debug_assert_eq!(out.len() - start, NTP_PACKET_LEN);
     }
 
     /// Decode from wire bytes (must be at least 48 bytes; extensions after

@@ -29,16 +29,22 @@ pub struct RtpHeader {
 }
 
 impl RtpHeader {
-    /// Encode header + payload.
+    /// Encode header + payload (convenience wrapper; prefer
+    /// [`RtpHeader::encode_into`] on hot paths).
     pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(RTP_HEADER_LEN + payload.len());
+        self.encode_into(payload, &mut out);
+        out
+    }
+
+    /// Append header + payload wire bytes to `out`.
+    pub fn encode_into(&self, payload: &[u8], out: &mut Vec<u8>) {
         out.push(0x80); // V=2, P=0, X=0, CC=0
         out.push((self.payload_type & 0x7f) | if self.marker { 0x80 } else { 0 });
         out.extend_from_slice(&self.sequence.to_be_bytes());
         out.extend_from_slice(&self.timestamp.to_be_bytes());
         out.extend_from_slice(&self.ssrc.to_be_bytes());
         out.extend_from_slice(payload);
-        out
     }
 
     /// Decode; returns header and payload slice.
@@ -100,9 +106,16 @@ pub struct EcnFeedback {
 }
 
 impl EcnFeedback {
-    /// Encode to wire form.
+    /// Encode to wire form (convenience wrapper; prefer
+    /// [`EcnFeedback::encode_into`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + 24);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire form to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&FEEDBACK_MAGIC);
         for v in [
             self.ext_highest_seq,
@@ -114,7 +127,6 @@ impl EcnFeedback {
         ] {
             out.extend_from_slice(&v.to_be_bytes());
         }
-        out
     }
 
     /// Decode from wire form.

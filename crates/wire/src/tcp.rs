@@ -357,6 +357,18 @@ pub fn tcp_segment(src: Ipv4Addr, dst: Ipv4Addr, header: &TcpHeader, payload: &[
     out
 }
 
+/// Append a TCP segment to `out` — the allocation-free companion of
+/// [`tcp_segment`], for composing straight into a pooled datagram buffer.
+pub fn tcp_segment_into(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    header: &TcpHeader,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    header.encode(src, dst, payload, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,14 +119,28 @@ pub fn udp_segment(
     dst_port: u16,
     payload: &[u8],
 ) -> Vec<u8> {
+    let mut out = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
+    udp_segment_into(src, dst, src_port, dst_port, payload, &mut out);
+    out
+}
+
+/// Append a UDP segment (header + payload) to `out` — the allocation-free
+/// companion of [`udp_segment`], for composing straight into a pooled
+/// datagram buffer.
+pub fn udp_segment_into(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
     let header = UdpHeader {
         src_port,
         dst_port,
         length: 0,
     };
-    let mut out = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
-    header.encode(src, dst, payload, &mut out);
-    out
+    header.encode(src, dst, payload, out);
 }
 
 #[cfg(test)]

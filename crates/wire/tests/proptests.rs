@@ -234,6 +234,102 @@ proptest! {
         let _ = HttpResponse::is_complete(&noise);
     }
 
+    /// `encode_into` is the primary codec surface; the owned-`Vec` legacy
+    /// `encode()` wrappers must stay byte-identical for every wire type —
+    /// the contract that lets the simulator swap to pooled buffers without
+    /// changing a single output byte.
+    #[test]
+    fn encode_into_matches_legacy_encode_for_all_wire_types(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        nanos in any::<u64>(),
+        id in any::<u16>(),
+        labels in proptest::collection::vec("[a-z][a-z0-9-]{0,10}", 1..4),
+        addrs in proptest::collection::vec(any::<u32>().prop_map(Ipv4Addr::from), 0..4),
+        status in any::<u16>(),
+        seq16 in any::<u16>(),
+        c0 in any::<u32>(), c1 in any::<u32>(), c2 in any::<u32>(),
+        c3 in any::<u32>(), c4 in any::<u32>(), c5 in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        prefill in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        // every encode_into must be append-only: pre-existing bytes survive
+        let check = |legacy: Vec<u8>, into: &dyn Fn(&mut Vec<u8>)| {
+            let mut out = prefill.clone();
+            into(&mut out);
+            prop_assert_eq!(&out[..prefill.len()], &prefill[..], "prefix clobbered");
+            prop_assert_eq!(&out[prefill.len()..], &legacy[..]);
+            Ok(())
+        };
+
+        let ntp = NtpPacket::client_request(
+            NtpTimestamp::from_nanos(nanos % (u64::from(u32::MAX) * 1_000_000_000)));
+        check(ntp.encode(), &|o| ntp.encode_into(o))?;
+
+        let name = labels.join(".");
+        let q = DnsMessage::a_query(id, &name);
+        check(q.encode(), &|o| q.encode_into(o))?;
+        let r = DnsMessage::a_response(&q, u32::from(id), &addrs);
+        check(r.encode(), &|o| r.encode_into(o))?;
+
+        let echo = IcmpMessage::EchoRequest { id, seq: sp, payload: payload.clone() };
+        check(echo.encode(), &|o| echo.encode_into(o))?;
+        let te = IcmpMessage::time_exceeded_for(&payload);
+        check(te.encode(), &|o| te.encode_into(o))?;
+        check(te.encode(), &|o| IcmpMessage::encode_time_exceeded_into(&payload, o))?;
+        let du = IcmpMessage::dest_unreachable_for(DestUnreachCode::Port, &payload);
+        check(du.encode(), &|o| du.encode_into(o))?;
+        check(du.encode(), &|o| {
+            IcmpMessage::encode_dest_unreachable_into(DestUnreachCode::Port, &payload, o)
+        })?;
+
+        let req = HttpRequest::get_root(&dst.to_string());
+        check(req.encode(), &|o| req.encode_into(o))?;
+        let mut rsp = HttpResponse::pool_redirect();
+        rsp.status = status.max(1);
+        check(rsp.encode(), &|o| rsp.encode_into(o))?;
+
+        let rtp = RtpHeader {
+            payload_type: (id % 128) as u8,
+            marker: id.is_multiple_of(2),
+            sequence: seq16,
+            timestamp: c0,
+            ssrc: c1,
+        };
+        check(rtp.encode(&payload), &|o| rtp.encode_into(&payload, o))?;
+        let fb = EcnFeedback {
+            ext_highest_seq: c0, received: c1, ce_count: c2,
+            ect0_count: c3, not_ect_count: c4, lost: c5,
+        };
+        check(fb.encode(), &|o| fb.encode_into(o))?;
+
+        check(udp::udp_segment(src, dst, sp, dp, &payload),
+              &|o| udp::udp_segment_into(src, dst, sp, dp, &payload, o))?;
+        let th = TcpHeader {
+            src_port: sp, dst_port: dp, seq: c0, ack: c1,
+            flags: TcpFlags(seq16 & 0x1ff), window: id, urgent: 0,
+            options: vec![TcpOption::Mss(seq16), TcpOption::SackPermitted],
+        };
+        check(tcp::tcp_segment(src, dst, &th, &payload),
+              &|o| tcp::tcp_segment_into(src, dst, &th, &payload, o))?;
+    }
+
+    /// `Datagram::compose` into a dirty recycled buffer produces the same
+    /// wire bytes as `Datagram::new`, and `into_bytes` hands the buffer
+    /// back intact.
+    #[test]
+    fn datagram_compose_matches_new(
+        h in arb_ipv4_header(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let fresh = Datagram::new(h, &payload);
+        let composed = Datagram::compose(garbage, h, |out| out.extend_from_slice(&payload));
+        prop_assert_eq!(fresh.as_bytes(), composed.as_bytes());
+        let recycled = composed.into_bytes();
+        prop_assert_eq!(&recycled[..], fresh.as_bytes());
+    }
+
     #[test]
     fn icmp_quote_roundtrip_preserves_ecn(
         h in arb_ipv4_header(),
