@@ -56,6 +56,24 @@ impl FullReport {
     /// memory, no `TraceRecord` or per-trace walk involved. Renders
     /// byte-identically to [`Self::from_traces`]
     /// (`crates/core/tests/report_differential.rs` is the gate).
+    ///
+    /// ```
+    /// use ecn_core::{run_campaign, CampaignConfig, FullReport};
+    /// use ecn_pool::PoolPlan;
+    ///
+    /// let cfg = CampaignConfig {
+    ///     discovery_rounds: 10,
+    ///     traces_per_vantage: Some(1),
+    ///     run_traceroute: false,
+    ///     ..CampaignConfig::quick(2015)
+    /// };
+    /// let result = run_campaign(&PoolPlan::scaled(24), &cfg);
+    /// let report = FullReport::from_aggregates(&result);
+    /// let text = report.render();
+    /// for artefact in ["Table 1", "Figure 2a", "Figure 3", "Figure 5", "Table 2"] {
+    ///     assert!(text.contains(artefact), "missing {artefact}");
+    /// }
+    /// ```
     pub fn from_aggregates(result: &CampaignResult) -> FullReport {
         let a = &result.aggregates;
         // campaign order is sorted out once; every per-trace artefact
@@ -86,6 +104,11 @@ impl FullReport {
             !result.traces.is_empty() || result.aggregates.trace_stats.is_empty(),
             "FullReport::from_traces needs raw traces; this campaign ran \
              with keep_traces = false — use from_aggregates (or from_campaign)"
+        );
+        assert!(
+            !result.routes.is_empty() || result.aggregates.hops.paths == 0,
+            "FullReport::from_traces needs raw traceroute paths; this \
+             campaign ran with keep_routes = false — use from_aggregates"
         );
         let figure5 = figure5(&result.traces);
         let measured_pct = figure5.negotiated_pct();

@@ -41,7 +41,11 @@ pub struct CampaignResult {
     /// the engine runs reducer-only (`EngineConfig::keep_traces =
     /// false`) and the report path renders from [`Self::aggregates`].
     pub traces: Vec<TraceRecord>,
-    /// Traceroute survey (one entry per vantage), if enabled.
+    /// Raw traceroute survey paths (one entry per vantage) — like
+    /// [`Self::traces`], an opt-in escape hatch
+    /// (`EngineConfig::keep_routes`): Figure 4 renders from the streamed
+    /// [`crate::reducers::HopSurveyCounts`], so the default campaign
+    /// leaves this empty even when the survey ran.
     pub routes: Vec<VantageRoutes>,
     /// Streaming-reducer aggregates (always populated by the engine) —
     /// the single source of truth for `FullReport`.
@@ -199,9 +203,12 @@ pub(crate) fn plan_with_churn(plan: &PoolPlan, cfg: &CampaignConfig) -> PoolPlan
 }
 
 /// Run the discovery phase in an already-instantiated world.
-/// Discovery runs from the University wired vantage (index 2).
+/// Discovery runs from the University wired vantage (index 2); worlds
+/// with fewer vantages (`ScenarioSpec::vantage_count < 3`) fall back to
+/// the last one available.
 pub fn discover_in(sc: &mut Scenario, cfg: &CampaignConfig) -> Discovery {
-    let handle = sc.vantages[2].handle.clone();
+    let vantage = 2.min(sc.vantages.len().saturating_sub(1));
+    let handle = sc.vantages[vantage].handle.clone();
     let dns = sc.dns_addr;
     discover(&mut sc.sim, &handle, dns, cfg)
 }

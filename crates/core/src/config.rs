@@ -5,7 +5,7 @@ use ecn_wire::Ecn;
 use serde::{Deserialize, Serialize};
 
 /// Per-probe methodology parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProbeConfig {
     /// UDP retransmissions after the initial request (paper: 5).
     pub udp_retries: u32,
@@ -36,7 +36,7 @@ impl Default for ProbeConfig {
 }
 
 /// Traceroute parameters (§4.2).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TracerouteConfig {
     /// Highest TTL probed.
     pub max_ttl: u8,
@@ -66,8 +66,9 @@ impl Default for TracerouteConfig {
 }
 
 /// Campaign schedule (maps the paper's two collection batches onto virtual
-/// time).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// time). Usually produced by [`crate::scenario_run::campaign_config`]
+/// from a declarative [`ecn_pool::ScenarioSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Scenario/randomness seed.
     pub seed: u64,

@@ -64,6 +64,13 @@ pub struct EngineConfig {
     /// Turn this on only for per-trace consumers (dataset export, pcap
     /// artefacts, the legacy `FullReport::from_traces` cross-check).
     pub keep_traces: bool,
+    /// Keep the raw per-vantage [`crate::traceroute::TraceroutePath`]s
+    /// (default: **off**). Figure 4 renders from the streamed
+    /// [`crate::reducers::HopSurveyCounts`], so the survey's
+    /// O(vantages × targets) path vector is an opt-in escape hatch for
+    /// raw-route consumers (dataset export, path-level audits) — the
+    /// mirror of [`Self::keep_traces`].
+    pub keep_routes: bool,
     /// Unit scheduling order (results are invariant; see [`UnitOrder`]).
     pub unit_order: UnitOrder,
 }
@@ -74,6 +81,7 @@ impl Default for EngineConfig {
             shards: None,
             target_chunks: 1,
             keep_traces: false,
+            keep_routes: false,
             unit_order: UnitOrder::AsScheduled,
         }
     }
@@ -88,10 +96,23 @@ impl EngineConfig {
         }
     }
 
-    /// This configuration, with the raw-trace escape hatch enabled.
+    /// This configuration, with **both** raw-record escape hatches
+    /// enabled: per-trace records and per-vantage traceroute paths. The
+    /// legacy `FullReport::from_traces` derivation walks both vectors,
+    /// so they travel together.
     pub fn keeping_traces(self) -> EngineConfig {
         EngineConfig {
             keep_traces: true,
+            keep_routes: true,
+            ..self
+        }
+    }
+
+    /// This configuration, retaining only the raw traceroute paths (the
+    /// per-trace records stay streamed).
+    pub fn keeping_routes(self) -> EngineConfig {
+        EngineConfig {
+            keep_routes: true,
             ..self
         }
     }
@@ -247,7 +268,7 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
                         &per_vantage_sched[unit.vantage],
                         chunk_targets,
                         cfg,
-                        eng.keep_traces,
+                        (eng.keep_traces, eng.keep_routes),
                         &mut reducers,
                         resident,
                         (&mut inst, &mut probe, &mut reduce),
@@ -336,13 +357,32 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
 /// everything `FullReport` needs — and an empty trace vector. This is the
 /// single entry point that replaced the old sequential/parallel runner
 /// pair: results are byte-identical for every shard count.
+///
+/// ```
+/// use ecn_core::{run_campaign, CampaignConfig};
+/// use ecn_pool::PoolPlan;
+///
+/// // A tiny, fast campaign: 24 servers, compressed calendar, one trace
+/// // per vantage, no traceroute survey.
+/// let cfg = CampaignConfig {
+///     discovery_rounds: 10,
+///     traces_per_vantage: Some(1),
+///     run_traceroute: false,
+///     ..CampaignConfig::quick(7)
+/// };
+/// let result = run_campaign(&PoolPlan::scaled(24), &cfg);
+/// assert_eq!(result.targets.len(), 24);
+/// // the default path retains no raw records — only streamed aggregates
+/// assert!(result.traces.is_empty() && result.routes.is_empty());
+/// assert_eq!(result.aggregates.trace_stats.len(), 13); // one per vantage
+/// ```
 pub fn run_campaign(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
     run_engine(plan, cfg, &EngineConfig::default()).result
 }
 
-/// Run the full campaign retaining the raw per-trace records — the
-/// escape hatch for per-trace consumers (dataset export, pcap artefacts,
-/// `FullReport::from_traces`).
+/// Run the full campaign retaining the raw per-trace records and
+/// traceroute paths — the escape hatch for raw-record consumers (dataset
+/// export, pcap artefacts, `FullReport::from_traces`).
 pub fn run_campaign_with_traces(plan: &PoolPlan, cfg: &CampaignConfig) -> CampaignResult {
     run_engine(plan, cfg, &EngineConfig::default().keeping_traces()).result
 }
@@ -387,7 +427,7 @@ fn run_unit(
     sched: &[ScheduledTrace],
     chunk_targets: &[Ipv4Addr],
     cfg: &CampaignConfig,
-    keep_traces: bool,
+    (keep_traces, keep_routes): (bool, bool),
     reducers: &mut ShardReducers,
     (resident, peak): (&AtomicUsize, &AtomicUsize),
     (inst, probe, reduce): (&mut Duration, &mut Duration, &mut Duration),
@@ -421,19 +461,24 @@ fn run_unit(
             peak.fetch_max(now, Ordering::Relaxed);
         }
     }
-    let routes = cfg.run_traceroute.then(|| {
-        let r = run_traceroute_survey(&mut sc, unit.vantage, chunk_targets, cfg);
-        let tr = Instant::now();
-        reducers.observe_routes(
-            &r,
-            &RouteCtx {
-                vantage: unit.vantage,
-                asdb: &sc.asdb,
-            },
-        );
-        unit_reduce += tr.elapsed();
-        r
-    });
+    let routes = cfg
+        .run_traceroute
+        .then(|| {
+            let r = run_traceroute_survey(&mut sc, unit.vantage, chunk_targets, cfg);
+            let tr = Instant::now();
+            reducers.observe_routes(
+                &r,
+                &RouteCtx {
+                    vantage: unit.vantage,
+                    asdb: &sc.asdb,
+                },
+            );
+            unit_reduce += tr.elapsed();
+            // Figure 4 renders from HopSurveyCounts; the raw paths are
+            // retained only on request, mirroring keep_traces
+            keep_routes.then_some(r)
+        })
+        .flatten();
     // the probe span encloses the reducer segments; report them disjointly
     *reduce += unit_reduce;
     *probe += t0.elapsed().saturating_sub(unit_reduce);

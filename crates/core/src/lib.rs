@@ -27,6 +27,13 @@
 //! raw sockets with TOS/ECN control (`socket2`/`pnet` style); swapping the
 //! simulated substrate for live sockets would not change this crate's
 //! structure.
+//!
+//! Campaigns are usually launched from a declarative
+//! [`ecn_pool::ScenarioSpec`] via [`scenario_run::run_scenario`] (the
+//! `ecnudp` CLI's path); [`engine::run_campaign`] is the programmatic
+//! equivalent with the paper's fixed experiment.
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod campaign;
@@ -36,6 +43,7 @@ pub mod engine;
 pub mod probes;
 pub mod reducers;
 pub mod report;
+pub mod scenario_run;
 pub mod trace;
 pub mod traceroute;
 
@@ -55,6 +63,9 @@ pub use reducers::{
     BatchCounts, CampaignAggregates, DifferentialCounts, HopSurveyCounts, ReachabilityCounts,
     Reduce, RouteCtx, ShardReducers, SurveyCounts, Table2Counts, TraceCounters, TraceCtx,
     TraceStats,
+};
+pub use scenario_run::{
+    campaign_config, engine_config, run_scenario, run_scenario_sharded, RunSummary,
 };
 pub use trace::{ServerOutcome, TraceRecord};
 pub use traceroute::{traceroute, HopObservation, TraceroutePath};

@@ -89,6 +89,58 @@ impl LossModel {
         }
     }
 
+    /// This model with its long-run mean loss scaled by roughly `factor`.
+    /// Independent loss multiplies the per-packet probability (clamped
+    /// into `[0, 1]`); burst models keep their in-burst loss rates and
+    /// burst *lengths* but enter bursts `factor`× as often (Good-state
+    /// residence divided by `factor`), preserving the burst character
+    /// that defeats retry schedules.
+    ///
+    /// `scaled(1.0)` returns the model unchanged, bit for bit; the
+    /// scenario-spec subsystem relies on that to keep `loss_scale = 1.0`
+    /// worlds byte-identical to unscaled ones.
+    pub fn scaled(&self, factor: f64) -> LossModel {
+        if factor == 1.0 {
+            return *self;
+        }
+        let factor = factor.max(0.0);
+        let mul = |p: f64| (p * factor).clamp(0.0, 1.0);
+        // more (or fewer) bursts per unit time; saturate instead of
+        // overflowing for tiny factors
+        let stretch = |good: Nanos| {
+            let scaled = (good.0 as f64 / factor.max(1e-9)).min(u64::MAX as f64);
+            Nanos(scaled as u64)
+        };
+        match *self {
+            LossModel::None => LossModel::None,
+            LossModel::Bernoulli { p } => LossModel::Bernoulli { p: mul(p) },
+            LossModel::GilbertElliott {
+                mean_good,
+                mean_bad,
+                loss_good,
+                loss_bad,
+            } => LossModel::GilbertElliott {
+                mean_good: stretch(mean_good),
+                mean_bad,
+                loss_good: mul(loss_good),
+                loss_bad,
+            },
+            LossModel::GilbertElliottEcnBiased {
+                mean_good,
+                mean_bad,
+                loss_good,
+                loss_bad_not_ect,
+                loss_bad_ect,
+            } => LossModel::GilbertElliottEcnBiased {
+                mean_good: stretch(mean_good),
+                mean_bad,
+                loss_good: mul(loss_good),
+                loss_bad_not_ect,
+                loss_bad_ect,
+            },
+        }
+    }
+
     /// Long-run average loss probability of the model (for ECN-biased
     /// models, the average for *not-ECT* traffic).
     pub fn mean_loss(&self) -> f64 {
@@ -301,5 +353,26 @@ mod tests {
     fn mean_loss_reporting() {
         assert_eq!(LossModel::None.mean_loss(), 0.0);
         assert_eq!(LossModel::Bernoulli { p: 0.25 }.mean_loss(), 0.25);
+    }
+
+    #[test]
+    fn scaled_one_is_bit_identical_and_scaling_clamps() {
+        for model in [
+            LossModel::None,
+            LossModel::Bernoulli { p: 0.37 },
+            LossModel::congested_access(0.12),
+            LossModel::tos_biased_access(0.34, 0.50, 0.97),
+        ] {
+            assert_eq!(model.scaled(1.0), model, "scaled(1.0) must be identity");
+        }
+        let doubled = LossModel::Bernoulli { p: 0.3 }.scaled(2.0);
+        assert_eq!(doubled, LossModel::Bernoulli { p: 0.6 });
+        let clamped = LossModel::Bernoulli { p: 0.8 }.scaled(2.0);
+        assert_eq!(clamped, LossModel::Bernoulli { p: 1.0 });
+        // burst models scale mean loss by scaling burst frequency
+        let halved = LossModel::congested_access(0.10).scaled(0.5);
+        assert!((halved.mean_loss() - 0.05).abs() < 0.01, "{halved:?}");
+        let doubled = LossModel::congested_access(0.10).scaled(2.0);
+        assert!(doubled.mean_loss() > 0.15, "{doubled:?}");
     }
 }

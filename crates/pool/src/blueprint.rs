@@ -23,14 +23,14 @@
 
 use crate::plan::{PoolPlan, ServerProfile, SpecialBehaviour};
 use crate::scenario::{BleachSite, GroundTruth, Scenario, ServerInfo, Vantage, EC2_SUPER_PREFIX};
-use crate::vantage::{all_vantages, VantageSpec};
+use crate::vantage::VantageSpec;
 use ecn_asdb::AsDb;
 use ecn_geo::{
     sample_country, sample_location, GeoDb, GeoRecord, Region, TABLE1_DISTRIBUTION, TABLE1_TOTAL,
 };
 use ecn_netsim::{
     derive_rng, derive_seed, EcnPolicy, Firewall, FirewallRule, Ipv4Prefix, LabelBuf, LinkProps,
-    Nanos, NodeId, RouteEntry, Router, Sim, SimConfig, SimSkeleton,
+    NodeId, RouteEntry, Router, Sim, SimConfig, SimSkeleton,
 };
 use ecn_services::{
     HttpServerKind, NtpServerConfig, NtpServerService, PoolDnsService, PoolHttpService,
@@ -42,11 +42,6 @@ use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
-
-/// Delay used for core links.
-const CORE_DELAY: Nanos = Nanos(8_000_000); // 8 ms
-/// Delay used for edge links.
-const EDGE_DELAY: Nanos = Nanos(2_000_000); // 2 ms
 
 // ---------------------------------------------------------------- addressing
 
@@ -330,7 +325,7 @@ impl WorldBlueprint {
         };
 
         // --- vantage and DNS prefixes ----------------------------------------
-        let specs = all_vantages();
+        let specs = plan.vantages();
         for spec in &specs {
             asdb.insert(
                 vantage_prefix(spec).addr(),
@@ -628,7 +623,7 @@ impl WorldBlueprint {
         let mut sim = self.skeleton.instantiate(config);
         sim.reserve_events(256);
 
-        let specs = all_vantages();
+        let specs = self.plan.vantages();
         let mut vantages = Vec::with_capacity(specs.len());
         for (vi, spec) in specs.into_iter().enumerate() {
             let node = self.vantage_hosts[vi];
@@ -741,6 +736,15 @@ fn compile_topology(
 ) -> CompiledTopology {
     let plan = d.plan;
     let mut sim = Sim::new(0); // construction only; never runs an event
+    let core_delay = plan.core_delay;
+    let edge_delay = plan.edge_delay;
+    // destination access-chain links carry the plan's extra edge loss
+    // (0.0 = clean, byte-identical to plans predating the knob)
+    let access_props = if plan.edge_loss > 0.0 {
+        LinkProps::lossy(edge_delay, plan.edge_loss)
+    } else {
+        LinkProps::clean(edge_delay)
+    };
 
     sim.reserve(node_count, link_count);
 
@@ -755,7 +759,7 @@ fn compile_topology(
     let mut t1_peer: HashMap<(usize, usize), ecn_netsim::LinkId> = HashMap::new();
     for i in 0..t1_count {
         for j in (i + 1)..t1_count {
-            let (ij, ji) = sim.add_duplex(t1_nodes[i], t1_nodes[j], LinkProps::clean(CORE_DELAY));
+            let (ij, ji) = sim.add_duplex(t1_nodes[i], t1_nodes[j], LinkProps::clean(core_delay));
             t1_peer.insert((i, j), ij);
             t1_peer.insert((j, i), ji);
         }
@@ -770,14 +774,14 @@ fn compile_topology(
         let asn = 1000 + j as u32;
         let node = sim.add_router(Router::new(format!("t2-{j}"), t2_core_addr(j), asn));
         let primary = d.t2_primary_t1[j];
-        let (up, down) = sim.add_duplex(node, t1_nodes[primary], LinkProps::clean(CORE_DELAY));
+        let (up, down) = sim.add_duplex(node, t1_nodes[primary], LinkProps::clean(core_delay));
         sim.route(node, default_route, RouteEntry::Link(up));
         t2_nodes.push(node);
         t1_downlink.push(down);
     }
 
     // --- vantages ----------------------------------------------------------
-    let specs = all_vantages();
+    let specs = plan.vantages();
     let mut vantage_hosts = Vec::with_capacity(specs.len());
     let mut vantage_routes: Vec<(Ipv4Prefix, usize, ecn_netsim::LinkId)> = Vec::new();
     for (vi, spec) in specs.iter().enumerate() {
@@ -803,7 +807,7 @@ fn compile_topology(
 
         // access link carries the calibrated loss models
         let up_props = LinkProps {
-            delay: EDGE_DELAY,
+            delay: edge_delay,
             rate_bps: None,
             queue: ecn_netsim::QueueDisc::deep_fifo(),
             loss: spec.loss_up,
@@ -820,12 +824,12 @@ fn compile_topology(
         }
         sim.route(cpe, Ipv4Prefix::host(host_addr), RouteEntry::Link(down));
 
-        let (c_up, a_down) = sim.add_duplex(cpe, isp_a, LinkProps::clean(EDGE_DELAY));
-        let (a_up, b_down) = sim.add_duplex(isp_a, isp_b, LinkProps::clean(EDGE_DELAY));
+        let (c_up, a_down) = sim.add_duplex(cpe, isp_a, LinkProps::clean(edge_delay));
+        let (a_up, b_down) = sim.add_duplex(isp_a, isp_b, LinkProps::clean(edge_delay));
         // pick a T1 for this region (deterministic spread)
         let t1_index = (spec.net_index as usize * 5 + vi) % t1_count;
         let (b_up, t1_down) =
-            sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(CORE_DELAY));
+            sim.add_duplex(isp_b, t1_nodes[t1_index], LinkProps::clean(core_delay));
         sim.route(cpe, default_route, RouteEntry::Link(c_up));
         sim.route(isp_a, default_route, RouteEntry::Link(a_up));
         sim.route(isp_a, prefix, RouteEntry::Link(a_down));
@@ -838,7 +842,7 @@ fn compile_topology(
     // --- DNS host ----------------------------------------------------------
     let dns_router = t1_nodes[0];
     let dns_host = sim.add_host("pool-dns", DNS_ADDR);
-    sim.attach_host(dns_host, dns_router, LinkProps::clean(EDGE_DELAY));
+    sim.attach_host(dns_host, dns_router, LinkProps::clean(edge_delay));
 
     // --- destination ASes with servers --------------------------------------
     let ec2_prefix: Ipv4Prefix = EC2_SUPER_PREFIX.parse().expect("prefix");
@@ -878,11 +882,11 @@ fn compile_topology(
         let i2 = sim.add_router(Router::new(format!("d{k}-i2"), dest_router_addr(k, 3), asn));
         let i3 = sim.add_router(Router::new(format!("d{k}-i3"), dest_router_addr(k, 4), asn));
 
-        let (t2_to_pe, pe_to_t2) = sim.add_duplex(t2_nodes[j], pe, LinkProps::clean(EDGE_DELAY));
-        let (pe_to_b, b_to_pe) = sim.add_duplex(pe, b, LinkProps::clean(EDGE_DELAY));
-        let (b_to_i1, i1_to_b) = sim.add_duplex(b, i1, LinkProps::clean(EDGE_DELAY));
-        let (i1_to_i2, i2_to_i1) = sim.add_duplex(i1, i2, LinkProps::clean(EDGE_DELAY));
-        let (i2_to_i3, i3_to_i2) = sim.add_duplex(i2, i3, LinkProps::clean(EDGE_DELAY));
+        let (t2_to_pe, pe_to_t2) = sim.add_duplex(t2_nodes[j], pe, LinkProps::clean(edge_delay));
+        let (pe_to_b, b_to_pe) = sim.add_duplex(pe, b, LinkProps::clean(edge_delay));
+        let (b_to_i1, i1_to_b) = sim.add_duplex(b, i1, LinkProps::clean(edge_delay));
+        let (i1_to_i2, i2_to_i1) = sim.add_duplex(i1, i2, LinkProps::clean(edge_delay));
+        let (i2_to_i3, i3_to_i2) = sim.add_duplex(i2, i3, LinkProps::clean(edge_delay));
 
         sim.route(t2_nodes[j], prefix, RouteEntry::Link(t2_to_pe));
         sim.route(pe, default_route, RouteEntry::Link(pe_to_t2));
@@ -927,23 +931,22 @@ fn compile_topology(
                 access_slot += 2;
                 sim.nodes[a_fw.0 as usize].as_router_mut().firewall =
                     Firewall::single(FirewallRule::drop_ect_udp());
-                let (fw_up, _fw_down_i3) = sim.add_duplex(a_fw, i3, LinkProps::clean(EDGE_DELAY));
-                let (cl_up, _cl_down_i3) =
-                    sim.add_duplex(a_clean, i3, LinkProps::clean(EDGE_DELAY));
+                let (fw_up, _fw_down_i3) = sim.add_duplex(a_fw, i3, access_props);
+                let (cl_up, _cl_down_i3) = sim.add_duplex(a_clean, i3, access_props);
                 sim.route(a_fw, default_route, RouteEntry::Link(fw_up));
                 sim.route(a_clean, default_route, RouteEntry::Link(cl_up));
                 // host attaches to the firewalled branch; extra
                 // delivery link from the clean branch
-                sim.attach_host(host, a_fw, LinkProps::clean(EDGE_DELAY));
-                let clean_down = sim.add_link(a_clean, host, LinkProps::clean(EDGE_DELAY));
+                sim.attach_host(host, a_fw, access_props);
+                let clean_down = sim.add_link(a_clean, host, access_props);
                 sim.route(
                     a_clean,
                     Ipv4Prefix::host(server_addr),
                     RouteEntry::Link(clean_down),
                 );
                 // ECMP at I3: epoch-hashed branch choice
-                let to_fw = sim.add_link(i3, a_fw, LinkProps::clean(EDGE_DELAY));
-                let to_clean = sim.add_link(i3, a_clean, LinkProps::clean(EDGE_DELAY));
+                let to_fw = sim.add_link(i3, a_fw, access_props);
+                let to_clean = sim.add_link(i3, a_clean, access_props);
                 sim.route(
                     i3,
                     Ipv4Prefix::host(server_addr),
@@ -965,12 +968,12 @@ fn compile_topology(
                 // wire i3 -> chain[0] -> ... -> host
                 let mut prev = i3;
                 for &r in &chain {
-                    let (down, up) = sim.add_duplex(prev, r, LinkProps::clean(EDGE_DELAY));
+                    let (down, up) = sim.add_duplex(prev, r, access_props);
                     sim.route(prev, Ipv4Prefix::host(server_addr), RouteEntry::Link(down));
                     sim.route(r, default_route, RouteEntry::Link(up));
                     prev = r;
                 }
-                sim.attach_host(host, prev, LinkProps::clean(EDGE_DELAY));
+                sim.attach_host(host, prev, access_props);
                 // firewall on the last access router for special servers
                 let last = prev;
                 match profile.special {

@@ -8,16 +8,28 @@
 //!
 //! Everything is seeded: [`scenario::build_scenario`] with the same plan
 //! and seed yields the same Internet, packet for packet.
+//!
+//! Worlds are described declaratively by [`spec::ScenarioSpec`] (TOML or
+//! JSON files; `scenarios/` in the repository root is the preset
+//! library) and lowered to the imperative [`plan::PoolPlan`] that
+//! [`blueprint::WorldBlueprint::build`] consumes.
+
+#![warn(missing_docs)]
 
 pub mod blueprint;
 pub mod plan;
 pub mod scenario;
+pub mod spec;
 pub mod vantage;
 
 pub use blueprint::{generate_profiles, WorldBlueprint};
 pub use plan::{PoolPlan, ServerProfile, SpecialBehaviour, WebProfile};
 pub use scenario::{
     build_scenario, BleachSite, GroundTruth, Scenario, ServerInfo, Vantage, EC2_SUPER_PREFIX,
+};
+pub use spec::{
+    LinkSpec, MiddleboxSpec, PopulationSpec, ScenarioSpec, ScheduleProfile, ScheduleSpec,
+    SpecError, TopologySpec,
 };
 pub use vantage::{
     all_vantages, total_traces, TraceAllocation, VantageSpec, UDP_RETRIES, UDP_TIMEOUT,

@@ -13,7 +13,12 @@ use ecn_wire as _;
 
 /// Scenario-wide knobs. `PoolPlan::paper()` reproduces the paper's scale;
 /// `PoolPlan::scaled(n)` shrinks everything proportionally for tests.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Plans are usually not written by hand: [`crate::ScenarioSpec`] is the
+/// declarative front-end (TOML/JSON spec files, rate-based middlebox
+/// deployment) and lowers to a `PoolPlan` via
+/// [`crate::ScenarioSpec::plan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PoolPlan {
     /// Number of NTP pool servers (paper: 2500).
     pub servers: usize,
@@ -81,6 +86,21 @@ pub struct PoolPlan {
     /// Share of pool servers answering with the plain-OK page instead of
     /// the standard redirect.
     pub plain_ok_fraction: f64,
+
+    /// Vantage points used, as a prefix of the Table 2 ordering
+    /// (paper: all 13). See [`crate::all_vantages`].
+    pub vantage_count: usize,
+    /// Multiplier applied to every vantage access-link loss probability
+    /// (`1.0` = the calibrated Table 2 noise, bit-identical to plans
+    /// predating the knob).
+    pub loss_scale: f64,
+    /// Extra independent (Bernoulli) loss on every destination-side
+    /// access-chain link (`0.0` = clean edges, the paper's world).
+    pub edge_loss: f64,
+    /// One-way delay of core (tier-1/tier-2) links.
+    pub core_delay: Nanos,
+    /// One-way delay of edge (access/leaf) links.
+    pub edge_delay: Nanos,
 }
 
 impl PoolPlan {
@@ -112,6 +132,11 @@ impl PoolPlan {
             bleach_prob_access: 2,
             bleach_prob: 0.5,
             plain_ok_fraction: 0.08,
+            vantage_count: 13,
+            loss_scale: 1.0,
+            edge_loss: 0.0,
+            core_delay: Nanos(8_000_000), // 8 ms
+            edge_delay: Nanos(2_000_000), // 2 ms
         }
     }
 
@@ -144,6 +169,23 @@ impl PoolPlan {
     /// Total ASes in the scenario (§4.2 reports 1400).
     pub fn total_as_count(&self) -> usize {
         self.t1_count + self.t2_count + self.dest_as_count
+    }
+
+    /// The vantage points this plan measures from: the first
+    /// [`Self::vantage_count`] entries of the Table 2 ordering, with
+    /// every access-link loss model scaled by [`Self::loss_scale`].
+    ///
+    /// With `vantage_count = 13` and `loss_scale = 1.0` (the paper
+    /// defaults) this is exactly [`crate::all_vantages`], bit for bit.
+    pub fn vantages(&self) -> Vec<crate::vantage::VantageSpec> {
+        let mut specs = crate::vantage::all_vantages();
+        let keep = self.vantage_count.clamp(1, specs.len());
+        specs.truncate(keep);
+        for spec in &mut specs {
+            spec.loss_up = spec.loss_up.scaled(self.loss_scale);
+            spec.loss_down = spec.loss_down.scaled(self.loss_scale);
+        }
+        specs
     }
 }
 
@@ -224,6 +266,40 @@ mod tests {
         assert!(p.always_down >= 1);
         assert!(p.dest_as_count >= 4);
         assert!(p.total_as_count() < 100);
+    }
+
+    #[test]
+    fn default_vantage_selection_is_all_vantages() {
+        let plan = PoolPlan::paper();
+        let selected = plan.vantages();
+        let all = crate::vantage::all_vantages();
+        assert_eq!(selected.len(), all.len());
+        for (s, a) in selected.iter().zip(&all) {
+            assert_eq!(s.key, a.key);
+            assert_eq!(
+                s.loss_up, a.loss_up,
+                "{}: loss_scale 1.0 is identity",
+                s.key
+            );
+            assert_eq!(s.loss_down, a.loss_down);
+        }
+    }
+
+    #[test]
+    fn vantage_count_truncates_in_table2_order() {
+        let plan = PoolPlan {
+            vantage_count: 4,
+            loss_scale: 2.0,
+            ..PoolPlan::paper()
+        };
+        let v = plan.vantages();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].key, "perkins-home");
+        assert_eq!(v[3].key, "uglasgow-wireless");
+        assert!(v.iter().all(|s| !s.ec2), "first four are the non-EC2 set");
+        // scaling applied
+        let base = crate::vantage::all_vantages();
+        assert!(v[0].loss_up.mean_loss() > base[0].loss_up.mean_loss() * 1.5);
     }
 
     #[test]

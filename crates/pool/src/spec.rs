@@ -1,0 +1,1153 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] describes a complete ECN-measurement world — target
+//! population size and service mix, vantage count, middlebox deployment
+//! *rates*, link loss/latency, schedule profile, seed — as plain data that
+//! can live in a TOML or JSON file. It lowers to the imperative
+//! [`PoolPlan`] via [`ScenarioSpec::plan`]; [`ScenarioSpec::paper2015`]
+//! lowers to exactly [`PoolPlan::paper`], bit for bit, so the spec layer
+//! adds no noise to the reproduction (the golden suite gates this).
+//!
+//! The `ecnudp` CLI binary loads spec files and runs them through the
+//! sharded engine; `scenarios/` in the repository root is the documented
+//! preset library. File loading is *lenient*: every omitted key keeps its
+//! [`ScenarioSpec::paper2015`] default, so a preset only states its deltas
+//! — and *strict* about what is present: unknown keys and type mismatches
+//! are errors that name the offending path.
+//!
+//! ```
+//! use ecn_pool::{PoolPlan, ScenarioSpec};
+//!
+//! // A delta file: everything not mentioned stays at the paper defaults.
+//! let spec = ScenarioSpec::from_toml_str(
+//!     r#"
+//!     name = "more-bleaching"
+//!     seed = 7
+//!
+//!     [middleboxes]
+//!     bleach_pe_per_1000 = 12.8
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(spec.seed, 7);
+//! let plan = spec.plan();
+//! assert_eq!(plan.bleach_pe, 32); // 12.8 per 1000 of 2500 servers
+//! assert_eq!(plan.servers, PoolPlan::paper().servers);
+//! ```
+
+use crate::plan::PoolPlan;
+use ecn_netsim::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// ------------------------------------------------------------------ structs
+
+/// A declarative scenario: everything the campaign needs to build and
+/// measure a world, expressed as data. See the module docs for the file
+/// format and `scenarios/` for the preset library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in logs and machine-readable summaries; never
+    /// rendered into the report, so renaming cannot break goldens).
+    pub name: String,
+    /// The experiment seed: the only source of randomness.
+    pub seed: u64,
+    /// How many of the 13 Table 2 vantage points to measure from (a
+    /// prefix of the Table 2 ordering).
+    pub vantage_count: usize,
+    /// Run the §4.2 traceroute survey.
+    pub traceroute: bool,
+    /// Target population size and service mix.
+    pub population: PopulationSpec,
+    /// Transit/destination AS structure.
+    pub topology: TopologySpec,
+    /// Middlebox deployment rates (per 1000 servers).
+    pub middleboxes: MiddleboxSpec,
+    /// Link loss and latency.
+    pub links: LinkSpec,
+    /// Campaign schedule profile.
+    pub schedule: ScheduleSpec,
+}
+
+/// `[population]`: who is in the pool and what they run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Pool servers (paper: 2500).
+    pub servers: usize,
+    /// Fraction running a co-located web server.
+    pub web_fraction: f64,
+    /// Among web servers: fraction negotiating ECN.
+    pub web_ecn_on: f64,
+    /// Among web servers: fraction with the broken reflect-flags stack.
+    pub web_ecn_reflect: f64,
+    /// Share of web servers answering plain-OK instead of the redirect.
+    pub plain_ok_fraction: f64,
+    /// Servers per 1000 that never answer (paper: 169 of 2500).
+    pub always_down_per_1000: f64,
+    /// Servers per 1000 leaving the pool at the batch boundary.
+    pub churn_per_1000: f64,
+    /// Fraction of live servers with short random outages.
+    pub flapping_fraction: f64,
+}
+
+/// `[topology]`: AS-level structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Tier-1 transit ASes (fully meshed core).
+    pub t1_count: usize,
+    /// Tier-2 (regional transit) ASes.
+    pub t2_count: usize,
+    /// Destination-AS bookkeeping target (reported via
+    /// `PoolPlan::total_as_count`; the actual count is drawn during the
+    /// blueprint's packing phase).
+    pub dest_as_count: usize,
+}
+
+/// `[middleboxes]`: ECN-hostile deployment rates, per 1000 servers.
+///
+/// Rates lower to integer counts with round-half-up at the spec's
+/// population size ([`ScenarioSpec::plan`]), so the same file scales with
+/// `population.servers`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiddleboxSpec {
+    /// Servers behind an always-on ECT-dropping middlebox.
+    pub ect_droppers_per_1000: f64,
+    /// ECT-droppers sitting on one branch of an ECMP pair.
+    pub flaky_ect_droppers_per_1000: f64,
+    /// Servers dropping **not-ECT** UDP from everywhere.
+    pub not_ect_droppers_per_1000: f64,
+    /// Servers dropping not-ECT UDP from EC2 sources only.
+    pub ec2_not_ect_droppers_per_1000: f64,
+    /// Always-bleaching routers at provider-edge positions.
+    pub bleach_pe_per_1000: f64,
+    /// Always-bleachers at destination-AS border routers.
+    pub bleach_border_per_1000: f64,
+    /// Always-bleachers at destination-AS interior routers.
+    pub bleach_interior_per_1000: f64,
+    /// Always-bleachers at per-server access routers.
+    pub bleach_access_per_1000: f64,
+    /// Probabilistic (sometimes-strip) bleachers at PE positions.
+    pub bleach_prob_pe_per_1000: f64,
+    /// Probabilistic bleachers at access positions.
+    pub bleach_prob_access_per_1000: f64,
+    /// Per-packet strip probability of the probabilistic bleachers.
+    pub bleach_prob: f64,
+}
+
+/// `[links]`: loss and latency distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Multiplier on every vantage access-link loss probability
+    /// (`1.0` = the calibrated Table 2 noise).
+    pub vantage_loss_scale: f64,
+    /// Extra independent loss on destination access-chain links
+    /// (`0.0` = the paper's clean edges).
+    pub edge_loss: f64,
+    /// One-way core-link delay, microseconds.
+    pub core_delay_us: u64,
+    /// One-way edge-link delay, microseconds.
+    pub edge_delay_us: u64,
+}
+
+/// `[schedule]`: how the campaign maps onto virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Base schedule: the paper's 75-day two-batch calendar, or the
+    /// compressed `quick` profile used by tests and presets.
+    pub profile: ScheduleProfile,
+    /// Cap traces per vantage (`0` = the full Table 2 allocation).
+    pub traces_per_vantage: usize,
+    /// DNS discovery rounds (`0` = the profile default).
+    pub discovery_rounds: usize,
+    /// Target-list chunks per vantage (part of the experiment definition;
+    /// each chunk probes from its own world).
+    pub target_chunks: usize,
+}
+
+/// The two built-in campaign calendars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleProfile {
+    /// The paper's §3 calendar: two batches 75 days apart, 40-day windows.
+    Paper,
+    /// Hours instead of months — same structure, compressed for fast runs.
+    Quick,
+}
+
+// ----------------------------------------------------------------- defaults
+
+impl ScenarioSpec {
+    /// The reference scenario: the paper's fixed experiment. Lowers to
+    /// exactly [`PoolPlan::paper`] (asserted by unit test and gated by the
+    /// golden suite), so running this spec reproduces the pre-spec world
+    /// byte for byte.
+    ///
+    /// ```
+    /// use ecn_pool::{PoolPlan, ScenarioSpec};
+    ///
+    /// let spec = ScenarioSpec::paper2015();
+    /// assert_eq!(spec.plan(), PoolPlan::paper());
+    /// assert_eq!(spec.vantage_count, 13);
+    /// assert!(spec.traceroute);
+    /// ```
+    pub fn paper2015() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "paper2015".into(),
+            seed: 2015,
+            vantage_count: 13,
+            traceroute: true,
+            population: PopulationSpec {
+                servers: 2500,
+                web_fraction: 0.60,
+                web_ecn_on: 0.84,
+                web_ecn_reflect: 0.01,
+                plain_ok_fraction: 0.08,
+                always_down_per_1000: 67.6,
+                churn_per_1000: 36.0,
+                flapping_fraction: 0.6,
+            },
+            topology: TopologySpec {
+                t1_count: 12,
+                t2_count: 188,
+                dest_as_count: 1200,
+            },
+            middleboxes: MiddleboxSpec {
+                ect_droppers_per_1000: 3.2,
+                flaky_ect_droppers_per_1000: 0.8,
+                not_ect_droppers_per_1000: 0.4,
+                ec2_not_ect_droppers_per_1000: 0.8,
+                bleach_pe_per_1000: 3.2,
+                bleach_border_per_1000: 0.4,
+                bleach_interior_per_1000: 0.4,
+                bleach_access_per_1000: 0.8,
+                bleach_prob_pe_per_1000: 0.4,
+                bleach_prob_access_per_1000: 0.8,
+                bleach_prob: 0.5,
+            },
+            links: LinkSpec {
+                vantage_loss_scale: 1.0,
+                edge_loss: 0.0,
+                core_delay_us: 8_000,
+                edge_delay_us: 2_000,
+            },
+            schedule: ScheduleSpec {
+                profile: ScheduleProfile::Paper,
+                traces_per_vantage: 0,
+                discovery_rounds: 0,
+                target_chunks: 1,
+            },
+        }
+    }
+
+    /// Lower the declarative spec to the imperative world plan. Middlebox
+    /// and availability rates become integer counts at this spec's
+    /// population size (round half-up).
+    pub fn plan(&self) -> PoolPlan {
+        let p = &self.population;
+        let m = &self.middleboxes;
+        let n = |per_1000: f64| rate_count(per_1000, p.servers);
+        PoolPlan {
+            servers: p.servers,
+            dest_as_count: self.topology.dest_as_count,
+            t1_count: self.topology.t1_count,
+            t2_count: self.topology.t2_count,
+            web_fraction: p.web_fraction,
+            web_ecn_on: p.web_ecn_on,
+            web_ecn_reflect: p.web_ecn_reflect,
+            always_down: n(p.always_down_per_1000),
+            churn_down: n(p.churn_per_1000),
+            flapping_fraction: p.flapping_fraction,
+            ect_blocked: n(m.ect_droppers_per_1000),
+            ect_blocked_flaky: n(m.flaky_ect_droppers_per_1000),
+            not_ect_blocked_global: n(m.not_ect_droppers_per_1000),
+            not_ect_blocked_ec2: n(m.ec2_not_ect_droppers_per_1000),
+            bleach_pe: n(m.bleach_pe_per_1000),
+            bleach_border: n(m.bleach_border_per_1000),
+            bleach_interior: n(m.bleach_interior_per_1000),
+            bleach_access: n(m.bleach_access_per_1000),
+            bleach_prob_pe: n(m.bleach_prob_pe_per_1000),
+            bleach_prob_access: n(m.bleach_prob_access_per_1000),
+            bleach_prob: m.bleach_prob,
+            plain_ok_fraction: p.plain_ok_fraction,
+            vantage_count: self.vantage_count,
+            loss_scale: self.links.vantage_loss_scale,
+            edge_loss: self.links.edge_loss,
+            core_delay: Nanos(self.links.core_delay_us.saturating_mul(1_000)),
+            edge_delay: Nanos(self.links.edge_delay_us.saturating_mul(1_000)),
+            // churn_at is pinned to the campaign's batch-2 boundary by the
+            // engine; flap durations stay at the calibrated paper values
+            ..PoolPlan::paper()
+        }
+    }
+
+    /// Load a spec from TOML text (the `scenarios/*.toml` preset format).
+    /// Lenient on absence (omitted keys keep their
+    /// [`Self::paper2015`] defaults), strict on presence (unknown keys
+    /// and type mismatches are errors naming the offending path).
+    pub fn from_toml_str(input: &str) -> Result<ScenarioSpec, SpecError> {
+        Self::from_value(parse_toml(input)?)
+    }
+
+    /// Load a spec from JSON text, with the same lenient-on-absence,
+    /// strict-on-presence semantics as [`Self::from_toml_str`].
+    pub fn from_json_str(input: &str) -> Result<ScenarioSpec, SpecError> {
+        Self::from_value(parse_json(input)?)
+    }
+
+    fn from_value(value: SpecValue) -> Result<ScenarioSpec, SpecError> {
+        let mut spec = ScenarioSpec::paper2015();
+        apply_root(&mut spec, &value)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check cross-field invariants that would otherwise surface as
+    /// panics deep inside world construction.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let err = |path: &str, message: String| Err(SpecError::new(path, message));
+        let p = &self.population;
+        if p.servers < 8 {
+            return err("population.servers", format!("{} < 8", p.servers));
+        }
+        if self.vantage_count < 1 || self.vantage_count > 13 {
+            return err(
+                "vantage_count",
+                format!("{} outside 1..=13", self.vantage_count),
+            );
+        }
+        if self.topology.t1_count < 2 || self.topology.t2_count < 2 {
+            return err("topology", "t1_count and t2_count must be >= 2".into());
+        }
+        for (path, frac) in [
+            ("population.web_fraction", p.web_fraction),
+            ("population.web_ecn_on", p.web_ecn_on),
+            ("population.web_ecn_reflect", p.web_ecn_reflect),
+            ("population.plain_ok_fraction", p.plain_ok_fraction),
+            ("population.flapping_fraction", p.flapping_fraction),
+            ("middleboxes.bleach_prob", self.middleboxes.bleach_prob),
+            ("links.edge_loss", self.links.edge_loss),
+        ] {
+            if !(0.0..=1.0).contains(&frac) {
+                return err(path, format!("{frac} outside [0, 1]"));
+            }
+        }
+        let scale = self.links.vantage_loss_scale;
+        if !scale.is_finite() || !(0.0..=1000.0).contains(&scale) {
+            return err(
+                "links.vantage_loss_scale",
+                format!("{scale} outside [0, 1000]"),
+            );
+        }
+        // one virtual minute per hop is already absurd; bounding here
+        // keeps the µs→ns lowering far from u64 overflow
+        const MAX_DELAY_US: u64 = 60_000_000;
+        for (path, delay) in [
+            ("links.core_delay_us", self.links.core_delay_us),
+            ("links.edge_delay_us", self.links.edge_delay_us),
+        ] {
+            if delay > MAX_DELAY_US {
+                return err(path, format!("{delay} exceeds {MAX_DELAY_US} (60 s)"));
+            }
+        }
+        let m = &self.middleboxes;
+        for (path, rate) in [
+            ("population.always_down_per_1000", p.always_down_per_1000),
+            ("population.churn_per_1000", p.churn_per_1000),
+            ("middleboxes.ect_droppers_per_1000", m.ect_droppers_per_1000),
+            (
+                "middleboxes.flaky_ect_droppers_per_1000",
+                m.flaky_ect_droppers_per_1000,
+            ),
+            (
+                "middleboxes.not_ect_droppers_per_1000",
+                m.not_ect_droppers_per_1000,
+            ),
+            (
+                "middleboxes.ec2_not_ect_droppers_per_1000",
+                m.ec2_not_ect_droppers_per_1000,
+            ),
+            ("middleboxes.bleach_pe_per_1000", m.bleach_pe_per_1000),
+            (
+                "middleboxes.bleach_border_per_1000",
+                m.bleach_border_per_1000,
+            ),
+            (
+                "middleboxes.bleach_interior_per_1000",
+                m.bleach_interior_per_1000,
+            ),
+            (
+                "middleboxes.bleach_access_per_1000",
+                m.bleach_access_per_1000,
+            ),
+            (
+                "middleboxes.bleach_prob_pe_per_1000",
+                m.bleach_prob_pe_per_1000,
+            ),
+            (
+                "middleboxes.bleach_prob_access_per_1000",
+                m.bleach_prob_access_per_1000,
+            ),
+        ] {
+            if !(0.0..=1000.0).contains(&rate) {
+                return err(path, format!("{rate} outside [0, 1000]"));
+            }
+        }
+        if self.schedule.target_chunks < 1 {
+            return err("schedule.target_chunks", "must be >= 1".into());
+        }
+        // the special population must leave room for the dead/churned
+        // servers drawn before it (generate_profiles draws specials from
+        // the *alive* remainder)
+        let plan = self.plan();
+        let specials = plan.ect_blocked
+            + plan.ect_blocked_flaky
+            + plan.not_ect_blocked_global
+            + plan.not_ect_blocked_ec2;
+        let dead = plan.always_down.min(p.servers / 3) + plan.churn_down.min(p.servers / 3);
+        if specials + dead >= p.servers {
+            return err(
+                "middleboxes",
+                format!(
+                    "{specials} middleboxed + {dead} dead/churned servers \
+                     exceed the population of {}",
+                    p.servers
+                ),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Round-half-up count for a per-1000 deployment rate.
+fn rate_count(per_1000: f64, servers: usize) -> usize {
+    ((per_1000 * servers as f64) / 1000.0).round() as usize
+}
+
+// ------------------------------------------------------------------- errors
+
+/// A spec-file problem: what went wrong, and at which key path or line.
+#[derive(Debug, Clone)]
+pub struct SpecError {
+    /// Dotted key path (`middleboxes.bleach_prob`) or `line N` locator.
+    pub path: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(path: impl Into<String>, message: impl Into<String>) -> SpecError {
+        SpecError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec: {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// -------------------------------------------------------------- value model
+
+/// The common shape both file formats parse into: a tree of tables whose
+/// leaves are strings, numbers (kept as text and parsed per target type,
+/// so integers never round-trip through `f64`), and booleans.
+#[derive(Debug, Clone, PartialEq)]
+enum SpecValue {
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Table(Vec<(String, SpecValue)>),
+}
+
+impl SpecValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            SpecValue::Str(_) => "string",
+            SpecValue::Num(_) => "number",
+            SpecValue::Bool(_) => "boolean",
+            SpecValue::Table(_) => "table",
+        }
+    }
+}
+
+fn want_str(v: &SpecValue, path: &str) -> Result<String, SpecError> {
+    match v {
+        SpecValue::Str(s) => Ok(s.clone()),
+        other => Err(SpecError::new(
+            path,
+            format!("expected a string, found {}", other.kind()),
+        )),
+    }
+}
+
+fn want_bool(v: &SpecValue, path: &str) -> Result<bool, SpecError> {
+    match v {
+        SpecValue::Bool(b) => Ok(*b),
+        other => Err(SpecError::new(
+            path,
+            format!("expected true/false, found {}", other.kind()),
+        )),
+    }
+}
+
+fn want_f64(v: &SpecValue, path: &str) -> Result<f64, SpecError> {
+    match v {
+        SpecValue::Num(s) => s
+            .parse::<f64>()
+            .map_err(|e| SpecError::new(path, format!("bad number `{s}`: {e}"))),
+        other => Err(SpecError::new(
+            path,
+            format!("expected a number, found {}", other.kind()),
+        )),
+    }
+}
+
+fn want_u64(v: &SpecValue, path: &str) -> Result<u64, SpecError> {
+    match v {
+        SpecValue::Num(s) => s.parse::<u64>().map_err(|_| {
+            SpecError::new(path, format!("expected a non-negative integer, got `{s}`"))
+        }),
+        other => Err(SpecError::new(
+            path,
+            format!("expected an integer, found {}", other.kind()),
+        )),
+    }
+}
+
+fn want_usize(v: &SpecValue, path: &str) -> Result<usize, SpecError> {
+    want_u64(v, path).map(|n| n as usize)
+}
+
+// ----------------------------------------------------------------- applying
+
+macro_rules! apply_table {
+    ($table:expr, $prefix:expr, { $($key:literal => $set:expr),+ $(,)? }) => {{
+        for (key, value) in $table {
+            let path = if $prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{}.{key}", $prefix)
+            };
+            match key.as_str() {
+                $($key => {
+                    let mut apply = $set;
+                    apply(value, path.as_str())?
+                })+
+                _ => {
+                    return Err(SpecError::new(
+                        path,
+                        format!(
+                            "unknown key (expected one of: {})",
+                            [$($key),+].join(", ")
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok::<(), SpecError>(())
+    }};
+}
+
+fn want_table<'v>(v: &'v SpecValue, path: &str) -> Result<&'v [(String, SpecValue)], SpecError> {
+    match v {
+        SpecValue::Table(entries) => Ok(entries),
+        other => Err(SpecError::new(
+            path,
+            format!("expected a table/object, found {}", other.kind()),
+        )),
+    }
+}
+
+fn apply_root(spec: &mut ScenarioSpec, value: &SpecValue) -> Result<(), SpecError> {
+    let root = want_table(value, "<root>")?;
+    apply_table!(root, "", {
+        "name" => |v, p| { spec.name = want_str(v, p)?; Ok(()) },
+        "seed" => |v, p| { spec.seed = want_u64(v, p)?; Ok(()) },
+        "vantage_count" => |v, p| { spec.vantage_count = want_usize(v, p)?; Ok(()) },
+        "traceroute" => |v, p| { spec.traceroute = want_bool(v, p)?; Ok(()) },
+        "population" => |v, p: &str| apply_population(&mut spec.population, want_table(v, p)?, p),
+        "topology" => |v, p: &str| apply_topology(&mut spec.topology, want_table(v, p)?, p),
+        "middleboxes" => |v, p: &str| apply_middleboxes(&mut spec.middleboxes, want_table(v, p)?, p),
+        "links" => |v, p: &str| apply_links(&mut spec.links, want_table(v, p)?, p),
+        "schedule" => |v, p: &str| apply_schedule(&mut spec.schedule, want_table(v, p)?, p),
+    })
+}
+
+fn apply_population(
+    out: &mut PopulationSpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "servers" => |v, p| { out.servers = want_usize(v, p)?; Ok(()) },
+        "web_fraction" => |v, p| { out.web_fraction = want_f64(v, p)?; Ok(()) },
+        "web_ecn_on" => |v, p| { out.web_ecn_on = want_f64(v, p)?; Ok(()) },
+        "web_ecn_reflect" => |v, p| { out.web_ecn_reflect = want_f64(v, p)?; Ok(()) },
+        "plain_ok_fraction" => |v, p| { out.plain_ok_fraction = want_f64(v, p)?; Ok(()) },
+        "always_down_per_1000" => |v, p| { out.always_down_per_1000 = want_f64(v, p)?; Ok(()) },
+        "churn_per_1000" => |v, p| { out.churn_per_1000 = want_f64(v, p)?; Ok(()) },
+        "flapping_fraction" => |v, p| { out.flapping_fraction = want_f64(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_topology(
+    out: &mut TopologySpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "t1_count" => |v, p| { out.t1_count = want_usize(v, p)?; Ok(()) },
+        "t2_count" => |v, p| { out.t2_count = want_usize(v, p)?; Ok(()) },
+        "dest_as_count" => |v, p| { out.dest_as_count = want_usize(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_middleboxes(
+    out: &mut MiddleboxSpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "ect_droppers_per_1000" => |v, p| { out.ect_droppers_per_1000 = want_f64(v, p)?; Ok(()) },
+        "flaky_ect_droppers_per_1000" => |v, p| { out.flaky_ect_droppers_per_1000 = want_f64(v, p)?; Ok(()) },
+        "not_ect_droppers_per_1000" => |v, p| { out.not_ect_droppers_per_1000 = want_f64(v, p)?; Ok(()) },
+        "ec2_not_ect_droppers_per_1000" => |v, p| { out.ec2_not_ect_droppers_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_pe_per_1000" => |v, p| { out.bleach_pe_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_border_per_1000" => |v, p| { out.bleach_border_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_interior_per_1000" => |v, p| { out.bleach_interior_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_access_per_1000" => |v, p| { out.bleach_access_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_prob_pe_per_1000" => |v, p| { out.bleach_prob_pe_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_prob_access_per_1000" => |v, p| { out.bleach_prob_access_per_1000 = want_f64(v, p)?; Ok(()) },
+        "bleach_prob" => |v, p| { out.bleach_prob = want_f64(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_links(
+    out: &mut LinkSpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "vantage_loss_scale" => |v, p| { out.vantage_loss_scale = want_f64(v, p)?; Ok(()) },
+        "edge_loss" => |v, p| { out.edge_loss = want_f64(v, p)?; Ok(()) },
+        "core_delay_us" => |v, p| { out.core_delay_us = want_u64(v, p)?; Ok(()) },
+        "edge_delay_us" => |v, p| { out.edge_delay_us = want_u64(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_schedule(
+    out: &mut ScheduleSpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "profile" => |v, p: &str| {
+            out.profile = match want_str(v, p)?.to_ascii_lowercase().as_str() {
+                "paper" => ScheduleProfile::Paper,
+                "quick" => ScheduleProfile::Quick,
+                other => {
+                    return Err(SpecError::new(
+                        p,
+                        format!("unknown profile `{other}` (expected `paper` or `quick`)"),
+                    ))
+                }
+            };
+            Ok(())
+        },
+        "traces_per_vantage" => |v, p| { out.traces_per_vantage = want_usize(v, p)?; Ok(()) },
+        "discovery_rounds" => |v, p| { out.discovery_rounds = want_usize(v, p)?; Ok(()) },
+        "target_chunks" => |v, p| { out.target_chunks = want_usize(v, p)?; Ok(()) },
+    })
+}
+
+// -------------------------------------------------------------- TOML parser
+
+/// Parse the TOML subset the spec format uses: `#` comments, `[section]`
+/// headers (dotted), `key = value` pairs (dotted keys allowed) with
+/// basic-string, integer/float, and boolean values. No arrays, no inline
+/// tables, no multi-line strings — the format is deliberately flat.
+fn parse_toml(input: &str) -> Result<SpecValue, SpecError> {
+    let mut root: Vec<(String, SpecValue)> = Vec::new();
+    let mut section: Vec<String> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| Err(SpecError::new(format!("line {lineno}"), message));
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(header) = header.strip_suffix(']') else {
+                return err(format!("unterminated table header `{line}`"));
+            };
+            if header.starts_with('[') {
+                return err("array-of-tables `[[...]]` is not part of the spec format".into());
+            }
+            section = split_keys(header, lineno)?;
+            // materialise the (possibly empty) table so `[links]` alone
+            // is accepted
+            let _ = ensure_tables(&mut root, &section, lineno)?;
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return err(format!("expected `key = value`, found `{line}`"));
+        };
+        let mut keys = section.clone();
+        keys.extend(split_keys(&line[..eq], lineno)?);
+        let value = parse_toml_value(line[eq + 1..].trim(), lineno)?;
+        let (leaf, parents) = keys.split_last().expect("split_keys yields >= 1 key");
+        let table = ensure_tables(&mut root, parents, lineno)?;
+        if table.iter().any(|(k, _)| k == leaf) {
+            return err(format!("duplicate key `{}`", keys.join(".")));
+        }
+        table.push((leaf.clone(), value));
+    }
+    Ok(SpecValue::Table(root))
+}
+
+/// Remove a `#` comment, respecting basic strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn split_keys(dotted: &str, lineno: usize) -> Result<Vec<String>, SpecError> {
+    let mut keys = Vec::new();
+    for part in dotted.split('.') {
+        let key = part.trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(SpecError::new(
+                format!("line {lineno}"),
+                format!("bad key `{dotted}` (bare keys only: [A-Za-z0-9_-])"),
+            ));
+        }
+        keys.push(key.to_string());
+    }
+    Ok(keys)
+}
+
+/// Walk (creating) nested tables down `keys`, returning the final table.
+fn ensure_tables<'t>(
+    root: &'t mut Vec<(String, SpecValue)>,
+    keys: &[String],
+    lineno: usize,
+) -> Result<&'t mut Vec<(String, SpecValue)>, SpecError> {
+    let mut table = root;
+    for key in keys {
+        if !table.iter().any(|(k, _)| k == key) {
+            table.push((key.clone(), SpecValue::Table(Vec::new())));
+        }
+        let entry = table
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .expect("just ensured");
+        table = match entry {
+            SpecValue::Table(t) => t,
+            other => {
+                return Err(SpecError::new(
+                    format!("line {lineno}"),
+                    format!("key `{key}` already holds a {}", other.kind()),
+                ))
+            }
+        };
+    }
+    Ok(table)
+}
+
+fn parse_toml_value(text: &str, lineno: usize) -> Result<SpecValue, SpecError> {
+    let err = |message: String| Err(SpecError::new(format!("line {lineno}"), message));
+    if text.is_empty() {
+        return err("missing value".into());
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, consumed) = parse_basic_string(rest, lineno)?;
+        if !rest[consumed..].trim().is_empty() {
+            return err(format!("trailing characters after string: `{text}`"));
+        }
+        return Ok(SpecValue::Str(s));
+    }
+    match text {
+        "true" => return Ok(SpecValue::Bool(true)),
+        "false" => return Ok(SpecValue::Bool(false)),
+        _ => {}
+    }
+    let digits: String = text.chars().filter(|c| *c != '_').collect();
+    if digits
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        && digits.parse::<f64>().is_ok()
+    {
+        return Ok(SpecValue::Num(digits));
+    }
+    err(format!(
+        "unsupported value `{text}` (strings, numbers, and booleans only)"
+    ))
+}
+
+/// Parse a basic string body (after the opening quote); returns the text
+/// and how many input bytes were consumed (including the closing quote).
+fn parse_basic_string(body: &str, lineno: usize) -> Result<(String, usize), SpecError> {
+    let err = |message: String| Err(SpecError::new(format!("line {lineno}"), message));
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => return err(format!("unknown escape `\\{other}`")),
+                None => return err("unterminated escape".into()),
+            },
+            c => out.push(c),
+        }
+    }
+    err("unterminated string".into())
+}
+
+// -------------------------------------------------------------- JSON parser
+
+/// Parse JSON text into the shared value model. Self-contained (does not
+/// rely on any serde implementation detail) so the loader keeps working
+/// if the vendor stub is swapped for the real crates.
+fn parse_json(input: &str) -> Result<SpecValue, SpecError> {
+    let mut p = JsonCursor {
+        bytes: input.as_bytes(),
+        text: input,
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError::new(format!("byte {}", self.pos), message)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), SpecError> {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.text[self.pos..];
+            let Some(c) = rest.chars().next() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(esc) = self.text[self.pos..].chars().next() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += esc.len_utf8();
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = self
+                                .text
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?,
+                            );
+                        }
+                        other => return Err(self.err(format!("unknown escape `\\{other}`"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<SpecValue, SpecError> {
+        match self.peek() {
+            Some(b'"') => Ok(SpecValue::Str(self.string()?)),
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let mut table = Vec::new();
+                if self.peek() != Some(b'}') {
+                    loop {
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        let v = self.value()?;
+                        if table.iter().any(|(k, _)| *k == key) {
+                            return Err(self.err(format!("duplicate key `{key}`")));
+                        }
+                        table.push((key, v));
+                        if self.peek() != Some(b',') {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                self.eat(b'}')?;
+                Ok(SpecValue::Table(table))
+            }
+            Some(b't') => self.keyword("true").map(|_| SpecValue::Bool(true)),
+            Some(b'f') => self.keyword("false").map(|_| SpecValue::Bool(false)),
+            Some(b'[') => Err(self.err("arrays are not part of the spec format")),
+            Some(b'n') => Err(self.err("null is not part of the spec format")),
+            Some(_) => {
+                self.skip_ws();
+                let start = self.pos;
+                while matches!(
+                    self.bytes.get(self.pos),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    self.pos += 1;
+                }
+                let token = &self.text[start..self.pos];
+                if token.is_empty() || token.parse::<f64>().is_err() {
+                    return Err(self.err(format!("bad number `{token}`")));
+                }
+                Ok(SpecValue::Num(token.to_string()))
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+// -------------------------------------------------------------------- tests
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper2015_lowers_to_the_paper_plan_exactly() {
+        assert_eq!(ScenarioSpec::paper2015().plan(), PoolPlan::paper());
+    }
+
+    #[test]
+    fn rate_rounding_reproduces_every_paper_count() {
+        let plan = ScenarioSpec::paper2015().plan();
+        assert_eq!(plan.always_down, 169);
+        assert_eq!(plan.churn_down, 90);
+        assert_eq!(plan.ect_blocked, 8);
+        assert_eq!(plan.ect_blocked_flaky, 2);
+        assert_eq!(plan.not_ect_blocked_global, 1);
+        assert_eq!(plan.not_ect_blocked_ec2, 2);
+        assert_eq!(plan.bleach_pe, 8);
+        assert_eq!(plan.bleach_prob_access, 2);
+    }
+
+    #[test]
+    fn empty_toml_is_paper2015() {
+        let spec = ScenarioSpec::from_toml_str("").unwrap();
+        assert_eq!(spec, ScenarioSpec::paper2015());
+        let spec = ScenarioSpec::from_toml_str("# comments only\n\n").unwrap();
+        assert_eq!(spec, ScenarioSpec::paper2015());
+    }
+
+    #[test]
+    fn toml_deltas_apply_and_defaults_hold() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+            name = "lossy"        # inline comment
+            seed = 99
+            vantage_count = 4
+            traceroute = false
+
+            [population]
+            servers = 120
+
+            [links]
+            edge_loss = 0.05
+            vantage_loss_scale = 2.0
+
+            [schedule]
+            profile = "quick"
+            traces_per_vantage = 2
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "lossy");
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.vantage_count, 4);
+        assert!(!spec.traceroute);
+        assert_eq!(spec.population.servers, 120);
+        assert_eq!(spec.links.edge_loss, 0.05);
+        assert_eq!(spec.schedule.profile, ScheduleProfile::Quick);
+        assert_eq!(spec.schedule.traces_per_vantage, 2);
+        // untouched keys keep paper defaults
+        assert_eq!(spec.population.web_fraction, 0.60);
+        assert_eq!(spec.middleboxes.bleach_prob, 0.5);
+        let plan = spec.plan();
+        assert_eq!(plan.vantage_count, 4);
+        assert_eq!(plan.edge_loss, 0.05);
+        assert_eq!(plan.loss_scale, 2.0);
+    }
+
+    #[test]
+    fn dotted_keys_and_sections_are_equivalent() {
+        let a = ScenarioSpec::from_toml_str("links.edge_loss = 0.1").unwrap();
+        let b = ScenarioSpec::from_toml_str("[links]\nedge_loss = 0.1").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_specs_load_with_the_same_semantics() {
+        let spec = ScenarioSpec::from_json_str(
+            r#"{"seed": 7, "population": {"servers": 200}, "schedule": {"profile": "quick"}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.population.servers, 200);
+        assert_eq!(spec.schedule.profile, ScheduleProfile::Quick);
+        assert_eq!(spec.vantage_count, 13, "omitted keys keep defaults");
+    }
+
+    #[test]
+    fn unknown_keys_and_type_mismatches_name_the_path() {
+        let e = ScenarioSpec::from_toml_str("[population]\nwebb_fraction = 0.5").unwrap_err();
+        assert_eq!(e.path, "population.webb_fraction");
+        assert!(e.message.contains("unknown key"), "{e}");
+        assert!(e.message.contains("web_fraction"), "lists valid keys: {e}");
+
+        let e = ScenarioSpec::from_toml_str("seed = \"twenty\"").unwrap_err();
+        assert_eq!(e.path, "seed");
+
+        let e = ScenarioSpec::from_json_str(r#"{"links": 3}"#).unwrap_err();
+        assert_eq!(e.path, "links");
+        assert!(e.message.contains("table"), "{e}");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_worlds() {
+        let e = ScenarioSpec::from_toml_str("vantage_count = 20").unwrap_err();
+        assert_eq!(e.path, "vantage_count");
+        // delays are bounded before the µs→ns lowering can overflow
+        let e = ScenarioSpec::from_toml_str("[links]\ncore_delay_us = 18446744073709551615")
+            .unwrap_err();
+        assert_eq!(e.path, "links.core_delay_us");
+        // non-finite loss scales (1e999 parses to +inf) are named errors,
+        // not silently-degenerate loss processes
+        let e = ScenarioSpec::from_toml_str("[links]\nvantage_loss_scale = 1e999").unwrap_err();
+        assert_eq!(e.path, "links.vantage_loss_scale");
+        let mut nan = ScenarioSpec::paper2015();
+        nan.links.vantage_loss_scale = f64::NAN;
+        assert_eq!(nan.validate().unwrap_err().path, "links.vantage_loss_scale");
+        let e = ScenarioSpec::from_toml_str("[links]\nedge_loss = 1.5").unwrap_err();
+        assert_eq!(e.path, "links.edge_loss");
+        let e = ScenarioSpec::from_toml_str(
+            "[population]\nservers = 20\n[middleboxes]\nect_droppers_per_1000 = 900",
+        )
+        .unwrap_err();
+        assert_eq!(e.path, "middleboxes");
+    }
+
+    #[test]
+    fn toml_parse_errors_carry_line_numbers() {
+        let e = ScenarioSpec::from_toml_str("seed = 1\nnot a pair\n").unwrap_err();
+        assert_eq!(e.path, "line 2");
+        let e = ScenarioSpec::from_toml_str("[unclosed\n").unwrap_err();
+        assert_eq!(e.path, "line 1");
+        let e = ScenarioSpec::from_toml_str("seed = 1\nseed = 2\n").unwrap_err();
+        assert_eq!(e.path, "line 2");
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn numbers_keep_integer_precision() {
+        let spec = ScenarioSpec::from_toml_str("seed = 9007199254740993").unwrap();
+        // 2^53 + 1 survives (an f64 round-trip would flatten it)
+        assert_eq!(spec.seed, 9_007_199_254_740_993);
+        let spec = ScenarioSpec::from_toml_str("seed = 1_000_000").unwrap();
+        assert_eq!(spec.seed, 1_000_000);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_the_spec() {
+        let mut spec = ScenarioSpec::paper2015();
+        spec.name = "round\"trip".into();
+        spec.links.edge_loss = 0.125;
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comments_parse() {
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"a # not-a-comment \\\"quoted\\\"\" # real comment",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "a # not-a-comment \"quoted\"");
+    }
+}

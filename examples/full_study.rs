@@ -48,6 +48,7 @@ fn main() {
     let eng = EngineConfig {
         shards,
         keep_traces,
+        keep_routes: keep_traces,
         ..EngineConfig::default()
     };
 
@@ -66,7 +67,7 @@ fn main() {
         run.units,
         result.targets.len(),
         result.aggregates.trace_stats.len(),
-        result.routes.iter().map(|r| r.paths.len()).sum::<usize>(),
+        result.aggregates.hops.paths,
     );
     eprintln!(
         "peak resident TraceRecords: {}{}",

@@ -1,0 +1,221 @@
+//! `ecnudp` — run any ECN-measurement world from a declarative scenario
+//! file.
+//!
+//! ```text
+//! ecnudp run --scenario scenarios/paper2015.toml            # full report to stdout
+//! ecnudp run --scenario scenarios/lossy-edge.toml --json    # machine-readable summary
+//! ecnudp run --scenario my.toml --shards 4 --seed 7         # pin concurrency, override seed
+//! ecnudp validate --scenario my.toml                        # parse + lower + summarise, no run
+//! ```
+//!
+//! Spec files are TOML (or JSON with `--json`-style objects); every
+//! omitted key keeps its `paper2015` default, so a file only states its
+//! deltas. See the "Scenario cookbook" section of README.md for the full
+//! schema and `scenarios/` for the documented preset library.
+//!
+//! The report goes to **stdout** (exactly `FullReport::render()`, byte-
+//! identical for any `--shards` value); progress and diagnostics go to
+//! stderr, so `ecnudp run ... > report.txt` captures a clean artefact.
+
+use ecnudp::core::{run_scenario_sharded, FullReport, RunSummary};
+use ecnudp::pool::ScenarioSpec;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ecnudp — declarative ECN-measurement scenarios
+
+USAGE:
+    ecnudp run      --scenario <file> [--shards N] [--json]
+                    [--seed N] [--servers N] [--quick]
+    ecnudp validate --scenario <file> [--seed N] [--servers N] [--quick]
+    ecnudp help
+
+COMMANDS:
+    run        load the spec, run the sharded campaign engine, and render
+               the FullReport (text to stdout; --json for a summary)
+    validate   load and cross-check the spec, print what it lowers to,
+               and exit without running anything
+
+OPTIONS:
+    --scenario <file>   TOML or JSON scenario spec (see scenarios/)
+    --shards <N>        engine shards (default: available parallelism;
+                        any value renders byte-identical output)
+    --json              emit a machine-readable RunSummary instead of the
+                        text report
+    --seed <N>          override the spec's seed
+    --servers <N>       override the spec's population size
+    --quick             override the schedule profile to `quick`
+
+Omitted spec keys keep their paper2015 defaults; unknown keys are errors.";
+
+struct Args {
+    command: String,
+    scenario: Option<String>,
+    shards: Option<usize>,
+    json: bool,
+    seed: Option<u64>,
+    servers: Option<usize>,
+    quick: bool,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let command = argv.next().unwrap_or_else(|| "help".into());
+    let mut args = Args {
+        command,
+        scenario: None,
+        shards: None,
+        json: false,
+        seed: None,
+        servers: None,
+        quick: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--shards" => {
+                args.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--json" => args.json = true,
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--servers" => {
+                args.servers = Some(
+                    value("--servers")?
+                        .parse()
+                        .map_err(|e| format!("--servers: {e}"))?,
+                )
+            }
+            "--quick" => args.quick = true,
+            other => return Err(format!("unknown flag `{other}` (see `ecnudp help`)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Load the spec file (format chosen by extension, JSON sniffed as a
+/// fallback) and apply the CLI overrides.
+fn load_spec(args: &Args) -> Result<ScenarioSpec, String> {
+    let path = args
+        .scenario
+        .as_deref()
+        .ok_or("missing --scenario <file> (presets live in scenarios/)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = path.ends_with(".json") || text.trim_start().starts_with('{');
+    let mut spec = if json {
+        ScenarioSpec::from_json_str(&text)
+    } else {
+        ScenarioSpec::from_toml_str(&text)
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    if let Some(seed) = args.seed {
+        spec.seed = seed;
+    }
+    if let Some(servers) = args.servers {
+        spec.population.servers = servers;
+    }
+    if args.quick {
+        spec.schedule.profile = ecnudp::pool::ScheduleProfile::Quick;
+    }
+    if args.seed.is_some() || args.servers.is_some() || args.quick {
+        spec.validate().map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(spec)
+}
+
+fn describe(spec: &ScenarioSpec) -> String {
+    let plan = spec.plan();
+    format!(
+        "scenario `{}`: seed {}, {} servers across ~{} ASes, {} vantages, \
+         {} ECT-droppers (+{} flaky), {} bleachers ({} probabilistic), \
+         traceroute {}",
+        spec.name,
+        spec.seed,
+        plan.servers,
+        plan.total_as_count(),
+        plan.vantage_count,
+        plan.ect_blocked,
+        plan.ect_blocked_flaky,
+        plan.bleach_pe + plan.bleach_border + plan.bleach_interior + plan.bleach_access,
+        plan.bleach_prob_pe + plan.bleach_prob_access,
+        if spec.traceroute { "on" } else { "off" },
+    )
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    eprintln!("{}", describe(&spec));
+    let run = run_scenario_sharded(&spec, args.shards);
+    let report = FullReport::from_campaign(&run.result);
+    eprintln!(
+        "campaign done: {} shards over {} units, {} targets, {} traces ({})",
+        run.shards,
+        run.units,
+        run.result.targets.len(),
+        run.result.aggregates.trace_stats.len(),
+        run.timing.render(),
+    );
+    if args.json {
+        let summary = RunSummary::new(&spec, &run, &report);
+        let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    println!("{}", describe(&spec));
+    let cfg = ecnudp::core::campaign_config(&spec);
+    println!(
+        "schedule: {} discovery rounds, traces/vantage {}, target chunks {}, \
+         batch 2 at +{}s",
+        cfg.discovery_rounds,
+        cfg.traces_per_vantage
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "full Table 2 allocation".into()),
+        spec.schedule.target_chunks,
+        cfg.batch2_start.0 / 1_000_000_000,
+    );
+    println!("ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "validate" => cmd_validate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (see `ecnudp help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

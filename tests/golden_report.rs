@@ -11,20 +11,15 @@
 //!
 //! On failure the test also writes `<name>.actual.txt` and
 //! `<name>.diff.txt` under `target/golden-diff/` so CI can upload the
-//! divergence as an artifact.
+//! divergence as an artifact. The comparison/bless/diff machinery is
+//! shared with the scenario-preset goldens (`tests/util/golden.rs`).
+
+#[path = "util/golden.rs"]
+mod golden;
 
 use ecnudp::core::{run_engine, CampaignConfig, EngineConfig, FullReport};
 use ecnudp::pool::PoolPlan;
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
-
-fn golden_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
-}
-
-fn diff_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("target/golden-diff")
-}
+use golden::{check_golden, unified_diff};
 
 fn render(seed: u64) -> String {
     let plan = PoolPlan::scaled(40);
@@ -36,106 +31,6 @@ fn render(seed: u64) -> String {
     let run = run_engine(&plan, &cfg, &EngineConfig::default());
     assert!(run.result.traces.is_empty(), "golden runs are trace-free");
     FullReport::from_campaign(&run.result).render()
-}
-
-fn check_golden(name: &str, actual: &str) {
-    let path = golden_dir().join(format!("{name}.txt"));
-    if std::env::var("ECNUDP_BLESS").is_ok_and(|v| v == "1") {
-        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
-        std::fs::write(&path, actual).expect("bless golden");
-        eprintln!("[golden] blessed {}", path.display());
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); run with ECNUDP_BLESS=1 to create it",
-            path.display()
-        )
-    });
-    if expected != actual {
-        let diff = unified_diff(&expected, actual, name);
-        let out = diff_dir();
-        let _ = std::fs::create_dir_all(&out);
-        let _ = std::fs::write(out.join(format!("{name}.actual.txt")), actual);
-        let _ = std::fs::write(out.join(format!("{name}.diff.txt")), &diff);
-        panic!(
-            "golden mismatch for {name} (ECNUDP_BLESS=1 regenerates; \
-             artifacts in target/golden-diff/):\n{diff}"
-        );
-    }
-}
-
-/// Minimal unified diff (LCS over lines, 3 lines of context) — enough to
-/// read a report divergence without external tooling.
-fn unified_diff(expected: &str, actual: &str, name: &str) -> String {
-    let a: Vec<&str> = expected.lines().collect();
-    let b: Vec<&str> = actual.lines().collect();
-    // LCS lengths, bottom-up
-    let mut lcs = vec![vec![0usize; b.len() + 1]; a.len() + 1];
-    for i in (0..a.len()).rev() {
-        for j in (0..b.len()).rev() {
-            lcs[i][j] = if a[i] == b[j] {
-                lcs[i + 1][j + 1] + 1
-            } else {
-                lcs[i + 1][j].max(lcs[i][j + 1])
-            };
-        }
-    }
-    // walk: ' ' common, '-' expected-only, '+' actual-only
-    let mut ops: Vec<(char, usize, usize)> = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i] == b[j] {
-            ops.push((' ', i, j));
-            i += 1;
-            j += 1;
-        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
-            ops.push(('-', i, j));
-            i += 1;
-        } else {
-            ops.push(('+', i, j));
-            j += 1;
-        }
-    }
-    while i < a.len() {
-        ops.push(('-', i, j));
-        i += 1;
-    }
-    while j < b.len() {
-        ops.push(('+', i, j));
-        j += 1;
-    }
-
-    const CTX: usize = 3;
-    let changed: Vec<usize> = ops
-        .iter()
-        .enumerate()
-        .filter(|(_, (c, _, _))| *c != ' ')
-        .map(|(k, _)| k)
-        .collect();
-    let mut out = format!("--- golden/{name}.txt\n+++ actual\n");
-    let mut k = 0usize;
-    while k < changed.len() {
-        // grow one hunk while changes stay within 2×CTX of each other
-        let start = changed[k];
-        let mut end = start;
-        while k + 1 < changed.len() && changed[k + 1] <= end + 2 * CTX {
-            k += 1;
-            end = changed[k];
-        }
-        k += 1;
-        let lo = start.saturating_sub(CTX);
-        let hi = (end + CTX + 1).min(ops.len());
-        let (a_start, b_start) = (ops[lo].1 + 1, ops[lo].2 + 1);
-        let a_count = ops[lo..hi].iter().filter(|(c, _, _)| *c != '+').count();
-        let b_count = ops[lo..hi].iter().filter(|(c, _, _)| *c != '-').count();
-        let _ = writeln!(out, "@@ -{a_start},{a_count} +{b_start},{b_count} @@");
-        for &(c, ai, bi) in &ops[lo..hi] {
-            let line = if c == '+' { b[bi] } else { a[ai] };
-            let _ = writeln!(out, "{c}{line}");
-        }
-    }
-    out
 }
 
 #[test]

@@ -87,14 +87,19 @@ fn measured_ecn_share_tracks_planted_share() {
 fn traceroute_finds_each_always_bleaching_router_region() {
     // Build the same world the campaign used and check that every planted
     // always-bleacher's address appears as (or immediately upstream of) a
-    // measured strip location in at least one vantage's survey.
+    // measured strip location in at least one vantage's survey. The
+    // path-level walk below needs the raw routes, so this run opts into
+    // the keep_routes escape hatch (traces stay streamed).
+    use ecnudp::core::{run_engine, EngineConfig};
     let plan = PoolPlan::scaled(80);
     let cfg = CampaignConfig {
         discovery_rounds: 30,
         traces_per_vantage: Some(1),
         ..CampaignConfig::quick(24)
     };
-    let result = run_campaign(&plan, &cfg);
+    let run = run_engine(&plan, &cfg, &EngineConfig::default().keeping_routes());
+    assert!(run.result.traces.is_empty(), "traces stay streamed");
+    let result = run.result;
     let f4 = FullReport::from_aggregates(&result).figure4;
     assert!(
         f4.strip_locations as usize >= result.truth.bleach_always.len(),
