@@ -12,11 +12,18 @@
 //!   allocator (left out of default runs so the gauge can't perturb the
 //!   wall-clock numbers).
 //!
+//! The measured run also re-executes through the observed entry point
+//! with the no-op subscriber (`Subscriber = ()`): `S::ENABLED = false`
+//! const-folds every event hook away, so the two walls must match.
+//! `ECNUDP_BENCH_ENFORCE=1` fails the run if the no-op-subscriber
+//! overhead exceeds 10% (allocation *equality* is pinned separately in
+//! `tests/alloc_regression.rs`).
+//!
 //! Scale knobs (env): `ECNUDP_BENCH_SERVERS` (default 150),
 //! `ECNUDP_BENCH_TRACES` (per vantage, default 2).
 
 use ecn_bench::BENCH_SEED;
-use ecn_core::{run_engine, CampaignConfig, EngineConfig};
+use ecn_core::{run_engine, run_engine_observed, CampaignConfig, EngineConfig};
 use ecn_pool::PoolPlan;
 use std::time::Instant;
 
@@ -73,8 +80,23 @@ fn main() {
         run.units
     );
 
+    // Identical work through the observed entry point, no-op subscriber:
+    // the zero-cost contract says this wall must match the plain one.
+    let t1 = Instant::now();
+    let (observed_run, ()) = run_engine_observed(&plan, &cfg, &eng, ());
+    let observed_ms = t1.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        run.result.aggregates, observed_run.result.aggregates,
+        "Subscriber = () changed the measurement"
+    );
+    let noop_overhead_pct = (observed_ms / wall_ms - 1.0) * 100.0;
+    println!(
+        "[probe_hot_loop] no-op subscriber: {observed_ms:.0} ms observed vs {wall_ms:.0} ms plain \
+         -> {noop_overhead_pct:+.1}% overhead"
+    );
+
     let mut json = format!(
-        "{{\n  \"servers\": {servers},\n  \"traces_per_vantage\": {traces_per_vantage},\n  \"observations\": {observations},\n  \"wall_ms\": {wall_ms:.1},\n  \"observations_per_sec\": {obs_per_sec:.0},\n  \"instantiate_ms_per_unit\": {inst_ms_per_unit:.3},\n  \"alloc_counting\": {}",
+        "{{\n  \"servers\": {servers},\n  \"traces_per_vantage\": {traces_per_vantage},\n  \"observations\": {observations},\n  \"wall_ms\": {wall_ms:.1},\n  \"observations_per_sec\": {obs_per_sec:.0},\n  \"instantiate_ms_per_unit\": {inst_ms_per_unit:.3},\n  \"noop_subscriber_overhead_pct\": {noop_overhead_pct:.1},\n  \"alloc_counting\": {}",
         cfg!(feature = "alloc-count"),
     );
     if cfg!(feature = "alloc-count") {
@@ -91,4 +113,12 @@ fn main() {
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
     ecn_bench::update_bench_json(&out, "probe_hot_loop", &json);
     println!("[probe_hot_loop] hot-loop table -> BENCH_campaign.json");
+
+    if std::env::var("ECNUDP_BENCH_ENFORCE").as_deref() == Ok("1") && noop_overhead_pct > 10.0 {
+        eprintln!(
+            "[probe_hot_loop] FAIL: no-op subscriber cost {noop_overhead_pct:.1}% \
+             (the event hooks must compile away; budget 10% covers runner jitter)"
+        );
+        std::process::exit(1);
+    }
 }

@@ -20,7 +20,7 @@
 //! `format!` labels…) fails immediately.
 
 use ecn_bench::alloc::{count_allocations, CountingAlloc};
-use ecn_core::{run_discovery, run_trace, CampaignConfig};
+use ecn_core::{run_discovery, run_trace, run_trace_observed, CampaignConfig, UnitId};
 use ecn_pool::{PoolPlan, WorldBlueprint};
 
 #[global_allocator]
@@ -82,5 +82,34 @@ fn probe_loop_allocations_stay_within_budget() {
         per_obs < PER_OBSERVATION_BUDGET,
         "probe hot-loop allocation regression: {per_obs:.1} allocs/observation \
          (budget {PER_OBSERVATION_BUDGET})"
+    );
+}
+
+#[test]
+fn noop_subscriber_adds_zero_allocations_to_the_probe_loop() {
+    // The event layer's zero-cost contract, measured: with
+    // `Subscriber = ()` the observed probe loop must allocate *exactly*
+    // what the unobserved one does — `S::ENABLED` guards const-fold the
+    // hooks away, they don't merely stay cheap.
+    let cfg = test_cfg();
+    let (d, mut sc) = run_discovery(&PoolPlan::scaled(40), &cfg);
+    // several warm runs: pools and freelists keep growing for a couple of
+    // iterations, and this assertion needs the exact steady state, not
+    // just the warm ballpark the budget tests tolerate
+    for _ in 0..3 {
+        let _warm = run_trace(&mut sc, 4, 2, &d.targets, &cfg);
+    }
+    let unit = UnitId {
+        vantage: 4,
+        chunk: 0,
+    };
+    let (_, plain) = count_allocations(|| run_trace(&mut sc, 4, 2, &d.targets, &cfg));
+    let (rec, observed) =
+        count_allocations(|| run_trace_observed(&mut sc, 4, 2, &d.targets, &cfg, &mut (), unit));
+    assert!(!rec.outcomes.is_empty());
+    println!("run_trace: {plain} allocs plain, {observed} observed with ()");
+    assert_eq!(
+        observed, plain,
+        "Subscriber = () must compile to nothing in the probe loop"
     );
 }

@@ -19,10 +19,11 @@
 //!   for per-trace consumers).
 
 use crate::campaign::{
-    discover_in, finish, plan_with_churn, run_trace, run_traceroute_survey, schedule,
+    discover_in, finish, plan_with_churn, run_trace_observed, run_traceroute_survey, schedule,
     CampaignResult, DiscoveryStats, ScheduledTrace, VantageRoutes,
 };
 use crate::config::CampaignConfig;
+use crate::events::{Event, Subscriber, UnitId};
 use crate::reducers::{Reduce, RouteCtx, ShardReducers, TraceCtx};
 use crate::trace::TraceRecord;
 use ecn_pool::{PoolPlan, WorldBlueprint};
@@ -184,7 +185,27 @@ struct UnitOutput {
 }
 
 /// Run the full campaign through the sharded engine.
+///
+/// This is [`run_engine_observed`] with the no-op `()` subscriber — the
+/// monomorphized zero-cost path every existing caller and the
+/// `alloc_regression`/`probe_hot_loop` gates exercise.
 pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> EngineRun {
+    run_engine_observed(plan, cfg, eng, ()).0
+}
+
+/// Run the full campaign, streaming typed events into `subscriber` (see
+/// [`crate::events`]): the root instance sees
+/// [`Event::CampaignStarted`], each shard drives a
+/// [`Subscriber::fork`], forks merge back deterministically, and
+/// [`Subscriber::finish`] runs once before this returns. Results are
+/// byte-identical to [`run_engine`] — subscribers observe, they cannot
+/// perturb.
+pub fn run_engine_observed<S: Subscriber>(
+    plan: &PoolPlan,
+    cfg: &CampaignConfig,
+    eng: &EngineConfig,
+    mut subscriber: S,
+) -> (EngineRun, S) {
     let wall0 = Instant::now();
     let mut timing = EngineTiming::default();
     let plan = plan_with_churn(plan, cfg);
@@ -232,6 +253,13 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
                 .unwrap_or(1)
         })
         .clamp(1, unit_count.max(1));
+    if S::ENABLED {
+        subscriber.on_event(&Event::CampaignStarted {
+            vantages: vantage_count,
+            units: unit_count,
+            targets: targets.len(),
+        });
+    }
 
     // Phase 4: work-stealing execution. Each shard owns a deque, takes
     // from its front, and steals from the back of the fullest victim.
@@ -242,8 +270,15 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
         }
         qs.into_iter().map(Mutex::new).collect()
     };
-    type ShardYield = (Vec<UnitOutput>, ShardReducers, Duration, Duration, Duration);
-    let mut shard_yields: Vec<ShardYield> = Vec::with_capacity(shard_count);
+    type ShardYield<S> = (
+        Vec<UnitOutput>,
+        ShardReducers,
+        S,
+        Duration,
+        Duration,
+        Duration,
+    );
+    let mut shard_yields: Vec<ShardYield<S>> = Vec::with_capacity(shard_count);
     let resident_traces = AtomicUsize::new(0);
     let peak_resident_traces = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
@@ -254,12 +289,15 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
             let targets = &targets;
             let per_vantage_sched = &per_vantage_sched;
             let resident = (&resident_traces, &peak_resident_traces);
+            // forked here, on the spawning thread, so `S` needs only Send
+            let mut sub = subscriber.fork();
             handles.push(scope.spawn(move |_| {
                 let mut outputs = Vec::new();
                 let mut reducers = ShardReducers::default();
                 let mut inst = Duration::ZERO;
                 let mut probe = Duration::ZERO;
                 let mut reduce = Duration::ZERO;
+                let mut done = 0usize;
                 while let Some(unit) = next_unit(s, queues) {
                     let chunk_targets = chunk_slice(targets, unit.chunk, chunks);
                     let out = run_unit(
@@ -270,12 +308,20 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
                         cfg,
                         (eng.keep_traces, eng.keep_routes),
                         &mut reducers,
+                        &mut sub,
                         resident,
                         (&mut inst, &mut probe, &mut reduce),
                     );
                     outputs.push(out);
+                    done += 1;
+                    if S::ENABLED {
+                        sub.on_event(&Event::ShardProgress {
+                            shard: s,
+                            units_done: done,
+                        });
+                    }
                 }
-                (outputs, reducers, inst, probe, reduce)
+                (outputs, reducers, sub, inst, probe, reduce)
             }));
         }
         for h in handles {
@@ -289,9 +335,10 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
     let t0 = Instant::now();
     let mut outputs: Vec<UnitOutput> = Vec::with_capacity(unit_count);
     let mut reducers = ShardReducers::default();
-    for (outs, red, inst, probe, reduce) in shard_yields {
+    for (outs, red, sub, inst, probe, reduce) in shard_yields {
         outputs.extend(outs);
         reducers.merge(red);
+        subscriber.merge(sub);
         timing.instantiate += inst;
         timing.probe += probe;
         timing.reduce += reduce;
@@ -335,6 +382,9 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
     timing.reduce += t0.elapsed();
     timing.wall = wall0.elapsed();
 
+    if S::ENABLED {
+        subscriber.finish();
+    }
     let result = finish(
         disco_world,
         targets,
@@ -343,13 +393,16 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
         routes,
         reducers,
     );
-    EngineRun {
-        result,
-        timing,
-        shards: shard_count,
-        units: unit_count,
-        peak_resident_traces: peak_resident_traces.load(Ordering::Relaxed),
-    }
+    (
+        EngineRun {
+            result,
+            timing,
+            shards: shard_count,
+            units: unit_count,
+            peak_resident_traces: peak_resident_traces.load(Ordering::Relaxed),
+        },
+        subscriber,
+    )
 }
 
 /// Run the full campaign with default engine settings: reducer-only
@@ -419,9 +472,10 @@ fn next_unit(s: usize, queues: &[Mutex<VecDeque<Unit>>]) -> Option<Unit> {
 /// Execute one unit: instantiate its world under the unit-identity RNG
 /// domain, run the vantage's schedule against the unit's target chunk,
 /// then (optionally) its slice of the traceroute survey — streaming every
-/// finished record into the shard's reducers.
+/// finished record into the shard's reducers, and (when `S::ENABLED`)
+/// typed events into the shard's subscriber fork.
 #[allow(clippy::too_many_arguments)]
-fn run_unit(
+fn run_unit<S: Subscriber>(
     bp: &WorldBlueprint,
     unit: Unit,
     sched: &[ScheduledTrace],
@@ -429,12 +483,21 @@ fn run_unit(
     cfg: &CampaignConfig,
     (keep_traces, keep_routes): (bool, bool),
     reducers: &mut ShardReducers,
+    sub: &mut S,
     (resident, peak): (&AtomicUsize, &AtomicUsize),
     (inst, probe, reduce): (&mut Duration, &mut Duration, &mut Duration),
 ) -> UnitOutput {
     let first_chunk = unit.chunk == 0;
+    let uid = UnitId {
+        vantage: unit.vantage,
+        chunk: unit.chunk,
+    };
     let t0 = Instant::now();
     let mut sc = bp.instantiate_unit(unit.vantage, unit.chunk);
+    if S::ENABLED {
+        // purely observational: the tap counts, it cannot change outcomes
+        sc.sim.install_event_tap();
+    }
     *inst += t0.elapsed();
 
     let t0 = Instant::now();
@@ -444,7 +507,15 @@ fn run_unit(
         if sc.sim.now() < st.start {
             sc.sim.run_until(st.start);
         }
-        let rec = run_trace(&mut sc, unit.vantage, st.batch, chunk_targets, cfg);
+        let rec = run_trace_observed(
+            &mut sc,
+            unit.vantage,
+            st.batch,
+            chunk_targets,
+            cfg,
+            sub,
+            uid,
+        );
         let tr = Instant::now();
         reducers.observe_trace(
             &rec,
@@ -455,6 +526,13 @@ fn run_unit(
             },
         );
         unit_reduce += tr.elapsed();
+        if S::ENABLED {
+            sub.on_event(&Event::TraceVerdict {
+                unit: uid,
+                trace_index,
+                record: &rec,
+            });
+        }
         if keep_traces {
             traces.push(rec);
             let now = resident.fetch_add(1, Ordering::Relaxed) + 1;
@@ -479,6 +557,18 @@ fn run_unit(
             keep_routes.then_some(r)
         })
         .flatten();
+    if S::ENABLED {
+        let counters = sc.sim.drain_event_counters();
+        sub.on_event(&Event::SimFlushed {
+            unit: uid,
+            counters: &counters,
+        });
+        sub.on_event(&Event::UnitFinished {
+            unit: uid,
+            traces: sched.len(),
+            observations: sched.len() * chunk_targets.len(),
+        });
+    }
     // the probe span encloses the reducer segments; report them disjointly
     *reduce += unit_reduce;
     *probe += t0.elapsed().saturating_sub(unit_reduce);

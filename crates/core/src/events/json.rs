@@ -1,0 +1,332 @@
+//! JSON-lines metrics export: periodic counter snapshots plus terminal
+//! per-unit records, written to any `io::Write` sink.
+//!
+//! ## Schema (one JSON object per line)
+//!
+//! ```text
+//! {"type":"campaign","scenario":S,"seed":N,"vantages":V,"units":U,"targets":T}
+//! {"type":"unit","vantage":v,"chunk":c,"traces":t,"observations":o,
+//!  "probes":{"udp_plain":..,"udp_ect":..,"tcp_plain":..,"tcp_ecn":..},
+//!  "delivered":..,"dropped":{<cause>:n,..},"ce_marked":..,
+//!  "ecn_rewritten":{<hop label>:n,..}}                 // one per unit
+//! {"type":"snapshot","units_done":k,"traces":..,"observations":..,
+//!  "probes_sent":..,"delivered":..,"dropped_total":..,"ce_marked":..,
+//!  "ecn_rewritten_total":..}                           // every K units
+//! {"type":"summary","units":..,"traces":..,"observations":..,
+//!  "probes_sent":..,"delivered":..,"dropped_total":..,"ce_marked":..,
+//!  "ecn_rewritten_total":..,"wall_ms":..}              // last line
+//! ```
+//!
+//! Unit records appear in canonical `(vantage, chunk)` order and
+//! snapshots are synthesized between them every `snapshot_every` units,
+//! so the stream is **byte-identical for any shard count** — the one
+//! exception is the summary's `wall_ms` field, the stream's only
+//! wall-clock value (tests normalize it; everything else is a pure
+//! function of the scenario).
+
+use super::{json_escape, Event, ProbeKind, Subscriber, UnitId};
+use ecn_netsim::SimCounters;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// Accumulated state of one work unit.
+#[derive(Debug, Default, Clone)]
+struct UnitRec {
+    probes: [u64; 4],
+    traces: usize,
+    observations: usize,
+    sim: SimCounters,
+}
+
+/// The JSON-lines metrics subscriber. Forks accumulate per-unit records
+/// keyed by [`UnitId`]; the root writes the whole ordered stream in
+/// [`Subscriber::finish`], which is what makes the output deterministic
+/// under work stealing (see the module docs).
+#[derive(Debug)]
+pub struct JsonLinesMetrics<W: Write + Send> {
+    /// Only the root holds the sink; forks carry `None`.
+    writer: Option<W>,
+    scenario: String,
+    seed: u64,
+    snapshot_every: usize,
+    started: Instant,
+    shape: Option<(usize, usize, usize)>, // vantages, units, targets
+    units: BTreeMap<UnitId, UnitRec>,
+    err: Option<io::Error>,
+}
+
+impl<W: Write + Send> JsonLinesMetrics<W> {
+    /// A metrics exporter writing to `writer`, with a default header
+    /// identity and a snapshot every 10 units.
+    pub fn new(writer: W) -> JsonLinesMetrics<W> {
+        JsonLinesMetrics {
+            writer: Some(writer),
+            scenario: "campaign".into(),
+            seed: 0,
+            snapshot_every: 10,
+            started: Instant::now(),
+            shape: None,
+            units: BTreeMap::new(),
+            err: None,
+        }
+    }
+
+    /// Set the header identity (`scenario`/`seed` fields of the
+    /// `campaign` line).
+    pub fn with_header(mut self, scenario: &str, seed: u64) -> JsonLinesMetrics<W> {
+        self.scenario = scenario.to_string();
+        self.seed = seed;
+        self
+    }
+
+    /// Snapshot cadence in units (0 disables snapshots).
+    pub fn snapshot_every(mut self, units: usize) -> JsonLinesMetrics<W> {
+        self.snapshot_every = units;
+        self
+    }
+
+    /// The first write error hit while flushing, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.err.as_ref()
+    }
+
+    /// Reclaim the sink after [`Subscriber::finish`] (e.g. to append
+    /// sampled trace records to the same file). Fails with the recorded
+    /// write error if flushing failed.
+    pub fn into_writer(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.writer
+            .take()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fork holds no writer"))
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w
+                .write_all(line.as_bytes())
+                .and_then(|()| w.write_all(b"\n"))
+            {
+                self.err = Some(e);
+            }
+        }
+    }
+}
+
+/// Render a `{"label":count,...}` object from an ordered map.
+fn counter_object<K: AsRef<str>>(map: &BTreeMap<K, u64>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k.as_ref()), v);
+    }
+    out.push('}');
+    out
+}
+
+/// Cumulative totals used by snapshot and summary lines.
+#[derive(Default)]
+struct Totals {
+    traces: usize,
+    observations: usize,
+    probes_sent: u64,
+    delivered: u64,
+    dropped: u64,
+    ce_marked: u64,
+    ecn_rewritten: u64,
+}
+
+impl Totals {
+    fn add(&mut self, rec: &UnitRec) {
+        self.traces += rec.traces;
+        self.observations += rec.observations;
+        self.probes_sent += rec.probes.iter().sum::<u64>();
+        self.delivered += rec.sim.delivered;
+        self.dropped += rec.sim.total_dropped();
+        self.ce_marked += rec.sim.ce_marked;
+        self.ecn_rewritten += rec.sim.total_ecn_rewritten();
+    }
+
+    fn fields(&self) -> String {
+        format!(
+            "\"traces\":{},\"observations\":{},\"probes_sent\":{},\"delivered\":{},\
+             \"dropped_total\":{},\"ce_marked\":{},\"ecn_rewritten_total\":{}",
+            self.traces,
+            self.observations,
+            self.probes_sent,
+            self.delivered,
+            self.dropped,
+            self.ce_marked,
+            self.ecn_rewritten,
+        )
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonLinesMetrics<W> {
+    fn fork(&self) -> Self {
+        JsonLinesMetrics {
+            writer: None,
+            scenario: String::new(),
+            seed: 0,
+            snapshot_every: 0,
+            started: self.started,
+            shape: None,
+            units: BTreeMap::new(),
+            err: None,
+        }
+    }
+
+    fn on_event(&mut self, event: &Event<'_>) {
+        match event {
+            Event::CampaignStarted {
+                vantages,
+                units,
+                targets,
+            } => self.shape = Some((*vantages, *units, *targets)),
+            Event::ProbeSent { unit, kind, .. } => {
+                self.units.entry(*unit).or_default().probes[kind.index()] += 1;
+            }
+            Event::TraceVerdict { unit, record, .. } => {
+                let rec = self.units.entry(*unit).or_default();
+                rec.traces += 1;
+                rec.observations += record.outcomes.len();
+            }
+            Event::SimFlushed { unit, counters } => {
+                self.units.entry(*unit).or_default().sim.merge(counters);
+            }
+            Event::UnitFinished { .. } | Event::ShardProgress { .. } => {}
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        // forks observe disjoint units, but stay defensive: fold
+        for (k, v) in other.units {
+            let rec = self.units.entry(k).or_default();
+            for (i, p) in v.probes.iter().enumerate() {
+                rec.probes[i] += p;
+            }
+            rec.traces += v.traces;
+            rec.observations += v.observations;
+            rec.sim.merge(&v.sim);
+        }
+        self.shape = self.shape.or(other.shape);
+        if self.err.is_none() {
+            self.err = other.err;
+        }
+    }
+
+    fn finish(&mut self) {
+        let (vantages, unit_count, targets) = self.shape.unwrap_or((0, 0, 0));
+        let header = format!(
+            "{{\"type\":\"campaign\",\"scenario\":\"{}\",\"seed\":{},\"vantages\":{},\
+             \"units\":{},\"targets\":{}}}",
+            json_escape(&self.scenario),
+            self.seed,
+            vantages,
+            unit_count,
+            targets,
+        );
+        self.write_line(&header);
+
+        let units = std::mem::take(&mut self.units);
+        let mut totals = Totals::default();
+        for (done, (id, rec)) in units.iter().enumerate() {
+            let probes: BTreeMap<&str, u64> = ProbeKind::ALL
+                .iter()
+                .map(|k| (k.label(), rec.probes[k.index()]))
+                .collect();
+            let line = format!(
+                "{{\"type\":\"unit\",\"vantage\":{},\"chunk\":{},\"traces\":{},\
+                 \"observations\":{},\"probes\":{},\"delivered\":{},\"dropped\":{},\
+                 \"ce_marked\":{},\"ecn_rewritten\":{}}}",
+                id.vantage,
+                id.chunk,
+                rec.traces,
+                rec.observations,
+                counter_object(&probes),
+                rec.sim.delivered,
+                counter_object(&rec.sim.dropped),
+                rec.sim.ce_marked,
+                counter_object(&rec.sim.ecn_rewritten),
+            );
+            self.write_line(&line);
+            totals.add(rec);
+            let done = done + 1;
+            if self.snapshot_every > 0 && done % self.snapshot_every == 0 && done < units.len() {
+                let snap = format!(
+                    "{{\"type\":\"snapshot\",\"units_done\":{},{}}}",
+                    done,
+                    totals.fields(),
+                );
+                self.write_line(&snap);
+            }
+        }
+        let summary = format!(
+            "{{\"type\":\"summary\",\"units\":{},{},\"wall_ms\":{:.3}}}",
+            units.len(),
+            totals.fields(),
+            self.started.elapsed().as_secs_f64() * 1e3,
+        );
+        self.write_line(&summary);
+        if self.err.is_none() {
+            if let Some(w) = &mut self.writer {
+                if let Err(e) = w.flush() {
+                    self.err = Some(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_object_renders_sorted_pairs() {
+        let mut m: BTreeMap<&str, u64> = BTreeMap::new();
+        assert_eq!(counter_object(&m), "{}");
+        m.insert("loss", 2);
+        m.insert("firewall", 1);
+        assert_eq!(counter_object(&m), "{\"firewall\":1,\"loss\":2}");
+    }
+
+    #[test]
+    fn finish_writes_header_units_and_summary() {
+        let mut sub = JsonLinesMetrics::new(Vec::new())
+            .with_header("t", 7)
+            .snapshot_every(1);
+        sub.on_event(&Event::CampaignStarted {
+            vantages: 1,
+            units: 2,
+            targets: 3,
+        });
+        for chunk in [1, 0] {
+            // out-of-order arrival must not matter
+            let unit = UnitId { vantage: 0, chunk };
+            sub.on_event(&Event::ProbeSent {
+                unit,
+                server: std::net::Ipv4Addr::new(192, 0, 2, 1),
+                kind: ProbeKind::UdpEct,
+            });
+        }
+        sub.finish();
+        let out = String::from_utf8(sub.into_writer().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "{out}");
+        assert!(lines[0].starts_with("{\"type\":\"campaign\",\"scenario\":\"t\",\"seed\":7"));
+        assert!(lines[1].contains("\"chunk\":0"), "canonical order");
+        assert!(lines[2].starts_with("{\"type\":\"snapshot\",\"units_done\":1"));
+        assert!(lines[3].contains("\"chunk\":1"));
+        assert!(lines[4].starts_with("{\"type\":\"summary\",\"units\":2"));
+        assert!(lines[4].contains("\"probes_sent\":2"));
+    }
+}

@@ -40,6 +40,7 @@ pub mod campaign;
 pub mod config;
 pub mod discovery;
 pub mod engine;
+pub mod events;
 pub mod probes;
 pub mod reducers;
 pub mod report;
@@ -49,15 +50,16 @@ pub mod traceroute;
 
 pub use analysis::FullReport;
 pub use campaign::{
-    discover_in, run_discovery, run_trace, run_traceroute_survey, schedule, CampaignResult,
-    DiscoveryStats, ScheduledTrace, VantageRoutes,
+    discover_in, run_discovery, run_trace, run_trace_observed, run_traceroute_survey, schedule,
+    CampaignResult, DiscoveryStats, ScheduledTrace, VantageRoutes,
 };
 pub use config::{CampaignConfig, ProbeConfig, TracerouteConfig};
 pub use discovery::{discover, discovery_names, Discovery};
 pub use engine::{
-    run_campaign, run_campaign_with_traces, run_engine, EngineConfig, EngineRun, EngineTiming,
-    UnitOrder,
+    run_campaign, run_campaign_with_traces, run_engine, run_engine_observed, EngineConfig,
+    EngineRun, EngineTiming, UnitOrder,
 };
+pub use events::{Event, JsonLinesMetrics, ProbeKind, Progress, Subscriber, TraceSampler, UnitId};
 pub use probes::{probe_tcp, probe_udp, TcpProbeResult, UdpProbeResult};
 pub use reducers::{
     BatchCounts, CampaignAggregates, DifferentialCounts, HopSurveyCounts, ReachabilityCounts,
@@ -65,7 +67,8 @@ pub use reducers::{
     TraceStats,
 };
 pub use scenario_run::{
-    campaign_config, engine_config, run_scenario, run_scenario_sharded, RunSummary,
+    campaign_config, engine_config, run_scenario, run_scenario_observed, run_scenario_sharded,
+    RunSummary,
 };
 pub use trace::{ServerOutcome, TraceRecord};
 pub use traceroute::{traceroute, HopObservation, TraceroutePath};

@@ -11,7 +11,8 @@
 
 use crate::analysis::FullReport;
 use crate::config::CampaignConfig;
-use crate::engine::{run_engine, EngineConfig, EngineRun};
+use crate::engine::{run_engine, run_engine_observed, EngineConfig, EngineRun};
+use crate::events::Subscriber;
 use ecn_pool::{ScenarioSpec, ScheduleProfile};
 use serde::Serialize;
 
@@ -92,6 +93,22 @@ pub fn run_scenario_sharded(spec: &ScenarioSpec, shards: Option<usize>) -> Engin
         ..engine_config(spec)
     };
     run_engine(&spec.plan(), &campaign_config(spec), &eng)
+}
+
+/// [`run_scenario_sharded`] with a typed event subscriber (see
+/// [`crate::events`]): the campaign result is byte-identical to the
+/// unobserved run, and the returned subscriber holds whatever it
+/// accumulated (its `finish` has already run).
+pub fn run_scenario_observed<S: Subscriber>(
+    spec: &ScenarioSpec,
+    shards: Option<usize>,
+    subscriber: S,
+) -> (EngineRun, S) {
+    let eng = EngineConfig {
+        shards,
+        ..engine_config(spec)
+    };
+    run_engine_observed(&spec.plan(), &campaign_config(spec), &eng, subscriber)
 }
 
 /// Machine-readable summary of one scenario run — what `ecnudp run

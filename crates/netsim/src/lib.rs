@@ -28,6 +28,7 @@
 //! probes): IP fragmentation/MTU, IPv4 options, link-layer addressing,
 //! ICMP rate limiting.
 
+pub mod events;
 pub mod link;
 pub mod loss;
 pub mod node;
@@ -41,6 +42,7 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use events::{drop_cause_label, SimCounters};
 pub use link::{Link, LinkId, LinkOutcome, LinkProps, NodeId};
 pub use loss::{LossModel, LossProcess};
 pub use node::{flow_key, HostAgent, HostNode, Node, RouteEntry, Router};

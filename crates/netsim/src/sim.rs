@@ -2,6 +2,7 @@
 //! and implements the router forwarding pipeline (TTL/ICMP, firewall, ECN
 //! policy, route lookup, link transmission).
 
+use crate::events::SimCounters;
 use crate::link::{Link, LinkId, LinkProps, NodeId};
 use crate::node::{flow_key_header, HostAgent, HostNode, Node, RouteEntry, Router};
 use crate::pcap::{new_capture, CaptureRef, Direction};
@@ -81,6 +82,10 @@ pub struct Sim {
     /// Datagram buffer freelist: checked out on encode, refilled when the
     /// simulator consumes a packet (delivery or drop).
     pub pool: PacketPool,
+    /// Optional event tap ([`crate::events::SimCounters`]), installed by
+    /// observed engine runs; `None` (the default) costs one pointer test
+    /// per deliver/drop site.
+    events: Option<Box<SimCounters>>,
     rng: SmallRng,
     config: SimConfig,
 }
@@ -118,8 +123,35 @@ impl Sim {
             links: Vec::new(),
             stats: Stats::default(),
             pool: PacketPool::new(),
+            events: None,
             rng: SmallRng::seed_from_u64(config.seed ^ 0xec00_5eed),
             config,
+        }
+    }
+
+    /// Install (or reset) the event tap: from now on the deliver, drop,
+    /// CE-mark, and ECN-rewrite sites count into a [`SimCounters`]
+    /// drained with [`Self::drain_event_counters`]. Purely observational —
+    /// installing a tap cannot change any packet outcome.
+    pub fn install_event_tap(&mut self) {
+        self.events = Some(Box::default());
+    }
+
+    /// Take the tap's counters, leaving a fresh zeroed tap installed.
+    /// Returns the default (empty) counters if no tap was installed.
+    pub fn drain_event_counters(&mut self) -> SimCounters {
+        match &mut self.events {
+            Some(tap) => std::mem::take(&mut **tap),
+            None => SimCounters::default(),
+        }
+    }
+
+    /// Count a discarded packet in both the ground-truth stats and, when
+    /// a tap is installed, the event counters.
+    fn note_drop(&mut self, cause: DropCause) {
+        self.stats.drop(cause);
+        if let Some(tap) = &mut self.events {
+            tap.note_drop(cause);
         }
     }
 
@@ -318,7 +350,7 @@ impl Sim {
                 .record(self.now, Direction::Out, dgram.as_bytes());
         }
         let Some(up) = uplink else {
-            self.stats.drop(DropCause::NoRoute);
+            self.note_drop(DropCause::NoRoute);
             self.pool.recycle_datagram(dgram);
             return;
         };
@@ -350,11 +382,14 @@ impl Sim {
             Node::Router(_) => unreachable!("host_receive on router"),
         };
         if !matches {
-            self.stats.drop(DropCause::HostMismatch);
+            self.note_drop(DropCause::HostMismatch);
             self.pool.recycle_datagram(dgram);
             return;
         }
         self.stats.delivered += 1;
+        if let Some(tap) = &mut self.events {
+            tap.delivered += 1;
+        }
         if let Some(mut agent) = agent {
             let mut api = HostApi { sim: self, node };
             agent.on_datagram(&mut api, &dgram);
@@ -398,7 +433,7 @@ impl Sim {
         if hdr.ttl == 0 {
             // the quote must show the decremented TTL on the wire
             dgram.write_header(&hdr);
-            self.stats.drop(DropCause::TtlExpired);
+            self.note_drop(DropCause::TtlExpired);
             let r = self.nodes[idx].as_router().expect("router");
             // No ICMP errors about ICMP (RFC 1812 §4.3.2.7 simplification:
             // the study's probes are UDP/TCP, so this only suppresses
@@ -423,13 +458,13 @@ impl Sim {
         };
         match action {
             FirewallAction::Drop => {
-                self.stats.drop(DropCause::Firewall);
+                self.note_drop(DropCause::Firewall);
                 *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
                 self.pool.recycle_datagram(dgram);
                 return;
             }
             FirewallAction::Reject => {
-                self.stats.drop(DropCause::Firewall);
+                self.note_drop(DropCause::Firewall);
                 *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
                 let r = self.nodes[idx].as_router().expect("router");
                 if hdr.protocol != IpProto::Icmp {
@@ -457,13 +492,18 @@ impl Sim {
         let before = hdr.ecn;
         let (after, dropped) = policy.apply(before, &mut self.rng);
         if dropped {
-            self.stats.drop(DropCause::PolicyTos);
+            self.note_drop(DropCause::PolicyTos);
             self.pool.recycle_datagram(dgram);
             return;
         }
         if after != before {
             hdr.ecn = after;
             *self.stats.bleached_by_node.entry(node).or_insert(0) += 1;
+            if let Some(tap) = self.events.as_mut() {
+                // resolve the named hop only when someone is listening
+                let hop = self.nodes[idx].as_router().expect("router").label.clone();
+                tap.note_ecn_rewrite(hop);
+            }
         }
 
         // 4+5. Route and transmit (the TTL decrement makes the header
@@ -487,7 +527,7 @@ impl Sim {
         match link {
             Some(lid) => self.transmit_with(lid, dgram, hdr, dirty),
             None => {
-                self.stats.drop(DropCause::NoRoute);
+                self.note_drop(DropCause::NoRoute);
                 self.pool.recycle_datagram(dgram);
             }
         }
@@ -518,6 +558,9 @@ impl Sim {
                 if ce_mark {
                     hdr.ecn = Ecn::Ce;
                     self.stats.ce_marked += 1;
+                    if let Some(tap) = &mut self.events {
+                        tap.ce_marked += 1;
+                    }
                 }
                 if dirty || ce_mark {
                     dgram.write_header(&hdr);
@@ -526,11 +569,11 @@ impl Sim {
                 self.schedule(at, Event::Arrival { node: to, dgram });
             }
             crate::link::LinkOutcome::Lost => {
-                self.stats.drop(DropCause::Loss);
+                self.note_drop(DropCause::Loss);
                 self.pool.recycle_datagram(dgram);
             }
             crate::link::LinkOutcome::Dropped(cause) => {
-                self.stats.drop(DropCause::Queue(cause));
+                self.note_drop(DropCause::Queue(cause));
                 self.pool.recycle_datagram(dgram);
             }
         }

@@ -67,6 +67,8 @@ pub struct ScenarioSpec {
     pub links: LinkSpec,
     /// Campaign schedule profile.
     pub schedule: ScheduleSpec,
+    /// Event-stream observability (metrics export, progress, sampling).
+    pub observability: ObservabilitySpec,
 }
 
 /// `[population]`: who is in the pool and what they run.
@@ -164,6 +166,25 @@ pub struct ScheduleSpec {
     pub target_chunks: usize,
 }
 
+/// `[observability]`: the typed event stream (see `ecn-core`'s `events`
+/// module). Pure observation — no setting here can change a result byte;
+/// the spec section exists so a scenario file can carry its own metrics
+/// wiring. CLI flags (`--metrics`, `--progress`, `--sample-traces`)
+/// override these per run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservabilitySpec {
+    /// JSON-lines metrics file path (empty = no metrics export).
+    pub metrics: String,
+    /// Print live progress to stderr.
+    pub progress: bool,
+    /// Keep 1-in-N logical traces by identity hash (`0` = no sampling).
+    /// Requires `metrics`: sampled records ride the metrics stream.
+    pub sample_traces: usize,
+    /// Emit a cumulative snapshot line every N units in the metrics
+    /// stream.
+    pub snapshot_every: usize,
+}
+
 /// The two built-in campaign calendars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScheduleProfile {
@@ -234,6 +255,12 @@ impl ScenarioSpec {
                 traces_per_vantage: 0,
                 discovery_rounds: 0,
                 target_chunks: 1,
+            },
+            observability: ObservabilitySpec {
+                metrics: String::new(),
+                progress: false,
+                sample_traces: 0,
+                snapshot_every: 10,
             },
         }
     }
@@ -393,6 +420,15 @@ impl ScenarioSpec {
         }
         if self.schedule.target_chunks < 1 {
             return err("schedule.target_chunks", "must be >= 1".into());
+        }
+        if self.observability.snapshot_every < 1 {
+            return err("observability.snapshot_every", "must be >= 1".into());
+        }
+        if self.observability.sample_traces > 0 && self.observability.metrics.is_empty() {
+            return err(
+                "observability.sample_traces",
+                "requires observability.metrics (sampled traces ride the metrics stream)".into(),
+            );
         }
         // the special population must leave room for the dead/churned
         // servers drawn before it (generate_profiles draws specials from
@@ -574,6 +610,7 @@ fn apply_root(spec: &mut ScenarioSpec, value: &SpecValue) -> Result<(), SpecErro
         "middleboxes" => |v, p: &str| apply_middleboxes(&mut spec.middleboxes, want_table(v, p)?, p),
         "links" => |v, p: &str| apply_links(&mut spec.links, want_table(v, p)?, p),
         "schedule" => |v, p: &str| apply_schedule(&mut spec.schedule, want_table(v, p)?, p),
+        "observability" => |v, p: &str| apply_observability(&mut spec.observability, want_table(v, p)?, p),
     })
 }
 
@@ -661,6 +698,19 @@ fn apply_schedule(
         "traces_per_vantage" => |v, p| { out.traces_per_vantage = want_usize(v, p)?; Ok(()) },
         "discovery_rounds" => |v, p| { out.discovery_rounds = want_usize(v, p)?; Ok(()) },
         "target_chunks" => |v, p| { out.target_chunks = want_usize(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_observability(
+    out: &mut ObservabilitySpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "metrics" => |v, p| { out.metrics = want_str(v, p)?; Ok(()) },
+        "progress" => |v, p| { out.progress = want_bool(v, p)?; Ok(()) },
+        "sample_traces" => |v, p| { out.sample_traces = want_usize(v, p)?; Ok(()) },
+        "snapshot_every" => |v, p| { out.snapshot_every = want_usize(v, p)?; Ok(()) },
     })
 }
 

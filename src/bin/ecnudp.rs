@@ -5,6 +5,8 @@
 //! ecnudp run --scenario scenarios/paper2015.toml            # full report to stdout
 //! ecnudp run --scenario scenarios/lossy-edge.toml --json    # machine-readable summary
 //! ecnudp run --scenario my.toml --shards 4 --seed 7         # pin concurrency, override seed
+//! ecnudp run --scenario my.toml --metrics out.jsonl \
+//!            --progress --sample-traces 8                   # event stream + 1-in-8 traces
 //! ecnudp validate --scenario my.toml                        # parse + lower + summarise, no run
 //! ```
 //!
@@ -17,8 +19,13 @@
 //! identical for any `--shards` value); progress and diagnostics go to
 //! stderr, so `ecnudp run ... > report.txt` captures a clean artefact.
 
-use ecnudp::core::{run_scenario_sharded, FullReport, RunSummary};
+use ecnudp::core::{
+    run_scenario_observed, run_scenario_sharded, FullReport, JsonLinesMetrics, Progress,
+    RunSummary, TraceSampler,
+};
 use ecnudp::pool::ScenarioSpec;
+use std::fs::File;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -27,7 +34,9 @@ ecnudp — declarative ECN-measurement scenarios
 USAGE:
     ecnudp run      --scenario <file> [--shards N] [--json]
                     [--seed N] [--servers N] [--quick]
+                    [--metrics <file>] [--progress] [--sample-traces N]
     ecnudp validate --scenario <file> [--seed N] [--servers N] [--quick]
+                    [--metrics <file>]
     ecnudp help
 
 COMMANDS:
@@ -45,6 +54,11 @@ OPTIONS:
     --seed <N>          override the spec's seed
     --servers <N>       override the spec's population size
     --quick             override the schedule profile to `quick`
+    --metrics <file>    write a JSON-lines metrics stream (deterministic
+                        except the summary's wall_ms; schema in DESIGN.md)
+    --progress          print live unit/observation progress to stderr
+    --sample-traces <N> keep 1-in-N logical traces by identity hash and
+                        append them to the metrics stream (needs --metrics)
 
 Omitted spec keys keep their paper2015 defaults; unknown keys are errors.";
 
@@ -56,6 +70,9 @@ struct Args {
     seed: Option<u64>,
     servers: Option<usize>,
     quick: bool,
+    metrics: Option<String>,
+    progress: bool,
+    sample_traces: Option<usize>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
@@ -69,6 +86,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         seed: None,
         servers: None,
         quick: false,
+        metrics: None,
+        progress: false,
+        sample_traces: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
@@ -97,6 +117,15 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                 )
             }
             "--quick" => args.quick = true,
+            "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--progress" => args.progress = true,
+            "--sample-traces" => {
+                args.sample_traces = Some(
+                    value("--sample-traces")?
+                        .parse()
+                        .map_err(|e| format!("--sample-traces: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}` (see `ecnudp help`)")),
         }
     }
@@ -127,10 +156,39 @@ fn load_spec(args: &Args) -> Result<ScenarioSpec, String> {
     if args.quick {
         spec.schedule.profile = ecnudp::pool::ScheduleProfile::Quick;
     }
-    if args.seed.is_some() || args.servers.is_some() || args.quick {
+    if let Some(metrics) = &args.metrics {
+        spec.observability.metrics = metrics.clone();
+    }
+    if args.progress {
+        spec.observability.progress = true;
+    }
+    if let Some(every) = args.sample_traces {
+        spec.observability.sample_traces = every;
+    }
+    if spec.observability.sample_traces > 0 && spec.observability.metrics.is_empty() {
+        return Err(
+            "--sample-traces needs a metrics sink: pass --metrics <file> \
+             (or set observability.metrics in the spec)"
+                .into(),
+        );
+    }
+    let overridden = args.seed.is_some()
+        || args.servers.is_some()
+        || args.quick
+        || args.metrics.is_some()
+        || args.progress
+        || args.sample_traces.is_some();
+    if overridden {
         spec.validate().map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(spec)
+}
+
+/// Create/truncate the metrics file up front, so an unwritable path fails
+/// before the campaign runs (not after minutes of work). The error names
+/// the path.
+fn open_metrics(path: &str) -> Result<File, String> {
+    File::create(path).map_err(|e| format!("cannot write metrics file `{path}`: {e}"))
 }
 
 fn describe(spec: &ScenarioSpec) -> String {
@@ -155,7 +213,43 @@ fn describe(spec: &ScenarioSpec) -> String {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let spec = load_spec(args)?;
     eprintln!("{}", describe(&spec));
-    let run = run_scenario_sharded(&spec, args.shards);
+    let obs = spec.observability.clone();
+    // Open the metrics sink before the campaign so a bad path fails fast.
+    let metrics_file = match obs.metrics.as_str() {
+        "" => None,
+        path => Some(open_metrics(path)?),
+    };
+    let observed = metrics_file.is_some() || obs.progress || obs.sample_traces > 0;
+    let (run, subscriber) = if observed {
+        let metrics = metrics_file.map(|f| {
+            JsonLinesMetrics::new(f)
+                .with_header(&spec.name, spec.seed)
+                .snapshot_every(obs.snapshot_every)
+        });
+        let progress = obs.progress.then(Progress::new);
+        let sampler = (obs.sample_traces > 0).then(|| TraceSampler::new(obs.sample_traces));
+        let (run, sub) = run_scenario_observed(&spec, args.shards, (metrics, (progress, sampler)));
+        (run, Some(sub))
+    } else {
+        // the zero-cost path: Subscriber = () compiles the hooks away
+        (run_scenario_sharded(&spec, args.shards), None)
+    };
+    if let Some((Some(m), (_progress, sampler))) = subscriber {
+        let write_err = |e| format!("cannot write metrics file `{}`: {e}", obs.metrics);
+        let mut sink = m.into_writer().map_err(write_err)?;
+        let sampled = sampler.as_ref().map_or(0, |s| s.records().len());
+        if let Some(s) = &sampler {
+            for rec in s.records() {
+                let json = serde_json::to_string(rec).map_err(|e| e.to_string())?;
+                writeln!(sink, "{{\"type\":\"trace\",\"record\":{json}}}").map_err(write_err)?;
+            }
+            sink.flush().map_err(write_err)?;
+        }
+        eprintln!(
+            "metrics: {} ({} sampled trace records)",
+            obs.metrics, sampled
+        );
+    }
     let report = FullReport::from_campaign(&run.result);
     eprintln!(
         "campaign done: {} shards over {} units, {} targets, {} traces ({})",
@@ -189,7 +283,35 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         spec.schedule.target_chunks,
         cfg.batch2_start.0 / 1_000_000_000,
     );
+    let obs = &spec.observability;
+    if !obs.metrics.is_empty() {
+        probe_metrics_writable(&obs.metrics)?;
+        let sampling = match obs.sample_traces {
+            0 => "no trace sampling".to_string(),
+            n => format!("sampling 1-in-{n} traces"),
+        };
+        println!(
+            "observability: metrics to {} (writable), snapshot every {} units, {}",
+            obs.metrics, obs.snapshot_every, sampling
+        );
+    }
     println!("ok");
+    Ok(())
+}
+
+/// Non-destructively check that the metrics path is writable: open it for
+/// append (creating it if absent), then remove it again if this probe
+/// created it. An existing file's contents are left untouched.
+fn probe_metrics_writable(path: &str) -> Result<(), String> {
+    let existed = std::path::Path::new(path).exists();
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot write metrics file `{path}`: {e}"))?;
+    if !existed {
+        let _ = std::fs::remove_file(path);
+    }
     Ok(())
 }
 
