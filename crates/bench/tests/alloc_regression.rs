@@ -10,9 +10,10 @@
 //!   per-world state: node boxes, host stacks, services).
 //! - `run_trace` — the probe inner loop. Buffer pooling, capture
 //!   freelists, borrow-based verdict scans and no-clone polling took
-//!   this from 176 to ~80 allocations per (server, trace) observation
-//!   (the remainder is TCP connection machinery and per-delivery
-//!   inbox copies).
+//!   this from 176 to ~80 allocations per (server, trace) observation;
+//!   canned HTTP responses, zero-copy DNS fast paths, shared TCP emit
+//!   scratch and UDP sink sockets then took it to ~25 (the remainder
+//!   is connection setup/teardown and response assembly).
 //!
 //! The budgets sit ~50% above the measured numbers: enough headroom for
 //! allocator jitter across platforms, tight enough that reintroducing
@@ -26,12 +27,12 @@ use ecn_pool::{PoolPlan, WorldBlueprint};
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-/// Budget for stamping one unit world from the skeleton (measured: 564).
+/// Budget for stamping one unit world from the skeleton (measured: 654).
 const INSTANTIATE_BUDGET: u64 = 900;
 
 /// Budget per (server, trace) observation in the probe loop
-/// (measured: ~80).
-const PER_OBSERVATION_BUDGET: f64 = 120.0;
+/// (measured: ~25).
+const PER_OBSERVATION_BUDGET: f64 = 40.0;
 
 fn test_cfg() -> CampaignConfig {
     CampaignConfig {
@@ -92,20 +93,29 @@ fn noop_subscriber_adds_zero_allocations_to_the_probe_loop() {
     // what the unobserved one does — `S::ENABLED` guards const-fold the
     // hooks away, they don't merely stay cheap.
     let cfg = test_cfg();
-    let (d, mut sc) = run_discovery(&PoolPlan::scaled(40), &cfg);
-    // several warm runs: pools and freelists keep growing for a couple of
-    // iterations, and this assertion needs the exact steady state, not
-    // just the warm ballpark the budget tests tolerate
+    // Two identically-seeded worlds: the shared RNG advances across
+    // traces, so consecutive runs in *one* world see different loss
+    // realizations (and alloc counts that differ by a handful). Running
+    // plain and observed on twin worlds guarantees identical traffic,
+    // which is exactly what the zero-cost claim is about.
+    let (d, mut sc_plain) = run_discovery(&PoolPlan::scaled(40), &cfg);
+    let (_, mut sc_obs) = run_discovery(&PoolPlan::scaled(40), &cfg);
+    // several warm runs each: pools, freelists and per-host scratch
+    // buffers keep growing for a couple of iterations, and this
+    // assertion needs the exact steady state, not just the warm
+    // ballpark the budget tests tolerate
     for _ in 0..3 {
-        let _warm = run_trace(&mut sc, 4, 2, &d.targets, &cfg);
+        let _warm = run_trace(&mut sc_plain, 4, 2, &d.targets, &cfg);
+        let _warm = run_trace(&mut sc_obs, 4, 2, &d.targets, &cfg);
     }
     let unit = UnitId {
         vantage: 4,
         chunk: 0,
     };
-    let (_, plain) = count_allocations(|| run_trace(&mut sc, 4, 2, &d.targets, &cfg));
-    let (rec, observed) =
-        count_allocations(|| run_trace_observed(&mut sc, 4, 2, &d.targets, &cfg, &mut (), unit));
+    let (_, plain) = count_allocations(|| run_trace(&mut sc_plain, 4, 2, &d.targets, &cfg));
+    let (rec, observed) = count_allocations(|| {
+        run_trace_observed(&mut sc_obs, 4, 2, &d.targets, &cfg, &mut (), unit)
+    });
     assert!(!rec.outcomes.is_empty());
     println!("run_trace: {plain} allocs plain, {observed} observed with ()");
     assert_eq!(

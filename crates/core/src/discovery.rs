@@ -7,7 +7,7 @@ use ecn_geo::{region_countries, region_zone, Region};
 use ecn_netsim::Sim;
 use ecn_services::pool_query_names;
 use ecn_stack::HostHandle;
-use ecn_wire::{DnsMessage, Ecn};
+use ecn_wire::Ecn;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
@@ -50,21 +50,30 @@ pub fn discover(
     let mut queries = 0;
     let mut timeouts = 0;
     let mut qid: u16 = 1;
+    // Reusable per-query buffers: the loop issues thousands of queries per
+    // trace, so the query encode and answer scan must not allocate.
+    let mut qbuf: Vec<u8> = Vec::with_capacity(64);
+    let mut answer_scratch: Vec<Ipv4Addr> = Vec::new();
     for _round in 0..cfg.discovery_rounds {
         for name in &names {
-            let q = DnsMessage::a_query(qid, name);
+            qbuf.clear();
+            ecn_wire::dns::encode_a_query_into(qid, name, &mut qbuf);
             qid = qid.wrapping_add(1).max(1);
-            handle.udp_send(sim, sock, (dns, 53), &q.encode(), Ecn::NotEct);
+            handle.udp_send(sim, sock, (dns, 53), &qbuf, Ecn::NotEct);
             queries += 1;
             let deadline = sim.now() + cfg.discovery_gap;
             sim.run_until(deadline);
             let mut answered = false;
-            for got in handle.udp_recv_all(sock) {
-                if let Ok(m) = DnsMessage::decode(&got.payload) {
+            while let Some(got) = handle.udp_recv(sock) {
+                // Collect before committing so a malformed tail discards
+                // the whole message, exactly like the owned decode did.
+                answer_scratch.clear();
+                let a = &mut answer_scratch;
+                if ecn_wire::dns::for_each_a_record(&got.payload, |addr| a.push(addr)).is_ok() {
                     answered = true;
-                    for a in m.a_records() {
-                        if seen.insert(a) {
-                            targets.push(a);
+                    for &addr in answer_scratch.iter() {
+                        if seen.insert(addr) {
+                            targets.push(addr);
                         }
                     }
                 }

@@ -40,7 +40,10 @@ pub fn probe_udp(
     ecn: Ecn,
     cfg: &ProbeConfig,
 ) -> UdpProbeResult {
-    let sock = handle.udp_bind(0);
+    // The verdict comes from the capture, so the socket is a sink: the
+    // port is held open (no port-unreachable) but response payloads are
+    // never copied into an inbox.
+    let sock = handle.udp_bind_sink();
     let session_start = sim.now();
     let mut sent = Vec::with_capacity(1 + cfg.udp_retries as usize);
     let mut req_wire = ecn_wire::WireBuf::with_capacity(ecn_wire::NTP_PACKET_LEN);
@@ -88,9 +91,7 @@ pub fn probe_udp(
             }
         }
         drop(cap);
-        handle.udp_recv_all(sock); // keep the socket inbox bounded
     }
-    handle.udp_recv_all(sock);
     handle.udp_close(sock);
     outcome.attempts = attempts;
     outcome
@@ -173,17 +174,17 @@ pub fn probe_tcp(
             let step = (deadline.0 - sim.now().0).min(cfg.poll_quantum.0);
             sim.run_for(Nanos(step));
         }
-        if let Some(s) = handle.conn(conn) {
-            if let Ok(rsp) = HttpResponse::decode(&s.received) {
-                result.reachable = true;
-                result.http_status = Some(rsp.status);
-            }
+        // Status parse borrows the receive buffer in place — no snapshot
+        // clone for a verdict that only needs the status code.
+        if let Some(Ok(status)) = handle.with_received(conn, HttpResponse::status_of) {
+            result.reachable = true;
+            result.http_status = Some(status);
         }
         handle.tcp_close(sim, conn);
         sim.run_for(Nanos::from_millis(500));
     }
-    if let Some(s) = handle.conn(conn) {
-        result.close_reason = s.close_reason;
+    if let Some(reason) = handle.conn_close_reason(conn) {
+        result.close_reason = reason;
     }
     handle.remove_conn(conn);
 

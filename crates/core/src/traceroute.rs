@@ -220,11 +220,8 @@ mod tests {
         let hops = before.responding_hops();
         assert!(hops.len() >= 5);
         let target_hop = hops[hops.len() - 4];
-        let node = (0..sc.sim.nodes.len() as u32)
-            .map(ecn_netsim::NodeId)
-            .find(|n| sc.sim.nodes[n.0 as usize].addr() == target_hop)
-            .expect("router node");
-        sc.sim.nodes[node.0 as usize].as_router_mut().ecn_policy = EcnPolicy::Bleach;
+        let node = sc.sim.find_node(target_hop).expect("router node");
+        sc.sim.set_ecn_policy(node, EcnPolicy::Bleach);
 
         let after = traceroute(&mut sc.sim, &handle, dst, &TracerouteConfig::default());
         let hops_after = after.responding_hops();

@@ -41,11 +41,12 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use events::{drop_cause_label, SimCounters};
 pub use link::{Link, LinkId, LinkOutcome, LinkProps, NodeId};
 pub use loss::{LossModel, LossProcess};
-pub use node::{flow_key, HostAgent, HostNode, Node, RouteEntry, Router};
+pub use node::{flow_key, HostAgent, NodeKind, RouteEntry, Router};
 pub use pcap::{new_capture, write_pcap, Capture, CaptureRef, CapturedPacket, Direction};
 pub use policy::{EcnMatch, EcnPolicy, Firewall, FirewallAction, FirewallRule};
 pub use pool::PacketPool;
@@ -55,3 +56,4 @@ pub use rng::{derive_rng, derive_rng_indexed, derive_seed, derive_seed_indexed, 
 pub use sim::{HostApi, Sim, SimConfig, SimSkeleton};
 pub use stats::{DropCause, Stats};
 pub use time::Nanos;
+pub use wheel::EventWheel;

@@ -131,6 +131,21 @@ impl Link {
         }
     }
 
+    /// True when [`Self::offer`] is a pure function of the packet for any
+    /// realistic datagram: no rate limit (so no queueing and no
+    /// `busy_until` mutation), no loss process, and a drop-tail queue too
+    /// deep to overflow an IPv4-sized packet. Traversing such a link
+    /// draws no randomness and mutates no link state — the property the
+    /// simulator's multi-hop tunnelling fast path relies on.
+    pub fn is_passive(&self) -> bool {
+        self.props.rate_bps.is_none()
+            && matches!(self.props.loss, LossModel::None)
+            && matches!(
+                self.props.queue,
+                QueueDisc::DropTail { limit_bytes } if limit_bytes >= 65_535
+            )
+    }
+
     /// Offer a packet of `bytes` bytes at `now`; `ect` marks CE-markability.
     pub fn offer(&mut self, now: Nanos, bytes: u64, ect: bool, rng: &mut SmallRng) -> LinkOutcome {
         if self.loss.should_drop(now, ect, rng) {

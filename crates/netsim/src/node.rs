@@ -1,14 +1,28 @@
 //! Node types: routers (handled natively by the simulator) and hosts
 //! (driven by pluggable agents, e.g. the `ecn-stack` network stack).
+//!
+//! [`Router`] is a *construction-time* description: `Sim::add_router`
+//! flattens it into the simulator's struct-of-arrays node columns, so
+//! the dispatch path never touches a per-node struct (or a box) again.
 
 use crate::link::LinkId;
-use crate::pcap::CaptureRef;
 use crate::policy::{EcnPolicy, Firewall};
 use crate::prefix::PrefixMap;
 use crate::sim::HostApi;
 use ecn_wire::Datagram;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+
+/// What a dense node index refers to. One byte per node on the dispatch
+/// path — the whole kind column for a paper-scale world fits in a few
+/// cache lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Forwarding element (runs the router pipeline).
+    Router,
+    /// End host (delivers to an agent).
+    Host,
+}
 
 /// A forwarding-table entry: single next hop or ECMP set.
 #[derive(Debug, Clone)]
@@ -102,94 +116,22 @@ pub trait HostAgent {
     fn on_timer(&mut self, api: &mut HostApi<'_>, token: u64);
 }
 
-/// A host node: one address, one uplink, an optional agent and capture.
-pub struct HostNode {
-    /// Human-readable label (shared with sibling worlds).
-    pub label: Arc<str>,
-    /// The host's address.
-    pub addr: Ipv4Addr,
-    /// The host's access link (towards its first-hop router).
-    pub uplink: Option<LinkId>,
-    /// The agent driving this host, if any.
-    pub agent: Option<Box<dyn HostAgent>>,
-    /// tcpdump-style capture of everything in/out, if attached.
-    pub capture: Option<CaptureRef>,
-}
-
-impl std::fmt::Debug for HostNode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HostNode")
-            .field("label", &self.label)
-            .field("addr", &self.addr)
-            .field("uplink", &self.uplink)
-            .field("agent", &self.agent.as_ref().map(|_| "<agent>"))
-            .field("capture", &self.capture.as_ref().map(|_| "<capture>"))
-            .finish()
-    }
-}
-
-/// A simulation node.
-#[derive(Debug)]
-pub enum Node {
-    /// Forwarding element.
-    Router(Box<Router>),
-    /// End host.
-    Host(Box<HostNode>),
-}
-
-impl Node {
-    /// The node's address.
-    pub fn addr(&self) -> Ipv4Addr {
-        match self {
-            Node::Router(r) => r.addr,
-            Node::Host(h) => h.addr,
-        }
-    }
-
-    /// The node's label.
-    pub fn label(&self) -> &str {
-        match self {
-            Node::Router(r) => &r.label,
-            Node::Host(h) => &h.label,
-        }
-    }
-
-    /// Mutable router access (panics on hosts — programming error).
-    pub fn as_router_mut(&mut self) -> &mut Router {
-        match self {
-            Node::Router(r) => r,
-            Node::Host(h) => panic!("node {} is a host, not a router", h.label),
-        }
-    }
-
-    /// Router access.
-    pub fn as_router(&self) -> Option<&Router> {
-        match self {
-            Node::Router(r) => Some(r),
-            Node::Host(_) => None,
-        }
-    }
-
-    /// Host access.
-    pub fn as_host(&self) -> Option<&HostNode> {
-        match self {
-            Node::Host(h) => Some(h),
-            Node::Router(_) => None,
-        }
-    }
-}
-
 /// Flow key used for ECMP hashing: stable per (src, dst, proto).
 pub fn flow_key(dgram: &Datagram) -> u64 {
     flow_key_header(&dgram.header())
 }
 
-/// [`flow_key`] over an already-decoded header (the forwarding pipeline
-/// decodes each packet's header exactly once per hop).
+/// [`flow_key`] over an already-decoded header.
 pub fn flow_key_header(h: &ecn_wire::Ipv4Header) -> u64 {
-    (u64::from(u32::from(h.src)) << 32)
-        ^ u64::from(u32::from(h.dst))
-        ^ (u64::from(h.protocol.number()) << 17)
+    flow_key_raw(h.src, h.dst, h.protocol)
+}
+
+/// [`flow_key`] from the individual fields — the forwarding pipeline
+/// reads them straight off the wire bytes without decoding a header.
+pub fn flow_key_raw(src: Ipv4Addr, dst: Ipv4Addr, proto: ecn_wire::IpProto) -> u64 {
+    (u64::from(u32::from(src)) << 32)
+        ^ u64::from(u32::from(dst))
+        ^ (u64::from(proto.number()) << 17)
 }
 
 #[cfg(test)]

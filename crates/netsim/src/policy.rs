@@ -219,6 +219,14 @@ impl Firewall {
     pub fn is_permissive(&self) -> bool {
         self.rules.iter().all(|r| r.action == FirewallAction::Allow)
     }
+
+    /// True when the chain is empty: evaluation is `Allow` without
+    /// consulting the RNG. (Stricter than [`Self::is_permissive`] — an
+    /// allow rule still draws randomness if it is probabilistic, so only
+    /// the empty chain is safe to skip entirely.)
+    pub fn is_open(&self) -> bool {
+        self.rules.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -1,21 +1,41 @@
 //! The discrete-event engine: schedules packet arrivals and host timers,
 //! and implements the router forwarding pipeline (TTL/ICMP, firewall, ECN
 //! policy, route lookup, link transmission).
+//!
+//! # The flat event loop
+//!
+//! Events live in an [`EventWheel`] (hierarchical timer wheel + sorted
+//! ready-run, see [`crate::wheel`]) and dispatch in exact `(at, seq)`
+//! order — earliest timestamp first, insertion order within a timestamp.
+//! That contract is load-bearing: the per-packet RNG stream is shared by
+//! every firewall, policy, loss and queue decision, so any reordering
+//! would change packet outcomes (and golden report bytes), not just
+//! interleavings.
+//!
+//! Per-node state is stored as struct-of-arrays indexed by dense
+//! [`NodeId`]: the dispatch path reads the ECN policy, firewall, route
+//! table and capture flag as direct vector loads, with no `Node` enum
+//! match and no `Box` indirection per hop. Host labels stay in a cold
+//! column only touched by diagnostics and the optional event tap.
+//! Consecutive same-timestamp arrivals at one host dispatch as a batch
+//! (one agent checkout, one capture resolution) — safe because any event
+//! scheduled mid-batch carries a larger `seq` and so sorts after the
+//! whole batch anyway.
 
 use crate::events::SimCounters;
 use crate::link::{Link, LinkId, LinkProps, NodeId};
-use crate::node::{flow_key_header, HostAgent, HostNode, Node, RouteEntry, Router};
+use crate::node::{flow_key_header, flow_key_raw, HostAgent, NodeKind, RouteEntry, Router};
 use crate::pcap::{new_capture, CaptureRef, Direction};
-use crate::policy::FirewallAction;
+use crate::policy::{EcnPolicy, Firewall, FirewallAction};
 use crate::pool::PacketPool;
-use crate::prefix::Ipv4Prefix;
+use crate::prefix::{Ipv4Prefix, PrefixMap};
 use crate::stats::{DropCause, Stats};
 use crate::time::Nanos;
+use crate::wheel::EventWheel;
 use ecn_wire::{Datagram, DestUnreachCode, Ecn, IcmpMessage, IpProto, Ipv4Header};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -44,37 +64,98 @@ enum Event {
     Timer { node: NodeId, token: u64 },
 }
 
-struct Scheduled {
-    at: Nanos,
-    seq: u64,
-    event: Event,
+/// Ways per router in the forwarding route cache. Two slots cover the
+/// request/response flow pair that dominates any probe session crossing
+/// a router; power of two so the index is a mask.
+const ROUTE_CACHE_WAYS: usize = 4;
+
+/// Longest chain of transparent routers a cached tunnel may span. Well
+/// above any path the blueprint builds, well below every probe TTL.
+const MAX_TUNNEL_SKIP: u8 = 30;
+
+/// One memoised forwarding decision: for (`dst`, `flow_key`, `epoch`,
+/// `generation`) the selected outgoing link. The tuple pins every input
+/// of [`RouteEntry::select`] plus the table edit generation, so a hit is
+/// exactly the lookup it replaces.
+///
+/// When the selected link and the routers behind it are *transparent* —
+/// passive links ([`Link::is_passive`]), open firewalls, `Pass` ECN
+/// policy — the slot also memoises a **tunnel**: the furthest node the
+/// packet reaches without any behaviour firing, the summed propagation
+/// delay, and the number of router hops skipped. Every skipped hop would
+/// have drawn no randomness, mutated no state beyond `ttl -= 1` /
+/// `forwarded += 1`, and produced exactly one more `Arrival` event — so
+/// the tunnel applies those effects in bulk and schedules the exit
+/// arrival directly. `bound` caps use at the last instant the whole
+/// traversal still falls inside `epoch` (route flaps mid-chain fall back
+/// to hop-by-hop), and `ttl > skip` guards TTL expiry (traceroute-style
+/// probes fall back and expire at the correct router).
+#[derive(Debug, Clone, Copy)]
+struct RouteCacheSlot {
+    dst: u32,
+    key: u64,
+    epoch: u64,
+    gen: u32,
+    link: Option<LinkId>,
+    /// Transparent routers between `link` and `exit` (0 = no tunnel).
+    skip: u8,
+    /// Node the tunnel delivers to (host, or first non-transparent router).
+    exit: NodeId,
+    /// Total propagation delay from this router to `exit`.
+    extra_delay: Nanos,
+    /// Latest `now` at which `now + extra_delay` is still inside `epoch`.
+    bound: Nanos,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+impl RouteCacheSlot {
+    const EMPTY: RouteCacheSlot = RouteCacheSlot {
+        dst: 0,
+        key: 0,
+        epoch: 0,
+        gen: u32::MAX,
+        link: None,
+        skip: 0,
+        exit: NodeId(0),
+        extra_delay: Nanos(0),
+        bound: Nanos(0),
+    };
 }
 
 /// The simulator.
+///
+/// Node state is struct-of-arrays: column `i` of every vector below
+/// describes the node with `NodeId(i)`. Router-only columns hold cheap
+/// defaults for hosts (and vice versa) — a dense vector load beats an
+/// enum-plus-`Box` hop on the dispatch path, and the per-world memory
+/// cost is a few machine words per node.
 pub struct Sim {
     now: Nanos,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
-    /// All nodes; index = `NodeId`.
-    pub nodes: Vec<Node>,
+    queue: EventWheel<Event>,
+    /// Node kind per id (router or host).
+    kinds: Vec<NodeKind>,
+    /// Node address per id.
+    addrs: Vec<Ipv4Addr>,
+    /// Human-readable label per id (cold: diagnostics and event tap).
+    labels: Vec<Arc<str>>,
+    /// AS number per id (0 for hosts).
+    asns: Vec<u32>,
+    /// Router ECN treatment per id.
+    ecn_policies: Vec<EcnPolicy>,
+    /// Router ICMP time-exceeded behaviour per id.
+    responds_ttl: Vec<bool>,
+    /// Router firewall per id (hosts: `allow_all`, zero-sized).
+    firewalls: Vec<Firewall>,
+    /// Router forwarding table per id (shared with sibling worlds).
+    tables: Vec<Option<Arc<PrefixMap<RouteEntry>>>>,
+    /// Host access link per id.
+    uplinks: Vec<Option<LinkId>>,
+    /// Host agent per id.
+    agents: Vec<Option<Box<dyn HostAgent>>>,
+    /// Host capture per id.
+    captures: Vec<Option<CaptureRef>>,
+    /// Address → node index (first node wins on duplicates).
+    addr_index: HashMap<Ipv4Addr, NodeId>,
     /// All directed links; index = `LinkId`.
     pub links: Vec<Link>,
     /// Ground-truth counters (not visible to the measurement application).
@@ -86,6 +167,24 @@ pub struct Sim {
     /// observed engine runs; `None` (the default) costs one pointer test
     /// per deliver/drop site.
     events: Option<Box<SimCounters>>,
+    /// Scratch for batched host-arrival dispatch (capacity reused).
+    batch: Vec<Datagram>,
+    /// Per-router route-cache slots (see [`RouteCacheSlot`]): probe
+    /// traffic is a handful of long flows, so the last few lookups at a
+    /// router answer most of the next ones without walking the prefix
+    /// trie. Indexed `router * ROUTE_CACHE_WAYS + (flow_key & mask)`.
+    route_cache: Vec<RouteCacheSlot>,
+    /// Monotonic generation for the route cache; bumped by any
+    /// construction-time table edit so stale slots can never serve.
+    route_gen: u32,
+    /// Cached routing epoch (`now / flap_period`) and the time the next
+    /// one starts, so the dispatch path pays a compare instead of a
+    /// 64-bit division per hop.
+    epoch: u64,
+    epoch_next_at: Nanos,
+    /// Events dispatched so far (arrivals + timers) — the denominator of
+    /// the ns/packet-event figure the benches report.
+    dispatched: u64,
     rng: SmallRng,
     config: SimConfig,
 }
@@ -118,12 +217,29 @@ impl Sim {
         Sim {
             now: Nanos::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            nodes: Vec::new(),
+            queue: EventWheel::new(),
+            kinds: Vec::new(),
+            addrs: Vec::new(),
+            labels: Vec::new(),
+            asns: Vec::new(),
+            ecn_policies: Vec::new(),
+            responds_ttl: Vec::new(),
+            firewalls: Vec::new(),
+            tables: Vec::new(),
+            uplinks: Vec::new(),
+            agents: Vec::new(),
+            captures: Vec::new(),
+            addr_index: HashMap::new(),
             links: Vec::new(),
             stats: Stats::default(),
             pool: PacketPool::new(),
             events: None,
+            batch: Vec::new(),
+            route_cache: Vec::new(),
+            route_gen: 0,
+            epoch: 0,
+            epoch_next_at: Nanos(config.flap_period.0.max(1)),
+            dispatched: 0,
             rng: SmallRng::seed_from_u64(config.seed ^ 0xec00_5eed),
             config,
         }
@@ -166,20 +282,38 @@ impl Sim {
         self.now
     }
 
+    /// Events dispatched so far (arrivals and timers).
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
     /// Pre-allocate node and link storage. Blueprint-driven world
     /// instantiation knows its exact element counts up front; reserving
     /// avoids repeated growth reallocations on the construction hot path.
     pub fn reserve(&mut self, nodes: usize, links: usize) {
-        self.nodes.reserve(nodes);
+        self.kinds.reserve(nodes);
+        self.addrs.reserve(nodes);
+        self.labels.reserve(nodes);
+        self.asns.reserve(nodes);
+        self.ecn_policies.reserve(nodes);
+        self.responds_ttl.reserve(nodes);
+        self.firewalls.reserve(nodes);
+        self.tables.reserve(nodes);
+        self.uplinks.reserve(nodes);
+        self.agents.reserve(nodes);
+        self.captures.reserve(nodes);
+        self.addr_index.reserve(nodes);
         self.links.reserve(links);
     }
 
-    /// Pre-size the event queue so the first probe bursts don't grow the
-    /// heap incrementally.
+    /// Pre-size the event queue (the wheel's ready-run and the dispatch
+    /// batch scratch) so the first probe bursts don't grow them
+    /// incrementally.
     pub fn reserve_events(&mut self, events: usize) {
-        let have = self.queue.capacity();
-        if events > have {
-            self.queue.reserve(events - have);
+        self.queue.reserve(events);
+        let have = self.batch.capacity();
+        if events / 4 > have {
+            self.batch.reserve(events / 4 - have);
         }
     }
 
@@ -190,24 +324,71 @@ impl Sim {
 
     // ---- topology construction -------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)] // private: one call site per node kind
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        label: Arc<str>,
+        addr: Ipv4Addr,
+        asn: u32,
+        ecn_policy: EcnPolicy,
+        responds_ttl: bool,
+        firewall: Firewall,
+        table: Option<Arc<PrefixMap<RouteEntry>>>,
+    ) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.addrs.push(addr);
+        self.labels.push(label);
+        self.asns.push(asn);
+        self.ecn_policies.push(ecn_policy);
+        self.responds_ttl.push(responds_ttl);
+        self.firewalls.push(firewall);
+        self.tables.push(table);
+        self.uplinks.push(None);
+        self.agents.push(None);
+        self.captures.push(None);
+        self.route_cache
+            .extend([RouteCacheSlot::EMPTY; ROUTE_CACHE_WAYS]);
+        self.addr_index.entry(addr).or_insert(id);
+        id
+    }
+
     /// Add a router node.
     pub fn add_router(&mut self, router: Router) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::Router(Box::new(router)));
-        id
+        let Router {
+            label,
+            addr,
+            asn,
+            ecn_policy,
+            firewall,
+            responds_ttl_exceeded,
+            table,
+        } = router;
+        self.push_node(
+            NodeKind::Router,
+            label,
+            addr,
+            asn,
+            ecn_policy,
+            responds_ttl_exceeded,
+            firewall,
+            Some(table),
+        )
     }
 
     /// Add a host node (no uplink yet).
     pub fn add_host(&mut self, label: impl Into<Arc<str>>, addr: Ipv4Addr) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::Host(Box::new(crate::node::HostNode {
-            label: label.into(),
+        self.push_node(
+            NodeKind::Host,
+            label.into(),
             addr,
-            uplink: None,
-            agent: None,
-            capture: None,
-        })));
-        id
+            0,
+            EcnPolicy::Pass,
+            false,
+            Firewall::allow_all(),
+            None,
+        )
     }
 
     /// Add a directed link.
@@ -231,53 +412,111 @@ impl Sim {
         props: LinkProps,
     ) -> (LinkId, LinkId) {
         let (up, down) = self.add_duplex(host, router, props);
-        let addr = self.nodes[host.0 as usize].addr();
-        match &mut self.nodes[host.0 as usize] {
-            Node::Host(h) => h.uplink = Some(up),
-            Node::Router(_) => panic!("attach_host: {host:?} is a router"),
-        }
-        self.nodes[router.0 as usize]
-            .as_router_mut()
-            .table_mut()
-            .insert(Ipv4Prefix::host(addr), RouteEntry::Link(down));
+        let addr = self.addrs[host.0 as usize];
+        self.set_uplink(host, up);
+        self.route(router, Ipv4Prefix::host(addr), RouteEntry::Link(down));
         (up, down)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Is this node a router?
+    pub fn is_router(&self, node: NodeId) -> bool {
+        self.kinds[node.0 as usize] == NodeKind::Router
+    }
+
+    /// The node's address.
+    pub fn addr_of(&self, node: NodeId) -> Ipv4Addr {
+        self.addrs[node.0 as usize]
+    }
+
+    /// The node's human-readable label.
+    pub fn label_of(&self, node: NodeId) -> &str {
+        &self.labels[node.0 as usize]
+    }
+
+    /// The node's AS number (0 for hosts).
+    pub fn asn_of(&self, node: NodeId) -> u32 {
+        self.asns[node.0 as usize]
+    }
+
+    /// The host's access link, if set.
+    pub fn uplink_of(&self, node: NodeId) -> Option<LinkId> {
+        self.uplinks[node.0 as usize]
+    }
+
+    /// Set a host's access link.
+    pub fn set_uplink(&mut self, host: NodeId, link: LinkId) {
+        assert!(!self.is_router(host), "set_uplink: {host:?} is a router");
+        self.uplinks[host.0 as usize] = Some(link);
+    }
+
+    /// A router's ECN treatment.
+    pub fn ecn_policy_of(&self, router: NodeId) -> EcnPolicy {
+        self.ecn_policies[router.0 as usize]
+    }
+
+    /// Set a router's ECN treatment.
+    pub fn set_ecn_policy(&mut self, router: NodeId, policy: EcnPolicy) {
+        assert!(
+            self.is_router(router),
+            "set_ecn_policy: {router:?} is a host"
+        );
+        self.ecn_policies[router.0 as usize] = policy;
+        // cached tunnels may span this router; force rebuilds
+        self.route_gen = self.route_gen.wrapping_add(1);
+    }
+
+    /// Set a router's firewall.
+    pub fn set_firewall(&mut self, router: NodeId, firewall: Firewall) {
+        assert!(self.is_router(router), "set_firewall: {router:?} is a host");
+        self.firewalls[router.0 as usize] = firewall;
+        // cached tunnels may span this router; force rebuilds
+        self.route_gen = self.route_gen.wrapping_add(1);
     }
 
     /// Install a route on a router.
     pub fn route(&mut self, router: NodeId, prefix: Ipv4Prefix, entry: RouteEntry) {
-        self.nodes[router.0 as usize]
-            .as_router_mut()
-            .table_mut()
-            .insert(prefix, entry);
+        assert!(self.is_router(router), "route: {router:?} is not a router");
+        let table = self.tables[router.0 as usize]
+            .as_mut()
+            .expect("router has a table");
+        Arc::make_mut(table).insert(prefix, entry);
+        // any table edit invalidates every memoised forwarding decision
+        self.route_gen = self.route_gen.wrapping_add(1);
     }
 
     /// Install the agent driving a host.
     pub fn set_agent(&mut self, host: NodeId, agent: Box<dyn HostAgent>) {
-        match &mut self.nodes[host.0 as usize] {
-            Node::Host(h) => h.agent = Some(agent),
-            Node::Router(_) => panic!("set_agent: {host:?} is a router"),
-        }
+        assert!(!self.is_router(host), "set_agent: {host:?} is a router");
+        self.agents[host.0 as usize] = Some(agent);
     }
 
     /// Attach (or fetch) the capture buffer on a host interface.
     pub fn attach_capture(&mut self, host: NodeId) -> CaptureRef {
-        match &mut self.nodes[host.0 as usize] {
-            Node::Host(h) => {
-                if h.capture.is_none() {
-                    h.capture = Some(new_capture());
-                }
-                h.capture.clone().expect("just set")
-            }
-            Node::Router(_) => panic!("attach_capture: {host:?} is a router"),
-        }
+        assert!(
+            !self.is_router(host),
+            "attach_capture: {host:?} is a router"
+        );
+        self.captures[host.0 as usize]
+            .get_or_insert_with(new_capture)
+            .clone()
     }
 
-    /// Node id of the host with address `addr` (linear scan; test helper).
+    /// Node id of the host with address `addr` (indexed; O(1)).
     pub fn find_host(&self, addr: Ipv4Addr) -> Option<NodeId> {
-        self.nodes.iter().enumerate().find_map(|(i, n)| match n {
-            Node::Host(h) if h.addr == addr => Some(NodeId(i as u32)),
-            _ => None,
-        })
+        self.addr_index
+            .get(&addr)
+            .copied()
+            .filter(|&n| !self.is_router(n))
+    }
+
+    /// Node id of the node (host or router) with address `addr`.
+    pub fn find_node(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        self.addr_index.get(&addr).copied()
     }
 
     // ---- event loop -------------------------------------------------------------
@@ -286,17 +525,20 @@ impl Sim {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, event });
+        self.queue.push(at, seq, event);
     }
 
-    /// Process a single event. Returns false if the queue is empty.
+    /// Process a single event (plus any same-timestamp arrivals batched
+    /// behind it — see [`Self::dispatch_arrival`]). Returns false if the
+    /// queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(s) = self.queue.pop() else {
+        let Some((at, _seq, event)) = self.queue.pop() else {
             return false;
         };
-        self.now = s.at;
-        match s.event {
-            Event::Arrival { node, dgram } => self.handle_arrival(node, dgram),
+        self.now = at;
+        self.dispatched += 1;
+        match event {
+            Event::Arrival { node, dgram } => self.dispatch_arrival(node, dgram),
             Event::Timer { node, token } => self.dispatch_timer(node, token),
         }
         true
@@ -305,8 +547,8 @@ impl Sim {
     /// Run until virtual time `t`: all events at or before `t` are
     /// processed, and the clock is left at exactly `t`.
     pub fn run_until(&mut self, t: Nanos) {
-        while let Some(head) = self.queue.peek() {
-            if head.at > t {
+        while let Some(at) = self.queue.next_at() {
+            if at > t {
                 break;
             }
             self.step();
@@ -341,15 +583,15 @@ impl Sim {
     /// funnel through here.
     pub fn send_from(&mut self, host: NodeId, dgram: Datagram) {
         let idx = host.0 as usize;
-        let (uplink, capture) = match &self.nodes[idx] {
-            Node::Host(h) => (h.uplink, h.capture.clone()),
-            Node::Router(_) => panic!("send_from: {host:?} is a router"),
-        };
-        if let Some(cap) = capture {
+        assert!(
+            self.kinds[idx] == NodeKind::Host,
+            "send_from: {host:?} is a router"
+        );
+        if let Some(cap) = &self.captures[idx] {
             cap.lock()
                 .record(self.now, Direction::Out, dgram.as_bytes());
         }
-        let Some(up) = uplink else {
+        let Some(up) = self.uplinks[idx] else {
             self.note_drop(DropCause::NoRoute);
             self.pool.recycle_datagram(dgram);
             return;
@@ -358,104 +600,122 @@ impl Sim {
         self.transmit(up, dgram);
     }
 
-    fn handle_arrival(&mut self, node: NodeId, dgram: Datagram) {
-        match &self.nodes[node.0 as usize] {
-            Node::Host(_) => self.host_receive(node, dgram),
-            Node::Router(_) => self.router_receive(node, dgram),
-        }
-    }
-
-    fn host_receive(&mut self, node: NodeId, dgram: Datagram) {
+    /// Dispatch one arrival. For hosts, consecutive pending arrivals at
+    /// the same `(timestamp, node)` are drained into one batch and
+    /// delivered together: one agent checkout and one capture resolution
+    /// for the whole link burst. This cannot change any outcome — batched
+    /// entries are exactly the events that would have dispatched
+    /// back-to-back anyway (anything scheduled from inside a handler
+    /// carries a larger `seq` and sorts after the batch), and the
+    /// per-packet capture/deliver/agent sequence is preserved within it.
+    fn dispatch_arrival(&mut self, node: NodeId, dgram: Datagram) {
         let idx = node.0 as usize;
-        let now = self.now;
-        let (matches, agent) = match &mut self.nodes[idx] {
-            Node::Host(h) => {
-                if let Some(cap) = &h.capture {
-                    cap.lock().record(now, Direction::In, dgram.as_bytes());
-                }
-                if h.addr == dgram.dst() {
-                    (true, h.agent.take())
-                } else {
-                    (false, None)
-                }
-            }
-            Node::Router(_) => unreachable!("host_receive on router"),
-        };
-        if !matches {
-            self.note_drop(DropCause::HostMismatch);
-            self.pool.recycle_datagram(dgram);
+        if self.kinds[idx] == NodeKind::Router {
+            self.router_receive(node, dgram);
             return;
         }
-        self.stats.delivered += 1;
-        if let Some(tap) = &mut self.events {
-            tap.delivered += 1;
-        }
-        if let Some(mut agent) = agent {
-            let mut api = HostApi { sim: self, node };
-            agent.on_datagram(&mut api, &dgram);
-            if let Node::Host(h) = &mut self.nodes[idx] {
-                h.agent = Some(agent);
+        let at = self.now;
+        let mut batch = std::mem::take(&mut self.batch);
+        debug_assert!(batch.is_empty());
+        batch.push(dgram);
+        while let Some((next_at, _seq, ev)) = self.queue.peek() {
+            if next_at != at || !matches!(ev, Event::Arrival { node: n, .. } if *n == node) {
+                break;
+            }
+            match self.queue.pop() {
+                Some((_, _, Event::Arrival { dgram, .. })) => {
+                    self.dispatched += 1;
+                    batch.push(dgram);
+                }
+                _ => unreachable!("peeked arrival"),
             }
         }
-        // the packet's life ends here; its buffer goes back to the pool
-        self.pool.recycle_datagram(dgram);
+        self.host_receive_batch(node, &mut batch);
+        batch.clear();
+        self.batch = batch;
+    }
+
+    fn host_receive_batch(&mut self, node: NodeId, batch: &mut Vec<Datagram>) {
+        let idx = node.0 as usize;
+        let addr = self.addrs[idx];
+        let now = self.now;
+        let mut agent = self.agents[idx].take();
+        for dgram in batch.drain(..) {
+            if let Some(cap) = &self.captures[idx] {
+                cap.lock().record(now, Direction::In, dgram.as_bytes());
+            }
+            if addr != dgram.dst() {
+                self.note_drop(DropCause::HostMismatch);
+                self.pool.recycle_datagram(dgram);
+                continue;
+            }
+            self.stats.delivered += 1;
+            if let Some(tap) = &mut self.events {
+                tap.delivered += 1;
+            }
+            if let Some(agent) = agent.as_deref_mut() {
+                let mut api = HostApi { sim: self, node };
+                agent.on_datagram(&mut api, &dgram);
+            }
+            // the packet's life ends here; its buffer goes back to the pool
+            self.pool.recycle_datagram(dgram);
+        }
+        if agent.is_some() {
+            self.agents[idx] = agent;
+        }
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
         let idx = node.0 as usize;
-        let agent = match &mut self.nodes[idx] {
-            Node::Host(h) => h.agent.take(),
-            Node::Router(_) => None,
-        };
-        if let Some(mut agent) = agent {
+        if let Some(mut agent) = self.agents[idx].take() {
             let mut api = HostApi { sim: self, node };
             agent.on_timer(&mut api, token);
-            if let Node::Host(h) = &mut self.nodes[idx] {
-                h.agent = Some(agent);
-            }
+            self.agents[idx] = Some(agent);
         }
     }
 
-    /// The router pipeline decodes the IPv4 header exactly **once** per
-    /// hop into a stack copy, mutates fields there (TTL, ECN), and writes
-    /// the bytes back in a single [`Datagram::write_header`] at transmit
-    /// time. The previous field-accessor style re-decoded (and
-    /// checksum-verified) the header up to eight times per hop — the
-    /// dominant CPU cost of the forwarding hot loop.
+    /// The router pipeline never decodes the IPv4 header at all on the
+    /// fast path: every per-hop input (TTL, ECN, src, dst, protocol) is a
+    /// fixed-offset read straight off the wire bytes, the TTL/ECN
+    /// mutations are raw byte writes, and the checksum is refreshed once
+    /// before the packet moves on — byte-for-byte what the old
+    /// decode → mutate → re-encode cycle produced (pinned by wire-level
+    /// tests). Every per-hop behaviour is a dense vector load off the
+    /// struct-of-arrays columns — no enum match, no box hop. Cold paths
+    /// (TTL expiry, firewall reject) drop to the full codec for ICMP
+    /// quoting.
     fn router_receive(&mut self, node: NodeId, mut dgram: Datagram) {
         let idx = node.0 as usize;
-        let mut hdr = dgram.header();
+        let src = dgram.src();
+        let ecn = dgram.ecn();
+        let protocol = dgram.protocol();
 
         // 1. TTL. Decrement; on expiry, answer with time-exceeded quoting
         // the datagram as this router saw it — including any upstream ECN
         // mangling, which is precisely what ECN traceroute measures.
-        hdr.ttl = hdr.ttl.saturating_sub(1);
-        if hdr.ttl == 0 {
+        let ttl = dgram.ttl().saturating_sub(1);
+        dgram.set_ttl_raw(ttl);
+        if ttl == 0 {
             // the quote must show the decremented TTL on the wire
-            dgram.write_header(&hdr);
+            dgram.refresh_header_checksum();
             self.note_drop(DropCause::TtlExpired);
-            let r = self.nodes[idx].as_router().expect("router");
             // No ICMP errors about ICMP (RFC 1812 §4.3.2.7 simplification:
             // the study's probes are UDP/TCP, so this only suppresses
             // pathological error-about-error storms).
-            if r.responds_ttl_exceeded && hdr.protocol != IpProto::Icmp {
-                let reply_hdr = Ipv4Header::probe(r.addr, hdr.src, IpProto::Icmp, Ecn::NotEct);
+            if self.responds_ttl[idx] && protocol != IpProto::Icmp {
+                let reply_hdr = Ipv4Header::probe(self.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
                 let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
                     IcmpMessage::encode_time_exceeded_into(dgram.as_bytes(), out)
                 });
                 self.stats.icmp_time_exceeded += 1;
-                self.route_and_transmit(node, reply, reply_hdr, false);
+                self.route_and_transmit(node, reply, &reply_hdr);
             }
             self.pool.recycle_datagram(dgram);
             return;
         }
 
         // 2. Firewall.
-        let action = {
-            let r = self.nodes[idx].as_router().expect("router");
-            r.firewall
-                .evaluate(hdr.src, hdr.protocol, hdr.ecn, &mut self.rng)
-        };
+        let action = self.firewalls[idx].evaluate(src, protocol, ecn, &mut self.rng);
         match action {
             FirewallAction::Drop => {
                 self.note_drop(DropCause::Firewall);
@@ -466,11 +726,11 @@ impl Sim {
             FirewallAction::Reject => {
                 self.note_drop(DropCause::Firewall);
                 *self.stats.firewall_drops_by_node.entry(node).or_insert(0) += 1;
-                let r = self.nodes[idx].as_router().expect("router");
-                if hdr.protocol != IpProto::Icmp {
+                if protocol != IpProto::Icmp {
                     // the quote shows the packet as this hop saw it
-                    dgram.write_header(&hdr);
-                    let reply_hdr = Ipv4Header::probe(r.addr, hdr.src, IpProto::Icmp, Ecn::NotEct);
+                    dgram.refresh_header_checksum();
+                    let reply_hdr =
+                        Ipv4Header::probe(self.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
                     let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
                         IcmpMessage::encode_dest_unreachable_into(
                             DestUnreachCode::AdminProhibited,
@@ -479,7 +739,7 @@ impl Sim {
                         )
                     });
                     self.stats.icmp_dest_unreachable += 1;
-                    self.route_and_transmit(node, reply, reply_hdr, false);
+                    self.route_and_transmit(node, reply, &reply_hdr);
                 }
                 self.pool.recycle_datagram(dgram);
                 return;
@@ -488,44 +748,98 @@ impl Sim {
         }
 
         // 3. ECN policy.
-        let policy = self.nodes[idx].as_router().expect("router").ecn_policy;
-        let before = hdr.ecn;
-        let (after, dropped) = policy.apply(before, &mut self.rng);
+        let policy = self.ecn_policies[idx];
+        let (after, dropped) = policy.apply(ecn, &mut self.rng);
         if dropped {
             self.note_drop(DropCause::PolicyTos);
             self.pool.recycle_datagram(dgram);
             return;
         }
-        if after != before {
-            hdr.ecn = after;
+        if after != ecn {
+            dgram.set_ecn_raw(after);
             *self.stats.bleached_by_node.entry(node).or_insert(0) += 1;
             if let Some(tap) = self.events.as_mut() {
                 // resolve the named hop only when someone is listening
-                let hop = self.nodes[idx].as_router().expect("router").label.clone();
+                let hop = self.labels[idx].clone();
                 tap.note_ecn_rewrite(hop);
             }
         }
 
-        // 4+5. Route and transmit (the TTL decrement makes the header
-        // dirty; the wire bytes are rewritten once, at transmit).
-        self.route_and_transmit(node, dgram, hdr, true);
+        // 4+5. Route and transmit. The TTL (and possibly ECN) bytes are
+        // already written; the checksum refresh happens once, at transmit.
+        let dst = dgram.dst();
+        let key = flow_key_raw(src, dst, protocol) ^ (u64::from(node.0) << 48);
+        self.route_and_transmit_keyed(node, dgram, u32::from(dst), key, after, true);
     }
 
-    /// `hdr` is the caller's decoded (and possibly mutated) copy of
-    /// `dgram`'s header; `dirty` says the copy differs from the wire
-    /// bytes and must be written back before the packet moves on.
-    fn route_and_transmit(&mut self, node: NodeId, dgram: Datagram, hdr: Ipv4Header, dirty: bool) {
+    /// Routing epoch for the current virtual time, from the cached value
+    /// (recomputed — one 64-bit division — only when `now` crosses into
+    /// the next `flap_period`).
+    fn current_epoch(&mut self) -> u64 {
+        if self.now >= self.epoch_next_at {
+            let period = self.config.flap_period.0.max(1);
+            self.epoch = self.now.0 / period;
+            self.epoch_next_at = Nanos(self.epoch.saturating_add(1).saturating_mul(period));
+        }
+        self.epoch
+    }
+
+    /// Route-and-transmit for a freshly composed reply (header known,
+    /// wire bytes clean).
+    fn route_and_transmit(&mut self, node: NodeId, dgram: Datagram, hdr: &Ipv4Header) {
+        let key = flow_key_header(hdr) ^ (u64::from(node.0) << 48);
+        self.route_and_transmit_keyed(node, dgram, u32::from(hdr.dst), key, hdr.ecn, false);
+    }
+
+    /// Shared tail of the forwarding pipeline: consult the per-router
+    /// route cache (fall back to the prefix-trie lookup on miss), then
+    /// either ride the memoised tunnel past every transparent hop or
+    /// offer to the selected link. `needs_refresh` says the header bytes
+    /// were raw-mutated and the checksum must be refreshed before the
+    /// packet is observed again.
+    fn route_and_transmit_keyed(
+        &mut self,
+        node: NodeId,
+        mut dgram: Datagram,
+        dst: u32,
+        key: u64,
+        ecn: Ecn,
+        needs_refresh: bool,
+    ) {
         let idx = node.0 as usize;
-        let epoch = self.now.0 / self.config.flap_period.0.max(1);
-        let key = flow_key_header(&hdr) ^ (u64::from(node.0) << 48);
-        let link = {
-            let r = self.nodes[idx].as_router().expect("router");
-            r.table
-                .lookup(hdr.dst)
-                .and_then(|entry| entry.select(key, epoch))
-        };
-        match link {
-            Some(lid) => self.transmit_with(lid, dgram, hdr, dirty),
+        let epoch = self.current_epoch();
+        let slot_idx = idx * ROUTE_CACHE_WAYS + (key as usize & (ROUTE_CACHE_WAYS - 1));
+        let mut slot = self.route_cache[slot_idx];
+        if slot.dst != dst || slot.key != key || slot.epoch != epoch || slot.gen != self.route_gen {
+            slot = self.build_cache_slot(node, dst, key, epoch, dgram.ttl());
+            self.route_cache[slot_idx] = slot;
+        }
+        if slot.skip > 0 {
+            // Tunnel: every skipped hop is transparent, so the chain's
+            // observable effect is exactly `ttl -= skip`, one checksum
+            // refresh, `forwarded += skip` (plus this router's own
+            // transmit), and a single arrival at the exit. Falls back to
+            // hop-by-hop when TTL would expire mid-chain (the correct
+            // router must answer) or when an epoch boundary cuts the
+            // traversal (a flap may reroute mid-chain).
+            let ttl = dgram.ttl();
+            if ttl > slot.skip && self.now <= slot.bound {
+                dgram.set_ttl_raw(ttl - slot.skip);
+                dgram.refresh_header_checksum();
+                self.stats.forwarded += 1 + u64::from(slot.skip);
+                let at = self.now + slot.extra_delay;
+                self.schedule(
+                    at,
+                    Event::Arrival {
+                        node: slot.exit,
+                        dgram,
+                    },
+                );
+                return;
+            }
+        }
+        match slot.link {
+            Some(lid) => self.transmit_with(lid, dgram, ecn, needs_refresh),
             None => {
                 self.note_drop(DropCause::NoRoute);
                 self.pool.recycle_datagram(dgram);
@@ -533,37 +847,109 @@ impl Sim {
         }
     }
 
-    fn transmit(&mut self, lid: LinkId, dgram: Datagram) {
-        let hdr = dgram.header();
-        self.transmit_with(lid, dgram, hdr, false);
+    /// Cache-miss path: the prefix-trie lookup plus the tunnel walk.
+    /// Starting from the selected link, follow the chain while the link
+    /// is passive ([`Link::is_passive`]) and the node behind it is a
+    /// transparent router (open firewall, `Pass` ECN policy): such hops
+    /// draw no randomness and can neither drop, mark, nor reorder, so
+    /// their routing decisions — pinned by (`dst`, per-hop flow key,
+    /// `epoch`) exactly like this slot — can be replayed in bulk.
+    ///
+    /// The walk is capped by the requesting packet's TTL: a packet with
+    /// TTL `t` can ride at most `t - 1` skipped hops, so walking further
+    /// is wasted trie work. This matters for TTL-limited traceroute
+    /// probes, which carry a fresh flow key per probe (distinct ports):
+    /// each one misses the cache, and without the cap each miss would
+    /// pay a full chain walk for a tunnel it can never use. A slot built
+    /// under a low cap memoises a shorter — still exact — tunnel.
+    fn build_cache_slot(
+        &mut self,
+        node: NodeId,
+        dst: u32,
+        key: u64,
+        epoch: u64,
+        ttl: u8,
+    ) -> RouteCacheSlot {
+        let link = self.tables[node.0 as usize]
+            .as_ref()
+            .and_then(|t| t.lookup(std::net::Ipv4Addr::from(dst)))
+            .and_then(|entry| entry.select(key, epoch));
+        let mut slot = RouteCacheSlot {
+            dst,
+            key,
+            epoch,
+            gen: self.route_gen,
+            link,
+            ..RouteCacheSlot::EMPTY
+        };
+        let Some(l0) = link else { return slot };
+        if !self.links[l0.0 as usize].is_passive() {
+            return slot;
+        }
+        // the per-hop key is the flow key XOR the hop's node id
+        let base = key ^ (u64::from(node.0) << 48);
+        let mut delay = self.links[l0.0 as usize].props.delay;
+        let mut cur = self.links[l0.0 as usize].to;
+        let mut skip = 0u8;
+        let max_skip = MAX_TUNNEL_SKIP.min(ttl.saturating_sub(1));
+        while skip < max_skip {
+            let c = cur.0 as usize;
+            if self.kinds[c] != NodeKind::Router
+                || !self.firewalls[c].is_open()
+                || !matches!(self.ecn_policies[c], EcnPolicy::Pass)
+            {
+                break;
+            }
+            let hop_key = base ^ (u64::from(cur.0) << 48);
+            let Some(next) = self.tables[c]
+                .as_ref()
+                .and_then(|t| t.lookup(std::net::Ipv4Addr::from(dst)))
+                .and_then(|entry| entry.select(hop_key, epoch))
+            else {
+                // the chain would no-route *at* `cur`: stop the tunnel
+                // before it so the drop is attributed to the right hop
+                break;
+            };
+            if !self.links[next.0 as usize].is_passive() {
+                break;
+            }
+            delay += self.links[next.0 as usize].props.delay;
+            skip += 1;
+            cur = self.links[next.0 as usize].to;
+        }
+        if skip > 0 {
+            let period = self.config.flap_period.0.max(1);
+            let epoch_end = epoch.saturating_add(1).saturating_mul(period);
+            slot.skip = skip;
+            slot.exit = cur;
+            slot.extra_delay = delay;
+            // `now <= bound` ⇒ every intermediate arrival (all at
+            // `now + d`, `d <= delay`) still falls inside `epoch`
+            slot.bound = Nanos(epoch_end.saturating_sub(1).saturating_sub(delay.0));
+        }
+        slot
     }
 
-    fn transmit_with(
-        &mut self,
-        lid: LinkId,
-        mut dgram: Datagram,
-        mut hdr: Ipv4Header,
-        dirty: bool,
-    ) {
+    fn transmit(&mut self, lid: LinkId, dgram: Datagram) {
+        let ecn = dgram.ecn();
+        self.transmit_with(lid, dgram, ecn, false);
+    }
+
+    fn transmit_with(&mut self, lid: LinkId, mut dgram: Datagram, ecn: Ecn, needs_refresh: bool) {
         let now = self.now;
         let link = &mut self.links[lid.0 as usize];
         let to = link.to;
-        match link.offer(
-            now,
-            dgram.len() as u64,
-            hdr.ecn.is_markable(),
-            &mut self.rng,
-        ) {
+        match link.offer(now, dgram.len() as u64, ecn.is_markable(), &mut self.rng) {
             crate::link::LinkOutcome::Deliver { at, ce_mark } => {
                 if ce_mark {
-                    hdr.ecn = Ecn::Ce;
+                    dgram.set_ecn_raw(Ecn::Ce);
                     self.stats.ce_marked += 1;
                     if let Some(tap) = &mut self.events {
                         tap.ce_marked += 1;
                     }
                 }
-                if dirty || ce_mark {
-                    dgram.write_header(&hdr);
+                if needs_refresh || ce_mark {
+                    dgram.refresh_header_checksum();
                 }
                 self.stats.forwarded += 1;
                 self.schedule(at, Event::Arrival { node: to, dgram });
@@ -594,7 +980,7 @@ impl HostApi<'_> {
 
     /// This host's address.
     pub fn addr(&self) -> Ipv4Addr {
-        self.sim.nodes[self.node.0 as usize].addr()
+        self.sim.addrs[self.node.0 as usize]
     }
 
     /// This host's node id.
@@ -631,23 +1017,25 @@ impl HostApi<'_> {
 }
 
 /// An immutable, thread-shareable snapshot of a constructed topology:
-/// nodes (with `Arc`-shared labels and forwarding tables) and links, no
-/// agents, captures, or pending events. One skeleton is built per
-/// blueprint; every work unit then stamps a live [`Sim`] from it with
-/// [`SimSkeleton::instantiate`] — a vector clone plus reference bumps
-/// instead of re-running topology construction.
+/// the struct-of-arrays node columns (with `Arc`-shared labels and
+/// forwarding tables) and links — no agents, captures, or pending
+/// events. One skeleton is built per blueprint; every work unit then
+/// stamps a live [`Sim`] from it with [`SimSkeleton::instantiate`] — a
+/// handful of column clones plus reference bumps instead of re-running
+/// topology construction (and, since the flat layout, instead of one
+/// box allocation per node).
 pub struct SimSkeleton {
-    nodes: Vec<SkeletonNode>,
+    kinds: Vec<NodeKind>,
+    addrs: Vec<Ipv4Addr>,
+    labels: Vec<Arc<str>>,
+    asns: Vec<u32>,
+    ecn_policies: Vec<EcnPolicy>,
+    responds_ttl: Vec<bool>,
+    firewalls: Vec<Firewall>,
+    tables: Vec<Option<Arc<PrefixMap<RouteEntry>>>>,
+    uplinks: Vec<Option<LinkId>>,
+    addr_index: HashMap<Ipv4Addr, NodeId>,
     links: Vec<Link>,
-}
-
-enum SkeletonNode {
-    Router(Router),
-    Host {
-        label: Arc<str>,
-        addr: Ipv4Addr,
-        uplink: Option<LinkId>,
-    },
 }
 
 impl Sim {
@@ -658,28 +1046,31 @@ impl Sim {
     /// runtime state.
     pub fn freeze(self) -> SimSkeleton {
         assert_eq!(self.queue.len(), 0, "freeze: pending events");
-        let nodes = self
-            .nodes
-            .into_iter()
-            .map(|n| match n {
-                Node::Router(r) => SkeletonNode::Router(*r),
-                Node::Host(h) => {
-                    assert!(h.agent.is_none(), "freeze: host {} has an agent", h.label);
-                    assert!(
-                        h.capture.is_none(),
-                        "freeze: host {} has a capture",
-                        h.label
-                    );
-                    SkeletonNode::Host {
-                        label: h.label,
-                        addr: h.addr,
-                        uplink: h.uplink,
-                    }
-                }
-            })
-            .collect();
+        for (i, agent) in self.agents.iter().enumerate() {
+            assert!(
+                agent.is_none(),
+                "freeze: host {} has an agent",
+                self.labels[i]
+            );
+        }
+        for (i, cap) in self.captures.iter().enumerate() {
+            assert!(
+                cap.is_none(),
+                "freeze: host {} has a capture",
+                self.labels[i]
+            );
+        }
         SimSkeleton {
-            nodes,
+            kinds: self.kinds,
+            addrs: self.addrs,
+            labels: self.labels,
+            asns: self.asns,
+            ecn_policies: self.ecn_policies,
+            responds_ttl: self.responds_ttl,
+            firewalls: self.firewalls,
+            tables: self.tables,
+            uplinks: self.uplinks,
+            addr_index: self.addr_index,
             links: self.links,
         }
     }
@@ -688,32 +1079,28 @@ impl Sim {
 impl SimSkeleton {
     /// Stamp a live simulator from this skeleton under `config`.
     pub fn instantiate(&self, config: SimConfig) -> Sim {
+        let n = self.kinds.len();
         let mut sim = Sim::with_config(config);
-        sim.nodes = self
-            .nodes
-            .iter()
-            .map(|n| match n {
-                SkeletonNode::Router(r) => Node::Router(Box::new(r.clone())),
-                SkeletonNode::Host {
-                    label,
-                    addr,
-                    uplink,
-                } => Node::Host(Box::new(HostNode {
-                    label: label.clone(),
-                    addr: *addr,
-                    uplink: *uplink,
-                    agent: None,
-                    capture: None,
-                })),
-            })
-            .collect();
+        sim.kinds = self.kinds.clone();
+        sim.addrs = self.addrs.clone();
+        sim.labels = self.labels.clone();
+        sim.asns = self.asns.clone();
+        sim.ecn_policies = self.ecn_policies.clone();
+        sim.responds_ttl = self.responds_ttl.clone();
+        sim.firewalls = self.firewalls.clone();
+        sim.tables = self.tables.clone();
+        sim.uplinks = self.uplinks.clone();
+        sim.agents = std::iter::repeat_with(|| None).take(n).collect();
+        sim.captures = vec![None; n];
+        sim.route_cache = vec![RouteCacheSlot::EMPTY; n * ROUTE_CACHE_WAYS];
+        sim.addr_index = self.addr_index.clone();
         sim.links = self.links.clone();
         sim
     }
 
     /// Nodes in the skeleton.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Links in the skeleton.
@@ -820,7 +1207,7 @@ mod tests {
     #[test]
     fn bleaching_router_strips_mark_before_next_hop() {
         let (mut sim, a, b, r1, _r2) = line_topology(3);
-        sim.nodes[r1.0 as usize].as_router_mut().ecn_policy = EcnPolicy::Bleach;
+        sim.set_ecn_policy(r1, EcnPolicy::Bleach);
         sim.set_agent(b, Box::new(Echoer));
         let cap_b = sim.attach_capture(b);
         let d = probe_dgram(
@@ -841,8 +1228,7 @@ mod tests {
     #[test]
     fn ect_udp_firewall_blocks_udp_but_not_tcp() {
         let (mut sim, a, _b, _r1, r2) = line_topology(4);
-        sim.nodes[r2.0 as usize].as_router_mut().firewall =
-            Firewall::single(FirewallRule::drop_ect_udp());
+        sim.set_firewall(r2, Firewall::single(FirewallRule::drop_ect_udp()));
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(192, 0, 2, 1);
         // ECT UDP: dropped at r2.
@@ -919,14 +1305,16 @@ mod tests {
     fn rejecting_firewall_sends_admin_prohibited() {
         use ecn_wire::DestUnreachCode;
         let (mut sim, a, _b, _r1, r2) = line_topology(20);
-        sim.nodes[r2.0 as usize].as_router_mut().firewall =
+        sim.set_firewall(
+            r2,
             Firewall::single(crate::policy::FirewallRule {
                 proto: Some(IpProto::Udp),
                 ecn: crate::policy::EcnMatch::EcnCapable,
                 src_within: None,
                 action: FirewallAction::Reject,
                 probability: 1.0,
-            });
+            }),
+        );
         let cap = sim.attach_capture(a);
         sim.send_from(
             a,
@@ -960,7 +1348,7 @@ mod tests {
     #[test]
     fn tos_drop_policy_sheds_marked_packets_only() {
         let (mut sim, a, b, r1, _r2) = line_topology(21);
-        sim.nodes[r1.0 as usize].as_router_mut().ecn_policy = EcnPolicy::TosDrop(1.0);
+        sim.set_ecn_policy(r1, EcnPolicy::TosDrop(1.0));
         sim.set_agent(b, Box::new(Echoer));
         let cap = sim.attach_capture(a);
         let src = Ipv4Addr::new(10, 0, 0, 1);
@@ -1043,10 +1431,7 @@ mod tests {
             (sim, a, b, r2, r1)
         };
         // Route a bogus /32 at r2 down b's access link: wrong host receives.
-        let down = match &sim.nodes[b.0 as usize] {
-            Node::Host(h) => h.uplink.unwrap(),
-            _ => unreachable!(),
-        };
+        let down = sim.uplink_of(b).unwrap();
         // b's uplink is host->router; the router->host link is uplink+1 by
         // construction in add_duplex.
         let down = LinkId(down.0 + 1);
@@ -1066,6 +1451,17 @@ mod tests {
         );
         sim.run_to_idle();
         assert_eq!(sim.stats.drops_for(DropCause::HostMismatch), 1);
+    }
+
+    #[test]
+    fn find_host_and_find_node_use_the_addr_index() {
+        let (sim, a, b, r1, _r2) = line_topology(30);
+        assert_eq!(sim.find_host(Ipv4Addr::new(10, 0, 0, 1)), Some(a));
+        assert_eq!(sim.find_host(Ipv4Addr::new(192, 0, 2, 1)), Some(b));
+        // routers are reachable through find_node but not find_host
+        assert_eq!(sim.find_node(Ipv4Addr::new(10, 0, 0, 254)), Some(r1));
+        assert_eq!(sim.find_host(Ipv4Addr::new(10, 0, 0, 254)), None);
+        assert_eq!(sim.find_host(Ipv4Addr::new(203, 0, 113, 7)), None);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Queue-equivalence property: the hierarchical timer wheel
+//! ([`EventWheel`]) dispatches in exactly the order the simulator's old
+//! `BinaryHeap<Scheduled>` did.
+//!
+//! The reference model below *is* the old implementation: a max-heap of
+//! entries whose `Ord` inverts `(at, seq)`, so the earliest timestamp —
+//! and, within a timestamp, the lowest sequence number (insertion
+//! order) — pops first. The property drives both structures with
+//! identical random schedules shaped like the simulator's:
+//!
+//! - dense same-timestamp ties (link bursts landing on one instant),
+//! - in-handler re-scheduling: after a pop, new entries pushed at
+//!   exactly the popped timestamp and just after it (the armed-tick
+//!   merge-insert path),
+//! - `run_until`'s peek-then-stop-short pattern: arm a future tick via
+//!   `next_at`, then push entries *before* it (the `front` run),
+//! - deltas spanning every wheel region — sub-tick, level 0, level 1,
+//!   and past the ~8.6 s horizon into the overflow heap (cascades).
+//!
+//! Run with `PROPTEST_CASES=256` in the deep-properties CI job.
+
+use ecn_netsim::{EventWheel, Nanos};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The old scheduler entry, verbatim semantics: a max-heap of these pops
+/// the minimum `(at, seq)` first.
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    item: u32,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Both queues under identical drive, with the old heap as the oracle.
+struct Pair {
+    wheel: EventWheel<u32>,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    /// Timestamp of the last pop — pushes never go into the past,
+    /// mirroring the simulator's `schedule` contract.
+    now: Nanos,
+}
+
+impl Pair {
+    fn new() -> Pair {
+        Pair {
+            wheel: EventWheel::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Nanos(0),
+        }
+    }
+
+    fn push(&mut self, delta: u64) {
+        let at = Nanos(self.now.0.saturating_add(delta));
+        let seq = self.seq;
+        self.seq += 1;
+        self.wheel.push(at, seq, seq as u32);
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            item: seq as u32,
+        });
+    }
+
+    /// Pop both; assert identical `(at, seq, item)`. Returns false when
+    /// both are empty (and asserts they agree on emptiness).
+    fn pop_and_check(&mut self) -> bool {
+        let got = self.wheel.pop();
+        let want = self.heap.pop().map(|s| (s.at, s.seq, s.item));
+        assert_eq!(got, want, "wheel diverged from the heap oracle");
+        match got {
+            Some((at, _, _)) => {
+                self.now = at;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// One drive step: how to grow/drain the schedule next.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a batch of entries at `now + delta` each.
+    Push(Vec<u64>),
+    /// Pop once; then, as an in-handler agent would, push `at_now` ties
+    /// at the popped timestamp and `later` entries after it.
+    PopThenSchedule { at_now: u8, later: Vec<u64> },
+    /// Arm the next tick via `next_at` (the `run_until` peek), then push
+    /// short deltas that may land *before* the armed tick.
+    PeekThenPush(Vec<u64>),
+}
+
+const TICK: u64 = 1 << 17; // must match wheel.rs TICK_SHIFT
+
+/// Deltas biased across every region of the wheel: zero (exact ties),
+/// sub-tick, level-0 window, level-1 window, and overflow (> ~8.6 s).
+fn delta_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => Just(0u64),
+        8 => 1..TICK,
+        8 => TICK..TICK * 256,
+        4 => TICK * 256..TICK * 256 * 256,
+        1 => TICK * 256 * 256..TICK * 256 * 512,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec(delta_strategy(), 1..8).prop_map(Op::Push),
+        3 => (0u8..4, proptest::collection::vec(delta_strategy(), 0..4))
+            .prop_map(|(at_now, later)| Op::PopThenSchedule { at_now, later }),
+        1 => proptest::collection::vec(0..TICK * 4, 1..4).prop_map(Op::PeekThenPush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    ))]
+
+    #[test]
+    fn wheel_matches_heap_under_random_schedules(ops in proptest::collection::vec(op_strategy(), 1..64)) {
+        let mut pair = Pair::new();
+        for op in ops {
+            match op {
+                Op::Push(deltas) => {
+                    for d in deltas {
+                        pair.push(d);
+                    }
+                }
+                Op::PopThenSchedule { at_now, later } => {
+                    if pair.pop_and_check() {
+                        // in-handler scheduling: ties at the popped
+                        // instant, then strictly later work
+                        for _ in 0..at_now {
+                            pair.push(0);
+                        }
+                        for d in later {
+                            pair.push(d.max(1));
+                        }
+                    }
+                }
+                Op::PeekThenPush(deltas) => {
+                    // arm the minimum tick (peek path), then push
+                    // entries that may precede it
+                    let _ = pair.wheel.next_at();
+                    for d in deltas {
+                        pair.push(d);
+                    }
+                }
+            }
+        }
+        // full drain must agree entry-for-entry
+        while pair.pop_and_check() {}
+        prop_assert!(pair.wheel.is_empty());
+    }
+
+    #[test]
+    fn dense_tie_storms_preserve_insertion_order(
+        batches in proptest::collection::vec((delta_strategy(), 2u8..32), 1..16)
+    ) {
+        // worst case for a bucketed structure: many entries on one
+        // instant, interleaved with pops — order must stay pure FIFO
+        // within each timestamp
+        let mut pair = Pair::new();
+        for (delta, n) in batches {
+            for _ in 0..n {
+                pair.push(delta);
+            }
+            pair.pop_and_check();
+        }
+        while pair.pop_and_check() {}
+    }
+}

@@ -627,7 +627,7 @@ impl WorldBlueprint {
         let mut vantages = Vec::with_capacity(specs.len());
         for (vi, spec) in specs.into_iter().enumerate() {
             let node = self.vantage_hosts[vi];
-            let addr = sim.nodes[node.0 as usize].addr();
+            let addr = sim.addr_of(node);
             let handle = install(
                 &mut sim,
                 node,
@@ -818,10 +818,7 @@ fn compile_topology(
         };
         let up = sim.add_link(host, cpe, up_props);
         let down = sim.add_link(cpe, host, down_props);
-        match &mut sim.nodes[host.0 as usize] {
-            ecn_netsim::Node::Host(h) => h.uplink = Some(up),
-            _ => unreachable!(),
-        }
+        sim.set_uplink(host, up);
         sim.route(cpe, Ipv4Prefix::host(host_addr), RouteEntry::Link(down));
 
         let (c_up, a_down) = sim.add_duplex(cpe, isp_a, LinkProps::clean(edge_delay));
@@ -929,8 +926,7 @@ fn compile_topology(
                     asn,
                 ));
                 access_slot += 2;
-                sim.nodes[a_fw.0 as usize].as_router_mut().firewall =
-                    Firewall::single(FirewallRule::drop_ect_udp());
+                sim.set_firewall(a_fw, Firewall::single(FirewallRule::drop_ect_udp()));
                 let (fw_up, _fw_down_i3) = sim.add_duplex(a_fw, i3, access_props);
                 let (cl_up, _cl_down_i3) = sim.add_duplex(a_clean, i3, access_props);
                 sim.route(a_fw, default_route, RouteEntry::Link(fw_up));
@@ -978,16 +974,17 @@ fn compile_topology(
                 let last = prev;
                 match profile.special {
                     SpecialBehaviour::EctBlocked { flaky: false } => {
-                        sim.nodes[last.0 as usize].as_router_mut().firewall =
-                            Firewall::single(FirewallRule::drop_ect_udp());
+                        sim.set_firewall(last, Firewall::single(FirewallRule::drop_ect_udp()));
                     }
                     SpecialBehaviour::NotEctBlocked { ec2_only: false } => {
-                        sim.nodes[last.0 as usize].as_router_mut().firewall =
-                            Firewall::single(FirewallRule::drop_not_ect_udp());
+                        sim.set_firewall(last, Firewall::single(FirewallRule::drop_not_ect_udp()));
                     }
                     SpecialBehaviour::NotEctBlocked { ec2_only: true } => {
-                        sim.nodes[last.0 as usize].as_router_mut().firewall = Firewall::single(
-                            FirewallRule::drop_not_ect_udp().from_sources(ec2_prefix),
+                        sim.set_firewall(
+                            last,
+                            Firewall::single(
+                                FirewallRule::drop_not_ect_udp().from_sources(ec2_prefix),
+                            ),
                         );
                     }
                     _ => {}
@@ -1046,7 +1043,7 @@ fn compile_topology(
             None => EcnPolicy::Bleach,
             Some(p) => EcnPolicy::BleachProb(p),
         };
-        sim.nodes[node.0 as usize].as_router_mut().ecn_policy = policy;
+        sim.set_ecn_policy(node, policy);
         match bp.prob {
             None => truth.bleach_always.push((node, bp.site)),
             Some(_) => truth.bleach_sometimes.push((node, bp.site)),
@@ -1074,7 +1071,7 @@ mod tests {
         let bp = WorldBlueprint::build(&PoolPlan::scaled(40), 7);
         let a = bp.instantiate();
         let b = bp.instantiate();
-        assert_eq!(a.sim.nodes.len(), b.sim.nodes.len());
+        assert_eq!(a.sim.node_count(), b.sim.node_count());
         assert_eq!(a.sim.links.len(), b.sim.links.len());
         assert_eq!(a.servers.len(), b.servers.len());
         for (sa, sb) in a.servers.iter().zip(b.servers.iter()) {
@@ -1090,7 +1087,7 @@ mod tests {
     fn capacity_hints_are_exact() {
         let bp = WorldBlueprint::build(&PoolPlan::scaled(60), 3);
         let sc = bp.instantiate();
-        assert_eq!(sc.sim.nodes.len(), bp.node_count(), "node count hint");
+        assert_eq!(sc.sim.node_count(), bp.node_count(), "node count hint");
         assert_eq!(sc.sim.links.len(), bp.link_count(), "link count hint");
     }
 
@@ -1100,7 +1097,7 @@ mod tests {
         let a = bp.instantiate();
         let b = bp.instantiate_domain("engine/unit/v0/c0");
         // identical topology and ground truth
-        assert_eq!(a.sim.nodes.len(), b.sim.nodes.len());
+        assert_eq!(a.sim.node_count(), b.sim.node_count());
         assert_eq!(a.truth.ect_blocked, b.truth.ect_blocked);
         assert_eq!(
             a.truth.bleach_always, b.truth.bleach_always,
@@ -1108,7 +1105,7 @@ mod tests {
         );
         // same label, same world again
         let c = bp.instantiate_domain("engine/unit/v0/c0");
-        assert_eq!(b.sim.nodes.len(), c.sim.nodes.len());
+        assert_eq!(b.sim.node_count(), c.sim.node_count());
     }
 
     #[test]

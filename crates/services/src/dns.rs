@@ -22,20 +22,21 @@ pub const POOL_TTL: u32 = 150;
 pub struct PoolDnsService {
     zone: Arc<HashMap<String, Vec<Ipv4Addr>>>,
     cursor: HashMap<String, usize>,
+    /// Reusable question-name buffer (capacity survives queries).
+    name_scratch: String,
+    /// Reusable answer buffer.
+    addr_scratch: Vec<Ipv4Addr>,
 }
 
 impl PoolDnsService {
     /// Build from (name, members) pairs. Names are stored lowercase
     /// without a trailing dot.
     pub fn new(zone: impl IntoIterator<Item = (String, Vec<Ipv4Addr>)>) -> PoolDnsService {
-        PoolDnsService {
-            zone: Arc::new(
-                zone.into_iter()
-                    .map(|(n, v)| (n.trim_end_matches('.').to_ascii_lowercase(), v))
-                    .collect(),
-            ),
-            cursor: HashMap::new(),
-        }
+        PoolDnsService::new_shared(Arc::new(
+            zone.into_iter()
+                .map(|(n, v)| (n.trim_end_matches('.').to_ascii_lowercase(), v))
+                .collect(),
+        ))
     }
 
     /// Share an already-normalised zone (lowercase names, no trailing
@@ -45,6 +46,8 @@ impl PoolDnsService {
         PoolDnsService {
             zone,
             cursor: HashMap::new(),
+            name_scratch: String::new(),
+            addr_scratch: Vec::with_capacity(ANSWERS_PER_QUERY),
         }
     }
 
@@ -53,23 +56,27 @@ impl PoolDnsService {
         self.zone.keys().map(String::as_str)
     }
 
-    /// The next `ANSWERS_PER_QUERY` members for `name`, advancing the
-    /// rotation — this is what makes repeated queries enumerate the pool.
-    fn rotate(&mut self, name: &str) -> Vec<Ipv4Addr> {
+    /// Fill `out` with the next `ANSWERS_PER_QUERY` members for `name`,
+    /// advancing the rotation — this is what makes repeated queries
+    /// enumerate the pool.
+    fn rotate_into(&mut self, name: &str, out: &mut Vec<Ipv4Addr>) {
+        out.clear();
         let Some(members) = self.zone.get(name) else {
-            return Vec::new();
+            return;
         };
         if members.is_empty() {
-            return Vec::new();
+            return;
         }
-        let cur = self.cursor.entry(name.to_string()).or_insert(0);
+        // avoid re-allocating the key String once the cursor exists
+        if !self.cursor.contains_key(name) {
+            self.cursor.insert(name.to_string(), 0);
+        }
+        let cur = self.cursor.get_mut(name).expect("just inserted");
         let n = ANSWERS_PER_QUERY.min(members.len());
-        let mut out = Vec::with_capacity(n);
         for i in 0..n {
             out.push(members[(*cur + i) % members.len()]);
         }
         *cur = (*cur + n) % members.len();
-        out
     }
 }
 
@@ -81,10 +88,36 @@ impl UdpService for PoolDnsService {
         _ecn: Ecn,
         payload: &[u8],
     ) -> Option<Vec<u8>> {
-        let query = DnsMessage::decode(payload).ok()?;
-        let name = query.questions.first()?.name.clone();
-        let addrs = self.rotate(&name);
-        Some(DnsMessage::a_response(&query, POOL_TTL, &addrs).encode())
+        let mut name = std::mem::take(&mut self.name_scratch);
+        let view = match ecn_wire::dns::read_query(payload, &mut name) {
+            Ok(Some(v)) => v,
+            other => {
+                self.name_scratch = name;
+                // `Ok(None)`: valid message, no question — same silence
+                // as the owned path's `questions.first()?`
+                let _ = other.ok()?;
+                return None;
+            }
+        };
+        if view.questions != 1 {
+            // Multi-question queries take the owned path so the echoed
+            // question section stays byte-identical (never sent in-sim).
+            self.name_scratch = name;
+            let query = DnsMessage::decode(payload).ok()?;
+            let qname = query.questions.first()?.name.clone();
+            let mut addrs = std::mem::take(&mut self.addr_scratch);
+            self.rotate_into(&qname, &mut addrs);
+            let rsp = DnsMessage::a_response(&query, POOL_TTL, &addrs).encode();
+            self.addr_scratch = addrs;
+            return Some(rsp);
+        }
+        let mut addrs = std::mem::take(&mut self.addr_scratch);
+        self.rotate_into(&name, &mut addrs);
+        let mut out = Vec::with_capacity(64);
+        ecn_wire::dns::encode_a_response_into(&view, &name, POOL_TTL, &addrs, &mut out);
+        self.addr_scratch = addrs;
+        self.name_scratch = name;
+        Some(out)
     }
 }
 

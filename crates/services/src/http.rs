@@ -17,29 +17,26 @@ pub enum HttpServerKind {
 
 /// The HTTP service: waits for a complete request head, answers once,
 /// closes the connection (pool servers send `Connection: close`).
+///
+/// The `GET` response never varies, so it is encoded once at construction;
+/// each request clones the canned bytes instead of re-building and
+/// re-encoding the response (the dominant allocation cost of serving the
+/// probe workload).
 pub struct PoolHttpService {
-    kind: HttpServerKind,
+    canned: Vec<u8>,
 }
 
 impl PoolHttpService {
     /// Build a service of the given kind.
     pub fn new(kind: HttpServerKind) -> PoolHttpService {
-        PoolHttpService { kind }
-    }
-
-    fn respond(&self, req: &HttpRequest) -> HttpResponse {
-        if req.method != "GET" {
-            let mut r = HttpResponse::ok_with_body(b"method not allowed");
-            r.status = 405;
-            r.reason = "Method Not Allowed".into();
-            return r;
-        }
-        match self.kind {
+        let canned = match kind {
             HttpServerKind::PoolRedirect => HttpResponse::pool_redirect(),
             HttpServerKind::PlainOk => HttpResponse::ok_with_body(
                 b"<html><body>NTP pool member &mdash; time service on UDP 123</body></html>",
             ),
         }
+        .encode();
+        PoolHttpService { canned }
     }
 }
 
@@ -52,11 +49,20 @@ impl TcpService for PoolHttpService {
             }
             return TcpServiceAction::Wait;
         }
-        match HttpRequest::decode(received) {
-            Ok(req) => TcpServiceAction::Respond {
-                bytes: self.respond(&req).encode(),
+        match HttpRequest::parse_meta(received) {
+            Ok(("GET", _)) => TcpServiceAction::Respond {
+                bytes: self.canned.clone(),
                 close: true,
             },
+            Ok(_) => {
+                let mut r = HttpResponse::ok_with_body(b"method not allowed");
+                r.status = 405;
+                r.reason = "Method Not Allowed".into();
+                TcpServiceAction::Respond {
+                    bytes: r.encode(),
+                    close: true,
+                }
+            }
             Err(_) => TcpServiceAction::Abort,
         }
     }

@@ -17,7 +17,7 @@ use ecn_wire::{
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -121,6 +121,10 @@ pub struct StackShared {
     config: StackConfig,
     availability: Availability,
     udp_socks: HashMap<u16, VecDeque<UdpReceived>>,
+    /// Ports bound as sinks: arriving datagrams are accepted (no ICMP
+    /// port-unreachable) but never queued — capture-verdict probes use
+    /// these to skip the per-datagram payload copy entirely.
+    udp_sinks: HashSet<u16>,
     udp_services: HashMap<u16, Box<dyn UdpService>>,
     icmp_inbox: VecDeque<IcmpReceived>,
     listeners: HashMap<u16, Listener>,
@@ -130,6 +134,9 @@ pub struct StackShared {
     next_ephemeral: u16,
     ip_ident: u16,
     rng: SmallRng,
+    /// Reusable segment-emit buffer shared by every TCP entry point
+    /// (capacity survives across segments and connections).
+    emit_scratch: Vec<Emit>,
 }
 
 impl StackShared {
@@ -143,6 +150,7 @@ impl StackShared {
                 ecn_netsim::LabelBuf::format(format_args!("avail-{addr}")).as_str(),
             ),
             udp_socks: HashMap::new(),
+            udp_sinks: HashSet::with_capacity(4),
             udp_services: HashMap::new(),
             icmp_inbox: VecDeque::new(),
             listeners: HashMap::new(),
@@ -152,6 +160,10 @@ impl StackShared {
             next_ephemeral: 40_000,
             ip_ident: 1,
             rng: SmallRng::seed_from_u64(config.seed ^ u64::from(u32::from(addr))),
+            // Pre-sized past any realistic emit burst (worst observed is a
+            // handful of segments per pump) so the scratch never reallocates
+            // mid-run — the exact-alloc-equality gate depends on that.
+            emit_scratch: Vec::with_capacity(32),
         }
     }
 
@@ -192,16 +204,15 @@ impl StackShared {
         })
     }
 
-    /// Run the listener service against a connection's buffered request.
-    /// Returns segments to transmit.
-    fn pump_service(&mut self, id: ConnId, now: Nanos) -> Vec<Emit> {
+    /// Run the listener service against a connection's buffered request,
+    /// appending segments to transmit to `out`.
+    fn pump_service_into(&mut self, id: ConnId, now: Nanos, out: &mut Vec<Emit>) {
         let Some(entry) = self.conns.get_mut(&id) else {
-            return vec![];
+            return;
         };
         let Some(port) = entry.listener_port else {
-            return vec![];
+            return;
         };
-        let mut out = Vec::new();
         if !entry.service_responded && !entry.conn.received().is_empty() {
             if let Some(listener) = self.listeners.get_mut(&port) {
                 if let Some(service) = listener.service.as_mut() {
@@ -210,14 +221,14 @@ impl StackShared {
                         TcpServiceAction::Respond { bytes, close } => {
                             entry.service_responded = true;
                             entry.conn.take_received();
-                            out.extend(entry.conn.send(&bytes, now));
+                            entry.conn.send_into(&bytes, now, out);
                             if close {
-                                out.extend(entry.conn.close());
+                                entry.conn.close_into(out);
                             }
                         }
                         TcpServiceAction::Abort => {
                             entry.service_responded = true;
-                            out.extend(entry.conn.abort());
+                            entry.conn.abort_into(out);
                         }
                     }
                 }
@@ -226,9 +237,8 @@ impl StackShared {
         // Server side: if the client half-closed and we have nothing more
         // to say, close our side too.
         if entry.server && entry.conn.peer_closed() && entry.conn.state == TcpState::CloseWait {
-            out.extend(entry.conn.close());
+            entry.conn.close_into(out);
         }
-        out
     }
 }
 
@@ -278,6 +288,9 @@ impl StackAgent {
             });
             return;
         }
+        if sh.udp_sinks.contains(&uh.dst_port) {
+            return; // accepted and discarded, payload never copied
+        }
         if sh.udp_services.contains_key(&uh.dst_port) {
             let mut svc = sh.udp_services.remove(&uh.dst_port).expect("present");
             let response = svc.handle(now, (header.src, uh.src_port), header.ecn, body);
@@ -322,11 +335,15 @@ impl StackAgent {
         let key = (th.dst_port, header.src, th.src_port);
 
         if let Some(&id) = sh.conn_lookup.get(&key) {
-            let mut emits = {
+            let mut emits = std::mem::take(&mut sh.emit_scratch);
+            emits.clear();
+            {
                 let entry = sh.conns.get_mut(&id).expect("conn in lookup");
-                entry.conn.on_segment(&th, body, header.ecn)
-            };
-            emits.extend(sh.pump_service(id, now));
+                entry
+                    .conn
+                    .on_segment_into(&th, body, header.ecn, &mut emits);
+            }
+            sh.pump_service_into(id, now, &mut emits);
             let entry = sh.conns.get_mut(&id).expect("conn in lookup");
             let remote = entry.conn.remote.0;
             let arm = entry.conn.timer_armed.then(|| entry.conn.rto());
@@ -338,10 +355,12 @@ impl StackAgent {
             } else {
                 entry.timer_deadline = None;
             }
-            for e in emits {
+            for e in &emits {
                 let buf = api.take_buf();
-                out.push(sh.tcp_datagram(buf, remote, &e));
+                out.push(sh.tcp_datagram(buf, remote, e));
             }
+            emits.clear();
+            sh.emit_scratch = emits;
             if closed && server {
                 // server connections are garbage-collected once done
                 sh.conns.remove(&id);
@@ -469,27 +488,33 @@ impl HostAgent for StackAgent {
         let now = api.now();
         let mut out = std::mem::take(&mut self.out);
         {
-            let mut sh = self.shared.lock();
+            let sh = &mut *self.shared.lock();
+            let mut emits = std::mem::take(&mut sh.emit_scratch);
+            emits.clear();
             let Some(entry) = sh.conns.get_mut(&token) else {
+                sh.emit_scratch = emits;
                 self.out = out;
                 return;
             };
             if entry.timer_deadline != Some(now) {
+                sh.emit_scratch = emits;
                 self.out = out;
                 return; // superseded timer
             }
             entry.timer_deadline = None;
-            let emits = entry.conn.on_rto();
             let remote = entry.conn.remote.0;
+            entry.conn.on_rto_into(&mut emits);
             if entry.conn.timer_armed {
                 let rto = entry.conn.rto();
                 entry.timer_deadline = Some(now + rto);
                 api.set_timer(rto, token);
             }
-            for e in emits {
+            for e in &emits {
                 let buf = api.take_buf();
-                out.push(sh.tcp_datagram(buf, remote, &e));
+                out.push(sh.tcp_datagram(buf, remote, e));
             }
+            emits.clear();
+            sh.emit_scratch = emits;
         }
         for d in out.drain(..) {
             api.send(d);
@@ -524,7 +549,7 @@ impl HostHandle {
             loop {
                 let p = sh.next_ephemeral;
                 sh.next_ephemeral = sh.next_ephemeral.wrapping_add(1).max(40_000);
-                if !sh.udp_socks.contains_key(&p) {
+                if !sh.udp_socks.contains_key(&p) && !sh.udp_sinks.contains(&p) {
                     break p;
                 }
             }
@@ -532,6 +557,23 @@ impl HostHandle {
             port
         };
         sh.udp_socks.entry(port).or_default();
+        port
+    }
+
+    /// Bind a UDP sink on an ephemeral port: arriving datagrams are
+    /// accepted (no ICMP port-unreachable) but discarded without copying
+    /// the payload. For probes whose verdict comes from the capture, not
+    /// the socket.
+    pub fn udp_bind_sink(&self) -> u16 {
+        let mut sh = self.shared.lock();
+        let port = loop {
+            let p = sh.next_ephemeral;
+            sh.next_ephemeral = sh.next_ephemeral.wrapping_add(1).max(40_000);
+            if !sh.udp_socks.contains_key(&p) && !sh.udp_sinks.contains(&p) {
+                break p;
+            }
+        };
+        sh.udp_sinks.insert(port);
         port
     }
 
@@ -565,10 +607,12 @@ impl HostHandle {
         sim.send_from(self.node, d);
     }
 
-    /// Close a bound UDP socket, freeing the port for reuse. Queued
-    /// datagrams are discarded.
+    /// Close a bound UDP socket or sink, freeing the port for reuse.
+    /// Queued datagrams are discarded.
     pub fn udp_close(&self, port: u16) {
-        self.shared.lock().udp_socks.remove(&port);
+        let mut sh = self.shared.lock();
+        sh.udp_socks.remove(&port);
+        sh.udp_sinks.remove(&port);
     }
 
     /// Pop the oldest datagram from a bound socket.
@@ -652,22 +696,28 @@ impl HostHandle {
     /// Queue bytes on an established connection.
     pub fn tcp_send(&self, sim: &mut Sim, id: ConnId, data: &[u8]) {
         let out = {
-            let mut sh = self.shared.lock();
+            let sh = &mut *self.shared.lock();
             let now = sim.now();
+            let mut emits = std::mem::take(&mut sh.emit_scratch);
+            emits.clear();
             let Some(entry) = sh.conns.get_mut(&id) else {
+                sh.emit_scratch = emits;
                 return;
             };
-            let emits = entry.conn.send(data, now);
+            entry.conn.send_into(data, now, &mut emits);
             let remote = entry.conn.remote.0;
             if entry.conn.timer_armed {
                 let rto = entry.conn.rto();
                 entry.timer_deadline = Some(now + rto);
                 sim.set_timer(self.node, rto, id);
             }
-            emits
-                .into_iter()
-                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, &e))
-                .collect::<Vec<_>>()
+            let out = emits
+                .iter()
+                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, e))
+                .collect::<Vec<_>>();
+            emits.clear();
+            sh.emit_scratch = emits;
+            out
         };
         for d in out {
             sim.send_from(self.node, d);
@@ -677,22 +727,28 @@ impl HostHandle {
     /// Close the connection gracefully.
     pub fn tcp_close(&self, sim: &mut Sim, id: ConnId) {
         let out = {
-            let mut sh = self.shared.lock();
+            let sh = &mut *self.shared.lock();
             let now = sim.now();
+            let mut emits = std::mem::take(&mut sh.emit_scratch);
+            emits.clear();
             let Some(entry) = sh.conns.get_mut(&id) else {
+                sh.emit_scratch = emits;
                 return;
             };
-            let emits = entry.conn.close();
+            entry.conn.close_into(&mut emits);
             let remote = entry.conn.remote.0;
             if entry.conn.timer_armed {
                 let rto = entry.conn.rto();
                 entry.timer_deadline = Some(now + rto);
                 sim.set_timer(self.node, rto, id);
             }
-            emits
-                .into_iter()
-                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, &e))
-                .collect::<Vec<_>>()
+            let out = emits
+                .iter()
+                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, e))
+                .collect::<Vec<_>>();
+            emits.clear();
+            sh.emit_scratch = emits;
+            out
         };
         for d in out {
             sim.send_from(self.node, d);
@@ -702,16 +758,22 @@ impl HostHandle {
     /// Abort the connection with RST.
     pub fn tcp_abort(&self, sim: &mut Sim, id: ConnId) {
         let out = {
-            let mut sh = self.shared.lock();
+            let sh = &mut *self.shared.lock();
+            let mut emits = std::mem::take(&mut sh.emit_scratch);
+            emits.clear();
             let Some(entry) = sh.conns.get_mut(&id) else {
+                sh.emit_scratch = emits;
                 return;
             };
-            let emits = entry.conn.abort();
+            entry.conn.abort_into(&mut emits);
             let remote = entry.conn.remote.0;
-            emits
-                .into_iter()
-                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, &e))
-                .collect::<Vec<_>>()
+            let out = emits
+                .iter()
+                .map(|e| sh.tcp_datagram(sim.take_buf(), remote, e))
+                .collect::<Vec<_>>();
+            emits.clear();
+            sh.emit_scratch = emits;
+            out
         };
         for d in out {
             sim.send_from(self.node, d);
@@ -738,6 +800,23 @@ impl HostHandle {
         sh.conns
             .get(&id)
             .map(|e| (e.conn.state, e.conn.peer_closed(), done(e.conn.received())))
+    }
+
+    /// Run `f` over the connection's in-order received bytes under the
+    /// lock — the zero-copy companion of [`HostHandle::conn`] for readers
+    /// that only need to parse, not own, the bytes.
+    pub fn with_received<R>(&self, id: ConnId, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let sh = self.shared.lock();
+        sh.conns.get(&id).map(|e| f(e.conn.received()))
+    }
+
+    /// Why the connection closed (outer `None`: no such connection).
+    pub fn conn_close_reason(&self, id: ConnId) -> Option<Option<CloseReason>> {
+        self.shared
+            .lock()
+            .conns
+            .get(&id)
+            .map(|e| e.conn.close_reason)
     }
 
     /// Snapshot a connection's state.
@@ -799,7 +878,7 @@ impl HostHandle {
 
 /// Install a stack on `node` and return the external handle.
 pub fn install(sim: &mut Sim, node: NodeId, config: StackConfig) -> HostHandle {
-    let addr = sim.nodes[node.0 as usize].addr();
+    let addr = sim.addr_of(node);
     let shared = Arc::new(Mutex::new(StackShared::new(addr, config)));
     sim.set_agent(
         node,

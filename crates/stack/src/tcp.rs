@@ -296,38 +296,57 @@ impl TcpConn {
 
     /// Queue application data; returns segments to send now.
     pub fn send(&mut self, data: &[u8], now: Nanos) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.send_into(data, now, &mut out);
+        out
+    }
+
+    /// [`TcpConn::send`], appending into a caller-owned buffer — the
+    /// stack's hot path reuses one scratch vector across all connections.
+    pub fn send_into(&mut self, data: &[u8], now: Nanos, out: &mut Vec<Emit>) {
         let _ = now;
         if matches!(
             self.state,
             TcpState::Closed | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::LastAck
         ) {
-            return vec![];
+            return;
         }
         self.send_buf.extend(data);
-        self.pump()
+        self.pump_into(out);
     }
 
     /// Begin an orderly close; returns segments (possibly a FIN) to send.
     pub fn close(&mut self) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.close_into(&mut out);
+        out
+    }
+
+    /// [`TcpConn::close`], appending into a caller-owned buffer.
+    pub fn close_into(&mut self, out: &mut Vec<Emit>) {
         match self.state {
-            TcpState::Closed | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::LastAck => {
-                vec![]
-            }
+            TcpState::Closed | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::LastAck => {}
             TcpState::SynSent => {
                 self.state = TcpState::Closed;
                 self.close_reason = Some(CloseReason::Aborted);
                 self.timer_armed = false;
-                vec![]
             }
             _ => {
                 self.fin_queued = true;
-                self.pump()
+                self.pump_into(out);
             }
         }
     }
 
     /// Abort with RST.
     pub fn abort(&mut self) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.abort_into(&mut out);
+        out
+    }
+
+    /// [`TcpConn::abort`], appending into a caller-owned buffer.
+    pub fn abort_into(&mut self, out: &mut Vec<Emit>) {
         let rst = self.emit(
             TcpFlags::RST | TcpFlags::ACK,
             self.snd_nxt,
@@ -338,21 +357,21 @@ impl TcpConn {
         self.state = TcpState::Closed;
         self.close_reason = Some(CloseReason::Aborted);
         self.timer_armed = false;
-        vec![rst]
+        out.push(rst);
     }
 
     /// Push queued data/FIN into the window.
-    fn pump(&mut self) -> Vec<Emit> {
-        let mut out = Vec::new();
+    fn pump_into(&mut self, out: &mut Vec<Emit>) {
+        let produced_from = out.len();
         if !matches!(
             self.state,
             TcpState::Established | TcpState::CloseWait | TcpState::SynRcvd
         ) {
-            return out;
+            return;
         }
         // SynRcvd holds data until the handshake completes.
         if self.state == TcpState::SynRcvd {
-            return out;
+            return;
         }
         let window = (self.peer_window as usize).min(self.cwnd).max(MSS);
         loop {
@@ -407,38 +426,50 @@ impl TcpConn {
                 out.push(fin);
             }
         }
-        if !out.is_empty() {
+        if out.len() > produced_from {
             self.timer_armed = true;
         }
-        out
     }
 
     /// Handle an arriving segment. `ip_ecn` is the ECN codepoint of the IP
     /// packet that carried it.
     pub fn on_segment(&mut self, hdr: &TcpHeader, payload: &[u8], ip_ecn: Ecn) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.on_segment_into(hdr, payload, ip_ecn, &mut out);
+        out
+    }
+
+    /// [`TcpConn::on_segment`], appending into a caller-owned buffer.
+    pub fn on_segment_into(
+        &mut self,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ip_ecn: Ecn,
+        out: &mut Vec<Emit>,
+    ) {
         if self.state == TcpState::Closed {
-            return vec![];
+            return;
         }
         // RST: kill the connection (simplified acceptance check).
         if hdr.flags.contains(TcpFlags::RST) {
             self.state = TcpState::Closed;
             self.close_reason = Some(CloseReason::Reset);
             self.timer_armed = false;
-            return vec![];
+            return;
         }
 
         match self.state {
-            TcpState::SynSent => self.on_segment_syn_sent(hdr),
-            _ => self.on_segment_common(hdr, payload, ip_ecn),
+            TcpState::SynSent => self.on_segment_syn_sent(hdr, out),
+            _ => self.on_segment_common(hdr, payload, ip_ecn, out),
         }
     }
 
-    fn on_segment_syn_sent(&mut self, hdr: &TcpHeader) -> Vec<Emit> {
+    fn on_segment_syn_sent(&mut self, hdr: &TcpHeader, out: &mut Vec<Emit>) {
         if !hdr.flags.contains(TcpFlags::SYN) || !hdr.flags.contains(TcpFlags::ACK) {
-            return vec![];
+            return;
         }
         if hdr.ack != self.snd_nxt {
-            return vec![]; // not for our SYN
+            return; // not for our SYN
         }
         self.handshake.syn_ack_flags = Some(hdr.flags);
         self.handshake.got_ecn_setup_syn_ack = hdr.flags.is_ecn_setup_syn_ack();
@@ -459,14 +490,17 @@ impl TcpConn {
             vec![],
             Ecn::NotEct,
         );
-        let mut out = vec![ack];
-        out.extend(self.pump());
-        out
+        out.push(ack);
+        self.pump_into(out);
     }
 
-    fn on_segment_common(&mut self, hdr: &TcpHeader, payload: &[u8], ip_ecn: Ecn) -> Vec<Emit> {
-        let mut out = Vec::new();
-
+    fn on_segment_common(
+        &mut self,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ip_ecn: Ecn,
+        out: &mut Vec<Emit>,
+    ) {
         // Handshake completion on the server.
         if self.state == TcpState::SynRcvd
             && hdr.flags.contains(TcpFlags::ACK)
@@ -572,21 +606,27 @@ impl TcpConn {
         }
 
         let _ = advanced;
-        out.extend(self.pump());
-        out
+        self.pump_into(out);
     }
 
     /// Retransmission timeout fired. Returns segments to resend.
     pub fn on_rto(&mut self) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.on_rto_into(&mut out);
+        out
+    }
+
+    /// [`TcpConn::on_rto`], appending into a caller-owned buffer.
+    pub fn on_rto_into(&mut self, out: &mut Vec<Emit>) {
         if !self.timer_armed || self.state == TcpState::Closed {
-            return vec![];
+            return;
         }
         self.retries += 1;
         if self.retries > MAX_RETRIES {
             self.state = TcpState::Closed;
             self.close_reason = Some(CloseReason::TimedOut);
             self.timer_armed = false;
-            return vec![];
+            return;
         }
         self.rto = Nanos(self.rto.0.saturating_mul(2));
         match self.state {
@@ -596,7 +636,7 @@ impl TcpConn {
                 } else {
                     TcpFlags::SYN
                 };
-                vec![self.emit(flags, self.snd_una, 0, vec![], Ecn::NotEct)]
+                out.push(self.emit(flags, self.snd_una, 0, vec![], Ecn::NotEct));
             }
             TcpState::SynRcvd => {
                 let flags = if self.ecn_negotiated {
@@ -604,23 +644,24 @@ impl TcpConn {
                 } else {
                     TcpFlags::SYN | TcpFlags::ACK
                 };
-                vec![self.emit(flags, self.snd_una, self.rcv_nxt, vec![], Ecn::NotEct)]
+                out.push(self.emit(flags, self.snd_una, self.rcv_nxt, vec![], Ecn::NotEct));
             }
             _ => {
                 // Retransmit from snd_una: one segment of data, or the FIN.
                 if self.fin_seq == Some(self.snd_una) {
-                    return vec![self.emit(
+                    out.push(self.emit(
                         self.ack_flags() | TcpFlags::FIN,
                         self.snd_una,
                         self.rcv_nxt,
                         vec![],
                         Ecn::NotEct,
-                    )];
+                    ));
+                    return;
                 }
                 let offset = self.snd_una.wrapping_sub(self.send_buf_seq) as usize;
                 if offset >= self.send_buf.len() {
                     self.timer_armed = false;
-                    return vec![];
+                    return;
                 }
                 let take = (self.send_buf.len() - offset).min(MSS);
                 let chunk: Vec<u8> = self
@@ -640,7 +681,7 @@ impl TcpConn {
                     flags = flags | TcpFlags::CWR;
                     self.cwr_pending = false;
                 }
-                vec![self.emit(flags, self.snd_una, self.rcv_nxt, chunk, ecn)]
+                out.push(self.emit(flags, self.snd_una, self.rcv_nxt, chunk, ecn));
             }
         }
     }

@@ -116,7 +116,7 @@ fn udp_service_sees_bleached_codepoint() {
         }
     }
     let mut w = build(2, StackConfig::default(), StackConfig::default());
-    w.sim.nodes[w.r1.0 as usize].as_router_mut().ecn_policy = EcnPolicy::Bleach;
+    w.sim.set_ecn_policy(w.r1, EcnPolicy::Bleach);
     w.server.register_udp_service(123, Box::new(EcnReporter));
     let sock = w.client.udp_bind(0);
     w.client
@@ -370,8 +370,8 @@ fn icmp_echo_is_answered() {
 #[test]
 fn firewall_dropping_ect_udp_blocks_marked_probes_only() {
     let mut w = build(14, StackConfig::default(), StackConfig::default());
-    w.sim.nodes[w.r2.0 as usize].as_router_mut().firewall =
-        Firewall::single(FirewallRule::drop_ect_udp());
+    w.sim
+        .set_firewall(w.r2, Firewall::single(FirewallRule::drop_ect_udp()));
     w.server.register_udp_service(123, Box::new(EchoService));
     let sock = w.client.udp_bind(0);
     w.client

@@ -385,10 +385,15 @@ fn encode_name(name: &str, out: &mut Vec<u8>) {
     out.push(0);
 }
 
-/// Decode a possibly-compressed name starting at `pos`; returns the name and
-/// the offset just past it in the *original* stream.
-fn decode_name(buf: &[u8], mut pos: usize) -> Result<(String, usize), WireError> {
-    let mut name = String::new();
+/// Walk a possibly-compressed name starting at `pos`, invoking `on_label`
+/// for each raw label, and return the offset just past the name in the
+/// *original* stream. The single validation path behind both the owned
+/// decode and the allocation-free scans.
+fn walk_name(
+    buf: &[u8],
+    mut pos: usize,
+    mut on_label: impl FnMut(&[u8]),
+) -> Result<usize, WireError> {
     let mut jumped = false;
     let mut after_jump = 0usize;
     let mut hops = 0u32;
@@ -442,13 +447,235 @@ fn decode_name(buf: &[u8], mut pos: usize) -> Result<(String, usize), WireError>
                 got: buf.len(),
             });
         }
-        if !name.is_empty() {
-            name.push('.');
-        }
-        name.push_str(&String::from_utf8_lossy(&buf[pos + 1..pos + 1 + len]).to_ascii_lowercase());
+        on_label(&buf[pos + 1..pos + 1 + len]);
         pos += 1 + len;
     }
-    Ok((name, if jumped { after_jump } else { pos }))
+    Ok(if jumped { after_jump } else { pos })
+}
+
+/// Append a name's labels (dot-separated, case-folded) to `out`.
+fn decode_name_into(buf: &[u8], pos: usize, out: &mut String) -> Result<usize, WireError> {
+    walk_name(buf, pos, |label| {
+        if !out.is_empty() {
+            out.push('.');
+        }
+        match std::str::from_utf8(label) {
+            Ok(s) => out.extend(s.chars().map(|c| c.to_ascii_lowercase())),
+            // rare: preserve the historical lossy replacement exactly
+            Err(_) => out.push_str(&String::from_utf8_lossy(label).to_ascii_lowercase()),
+        }
+    })
+}
+
+/// Decode a possibly-compressed name starting at `pos`; returns the name and
+/// the offset just past it in the *original* stream.
+fn decode_name(buf: &[u8], pos: usize) -> Result<(String, usize), WireError> {
+    let mut name = String::new();
+    let next = decode_name_into(buf, pos, &mut name)?;
+    Ok((name, next))
+}
+
+/// Append the wire bytes of a standard A query for `name` to `out` —
+/// byte-identical to `DnsMessage::a_query(id, name).encode()` without
+/// building the owned message. The discovery loop's per-query path.
+pub fn encode_a_query_into(id: u16, name: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&id.to_be_bytes());
+    out.extend_from_slice(&DnsFlags::query().encode().to_be_bytes());
+    out.extend_from_slice(&1u16.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes());
+    // encode_name with the a_query case fold applied per label
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let bytes = label.as_bytes();
+        let n = bytes.len().min(63);
+        out.push(n as u8);
+        out.extend(bytes[..n].iter().map(|b| b.to_ascii_lowercase()));
+    }
+    out.push(0);
+    out.extend_from_slice(&QType::A.value().to_be_bytes());
+    out.extend_from_slice(&QClass::In.value().to_be_bytes());
+}
+
+/// Borrowed view of a query's header and first question, produced by
+/// [`read_query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryView {
+    /// Transaction ID.
+    pub id: u16,
+    /// Header flags.
+    pub flags: DnsFlags,
+    /// Question count (callers needing more than one question fall back
+    /// to [`DnsMessage::decode`]).
+    pub questions: u16,
+    /// First question's type.
+    pub qtype: QType,
+    /// First question's class.
+    pub qclass: QClass,
+}
+
+/// Parse a message's header and first question, folding the question name
+/// into `name_out` (cleared first), while validating the *whole* message
+/// exactly as [`DnsMessage::decode`] does. Returns `Ok(None)` for a valid
+/// message with an empty question section.
+pub fn read_query(buf: &[u8], name_out: &mut String) -> Result<Option<QueryView>, WireError> {
+    name_out.clear();
+    if buf.len() < 12 {
+        return Err(WireError::Truncated {
+            layer: "dns",
+            needed: 12,
+            got: buf.len(),
+        });
+    }
+    let id = u16::from_be_bytes([buf[0], buf[1]]);
+    let flags = DnsFlags::decode(u16::from_be_bytes([buf[2], buf[3]]));
+    let qdcount = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+    let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+    let nscount = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+    let arcount = u16::from_be_bytes([buf[10], buf[11]]) as usize;
+
+    let mut pos = 12;
+    let mut first: Option<(QType, QClass)> = None;
+    for q in 0..qdcount {
+        pos = if q == 0 {
+            decode_name_into(buf, pos, name_out)?
+        } else {
+            walk_name(buf, pos, |_| {})?
+        };
+        if buf.len() < pos + 4 {
+            return Err(WireError::Truncated {
+                layer: "dns",
+                needed: pos + 4,
+                got: buf.len(),
+            });
+        }
+        if q == 0 {
+            first = Some((
+                QType::from_value(u16::from_be_bytes([buf[pos], buf[pos + 1]])),
+                QClass::from_value(u16::from_be_bytes([buf[pos + 2], buf[pos + 3]])),
+            ));
+        }
+        pos += 4;
+    }
+    for _ in 0..(ancount + nscount + arcount) {
+        pos = skip_record(buf, pos)?;
+    }
+    Ok(first.map(|(qtype, qclass)| QueryView {
+        id,
+        flags,
+        questions: qdcount as u16,
+        qtype,
+        qclass,
+    }))
+}
+
+/// Append an authoritative single-question A response to `out` —
+/// byte-identical to `DnsMessage::a_response(&query, ttl, addrs).encode()`
+/// when `query` has exactly one question matching `view`/`name`.
+pub fn encode_a_response_into(
+    view: &QueryView,
+    name: &str,
+    ttl: u32,
+    addrs: &[Ipv4Addr],
+    out: &mut Vec<u8>,
+) {
+    let rcode = if addrs.is_empty() {
+        Rcode::NxDomain
+    } else {
+        Rcode::NoError
+    };
+    out.extend_from_slice(&view.id.to_be_bytes());
+    out.extend_from_slice(
+        &DnsFlags::answer_to(view.flags, rcode)
+            .encode()
+            .to_be_bytes(),
+    );
+    out.extend_from_slice(&1u16.to_be_bytes());
+    out.extend_from_slice(&(addrs.len() as u16).to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // nscount
+    out.extend_from_slice(&0u16.to_be_bytes()); // arcount
+    encode_name(name, out);
+    out.extend_from_slice(&view.qtype.value().to_be_bytes());
+    out.extend_from_slice(&view.qclass.value().to_be_bytes());
+    for a in addrs {
+        encode_name(name, out);
+        out.extend_from_slice(&QType::A.value().to_be_bytes());
+        out.extend_from_slice(&QClass::In.value().to_be_bytes());
+        out.extend_from_slice(&ttl.to_be_bytes());
+        out.extend_from_slice(&4u16.to_be_bytes());
+        out.extend_from_slice(&a.octets());
+    }
+}
+
+/// Walk a whole message exactly as [`DnsMessage::decode`] does — same
+/// accept/reject behaviour — invoking `f` with each A record in the answer
+/// section, without allocating. The discovery loop's per-response path.
+pub fn for_each_a_record(buf: &[u8], mut f: impl FnMut(Ipv4Addr)) -> Result<(), WireError> {
+    if buf.len() < 12 {
+        return Err(WireError::Truncated {
+            layer: "dns",
+            needed: 12,
+            got: buf.len(),
+        });
+    }
+    let qdcount = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+    let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+    let nscount = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+    let arcount = u16::from_be_bytes([buf[10], buf[11]]) as usize;
+    let mut pos = 12;
+    for _ in 0..qdcount {
+        pos = walk_name(buf, pos, |_| {})?;
+        if buf.len() < pos + 4 {
+            return Err(WireError::Truncated {
+                layer: "dns",
+                needed: pos + 4,
+                got: buf.len(),
+            });
+        }
+        pos += 4;
+    }
+    for i in 0..(ancount + nscount + arcount) {
+        let (rtype, rdstart, rdlen, next) = record_fields(buf, pos)?;
+        if i < ancount && rtype == QType::A && rdlen == 4 {
+            f(Ipv4Addr::new(
+                buf[rdstart],
+                buf[rdstart + 1],
+                buf[rdstart + 2],
+                buf[rdstart + 3],
+            ));
+        }
+        pos = next;
+    }
+    Ok(())
+}
+
+/// Validate one resource record without materialising it; returns
+/// `(rtype, rdata offset, rdata length, offset past the record)`.
+fn record_fields(buf: &[u8], pos: usize) -> Result<(QType, usize, usize, usize), WireError> {
+    let mut pos = walk_name(buf, pos, |_| {})?;
+    if buf.len() < pos + 10 {
+        return Err(WireError::Truncated {
+            layer: "dns",
+            needed: pos + 10,
+            got: buf.len(),
+        });
+    }
+    let rtype = QType::from_value(u16::from_be_bytes([buf[pos], buf[pos + 1]]));
+    let rdlen = u16::from_be_bytes([buf[pos + 8], buf[pos + 9]]) as usize;
+    pos += 10;
+    if buf.len() < pos + rdlen {
+        return Err(WireError::Truncated {
+            layer: "dns",
+            needed: pos + rdlen,
+            got: buf.len(),
+        });
+    }
+    Ok((rtype, pos, rdlen, pos + rdlen))
+}
+
+/// Validate one resource record, returning the offset just past it.
+fn skip_record(buf: &[u8], pos: usize) -> Result<usize, WireError> {
+    record_fields(buf, pos).map(|(_, _, _, next)| next)
 }
 
 fn decode_record(buf: &[u8], pos: usize) -> Result<(DnsRecord, usize), WireError> {
@@ -589,6 +816,89 @@ mod tests {
         for cut in [0, 5, 11, bytes.len() - 1] {
             assert!(DnsMessage::decode(&bytes[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn fast_query_encode_matches_owned_path() {
+        for name in ["pool.ntp.org", "UK.Pool.NTP.Org.", "a..b", ""] {
+            let owned = DnsMessage::a_query(7, name).encode();
+            let mut fast = Vec::new();
+            encode_a_query_into(7, name, &mut fast);
+            assert_eq!(owned, fast, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn read_query_and_fast_response_match_owned_path() {
+        let q = DnsMessage::a_query(42, "de.pool.ntp.org");
+        let qbytes = q.encode();
+        let mut name = String::new();
+        let view = read_query(&qbytes, &mut name).unwrap().unwrap();
+        assert_eq!(view.id, 42);
+        assert_eq!(view.questions, 1);
+        assert_eq!(name, "de.pool.ntp.org");
+
+        for addrs in [
+            vec![],
+            vec![Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(192, 0, 2, 9)],
+        ] {
+            let owned = DnsMessage::a_response(&q, 150, &addrs).encode();
+            let mut fast = Vec::new();
+            encode_a_response_into(&view, &name, 150, &addrs, &mut fast);
+            assert_eq!(owned, fast, "{} answers", addrs.len());
+        }
+    }
+
+    #[test]
+    fn read_query_rejects_what_decode_rejects() {
+        let good = DnsMessage::a_query(1, "pool.ntp.org").encode();
+        let mut name = String::new();
+        for cut in [0, 5, 11, good.len() - 1] {
+            assert_eq!(
+                DnsMessage::decode(&good[..cut]).is_ok(),
+                read_query(&good[..cut], &mut name).is_ok(),
+                "cut={cut}"
+            );
+        }
+        assert!(read_query(b"\x00\x01", &mut name).is_err());
+    }
+
+    #[test]
+    fn for_each_a_record_matches_a_records() {
+        let q = DnsMessage::a_query(7, "pool.ntp.org");
+        let addrs = vec![Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(192, 0, 2, 2)];
+        let mut r = DnsMessage::a_response(&q, 150, &addrs);
+        r.answers.push(DnsRecord {
+            name: "pool.ntp.org".into(),
+            rtype: QType::Other(16),
+            rclass: QClass::In,
+            ttl: 60,
+            data: DnsRecordData::Raw(vec![1, 2, 3]),
+        });
+        let bytes = r.encode();
+        let mut got = Vec::new();
+        for_each_a_record(&bytes, |a| got.push(a)).unwrap();
+        assert_eq!(got, DnsMessage::decode(&bytes).unwrap().a_records());
+        // truncated buffers rejected identically
+        for cut in [0, 11, bytes.len() - 1] {
+            assert_eq!(
+                DnsMessage::decode(&bytes[..cut]).is_ok(),
+                for_each_a_record(&bytes[..cut], |_| {}).is_ok(),
+                "cut={cut}"
+            );
+        }
+        // compression pointers resolve the same way
+        let mut compressed = DnsMessage::a_query(3, "pool.ntp.org").encode();
+        compressed[6..8].copy_from_slice(&1u16.to_be_bytes());
+        compressed.extend_from_slice(&[0xc0, 12]);
+        compressed.extend_from_slice(&1u16.to_be_bytes());
+        compressed.extend_from_slice(&1u16.to_be_bytes());
+        compressed.extend_from_slice(&60u32.to_be_bytes());
+        compressed.extend_from_slice(&4u16.to_be_bytes());
+        compressed.extend_from_slice(&[203, 0, 113, 5]);
+        let mut got = Vec::new();
+        for_each_a_record(&compressed, |a| got.push(a)).unwrap();
+        assert_eq!(got, vec![Ipv4Addr::new(203, 0, 113, 5)]);
     }
 
     #[test]

@@ -80,6 +80,34 @@ impl HttpRequest {
     pub fn header(&self, name: &str) -> Option<&str> {
         header_lookup(&self.headers, name)
     }
+
+    /// Borrow-only request parse: validates the head exactly as
+    /// [`HttpRequest::decode`] does (same accept/reject behaviour) and
+    /// returns `(method, path)` without allocating. Servers that only
+    /// need to route on the request line use this on the hot path.
+    pub fn parse_meta(buf: &[u8]) -> Result<(&str, &str), WireError> {
+        let head = head_of(buf)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if !m.is_empty() && !p.is_empty() => (m, p, v),
+            _ => {
+                return Err(WireError::Malformed {
+                    layer: "http",
+                    what: "bad request line",
+                })
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::Malformed {
+                layer: "http",
+                what: "unsupported HTTP version",
+            });
+        }
+        validate_headers(lines)?;
+        Ok((method, path))
+    }
 }
 
 fn encode_headers(headers: &[(String, String)], out: &mut Vec<u8>) {
@@ -224,6 +252,33 @@ impl HttpResponse {
         header_lookup(&self.headers, name)
     }
 
+    /// Status code alone, validated exactly as [`HttpResponse::decode`]
+    /// validates the head — succeeds iff `decode` would — without
+    /// allocating. The prober's verdict only needs the status.
+    pub fn status_of(buf: &[u8]) -> Result<u16, WireError> {
+        let head = head_of(buf)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::Malformed {
+                layer: "http",
+                what: "bad status line version",
+            });
+        }
+        let status: u16 =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(WireError::Malformed {
+                    layer: "http",
+                    what: "bad status code",
+                })?;
+        validate_headers(lines)?;
+        Ok(status)
+    }
+
     /// Is the whole head plus declared body present in `buf`? The prober
     /// uses this to decide when a response is complete.
     pub fn is_complete(buf: &[u8]) -> bool {
@@ -274,6 +329,22 @@ fn parse_headers<'a>(
         headers.push((k.trim().to_string(), v.trim().to_string()));
     }
     Ok(headers)
+}
+
+/// The validation half of [`parse_headers`], without building the pairs.
+fn validate_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<(), WireError> {
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if !line.contains(':') {
+            return Err(WireError::Malformed {
+                layer: "http",
+                what: "header missing colon",
+            });
+        }
+    }
+    Ok(())
 }
 
 fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -344,6 +415,61 @@ mod tests {
         assert!(HttpResponse::decode(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
         assert!(HttpRequest::decode(b"GET / SPDY/3\r\n\r\n").is_err());
         assert!(HttpRequest::decode(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parse_meta_agrees_with_decode() {
+        let cases: &[&[u8]] = &[
+            b"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"POST /p HTTP/1.0\r\n\r\n",
+            b"GARBAGE\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"GET / HTTP/1.1\r\nHost: x\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+        ];
+        for case in cases {
+            let full = HttpRequest::decode(case);
+            let meta = HttpRequest::parse_meta(case);
+            assert_eq!(
+                full.is_ok(),
+                meta.is_ok(),
+                "{:?}",
+                String::from_utf8_lossy(case)
+            );
+            if let (Ok(full), Ok((method, path))) = (full, meta) {
+                assert_eq!(full.method, method);
+                assert_eq!(full.path, path);
+            }
+        }
+    }
+
+    #[test]
+    fn status_of_agrees_with_decode() {
+        let cases: &[&[u8]] = &[
+            b"HTTP/1.1 302 Found\r\nContent-Length: 0\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\n\r\nbody",
+            b"HTTP/1.1 abc OK\r\n\r\n",
+            b"SPDY/3 200 OK\r\n\r\n",
+            b"HTTP/1.1 301 Moved Permanently\r\nNoColon\r\n\r\n",
+            b"HTTP/1.1 200",
+        ];
+        for case in cases {
+            let full = HttpResponse::decode(case);
+            let status = HttpResponse::status_of(case);
+            assert_eq!(
+                full.is_ok(),
+                status.is_ok(),
+                "{:?}",
+                String::from_utf8_lossy(case)
+            );
+            if let (Ok(full), Ok(status)) = (full, status) {
+                assert_eq!(full.status, status);
+            }
+        }
+        let canned = HttpResponse::pool_redirect().encode();
+        assert_eq!(HttpResponse::status_of(&canned).unwrap(), 302);
     }
 
     #[test]

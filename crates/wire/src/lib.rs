@@ -157,42 +157,82 @@ impl Datagram {
     ///
     /// This is the exact operation an ECN-bleaching router performs.
     pub fn set_ecn(&mut self, ecn: Ecn) {
-        let mut h = self.header();
-        h.ecn = ecn;
-        h.encode_into(&mut self.bytes);
+        self.set_ecn_raw(ecn);
+        self.refresh_header_checksum();
     }
 
     /// Decrement TTL in place (checksum fixed up). Returns the new TTL.
     pub fn decrement_ttl(&mut self) -> u8 {
-        let mut h = self.header();
-        h.ttl = h.ttl.saturating_sub(1);
-        h.encode_into(&mut self.bytes);
-        h.ttl
+        let ttl = self.bytes[8].saturating_sub(1);
+        self.bytes[8] = ttl;
+        self.refresh_header_checksum();
+        ttl
+    }
+
+    /// Write the TTL byte *without* fixing the checksum. For forwarding
+    /// pipelines that batch several field mutations and call
+    /// [`Datagram::refresh_header_checksum`] once before the bytes are
+    /// observed again.
+    pub fn set_ttl_raw(&mut self, ttl: u8) {
+        self.bytes[8] = ttl;
+    }
+
+    /// Write the two ECN bits *without* fixing the checksum (DSCP bits
+    /// preserved). Pair with [`Datagram::refresh_header_checksum`].
+    pub fn set_ecn_raw(&mut self, ecn: Ecn) {
+        self.bytes[1] = (self.bytes[1] & !0b11) | ecn.bits();
+    }
+
+    /// Recompute the IPv4 header checksum over the current header bytes —
+    /// the identical calculation [`Ipv4Header::encode`] performs, so a
+    /// raw-mutated header refreshed through here is byte-for-byte what a
+    /// decode → mutate → re-encode cycle would have produced.
+    pub fn refresh_header_checksum(&mut self) {
+        self.bytes[10] = 0;
+        self.bytes[11] = 0;
+        let ck = crate::checksum::finish(crate::checksum::sum_words(
+            &self.bytes[..IPV4_HEADER_LEN],
+            0,
+        ));
+        self.bytes[10..12].copy_from_slice(&ck.to_be_bytes());
     }
 
     /// Convenience accessors used pervasively by the simulator fast path.
+    /// These read the fixed-offset fields straight off the wire bytes —
+    /// a `Datagram` always holds a valid options-free IPv4 header, so no
+    /// decode pass is needed.
     pub fn src(&self) -> std::net::Ipv4Addr {
-        self.header().src
+        std::net::Ipv4Addr::new(
+            self.bytes[12],
+            self.bytes[13],
+            self.bytes[14],
+            self.bytes[15],
+        )
     }
 
     /// Destination address.
     pub fn dst(&self) -> std::net::Ipv4Addr {
-        self.header().dst
+        std::net::Ipv4Addr::new(
+            self.bytes[16],
+            self.bytes[17],
+            self.bytes[18],
+            self.bytes[19],
+        )
     }
 
     /// Current ECN codepoint.
     pub fn ecn(&self) -> Ecn {
-        self.header().ecn
+        Ecn::from_bits(self.bytes[1])
     }
 
     /// Transport protocol number.
     pub fn protocol(&self) -> IpProto {
-        self.header().protocol
+        IpProto::from_number(self.bytes[9])
     }
 
     /// Current TTL.
     pub fn ttl(&self) -> u8 {
-        self.header().ttl
+        self.bytes[8]
     }
 }
 
@@ -258,5 +298,48 @@ mod tests {
     fn is_empty_reflects_payload() {
         assert!(Datagram::new(sample_header(), b"").is_empty());
         assert!(!Datagram::new(sample_header(), b"x").is_empty());
+    }
+
+    #[test]
+    fn direct_accessors_agree_with_decoded_header() {
+        for ecn in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce] {
+            let mut h = sample_header();
+            h.ecn = ecn;
+            h.ttl = 37;
+            h.protocol = IpProto::Tcp;
+            let d = Datagram::new(h, b"payload");
+            let full = d.header();
+            assert_eq!(d.src(), full.src);
+            assert_eq!(d.dst(), full.dst);
+            assert_eq!(d.ecn(), full.ecn);
+            assert_eq!(d.protocol(), full.protocol);
+            assert_eq!(d.ttl(), full.ttl);
+        }
+    }
+
+    #[test]
+    fn raw_mutation_plus_refresh_matches_reencode_bytes() {
+        // The forwarding fast path (raw TTL/ECN writes + one checksum
+        // refresh) must produce byte-identical wire output to the owned
+        // decode → mutate → write_header cycle it replaces.
+        for (ttl, ecn) in [(63u8, Ecn::NotEct), (1, Ecn::Ce), (0, Ecn::Ect1)] {
+            let mut h = sample_header();
+            h.dscp = Dscp::EF; // ensure DSCP bits survive the ECN write
+            let mut fast = Datagram::new(h, b"some payload");
+            let mut slow = fast.clone();
+
+            fast.set_ttl_raw(ttl);
+            fast.set_ecn_raw(ecn);
+            fast.refresh_header_checksum();
+
+            let mut hh = slow.header();
+            hh.ttl = ttl;
+            hh.ecn = ecn;
+            slow.write_header(&hh);
+
+            assert_eq!(fast.as_bytes(), slow.as_bytes());
+            // and the result still passes a verifying decode
+            assert!(Ipv4Header::decode(fast.as_bytes()).is_ok());
+        }
     }
 }

@@ -120,7 +120,7 @@ fn traceroute_finds_each_always_bleaching_router_region() {
         .truth
         .bleach_always
         .iter()
-        .map(|(node, _): &(NodeId, _)| sc.sim.nodes[node.0 as usize].addr())
+        .map(|(node, _): &(NodeId, _)| sc.sim.addr_of(*node))
         .collect();
 
     // every measured red run must start immediately downstream of a
@@ -129,7 +129,7 @@ fn traceroute_finds_each_always_bleaching_router_region() {
         .truth
         .bleach_sometimes
         .iter()
-        .map(|(node, _)| sc.sim.nodes[node.0 as usize].addr())
+        .map(|(node, _)| sc.sim.addr_of(*node))
         .collect();
     let mut immediate = 0usize;
     let mut upstream_only = 0usize;
