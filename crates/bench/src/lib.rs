@@ -59,6 +59,10 @@ pub fn time_kernel<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
 /// `report_memory`) contribute sections to the same trajectory artefact,
 /// in whatever order they run. `section_body` must be a JSON object
 /// (`{...}`); the file keeps one `"name": {...}` entry per section.
+///
+/// The write is atomic (temp file + rename in the target's directory), so
+/// an interrupted or concurrent bench run can never leave a torn
+/// document — readers see either the old sections or the new ones.
 pub fn update_bench_json(path: &Path, section: &str, section_body: &str) {
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let mut sections = parse_top_level_sections(&existing);
@@ -70,7 +74,14 @@ pub fn update_bench_json(path: &Path, section: &str, section_body: &str) {
         out.push_str(&format!("  \"{name}\": {}{comma}\n", indent_block(body)));
     }
     out.push_str("}\n");
-    std::fs::write(path, out).expect("write bench json");
+    // Same directory as the target so the rename cannot cross filesystems.
+    let file_name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, out).expect("write bench json temp file");
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        panic!("atomic rename of bench json into {}: {e}", path.display());
+    }
 }
 
 /// Read one numeric leaf out of a `BENCH_campaign.json` document:
@@ -217,6 +228,28 @@ mod tests {
 
         let sections = parse_top_level_sections(&doc);
         assert_eq!(sections.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_json_update_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("ecn_bench_json_atomic_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_atomic.json");
+        let _ = std::fs::remove_file(&path);
+
+        update_bench_json(&path, "alpha", "{\n  \"x\": 1\n}");
+        update_bench_json(&path, "beta", "{\n  \"y\": 2\n}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"alpha\"") && doc.contains("\"beta\""), "{doc}");
+        // the temp file must be renamed away, never left beside the target
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
         let _ = std::fs::remove_file(&path);
     }
 }

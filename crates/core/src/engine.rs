@@ -29,15 +29,17 @@ use crate::trace::TraceRecord;
 use ecn_pool::{PoolPlan, WorldBlueprint};
 use parking_lot::Mutex;
 use rand::seq::SliceRandom;
-use std::collections::VecDeque;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// How the unit list is ordered before being dealt to the shards. Results
 /// are invariant under this knob (the determinism suite enforces it); it
-/// exists so tests can prove scheduling-order independence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// exists so tests can prove scheduling-order independence. Serializes so
+/// the multi-process worker request can carry it across the pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum UnitOrder {
     /// Vantage-major, chunk-minor (the canonical order).
     #[default]
@@ -54,6 +56,15 @@ pub struct EngineConfig {
     /// Worker shards. `None` = available parallelism. Any value produces
     /// byte-identical results; it only controls concurrency.
     pub shards: Option<usize>,
+    /// Worker **processes**. `1` (the default) runs everything in this
+    /// process; `N > 1` partitions the unit list round-robin across `N`
+    /// child processes (each running its own `shards`-wide work-stealing
+    /// pool) and tree-merges their serialized [`ShardReducers`] — see
+    /// [`crate::mp`]. Like `shards`, a pure concurrency/memory knob: any
+    /// value renders byte-identical reports. Incompatible with
+    /// `keep_traces`/`keep_routes` and enabled event subscribers (raw
+    /// records and typed events do not cross the pipe).
+    pub processes: usize,
     /// Target-list chunks per vantage (work granularity). Unlike `shards`
     /// this knob *is* part of the experiment definition: each chunk probes
     /// in its own world, so changing it changes the measured noise.
@@ -80,6 +91,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             shards: None,
+            processes: 1,
             target_chunks: 1,
             keep_traces: false,
             keep_routes: false,
@@ -94,6 +106,14 @@ impl EngineConfig {
         EngineConfig {
             shards: Some(n),
             ..EngineConfig::default()
+        }
+    }
+
+    /// This configuration, fanned out across `n` worker processes.
+    pub fn across_processes(self, n: usize) -> EngineConfig {
+        EngineConfig {
+            processes: n.max(1),
+            ..self
         }
     }
 
@@ -120,9 +140,11 @@ impl EngineConfig {
 }
 
 /// Where the wall-clock went, phase by phase. Per-unit phases
-/// (`instantiate`, `probe`, `reduce`) are summed across shards, so they
-/// can exceed `wall` when shards overlap.
-#[derive(Debug, Clone, Copy, Default)]
+/// (`instantiate`, `probe`, `reduce`) are summed across shards — and, in
+/// multi-process mode, across worker processes — so they can exceed
+/// `wall` when execution overlaps. Serializes (`Duration` as
+/// `[secs, nanos]`) so worker payloads can report their breakdown.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct EngineTiming {
     /// Building the world blueprint (once per campaign).
     pub blueprint_build: Duration,
@@ -168,13 +190,46 @@ pub struct EngineRun {
     /// being probed/reduced). Zero on reducer-only runs — the memory
     /// claim `report_memory` benches.
     pub peak_resident_traces: usize,
+    /// Worker processes used (`1` = everything ran in this process).
+    pub processes: usize,
+    /// Reducer merge rounds performed: ⌈log₂ shards-per-process⌉ for the
+    /// in-process tree, plus ⌈log₂ processes⌉ for the cross-process tree
+    /// in multi-process mode (see [`crate::reducers::merge_tree`]).
+    pub merge_depth: usize,
+    /// Peak resident set size in kB (`VmHWM`): the max across this
+    /// process and every worker, each a per-process high-water mark. The
+    /// megapool bench records it to show multi-process campaigns bound
+    /// per-process memory. `0` where `/proc/self/status` is unavailable.
+    pub peak_rss_kb: u64,
 }
 
 /// One work unit: one vantage's full schedule against one target chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Unit {
-    vantage: usize,
-    chunk: usize,
+pub(crate) struct Unit {
+    pub(crate) vantage: usize,
+    pub(crate) chunk: usize,
+}
+
+/// The canonical (vantage-major, chunk-minor) unit list — the order every
+/// partitioning and permutation is defined against. The multi-process
+/// partition (`crate::mp`) deals canonical *indices* round-robin, so the
+/// union over workers is exactly this list for any process count.
+pub(crate) fn canonical_units(vantage_count: usize, chunks: usize) -> Vec<Unit> {
+    (0..vantage_count)
+        .flat_map(|vantage| (0..chunks).map(move |chunk| Unit { vantage, chunk }))
+        .collect()
+}
+
+/// Apply the scheduling-order knob (a pure permutation; results are
+/// invariant — the determinism suite sweeps it).
+pub(crate) fn apply_unit_order(units: &mut [Unit], order: UnitOrder) {
+    match order {
+        UnitOrder::AsScheduled => {}
+        UnitOrder::Reversed => units.reverse(),
+        UnitOrder::Shuffled(seed) => {
+            units.shuffle(&mut ecn_netsim::derive_rng(seed, "engine/unit-order"))
+        }
+    }
 }
 
 /// What one unit produced (partial records when `target_chunks > 1`).
@@ -206,6 +261,22 @@ pub fn run_engine_observed<S: Subscriber>(
     eng: &EngineConfig,
     mut subscriber: S,
 ) -> (EngineRun, S) {
+    if eng.processes > 1 {
+        // Raw records and typed events do not cross the worker pipe; the
+        // CLI rejects these combinations with a friendlier message.
+        assert!(
+            !S::ENABLED,
+            "EngineConfig::processes > 1 cannot stream typed events across \
+             the process boundary; run subscribers with processes = 1"
+        );
+        assert!(
+            !eng.keep_traces && !eng.keep_routes,
+            "EngineConfig::processes > 1 cannot retain raw trace records or \
+             traceroute paths (they do not cross the worker pipe); run \
+             keep_traces/keep_routes with processes = 1"
+        );
+        return (crate::mp::run_multiprocess(plan, cfg, eng), subscriber);
+    }
     let wall0 = Instant::now();
     let mut timing = EngineTiming::default();
     let plan = plan_with_churn(plan, cfg);
@@ -226,24 +297,106 @@ pub fn run_engine_observed<S: Subscriber>(
     // units exist per (vantage × target chunk).
     let vantage_count = disco_world.vantages.len();
     let chunks = eng.target_chunks.max(1);
-    let per_vantage_sched: Vec<Vec<ScheduledTrace>> = {
-        let full = schedule(&disco_world, cfg);
-        let mut per: Vec<Vec<ScheduledTrace>> = vec![Vec::new(); vantage_count];
-        for st in full {
-            per[st.vantage].push(st);
-        }
-        per
-    };
-    let mut units: Vec<Unit> = (0..vantage_count)
-        .flat_map(|vantage| (0..chunks).map(move |chunk| Unit { vantage, chunk }))
-        .collect();
-    match eng.unit_order {
-        UnitOrder::AsScheduled => {}
-        UnitOrder::Reversed => units.reverse(),
-        UnitOrder::Shuffled(seed) => {
-            units.shuffle(&mut ecn_netsim::derive_rng(seed, "engine/unit-order"))
-        }
+    let per_vantage_sched = per_vantage_schedule(&disco_world, cfg, vantage_count);
+    let mut units = canonical_units(vantage_count, chunks);
+    apply_unit_order(&mut units, eng.unit_order);
+    let unit_count = units.len();
+    if S::ENABLED {
+        subscriber.on_event(&Event::CampaignStarted {
+            vantages: vantage_count,
+            units: unit_count,
+            targets: targets.len(),
+        });
     }
+
+    // Phases 4–5: work-stealing execution and deterministic merge.
+    let pool = run_unit_pool(
+        &bp,
+        &targets,
+        &per_vantage_sched,
+        units,
+        chunks,
+        cfg,
+        eng,
+        &mut subscriber,
+        &mut timing,
+    );
+    timing.wall = wall0.elapsed();
+
+    if S::ENABLED {
+        subscriber.finish();
+    }
+    let result = finish(
+        disco_world,
+        targets,
+        DiscoveryStats::from(&discovery),
+        pool.traces,
+        pool.routes,
+        pool.reducers,
+    );
+    (
+        EngineRun {
+            result,
+            timing,
+            shards: pool.shard_count,
+            units: unit_count,
+            peak_resident_traces: pool.peak_resident_traces,
+            processes: 1,
+            merge_depth: crate::reducers::merge_depth(pool.shard_count),
+            peak_rss_kb: crate::mp::peak_rss_kb(),
+        },
+        subscriber,
+    )
+}
+
+/// The full schedule, split per vantage (each unit runs exactly its
+/// vantage's slice). World-clock-independent: `schedule` reads only the
+/// vantage specs and the campaign calendar, so the multi-process workers
+/// can compute identical schedules in a fresh (undiscovered) world.
+pub(crate) fn per_vantage_schedule(
+    world: &ecn_pool::Scenario,
+    cfg: &CampaignConfig,
+    vantage_count: usize,
+) -> Vec<Vec<ScheduledTrace>> {
+    let full = schedule(world, cfg);
+    let mut per: Vec<Vec<ScheduledTrace>> = vec![Vec::new(); vantage_count];
+    for st in full {
+        per[st.vantage].push(st);
+    }
+    per
+}
+
+/// What the unit pool produced, after the deterministic merge.
+pub(crate) struct PoolOutcome {
+    /// Raw records in canonical order (empty unless `keep_traces`).
+    pub(crate) traces: Vec<TraceRecord>,
+    /// Raw routes in canonical order (empty unless `keep_routes`).
+    pub(crate) routes: Vec<VantageRoutes>,
+    /// Tree-merged shard reducers.
+    pub(crate) reducers: ShardReducers,
+    /// Shards actually used.
+    pub(crate) shard_count: usize,
+    /// Peak retained `TraceRecord`s across shards.
+    pub(crate) peak_resident_traces: usize,
+}
+
+/// Phases 4–5 of the engine: execute `units` over a work-stealing shard
+/// pool, then merge deterministically — a pairwise **tree** for the
+/// (commutative) reducers, canonical unit order for the raw records.
+/// Shared by the in-process engine and the multi-process worker (which
+/// passes its round-robin partition of the canonical unit list).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_unit_pool<S: Subscriber>(
+    bp: &WorldBlueprint,
+    targets: &[Ipv4Addr],
+    per_vantage_sched: &[Vec<ScheduledTrace>],
+    units: Vec<Unit>,
+    chunks: usize,
+    cfg: &CampaignConfig,
+    eng: &EngineConfig,
+    subscriber: &mut S,
+    timing: &mut EngineTiming,
+) -> PoolOutcome {
     let unit_count = units.len();
     let shard_count = eng
         .shards
@@ -253,16 +406,9 @@ pub fn run_engine_observed<S: Subscriber>(
                 .unwrap_or(1)
         })
         .clamp(1, unit_count.max(1));
-    if S::ENABLED {
-        subscriber.on_event(&Event::CampaignStarted {
-            vantages: vantage_count,
-            units: unit_count,
-            targets: targets.len(),
-        });
-    }
 
     // Phase 4: work-stealing execution. Each shard owns a deque, takes
-    // from its front, and steals from the back of the fullest victim.
+    // from its front, and steals from the back of a round-robin victim.
     let queues: Vec<Mutex<VecDeque<Unit>>> = {
         let mut qs: Vec<VecDeque<Unit>> = (0..shard_count).map(|_| VecDeque::new()).collect();
         for (i, u) in units.into_iter().enumerate() {
@@ -285,8 +431,6 @@ pub fn run_engine_observed<S: Subscriber>(
         let mut handles = Vec::with_capacity(shard_count);
         for s in 0..shard_count {
             let queues = &queues;
-            let bp = &bp;
-            let targets = &targets;
             let per_vantage_sched = &per_vantage_sched;
             let resident = (&resident_traces, &peak_resident_traces);
             // forked here, on the spawning thread, so `S` needs only Send
@@ -330,19 +474,22 @@ pub fn run_engine_observed<S: Subscriber>(
     })
     .expect("engine threads");
 
-    // Phase 5: deterministic merge — shard order for the (commutative)
-    // reducers, canonical unit order for the raw records.
+    // Phase 5: deterministic merge. Reducers merge as a pairwise tree
+    // (⌈log₂ shards⌉ rounds; commutativity + associativity make it equal
+    // to any fold — `reducers::tree_merge_equals_flat_fold` pins that);
+    // raw records merge in canonical unit order.
     let t0 = Instant::now();
     let mut outputs: Vec<UnitOutput> = Vec::with_capacity(unit_count);
-    let mut reducers = ShardReducers::default();
+    let mut shard_reducers: Vec<ShardReducers> = Vec::with_capacity(shard_count);
     for (outs, red, sub, inst, probe, reduce) in shard_yields {
         outputs.extend(outs);
-        reducers.merge(red);
+        shard_reducers.push(red);
         subscriber.merge(sub);
         timing.instantiate += inst;
         timing.probe += probe;
         timing.reduce += reduce;
     }
+    let reducers = crate::reducers::merge_tree(shard_reducers);
     outputs.sort_by_key(|o| (o.unit.vantage, o.unit.chunk));
 
     let mut traces: Vec<TraceRecord> = Vec::new();
@@ -380,29 +527,14 @@ pub fn run_engine_observed<S: Subscriber>(
         (a.started_at, a.vantage_key.as_str()).cmp(&(b.started_at, b.vantage_key.as_str()))
     });
     timing.reduce += t0.elapsed();
-    timing.wall = wall0.elapsed();
 
-    if S::ENABLED {
-        subscriber.finish();
-    }
-    let result = finish(
-        disco_world,
-        targets,
-        DiscoveryStats::from(&discovery),
+    PoolOutcome {
         traces,
         routes,
         reducers,
-    );
-    (
-        EngineRun {
-            result,
-            timing,
-            shards: shard_count,
-            units: unit_count,
-            peak_resident_traces: peak_resident_traces.load(Ordering::Relaxed),
-        },
-        subscriber,
-    )
+        shard_count,
+        peak_resident_traces: peak_resident_traces.load(Ordering::Relaxed),
+    }
 }
 
 /// Run the full campaign with default engine settings: reducer-only
@@ -493,7 +625,12 @@ fn run_unit<S: Subscriber>(
         chunk: unit.chunk,
     };
     let t0 = Instant::now();
-    let mut sc = bp.instantiate_unit(unit.vantage, unit.chunk);
+    // Scoped stamp: only this chunk's targets get server stacks. Packets
+    // in a unit world flow exclusively between the vantages and the
+    // chunk's targets, so the scoping is invisible to every outcome —
+    // while cutting stamp cost from O(servers) to O(servers/chunks).
+    let probed: HashSet<Ipv4Addr> = chunk_targets.iter().copied().collect();
+    let mut sc = bp.instantiate_unit_scoped(unit.vantage, unit.chunk, &probed);
     if S::ENABLED {
         // purely observational: the tap counts, it cannot change outcomes
         sc.sim.install_event_tap();

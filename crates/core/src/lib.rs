@@ -41,6 +41,7 @@ pub mod config;
 pub mod discovery;
 pub mod engine;
 pub mod events;
+pub mod mp;
 pub mod probes;
 pub mod reducers;
 pub mod report;
@@ -60,15 +61,16 @@ pub use engine::{
     EngineRun, EngineTiming, UnitOrder,
 };
 pub use events::{Event, JsonLinesMetrics, ProbeKind, Progress, Subscriber, TraceSampler, UnitId};
+pub use mp::{maybe_worker, peak_rss_kb, WORKER_ARG, WORKER_EXE_ENV};
 pub use probes::{probe_tcp, probe_udp, TcpProbeResult, UdpProbeResult};
 pub use reducers::{
-    BatchCounts, CampaignAggregates, DifferentialCounts, HopSurveyCounts, ReachabilityCounts,
-    Reduce, RouteCtx, ShardReducers, SurveyCounts, Table2Counts, TraceCounters, TraceCtx,
-    TraceStats,
+    merge_depth, merge_tree, BatchCounts, CampaignAggregates, DifferentialCounts, HopSurveyCounts,
+    ReachabilityCounts, Reduce, RouteCtx, ShardReducers, SurveyCounts, Table2Counts, TraceCounters,
+    TraceCtx, TraceStats,
 };
 pub use scenario_run::{
-    campaign_config, engine_config, run_scenario, run_scenario_observed, run_scenario_sharded,
-    RunSummary,
+    campaign_config, engine_config, run_scenario, run_scenario_observed, run_scenario_parallel,
+    run_scenario_sharded, RunSummary,
 };
 pub use trace::{ServerOutcome, TraceRecord};
 pub use traceroute::{traceroute, HopObservation, TraceroutePath};

@@ -1,0 +1,540 @@
+//! Multi-process shard mode: partition the engine's unit pool across
+//! child **processes**, each running its own work-stealing shard pool,
+//! and tree-merge their serialized reducers in the parent.
+//!
+//! ## Why processes
+//!
+//! Shards bound wall-clock; processes bound *memory*. Every reducer map
+//! a shard touches lives until the final merge, so a megapool campaign
+//! (10⁵–10⁶ servers) concentrates O(vantages × servers) of keyed state —
+//! plus every concurrently instantiated unit world — in one address
+//! space. The reducer contract (commutative, associative merge) was
+//! designed so shards can live anywhere; this module puts them behind a
+//! pipe: each worker holds only its partition's worlds and partial
+//! aggregates, and the parent's high-water mark stays at discovery +
+//! merged aggregates.
+//!
+//! ## Worker protocol
+//!
+//! The parent spawns `processes` children running the **same binary**
+//! with the single argument [`WORKER_ARG`] (binaries opt in by calling
+//! [`maybe_worker`] first thing in `main`; tests point
+//! [`WORKER_EXE_ENV`] at the `ecnudp` binary instead). Each child reads
+//! one [`WorkerRequest`] as JSON on stdin, runs its round-robin
+//! partition of the canonical unit list — canonical index `i` belongs to
+//! worker `i % processes` — and writes one [`WorkerPayload`] as JSON on
+//! stdout: its tree-merged [`ShardReducers`], timing breakdown, peak-RSS
+//! gauge, and an event-stream summary ([`WorkerCounters`]: observation
+//! totals plus the netsim [`SimCounters`] tap, string-keyed for the
+//! wire). stderr is inherited, so worker panics surface verbatim.
+//!
+//! Workers skip discovery entirely: the parent runs it once and ships
+//! the target list in the request. A worker only needs the blueprint
+//! (rebuilt from the same plan + seed, bit-identical by construction)
+//! and the per-vantage schedule, which is world-clock-independent.
+//!
+//! ## Determinism
+//!
+//! The partition is over *canonical* unit indices, reducers are
+//! commutative and associative, and every unit's RNG domain derives from
+//! its identity — so process count, like shard count and stealing order,
+//! cannot change any result byte. `tests/process_determinism.rs`
+//! enforces byte-identical `FullReport::render` across
+//! processes × shards × unit orders.
+
+use crate::campaign::{discover_in, finish, plan_with_churn, DiscoveryStats};
+use crate::config::CampaignConfig;
+use crate::engine::{
+    apply_unit_order, canonical_units, per_vantage_schedule, run_unit_pool, EngineConfig,
+    EngineRun, EngineTiming, UnitOrder,
+};
+use crate::events::{Event, Subscriber};
+use crate::reducers::{merge_depth, merge_tree, ShardReducers};
+use ecn_netsim::SimCounters;
+use ecn_pool::{PoolPlan, WorldBlueprint};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::Ipv4Addr;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+/// The hidden argv[1] that switches a cooperating binary into worker
+/// mode (see [`maybe_worker`]). Deliberately not a `--flag`: it can
+/// never collide with user-facing CLI surface.
+pub const WORKER_ARG: &str = "__mp-worker";
+
+/// Environment override for the worker executable. Defaults to
+/// `std::env::current_exe()` (self-spawn); set this to the `ecnudp`
+/// binary from contexts whose own executable has no worker hook (the
+/// libtest harness cannot intercept `main`).
+pub const WORKER_EXE_ENV: &str = "ECNUDP_WORKER_EXE";
+
+/// Everything a worker needs to run its partition, shipped as JSON on
+/// its stdin. The plan already carries the churn pin
+/// (`plan_with_churn`), and `targets` is the parent's discovery result —
+/// workers never re-discover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerRequest {
+    /// The churned pool plan (world definition).
+    pub plan: PoolPlan,
+    /// The campaign methodology configuration.
+    pub cfg: CampaignConfig,
+    /// Discovered probe targets, in probing order.
+    pub targets: Vec<Ipv4Addr>,
+    /// Target-list chunks per vantage.
+    pub target_chunks: usize,
+    /// Shards per worker (`None` = the worker's available parallelism).
+    pub shards: Option<usize>,
+    /// Unit scheduling order within the worker's partition.
+    pub unit_order: UnitOrder,
+    /// Total worker processes.
+    pub processes: usize,
+    /// This worker's index in `0..processes`.
+    pub index: usize,
+}
+
+/// Event-stream summary a worker sends home: observation totals plus the
+/// merged netsim counters, re-keyed as owned `String`s (the in-process
+/// [`SimCounters`] uses `&'static str` / `Arc<str>` keys, which cannot
+/// cross a serialization boundary).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerCounters {
+    /// Server observations produced (Σ unit traces × chunk targets).
+    pub observations: u64,
+    /// Datagrams delivered end-to-end.
+    pub delivered: u64,
+    /// Datagrams dropped, by cause label.
+    pub dropped: BTreeMap<String, u64>,
+    /// CE congestion marks applied.
+    pub ce_marked: u64,
+    /// ECN rewrites observed, by hop label.
+    pub ecn_rewritten: BTreeMap<String, u64>,
+}
+
+impl WorkerCounters {
+    fn absorb_sim(&mut self, c: &SimCounters) {
+        self.delivered += c.delivered;
+        for (k, v) in &c.dropped {
+            *self.dropped.entry((*k).to_string()).or_default() += v;
+        }
+        self.ce_marked += c.ce_marked;
+        for (k, v) in &c.ecn_rewritten {
+            *self.ecn_rewritten.entry(k.to_string()).or_default() += v;
+        }
+    }
+
+    /// Merge another summary (commutative, like everything on the wire).
+    pub fn merge(&mut self, other: &WorkerCounters) {
+        self.observations += other.observations;
+        self.delivered += other.delivered;
+        for (k, v) in &other.dropped {
+            *self.dropped.entry(k.clone()).or_default() += v;
+        }
+        self.ce_marked += other.ce_marked;
+        for (k, v) in &other.ecn_rewritten {
+            *self.ecn_rewritten.entry(k.clone()).or_default() += v;
+        }
+    }
+}
+
+/// One worker's results, shipped as JSON on its stdout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerPayload {
+    /// The worker's tree-merged partial aggregates.
+    pub aggregates: ShardReducers,
+    /// Units the worker executed.
+    pub units: usize,
+    /// Shards the worker actually used.
+    pub shards: usize,
+    /// The worker's phase timing (blueprint + instantiate/probe/reduce).
+    pub timing: EngineTiming,
+    /// Peak retained `TraceRecord`s (always 0: workers never keep raw
+    /// records).
+    pub peak_resident_traces: usize,
+    /// The worker process's `VmHWM` in kB (0 off-Linux).
+    pub peak_rss_kb: u64,
+    /// Event-stream summary (observations + netsim counters).
+    pub counters: WorkerCounters,
+}
+
+/// The worker-side event collector: taps every unit's [`SimCounters`]
+/// drain and observation totals. Enabled (`ENABLED = true`) but purely
+/// observational, so worker results stay byte-identical to an
+/// unobserved run — the process-determinism suite proves it.
+#[derive(Default)]
+struct WorkerTap {
+    counters: WorkerCounters,
+}
+
+impl Subscriber for WorkerTap {
+    fn fork(&self) -> Self {
+        WorkerTap::default()
+    }
+
+    fn on_event(&mut self, event: &Event<'_>) {
+        match event {
+            Event::SimFlushed { counters, .. } => self.counters.absorb_sim(counters),
+            Event::UnitFinished { observations, .. } => {
+                self.counters.observations += *observations as u64;
+            }
+            _ => {}
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.counters.merge(&other.counters);
+    }
+}
+
+/// Execute one worker request (the body of worker mode; separated so
+/// tests can drive the partition logic in-process).
+pub fn run_worker(req: &WorkerRequest) -> WorkerPayload {
+    let mut timing = EngineTiming::default();
+    let t0 = Instant::now();
+    let bp = WorldBlueprint::build(&req.plan, req.cfg.seed);
+    timing.blueprint_build = t0.elapsed();
+
+    // A fresh world only for vantage specs and the (clock-independent)
+    // schedule; no discovery, no probing happens in it.
+    let sched_world = bp.instantiate();
+    let vantage_count = sched_world.vantages.len();
+    let per_vantage_sched = per_vantage_schedule(&sched_world, &req.cfg, vantage_count);
+    drop(sched_world);
+
+    let chunks = req.target_chunks.max(1);
+    let processes = req.processes.max(1);
+    let mut units = canonical_units(vantage_count, chunks);
+    let mut i = 0usize;
+    units.retain(|_| {
+        let mine = i % processes == req.index;
+        i += 1;
+        mine
+    });
+    apply_unit_order(&mut units, req.unit_order);
+    let unit_count = units.len();
+
+    let eng = EngineConfig {
+        shards: req.shards,
+        ..EngineConfig::default()
+    };
+    let mut tap = WorkerTap::default();
+    let wall0 = Instant::now();
+    let pool = run_unit_pool(
+        &bp,
+        &req.targets,
+        &per_vantage_sched,
+        units,
+        chunks,
+        &req.cfg,
+        &eng,
+        &mut tap,
+        &mut timing,
+    );
+    timing.wall = wall0.elapsed();
+    WorkerPayload {
+        aggregates: pool.reducers,
+        units: unit_count,
+        shards: pool.shard_count,
+        timing,
+        peak_resident_traces: pool.peak_resident_traces,
+        peak_rss_kb: peak_rss_kb(),
+        counters: tap.counters,
+    }
+}
+
+/// Worker mode entry point: if this process was spawned as a worker
+/// (`argv[1]` == [`WORKER_ARG`]), serve one request over stdin/stdout
+/// and return an exit code to bubble out of `main`; otherwise `None`.
+/// Cooperating binaries (the `ecnudp` CLI, the bench harnesses) call
+/// this before any argument parsing.
+pub fn maybe_worker() -> Option<std::process::ExitCode> {
+    if std::env::args().nth(1).as_deref() != Some(WORKER_ARG) {
+        return None;
+    }
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("mp worker: cannot read request: {e}");
+        return Some(std::process::ExitCode::FAILURE);
+    }
+    let req: WorkerRequest = match serde_json::from_str(&input) {
+        Ok(req) => req,
+        Err(e) => {
+            eprintln!("mp worker: malformed request: {e:?}");
+            return Some(std::process::ExitCode::FAILURE);
+        }
+    };
+    let payload = run_worker(&req);
+    let json = match serde_json::to_string(&payload) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("mp worker: cannot serialize payload: {e:?}");
+            return Some(std::process::ExitCode::FAILURE);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_all(json.as_bytes()).and_then(|()| out.flush()) {
+        eprintln!("mp worker: cannot write payload: {e}");
+        return Some(std::process::ExitCode::FAILURE);
+    }
+    Some(std::process::ExitCode::SUCCESS)
+}
+
+/// Resolve the worker executable: [`WORKER_EXE_ENV`] override, else this
+/// very binary.
+fn worker_exe() -> std::path::PathBuf {
+    std::env::var_os(WORKER_EXE_ENV)
+        .map(Into::into)
+        .unwrap_or_else(|| std::env::current_exe().expect("mp: current_exe for worker spawn"))
+}
+
+/// The multi-process engine driver (`EngineConfig::processes > 1`):
+/// blueprint + discovery here, probing in `processes` spawned workers,
+/// hierarchical merge of their payloads. Byte-identical to the
+/// in-process engine for any process count.
+pub(crate) fn run_multiprocess(
+    plan: &PoolPlan,
+    cfg: &CampaignConfig,
+    eng: &EngineConfig,
+) -> EngineRun {
+    let wall0 = Instant::now();
+    let mut timing = EngineTiming::default();
+    let plan = plan_with_churn(plan, cfg);
+    let processes = eng.processes;
+
+    // Phase 1–2 (parent): blueprint + discovery, exactly as in-process.
+    let t0 = Instant::now();
+    let bp = WorldBlueprint::build(&plan, cfg.seed);
+    timing.blueprint_build = t0.elapsed();
+    let t0 = Instant::now();
+    let mut disco_world = bp.instantiate();
+    let discovery = discover_in(&mut disco_world, cfg);
+    timing.discovery = t0.elapsed();
+    let targets = discovery.targets.clone();
+
+    // Phase 3–4 (workers): spawn first, then feed; children probe their
+    // partitions concurrently while the parent sits in blocking reads.
+    let exe = worker_exe();
+    let children: Vec<Child> = (0..processes)
+        .map(|index| {
+            let req = WorkerRequest {
+                plan: plan.clone(),
+                cfg: *cfg,
+                targets: targets.clone(),
+                target_chunks: eng.target_chunks,
+                shards: eng.shards,
+                unit_order: eng.unit_order,
+                processes,
+                index,
+            };
+            let mut child = Command::new(&exe)
+                .arg(WORKER_ARG)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| panic!("mp: spawn worker {index} ({}): {e}", exe.display()));
+            let json = serde_json::to_string(&req).expect("mp: serialize request");
+            let mut stdin = child.stdin.take().expect("mp: worker stdin is piped");
+            stdin
+                .write_all(json.as_bytes())
+                .and_then(|()| stdin.flush())
+                .unwrap_or_else(|e| panic!("mp: write request to worker {index}: {e}"));
+            drop(stdin); // EOF: the worker's read_to_string returns
+            child
+        })
+        .collect();
+    let payloads: Vec<WorkerPayload> = children
+        .into_iter()
+        .enumerate()
+        .map(|(index, mut child)| {
+            let mut json = String::new();
+            child
+                .stdout
+                .take()
+                .expect("mp: worker stdout is piped")
+                .read_to_string(&mut json)
+                .unwrap_or_else(|e| panic!("mp: read payload from worker {index}: {e}"));
+            let status = child
+                .wait()
+                .unwrap_or_else(|e| panic!("mp: wait for worker {index}: {e}"));
+            assert!(
+                status.success(),
+                "mp: worker {index} failed ({status}); its stderr is above"
+            );
+            serde_json::from_str(&json)
+                .unwrap_or_else(|e| panic!("mp: malformed payload from worker {index}: {e:?}"))
+        })
+        .collect();
+
+    // Phase 5 (parent): hierarchical merge of the worker payloads.
+    let t0 = Instant::now();
+    let mut units = 0;
+    let mut shards = 0;
+    let mut peak_resident_traces = 0;
+    let mut peak_rss_kb = 0u64;
+    let mut worker_merge_depth = 0;
+    for p in &payloads {
+        units += p.units;
+        shards += p.shards;
+        peak_resident_traces = peak_resident_traces.max(p.peak_resident_traces);
+        peak_rss_kb = peak_rss_kb.max(p.peak_rss_kb);
+        worker_merge_depth = worker_merge_depth.max(merge_depth(p.shards));
+        timing.instantiate += p.timing.instantiate;
+        timing.probe += p.timing.probe;
+        timing.reduce += p.timing.reduce;
+    }
+    let aggregates = merge_tree(payloads.into_iter().map(|p| p.aggregates).collect());
+    timing.reduce += t0.elapsed();
+    timing.wall = wall0.elapsed();
+
+    let result = finish(
+        disco_world,
+        targets,
+        DiscoveryStats::from(&discovery),
+        Vec::new(),
+        Vec::new(),
+        aggregates,
+    );
+    EngineRun {
+        result,
+        timing,
+        shards,
+        units,
+        peak_resident_traces,
+        processes,
+        merge_depth: worker_merge_depth + merge_depth(processes),
+        peak_rss_kb: peak_rss_kb.max(self::peak_rss_kb()),
+    }
+}
+
+/// This process's peak resident set size (`VmHWM`) in kB, from
+/// `/proc/self/status`. A per-process high-water mark: it only ever
+/// grows, which is exactly the gauge the megapool memory claim needs
+/// (each process reports its own ceiling). Returns 0 where procfs is
+/// unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_partition_covers_every_canonical_unit_once() {
+        // union over workers == canonical list, pairwise disjoint
+        for processes in 1..=5usize {
+            let mut seen = vec![0u32; 13 * 3];
+            for index in 0..processes {
+                let mut i = 0usize;
+                let mut units = canonical_units(13, 3);
+                units.retain(|_| {
+                    let mine = i % processes == index;
+                    i += 1;
+                    mine
+                });
+                for u in units {
+                    seen[u.vantage * 3 + u.chunk] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&n| n == 1),
+                "partition must be exact for P = {processes}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_and_payload_round_trip() {
+        let req = WorkerRequest {
+            plan: PoolPlan::scaled(24),
+            cfg: CampaignConfig::quick(7),
+            targets: vec![Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)],
+            target_chunks: 3,
+            shards: Some(2),
+            unit_order: UnitOrder::Shuffled(9),
+            processes: 4,
+            index: 2,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: WorkerRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+
+        let mut counters = WorkerCounters::default();
+        counters.observations = 5;
+        counters.delivered = 17;
+        counters.dropped.insert("loss".into(), 2);
+        let payload = WorkerPayload {
+            aggregates: ShardReducers::default(),
+            units: 6,
+            shards: 2,
+            timing: EngineTiming::default(),
+            peak_resident_traces: 0,
+            peak_rss_kb: 1234,
+            counters,
+        };
+        let json = serde_json::to_string(&payload).unwrap();
+        let back: WorkerPayload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.units, 6);
+        assert_eq!(back.peak_rss_kb, 1234);
+        assert_eq!(back.counters.dropped["loss"], 2);
+        assert_eq!(back.counters, payload.counters);
+    }
+
+    #[test]
+    fn in_process_worker_partitions_merge_to_the_full_campaign() {
+        // Drive run_worker directly (no spawning): merging every
+        // partition's aggregates must equal the single-process campaign.
+        let plan = PoolPlan::scaled(24);
+        let cfg = CampaignConfig {
+            discovery_rounds: 20,
+            traces_per_vantage: Some(1),
+            run_traceroute: false,
+            ..CampaignConfig::quick(11)
+        };
+        // target_chunks is a *world-shaping* knob (each chunk probes from
+        // its own unit world), so the baseline must use the same chunking
+        // as the workers; processes/shards/orders are the invariant axes.
+        let baseline = crate::engine::run_engine(
+            &plan,
+            &cfg,
+            &EngineConfig {
+                shards: Some(2),
+                target_chunks: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let targets = baseline.result.targets.clone();
+        let processes = 3;
+        let payloads: Vec<WorkerPayload> = (0..processes)
+            .map(|index| {
+                run_worker(&WorkerRequest {
+                    plan: plan_with_churn(&plan, &cfg),
+                    cfg,
+                    targets: targets.clone(),
+                    target_chunks: 2,
+                    shards: Some(2),
+                    unit_order: UnitOrder::Reversed,
+                    processes,
+                    index,
+                })
+            })
+            .collect();
+        let total_units: usize = payloads.iter().map(|p| p.units).sum();
+        assert_eq!(total_units, 13 * 2, "every (vantage × chunk) unit ran once");
+        let observations: u64 = payloads.iter().map(|p| p.counters.observations).sum();
+        assert_eq!(observations, 13 * targets.len() as u64);
+        assert!(payloads.iter().all(|p| p.counters.delivered > 0));
+        let merged = merge_tree(payloads.into_iter().map(|p| p.aggregates).collect());
+        assert_eq!(merged, baseline.result.aggregates);
+    }
+}
+

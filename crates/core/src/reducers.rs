@@ -37,6 +37,7 @@ use crate::trace::TraceRecord;
 use ecn_asdb::AsDb;
 use ecn_netsim::Nanos;
 use ecn_wire::Ecn;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -89,7 +90,7 @@ pub trait Reduce: Send + Sized {
 // ---------------------------------------------------------------- table 2
 
 /// Per-vantage Table 2 counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VantageTable2 {
     /// Logical traces observed from this vantage.
     pub traces: u64,
@@ -104,7 +105,7 @@ pub struct VantageTable2 {
 
 /// Streaming accumulator behind Table 2 (§4.4): per-vantage differential
 /// reachability plus the global UDP/TCP contingency table.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table2Counts {
     /// Per-vantage counters, keyed by vantage name (Table 2 spelling).
     pub per_vantage: BTreeMap<String, VantageTable2>,
@@ -213,7 +214,7 @@ impl Table2Counts {
 
 /// Per-vantage UDP/TCP reachability counters (Figure 2/5 numerators and
 /// denominators, kept linear so streaming stays order-invariant).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VantageReachability {
     /// Logical traces observed.
     pub traces: u64,
@@ -231,7 +232,7 @@ pub struct VantageReachability {
 
 /// Streaming reachability accumulator (the per-vantage counts behind
 /// Figures 2 and 5's headline ratios).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReachabilityCounts {
     /// Per-vantage counters, keyed by vantage key.
     pub per_vantage: BTreeMap<String, VantageReachability>,
@@ -309,7 +310,7 @@ impl ReachabilityCounts {
 /// addition; the identity fields are set by whichever chunk arrives first
 /// and the start time by the chunk-0 partial (whose world's clock is the
 /// one the legacy trace vector reports).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceCounters {
     /// Vantage key (stable identifier).
     pub vantage_key: String,
@@ -350,7 +351,7 @@ impl TraceCounters {
 /// `(vantage, trace index)`. This is what lets the report path rebuild the
 /// per-trace Figure 2/5 bars — and the campaign-order trace sequence their
 /// averages are computed over — without retaining any [`TraceRecord`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceStats {
     /// Counters keyed by the chunk-invariant trace identity.
     pub per_trace: BTreeMap<(usize, usize), TraceCounters>,
@@ -434,7 +435,7 @@ pub fn location_order_of(ordered: &[&TraceCounters]) -> Vec<String> {
 
 /// Streaming accumulator behind Figure 3: per (location, server)
 /// differential-reachability counters.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DifferentialCounts {
     /// location name → server → counters.
     pub per_location: BTreeMap<String, BTreeMap<Ipv4Addr, ServerDifferential>>,
@@ -475,7 +476,7 @@ impl Reduce for DifferentialCounts {
 
 /// Streaming accumulator behind the §4.1 batch comparison: per-batch trace
 /// counts and per-server reachability histories.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchCounts {
     /// Logical traces per batch.
     pub batch_traces: [u64; 2],
@@ -518,7 +519,7 @@ impl Reduce for BatchCounts {
 
 /// Streaming traceroute-survey totals (hop observation counters; the
 /// hop-identity state behind Figure 4 lives in [`HopSurveyCounts`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SurveyCounts {
     /// Paths observed per vantage key.
     pub paths_per_vantage: BTreeMap<String, u64>,
@@ -582,7 +583,7 @@ impl Reduce for SurveyCounts {
 /// against the AS database at observe time. All fields merge by `|`/`+`,
 /// so the result is invariant under sharding and chunking (a traceroute
 /// path is always wholly contained in one observation).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HopSurveyCounts {
     /// (vantage index, router) → (ever passed the mark, ever modified it).
     pub hop_state: BTreeMap<(usize, Ipv4Addr), (bool, bool)>,
@@ -654,7 +655,11 @@ impl Reduce for HopSurveyCounts {
 /// finalized. Each engine shard owns one instance (see [`ShardReducers`])
 /// and the engine merges them; the result rides on
 /// `CampaignResult::aggregates`.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Serializes (vendored-serde JSON) so a whole instance can cross a
+/// process boundary: the multi-process engine mode ships each worker's
+/// partial aggregate set to the parent over a pipe (see `crate::mp`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CampaignAggregates {
     /// Table 2 counters.
     pub table2: Table2Counts,
@@ -700,6 +705,40 @@ impl Reduce for CampaignAggregates {
 /// The reducer set each engine shard owns — the same type as the merged
 /// result: a shard's accumulator *is* a partial [`CampaignAggregates`].
 pub type ShardReducers = CampaignAggregates;
+
+/// Hierarchically merge partial accumulators: pairwise rounds until one
+/// remains, so `n` parts take [`merge_depth`]`(n)` = ⌈log₂ n⌉ rounds
+/// instead of the flat left-fold's `n − 1` sequential absorptions into
+/// one ever-growing accumulator. Correctness needs nothing beyond the
+/// [`Reduce`] contract — merge is commutative and associative — and the
+/// tree shape keeps each round's participants of comparable size, so no
+/// single merge rebalances a map that already absorbed every other part.
+/// The engine uses this for its shard merge and the multi-process parent
+/// for its worker-payload merge.
+pub fn merge_tree<R: Reduce + Default>(mut parts: Vec<R>) -> R {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(b);
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.pop().unwrap_or_default()
+}
+
+/// Merge rounds [`merge_tree`] performs over `n` parts: ⌈log₂ n⌉ (0 for
+/// a single part or none).
+pub fn merge_depth(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -848,6 +887,53 @@ mod tests {
         assert_eq!(t.vantage_name, "A");
         assert_eq!((t.udp_plain, t.udp_ect, t.udp_both), (2, 1, 1));
         assert_eq!((t.tcp_reachable, t.tcp_negotiated), (2, 1));
+    }
+
+    #[test]
+    fn tree_merge_equals_flat_fold() {
+        // 7 parts (odd, forces carry legs at every round): tree merge and
+        // the old left-fold must agree exactly
+        let parts: Vec<ShardReducers> = (0..7u8)
+            .map(|i| {
+                let mut r = ShardReducers::default();
+                let name = ["A", "B", "C"][usize::from(i) % 3];
+                r.observe_trace(
+                    &rec(name, vec![outcome(i + 1, i % 2 == 0, true, true, i % 3 == 0)]),
+                    &TraceCtx::whole(usize::from(i), 0),
+                );
+                r
+            })
+            .collect();
+        let mut flat = ShardReducers::default();
+        for p in parts.clone() {
+            flat.merge(p);
+        }
+        assert_eq!(merge_tree(parts), flat);
+    }
+
+    #[test]
+    fn merge_depth_is_ceil_log2() {
+        for (n, d) in [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+            assert_eq!(merge_depth(n), d, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn aggregates_round_trip_through_json() {
+        // the multi-process wire format: a populated aggregate set must
+        // survive serialize → parse bit-exactly
+        let mut r = ShardReducers::default();
+        r.observe_trace(
+            &rec("A", vec![outcome(1, true, false, true, true)]),
+            &TraceCtx::whole(0, 0),
+        );
+        r.observe_trace(
+            &rec("B", vec![outcome(2, true, true, true, false)]),
+            &TraceCtx::whole(1, 3),
+        );
+        let json = serde_json::to_string(&r).expect("serialize aggregates");
+        let back: ShardReducers = serde_json::from_str(&json).expect("parse aggregates");
+        assert_eq!(r, back);
     }
 
     #[test]

@@ -95,6 +95,26 @@ pub fn run_scenario_sharded(spec: &ScenarioSpec, shards: Option<usize>) -> Engin
     run_engine(&spec.plan(), &campaign_config(spec), &eng)
 }
 
+/// Run a declarative scenario with explicit shard *and* process counts
+/// (`None` shards = available parallelism per process). Like shards,
+/// processes are a pure concurrency/memory knob: any combination renders
+/// the same report byte-for-byte (`tests/process_determinism.rs`). With
+/// `processes > 1` the campaign runs through [`crate::mp`]: unit
+/// partitions execute in spawned worker processes and only their merged
+/// aggregates come home, so peak RSS per process stays bounded.
+pub fn run_scenario_parallel(
+    spec: &ScenarioSpec,
+    shards: Option<usize>,
+    processes: usize,
+) -> EngineRun {
+    let eng = EngineConfig {
+        shards,
+        processes: processes.max(1),
+        ..engine_config(spec)
+    };
+    run_engine(&spec.plan(), &campaign_config(spec), &eng)
+}
+
 /// [`run_scenario_sharded`] with a typed event subscriber (see
 /// [`crate::events`]): the campaign result is byte-identical to the
 /// unobserved run, and the returned subscriber holds whatever it
@@ -125,8 +145,12 @@ pub struct RunSummary {
     pub servers: usize,
     /// Vantage points measured from.
     pub vantages: usize,
-    /// Engine shards actually used.
+    /// Engine shards actually used (summed across worker processes).
     pub shards: usize,
+    /// Worker processes (1 = in-process).
+    pub processes: usize,
+    /// Reducer merge-tree depth (shard rounds + process rounds).
+    pub merge_depth: usize,
     /// Work units executed.
     pub units: usize,
     /// Targets discovered.
@@ -154,9 +178,12 @@ pub struct RunSummary {
     pub survey_strip_hops: u64,
     /// Figure 4: distinct first-strip locations.
     pub survey_strip_locations: u64,
-    /// End-to-end wall clock, milliseconds (the one nondeterministic
-    /// field).
+    /// End-to-end wall clock, milliseconds (nondeterministic, like
+    /// `peak_rss_kb`).
     pub wall_ms: f64,
+    /// Peak resident set size in kB, max across parent and workers
+    /// (`VmHWM`; 0 where procfs is unavailable — nondeterministic).
+    pub peak_rss_kb: u64,
 }
 
 impl RunSummary {
@@ -169,6 +196,8 @@ impl RunSummary {
             servers: spec.population.servers,
             vantages: spec.vantage_count,
             shards: run.shards,
+            processes: run.processes,
+            merge_depth: run.merge_depth,
             units: run.units,
             targets: run.result.targets.len(),
             traces: agg.trace_stats.len(),
@@ -182,6 +211,7 @@ impl RunSummary {
             survey_strip_hops: report.figure4.strip_hops as u64,
             survey_strip_locations: report.figure4.strip_locations as u64,
             wall_ms: run.timing.wall.as_secs_f64() * 1e3,
+            peak_rss_kb: run.peak_rss_kb,
         }
     }
 }

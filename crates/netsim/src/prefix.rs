@@ -86,25 +86,51 @@ impl FromStr for Ipv4Prefix {
 }
 
 /// Longest-prefix-match map from [`Ipv4Prefix`] to `T`.
+///
+/// A path-compressed binary radix trie: each node carries the full prefix
+/// it sits at, so a chain of single-child bit steps collapses into one
+/// node. A host route costs one leaf (plus at most one branch node)
+/// instead of 32 bit-level nodes — the difference between per-router
+/// forwarding tables dominating a 10⁵-server world's memory and being
+/// negligible. Lookup semantics are identical to the uncompressed trie.
 #[derive(Debug, Clone)]
 pub struct PrefixMap<T> {
+    /// Node 0 is the root (the `0.0.0.0/0` position); children always
+    /// strictly extend their parent's prefix.
     nodes: Vec<TrieNode<T>>,
     len: usize,
 }
 
 #[derive(Debug, Clone)]
 struct TrieNode<T> {
+    /// The prefix this node sits at (host bits zero).
+    addr: u32,
+    plen: u8,
     children: [Option<u32>; 2],
     value: Option<T>,
 }
 
 impl<T> TrieNode<T> {
-    fn empty() -> TrieNode<T> {
+    fn at(addr: u32, plen: u8) -> TrieNode<T> {
         TrieNode {
+            addr,
+            plen,
             children: [None, None],
             value: None,
         }
     }
+}
+
+/// Bit `i` of `addr`, counting from the most significant (`i < 32`).
+#[inline]
+fn bit_at(addr: u32, i: u8) -> usize {
+    ((addr >> (31 - i)) & 1) as usize
+}
+
+/// Does the prefix `(addr, plen)` cover `ip`?
+#[inline]
+fn covers(addr: u32, plen: u8, ip: u32) -> bool {
+    plen == 0 || (addr ^ ip) >> (32 - plen) == 0
 }
 
 impl<T> Default for PrefixMap<T> {
@@ -117,7 +143,7 @@ impl<T> PrefixMap<T> {
     /// An empty map.
     pub fn new() -> PrefixMap<T> {
         PrefixMap {
-            nodes: vec![TrieNode::empty()],
+            nodes: vec![TrieNode::at(0, 0)],
             len: 0,
         }
     }
@@ -134,76 +160,122 @@ impl<T> PrefixMap<T> {
 
     /// Insert or replace; returns the previous value for the exact prefix.
     pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let qaddr = u32::from(prefix.addr());
+        let qlen = prefix.len();
         let mut node = 0usize;
-        let addr = u32::from(prefix.addr());
-        for i in 0..prefix.len() {
-            let bit = ((addr >> (31 - i)) & 1) as usize;
-            node = match self.nodes[node].children[bit] {
-                Some(next) => next as usize,
-                None => {
-                    let next = self.nodes.len();
-                    self.nodes.push(TrieNode::empty());
-                    self.nodes[node].children[bit] = Some(next as u32);
-                    next
+        loop {
+            // invariant: nodes[node] covers the query prefix
+            if self.nodes[node].plen == qlen {
+                let old = self.nodes[node].value.replace(value);
+                if old.is_none() {
+                    self.len += 1;
                 }
+                return old;
+            }
+            let bit = bit_at(qaddr, self.nodes[node].plen);
+            let Some(child) = self.nodes[node].children[bit] else {
+                let leaf = self.nodes.len() as u32;
+                let mut n = TrieNode::at(qaddr, qlen);
+                n.value = Some(value);
+                self.nodes.push(n);
+                self.nodes[node].children[bit] = Some(leaf);
+                self.len += 1;
+                return None;
             };
+            let child = child as usize;
+            let (caddr, clen) = (self.nodes[child].addr, self.nodes[child].plen);
+            // longest prefix the query shares with the child's position
+            let shared = (((qaddr ^ caddr).leading_zeros() as u8).min(qlen)).min(clen);
+            if shared == clen {
+                // child's prefix covers the query: descend
+                node = child;
+            } else if shared == qlen {
+                // the query sits between node and child: splice it in
+                let mid = self.nodes.len() as u32;
+                let mut n = TrieNode::at(qaddr, qlen);
+                n.value = Some(value);
+                n.children[bit_at(caddr, qlen)] = Some(child as u32);
+                self.nodes.push(n);
+                self.nodes[node].children[bit] = Some(mid);
+                self.len += 1;
+                return None;
+            } else {
+                // diverge below `shared`: branch node forks child and query
+                let fork_addr = if shared == 0 {
+                    0
+                } else {
+                    qaddr & (!0u32 << (32 - shared))
+                };
+                let fork = self.nodes.len() as u32;
+                self.nodes.push(TrieNode::at(fork_addr, shared));
+                let leaf = self.nodes.len() as u32;
+                let mut n = TrieNode::at(qaddr, qlen);
+                n.value = Some(value);
+                self.nodes.push(n);
+                let f = fork as usize;
+                self.nodes[f].children[bit_at(caddr, shared)] = Some(child as u32);
+                self.nodes[f].children[bit_at(qaddr, shared)] = Some(leaf);
+                self.nodes[node].children[bit] = Some(fork);
+                self.len += 1;
+                return None;
+            }
         }
-        let old = self.nodes[node].value.replace(value);
-        if old.is_none() {
-            self.len += 1;
-        }
-        old
     }
 
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, ip: Ipv4Addr) -> Option<&T> {
-        let addr = u32::from(ip);
+        self.lookup_node(u32::from(ip))
+            .and_then(|n| self.nodes[n].value.as_ref())
+    }
+
+    /// Deepest valued node covering `addr`.
+    fn lookup_node(&self, addr: u32) -> Option<usize> {
         let mut node = 0usize;
-        let mut best = self.nodes[0].value.as_ref();
-        for i in 0..32 {
-            let bit = ((addr >> (31 - i)) & 1) as usize;
-            match self.nodes[node].children[bit] {
-                Some(next) => {
-                    node = next as usize;
-                    if let Some(v) = self.nodes[node].value.as_ref() {
-                        best = Some(v);
-                    }
-                }
-                None => break,
+        let mut best = self.nodes[0].value.as_ref().map(|_| 0usize);
+        loop {
+            let n = &self.nodes[node];
+            if n.plen == 32 {
+                return best;
             }
+            let Some(child) = n.children[bit_at(addr, n.plen)] else {
+                return best;
+            };
+            let child = child as usize;
+            let c = &self.nodes[child];
+            if !covers(c.addr, c.plen, addr) {
+                return best;
+            }
+            if c.value.is_some() {
+                best = Some(child);
+            }
+            node = child;
         }
-        best
     }
 
     /// Exact-prefix lookup.
     pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
-        let addr = u32::from(prefix.addr());
+        let qaddr = u32::from(prefix.addr());
+        let qlen = prefix.len();
         let mut node = 0usize;
-        for i in 0..prefix.len() {
-            let bit = ((addr >> (31 - i)) & 1) as usize;
-            node = self.nodes[node].children[bit]? as usize;
+        loop {
+            let n = &self.nodes[node];
+            if n.plen == qlen {
+                return n.value.as_ref();
+            }
+            let child = n.children[bit_at(qaddr, n.plen)]? as usize;
+            let c = &self.nodes[child];
+            if c.plen > qlen || !covers(c.addr, c.plen, qaddr) {
+                return None;
+            }
+            node = child;
         }
-        self.nodes[node].value.as_ref()
     }
 
     /// Longest-prefix-match, also returning the matched prefix.
     pub fn lookup_prefix(&self, ip: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
-        let addr = u32::from(ip);
-        let mut node = 0usize;
-        let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0, v));
-        for i in 0..32 {
-            let bit = ((addr >> (31 - i)) & 1) as usize;
-            match self.nodes[node].children[bit] {
-                Some(next) => {
-                    node = next as usize;
-                    if let Some(v) = self.nodes[node].value.as_ref() {
-                        best = Some((i + 1, v));
-                    }
-                }
-                None => break,
-            }
-        }
-        best.map(|(len, v)| (Ipv4Prefix::new(ip, len), v))
+        let node = self.lookup_node(u32::from(ip))?;
+        let n = &self.nodes[node];
+        Some((Ipv4Prefix::new(ip, n.plen), n.value.as_ref()?))
     }
 }
 
@@ -279,6 +351,68 @@ mod tests {
         let (matched, v) = m.lookup_prefix(Ipv4Addr::new(10, 200, 1, 1)).unwrap();
         assert_eq!(v, &"b");
         assert_eq!(matched, p("10.128.0.0/9"));
+    }
+
+    /// Dense sibling host routes under one branch node — the forwarding
+    /// shape every dest-AS router table has (many /32s, one default).
+    #[test]
+    fn sibling_host_routes_fork_correctly() {
+        let mut m = PrefixMap::new();
+        m.insert(p("0.0.0.0/0"), 0u32);
+        for last in 0..64u32 {
+            m.insert(Ipv4Prefix::host(Ipv4Addr::from(0xc000_0200 + last)), last + 1);
+        }
+        for last in 0..64u32 {
+            let ip = Ipv4Addr::from(0xc000_0200 + last);
+            assert_eq!(m.lookup(ip), Some(&(last + 1)), "{ip}");
+            assert_eq!(m.get(Ipv4Prefix::host(ip)), Some(&(last + 1)));
+        }
+        assert_eq!(m.lookup(Ipv4Addr::new(192, 0, 3, 0)), Some(&0));
+        assert_eq!(m.len(), 65);
+    }
+
+    #[test]
+    fn radix_matches_naive_reference_on_random_tables() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // naive reference: scan all stored prefixes for the longest match
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut m = PrefixMap::new();
+            let mut reference: Vec<(Ipv4Prefix, u32)> = Vec::new();
+            for i in 0..200u32 {
+                // cluster addresses so prefixes actually nest and collide
+                let addr = Ipv4Addr::from(rng.gen_range(0..1u32 << 12) << 8);
+                let len = rng.gen_range(0..=32u32) as u8;
+                let pre = Ipv4Prefix::new(addr, len);
+                let old = m.insert(pre, i);
+                match reference.iter_mut().find(|(q, _)| *q == pre) {
+                    Some((_, v)) => {
+                        assert_eq!(old, Some(*v), "seed {seed}: stale replace at {pre}");
+                        *v = i;
+                    }
+                    None => {
+                        assert_eq!(old, None, "seed {seed}: phantom value at {pre}");
+                        reference.push((pre, i));
+                    }
+                }
+            }
+            assert_eq!(m.len(), reference.len());
+            for _ in 0..400 {
+                let ip = Ipv4Addr::from(rng.gen_range(0..1u32 << 12) << 8);
+                let want = reference
+                    .iter()
+                    .filter(|(q, _)| q.contains(ip))
+                    .max_by_key(|(q, _)| q.len())
+                    .map(|(q, v)| (*q, v));
+                assert_eq!(
+                    m.lookup_prefix(ip).map(|(q, v)| (q, v)),
+                    want,
+                    "seed {seed}: lookup_prefix({ip}) diverged from reference"
+                );
+                assert_eq!(m.lookup(ip), want.map(|(_, v)| v), "seed {seed}");
+            }
+        }
     }
 
     #[test]

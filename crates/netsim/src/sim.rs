@@ -121,17 +121,17 @@ impl RouteCacheSlot {
     };
 }
 
-/// The simulator.
+/// Node-indexed topology state: written during world construction, read
+/// only (never mutated) once traffic flows. Split out of [`Sim`] so a
+/// [`SimSkeleton`] stamp shares it by reference — see [`Sim::topo`].
 ///
-/// Node state is struct-of-arrays: column `i` of every vector below
-/// describes the node with `NodeId(i)`. Router-only columns hold cheap
-/// defaults for hosts (and vice versa) — a dense vector load beats an
-/// enum-plus-`Box` hop on the dispatch path, and the per-world memory
-/// cost is a few machine words per node.
-pub struct Sim {
-    now: Nanos,
-    seq: u64,
-    queue: EventWheel<Event>,
+/// Struct-of-arrays: column `i` of every vector below describes the node
+/// with `NodeId(i)`. Router-only columns hold cheap defaults for hosts
+/// (and vice versa) — a dense vector load beats an enum-plus-`Box` hop
+/// on the dispatch path, and the per-world memory cost is a few machine
+/// words per node.
+#[derive(Clone, Default)]
+struct Topology {
     /// Node kind per id (router or host).
     kinds: Vec<NodeKind>,
     /// Node address per id.
@@ -150,12 +150,26 @@ pub struct Sim {
     tables: Vec<Option<Arc<PrefixMap<RouteEntry>>>>,
     /// Host access link per id.
     uplinks: Vec<Option<LinkId>>,
+    /// Address → node index (first node wins on duplicates).
+    addr_index: HashMap<Ipv4Addr, NodeId>,
+}
+
+/// The simulator.
+pub struct Sim {
+    now: Nanos,
+    seq: u64,
+    queue: EventWheel<Event>,
+    /// Per-node topology, immutable once the world is stamped. Behind an
+    /// `Arc` so sibling unit worlds share one copy instead of cloning
+    /// ~10 node-indexed vectors each (the dominant stamp cost at 10⁵
+    /// servers); construction mutates through [`Arc::make_mut`]
+    /// (copy-on-write — free while the `Arc` is unshared, which it is
+    /// for any world still being built).
+    topo: Arc<Topology>,
     /// Host agent per id.
     agents: Vec<Option<Box<dyn HostAgent>>>,
     /// Host capture per id.
     captures: Vec<Option<CaptureRef>>,
-    /// Address → node index (first node wins on duplicates).
-    addr_index: HashMap<Ipv4Addr, NodeId>,
     /// All directed links; index = `LinkId`.
     pub links: Vec<Link>,
     /// Ground-truth counters (not visible to the measurement application).
@@ -218,18 +232,9 @@ impl Sim {
             now: Nanos::ZERO,
             seq: 0,
             queue: EventWheel::new(),
-            kinds: Vec::new(),
-            addrs: Vec::new(),
-            labels: Vec::new(),
-            asns: Vec::new(),
-            ecn_policies: Vec::new(),
-            responds_ttl: Vec::new(),
-            firewalls: Vec::new(),
-            tables: Vec::new(),
-            uplinks: Vec::new(),
+            topo: Arc::new(Topology::default()),
             agents: Vec::new(),
             captures: Vec::new(),
-            addr_index: HashMap::new(),
             links: Vec::new(),
             stats: Stats::default(),
             pool: PacketPool::new(),
@@ -291,19 +296,27 @@ impl Sim {
     /// instantiation knows its exact element counts up front; reserving
     /// avoids repeated growth reallocations on the construction hot path.
     pub fn reserve(&mut self, nodes: usize, links: usize) {
-        self.kinds.reserve(nodes);
-        self.addrs.reserve(nodes);
-        self.labels.reserve(nodes);
-        self.asns.reserve(nodes);
-        self.ecn_policies.reserve(nodes);
-        self.responds_ttl.reserve(nodes);
-        self.firewalls.reserve(nodes);
-        self.tables.reserve(nodes);
-        self.uplinks.reserve(nodes);
+        let t = self.topo_mut();
+        t.kinds.reserve(nodes);
+        t.addrs.reserve(nodes);
+        t.labels.reserve(nodes);
+        t.asns.reserve(nodes);
+        t.ecn_policies.reserve(nodes);
+        t.responds_ttl.reserve(nodes);
+        t.firewalls.reserve(nodes);
+        t.tables.reserve(nodes);
+        t.uplinks.reserve(nodes);
+        t.addr_index.reserve(nodes);
         self.agents.reserve(nodes);
         self.captures.reserve(nodes);
-        self.addr_index.reserve(nodes);
         self.links.reserve(links);
+    }
+
+    /// Copy-on-write handle on the topology for construction-time edits:
+    /// free while this world uniquely owns it, a deep clone only if a
+    /// stamped world is (unusually) edited after instantiation.
+    fn topo_mut(&mut self) -> &mut Topology {
+        Arc::make_mut(&mut self.topo)
     }
 
     /// Pre-size the event queue (the wheel's ready-run and the dispatch
@@ -336,21 +349,22 @@ impl Sim {
         firewall: Firewall,
         table: Option<Arc<PrefixMap<RouteEntry>>>,
     ) -> NodeId {
-        let id = NodeId(self.kinds.len() as u32);
-        self.kinds.push(kind);
-        self.addrs.push(addr);
-        self.labels.push(label);
-        self.asns.push(asn);
-        self.ecn_policies.push(ecn_policy);
-        self.responds_ttl.push(responds_ttl);
-        self.firewalls.push(firewall);
-        self.tables.push(table);
-        self.uplinks.push(None);
+        let t = self.topo_mut();
+        let id = NodeId(t.kinds.len() as u32);
+        t.kinds.push(kind);
+        t.addrs.push(addr);
+        t.labels.push(label);
+        t.asns.push(asn);
+        t.ecn_policies.push(ecn_policy);
+        t.responds_ttl.push(responds_ttl);
+        t.firewalls.push(firewall);
+        t.tables.push(table);
+        t.uplinks.push(None);
+        t.addr_index.entry(addr).or_insert(id);
         self.agents.push(None);
         self.captures.push(None);
         self.route_cache
             .extend([RouteCacheSlot::EMPTY; ROUTE_CACHE_WAYS]);
-        self.addr_index.entry(addr).or_insert(id);
         id
     }
 
@@ -412,7 +426,7 @@ impl Sim {
         props: LinkProps,
     ) -> (LinkId, LinkId) {
         let (up, down) = self.add_duplex(host, router, props);
-        let addr = self.addrs[host.0 as usize];
+        let addr = self.topo.addrs[host.0 as usize];
         self.set_uplink(host, up);
         self.route(router, Ipv4Prefix::host(addr), RouteEntry::Link(down));
         (up, down)
@@ -420,43 +434,43 @@ impl Sim {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.kinds.len()
+        self.topo.kinds.len()
     }
 
     /// Is this node a router?
     pub fn is_router(&self, node: NodeId) -> bool {
-        self.kinds[node.0 as usize] == NodeKind::Router
+        self.topo.kinds[node.0 as usize] == NodeKind::Router
     }
 
     /// The node's address.
     pub fn addr_of(&self, node: NodeId) -> Ipv4Addr {
-        self.addrs[node.0 as usize]
+        self.topo.addrs[node.0 as usize]
     }
 
     /// The node's human-readable label.
     pub fn label_of(&self, node: NodeId) -> &str {
-        &self.labels[node.0 as usize]
+        &self.topo.labels[node.0 as usize]
     }
 
     /// The node's AS number (0 for hosts).
     pub fn asn_of(&self, node: NodeId) -> u32 {
-        self.asns[node.0 as usize]
+        self.topo.asns[node.0 as usize]
     }
 
     /// The host's access link, if set.
     pub fn uplink_of(&self, node: NodeId) -> Option<LinkId> {
-        self.uplinks[node.0 as usize]
+        self.topo.uplinks[node.0 as usize]
     }
 
     /// Set a host's access link.
     pub fn set_uplink(&mut self, host: NodeId, link: LinkId) {
         assert!(!self.is_router(host), "set_uplink: {host:?} is a router");
-        self.uplinks[host.0 as usize] = Some(link);
+        self.topo_mut().uplinks[host.0 as usize] = Some(link);
     }
 
     /// A router's ECN treatment.
     pub fn ecn_policy_of(&self, router: NodeId) -> EcnPolicy {
-        self.ecn_policies[router.0 as usize]
+        self.topo.ecn_policies[router.0 as usize]
     }
 
     /// Set a router's ECN treatment.
@@ -465,7 +479,7 @@ impl Sim {
             self.is_router(router),
             "set_ecn_policy: {router:?} is a host"
         );
-        self.ecn_policies[router.0 as usize] = policy;
+        self.topo_mut().ecn_policies[router.0 as usize] = policy;
         // cached tunnels may span this router; force rebuilds
         self.route_gen = self.route_gen.wrapping_add(1);
     }
@@ -473,7 +487,7 @@ impl Sim {
     /// Set a router's firewall.
     pub fn set_firewall(&mut self, router: NodeId, firewall: Firewall) {
         assert!(self.is_router(router), "set_firewall: {router:?} is a host");
-        self.firewalls[router.0 as usize] = firewall;
+        self.topo_mut().firewalls[router.0 as usize] = firewall;
         // cached tunnels may span this router; force rebuilds
         self.route_gen = self.route_gen.wrapping_add(1);
     }
@@ -481,7 +495,7 @@ impl Sim {
     /// Install a route on a router.
     pub fn route(&mut self, router: NodeId, prefix: Ipv4Prefix, entry: RouteEntry) {
         assert!(self.is_router(router), "route: {router:?} is not a router");
-        let table = self.tables[router.0 as usize]
+        let table = self.topo_mut().tables[router.0 as usize]
             .as_mut()
             .expect("router has a table");
         Arc::make_mut(table).insert(prefix, entry);
@@ -508,7 +522,7 @@ impl Sim {
 
     /// Node id of the host with address `addr` (indexed; O(1)).
     pub fn find_host(&self, addr: Ipv4Addr) -> Option<NodeId> {
-        self.addr_index
+        self.topo.addr_index
             .get(&addr)
             .copied()
             .filter(|&n| !self.is_router(n))
@@ -516,7 +530,7 @@ impl Sim {
 
     /// Node id of the node (host or router) with address `addr`.
     pub fn find_node(&self, addr: Ipv4Addr) -> Option<NodeId> {
-        self.addr_index.get(&addr).copied()
+        self.topo.addr_index.get(&addr).copied()
     }
 
     // ---- event loop -------------------------------------------------------------
@@ -584,14 +598,14 @@ impl Sim {
     pub fn send_from(&mut self, host: NodeId, dgram: Datagram) {
         let idx = host.0 as usize;
         assert!(
-            self.kinds[idx] == NodeKind::Host,
+            self.topo.kinds[idx] == NodeKind::Host,
             "send_from: {host:?} is a router"
         );
         if let Some(cap) = &self.captures[idx] {
             cap.lock()
                 .record(self.now, Direction::Out, dgram.as_bytes());
         }
-        let Some(up) = self.uplinks[idx] else {
+        let Some(up) = self.topo.uplinks[idx] else {
             self.note_drop(DropCause::NoRoute);
             self.pool.recycle_datagram(dgram);
             return;
@@ -610,7 +624,7 @@ impl Sim {
     /// per-packet capture/deliver/agent sequence is preserved within it.
     fn dispatch_arrival(&mut self, node: NodeId, dgram: Datagram) {
         let idx = node.0 as usize;
-        if self.kinds[idx] == NodeKind::Router {
+        if self.topo.kinds[idx] == NodeKind::Router {
             self.router_receive(node, dgram);
             return;
         }
@@ -637,7 +651,7 @@ impl Sim {
 
     fn host_receive_batch(&mut self, node: NodeId, batch: &mut Vec<Datagram>) {
         let idx = node.0 as usize;
-        let addr = self.addrs[idx];
+        let addr = self.topo.addrs[idx];
         let now = self.now;
         let mut agent = self.agents[idx].take();
         for dgram in batch.drain(..) {
@@ -702,8 +716,8 @@ impl Sim {
             // No ICMP errors about ICMP (RFC 1812 §4.3.2.7 simplification:
             // the study's probes are UDP/TCP, so this only suppresses
             // pathological error-about-error storms).
-            if self.responds_ttl[idx] && protocol != IpProto::Icmp {
-                let reply_hdr = Ipv4Header::probe(self.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
+            if self.topo.responds_ttl[idx] && protocol != IpProto::Icmp {
+                let reply_hdr = Ipv4Header::probe(self.topo.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
                 let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
                     IcmpMessage::encode_time_exceeded_into(dgram.as_bytes(), out)
                 });
@@ -715,7 +729,7 @@ impl Sim {
         }
 
         // 2. Firewall.
-        let action = self.firewalls[idx].evaluate(src, protocol, ecn, &mut self.rng);
+        let action = self.topo.firewalls[idx].evaluate(src, protocol, ecn, &mut self.rng);
         match action {
             FirewallAction::Drop => {
                 self.note_drop(DropCause::Firewall);
@@ -730,7 +744,7 @@ impl Sim {
                     // the quote shows the packet as this hop saw it
                     dgram.refresh_header_checksum();
                     let reply_hdr =
-                        Ipv4Header::probe(self.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
+                        Ipv4Header::probe(self.topo.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
                     let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
                         IcmpMessage::encode_dest_unreachable_into(
                             DestUnreachCode::AdminProhibited,
@@ -748,7 +762,7 @@ impl Sim {
         }
 
         // 3. ECN policy.
-        let policy = self.ecn_policies[idx];
+        let policy = self.topo.ecn_policies[idx];
         let (after, dropped) = policy.apply(ecn, &mut self.rng);
         if dropped {
             self.note_drop(DropCause::PolicyTos);
@@ -760,7 +774,7 @@ impl Sim {
             *self.stats.bleached_by_node.entry(node).or_insert(0) += 1;
             if let Some(tap) = self.events.as_mut() {
                 // resolve the named hop only when someone is listening
-                let hop = self.labels[idx].clone();
+                let hop = self.topo.labels[idx].clone();
                 tap.note_ecn_rewrite(hop);
             }
         }
@@ -870,7 +884,7 @@ impl Sim {
         epoch: u64,
         ttl: u8,
     ) -> RouteCacheSlot {
-        let link = self.tables[node.0 as usize]
+        let link = self.topo.tables[node.0 as usize]
             .as_ref()
             .and_then(|t| t.lookup(std::net::Ipv4Addr::from(dst)))
             .and_then(|entry| entry.select(key, epoch));
@@ -894,14 +908,14 @@ impl Sim {
         let max_skip = MAX_TUNNEL_SKIP.min(ttl.saturating_sub(1));
         while skip < max_skip {
             let c = cur.0 as usize;
-            if self.kinds[c] != NodeKind::Router
-                || !self.firewalls[c].is_open()
-                || !matches!(self.ecn_policies[c], EcnPolicy::Pass)
+            if self.topo.kinds[c] != NodeKind::Router
+                || !self.topo.firewalls[c].is_open()
+                || !matches!(self.topo.ecn_policies[c], EcnPolicy::Pass)
             {
                 break;
             }
             let hop_key = base ^ (u64::from(cur.0) << 48);
-            let Some(next) = self.tables[c]
+            let Some(next) = self.topo.tables[c]
                 .as_ref()
                 .and_then(|t| t.lookup(std::net::Ipv4Addr::from(dst)))
                 .and_then(|entry| entry.select(hop_key, epoch))
@@ -980,7 +994,7 @@ impl HostApi<'_> {
 
     /// This host's address.
     pub fn addr(&self) -> Ipv4Addr {
-        self.sim.addrs[self.node.0 as usize]
+        self.sim.topo.addrs[self.node.0 as usize]
     }
 
     /// This host's node id.
@@ -1025,16 +1039,11 @@ impl HostApi<'_> {
 /// topology construction (and, since the flat layout, instead of one
 /// box allocation per node).
 pub struct SimSkeleton {
-    kinds: Vec<NodeKind>,
-    addrs: Vec<Ipv4Addr>,
-    labels: Vec<Arc<str>>,
-    asns: Vec<u32>,
-    ecn_policies: Vec<EcnPolicy>,
-    responds_ttl: Vec<bool>,
-    firewalls: Vec<Firewall>,
-    tables: Vec<Option<Arc<PrefixMap<RouteEntry>>>>,
-    uplinks: Vec<Option<LinkId>>,
-    addr_index: HashMap<Ipv4Addr, NodeId>,
+    /// Shared by reference with every stamped world: a stamp bumps one
+    /// refcount instead of cloning ten node-indexed vectors.
+    topo: Arc<Topology>,
+    /// Links carry live state (queues, loss RNG, busy horizon), so each
+    /// stamped world still gets its own copy.
     links: Vec<Link>,
 }
 
@@ -1050,57 +1059,41 @@ impl Sim {
             assert!(
                 agent.is_none(),
                 "freeze: host {} has an agent",
-                self.labels[i]
+                self.topo.labels[i]
             );
         }
         for (i, cap) in self.captures.iter().enumerate() {
             assert!(
                 cap.is_none(),
                 "freeze: host {} has a capture",
-                self.labels[i]
+                self.topo.labels[i]
             );
         }
         SimSkeleton {
-            kinds: self.kinds,
-            addrs: self.addrs,
-            labels: self.labels,
-            asns: self.asns,
-            ecn_policies: self.ecn_policies,
-            responds_ttl: self.responds_ttl,
-            firewalls: self.firewalls,
-            tables: self.tables,
-            uplinks: self.uplinks,
-            addr_index: self.addr_index,
+            topo: self.topo,
             links: self.links,
         }
     }
 }
 
 impl SimSkeleton {
-    /// Stamp a live simulator from this skeleton under `config`.
+    /// Stamp a live simulator from this skeleton under `config`: the
+    /// topology is shared (one `Arc` bump), only the mutable per-world
+    /// columns — links, agents, captures, route cache — are allocated.
     pub fn instantiate(&self, config: SimConfig) -> Sim {
-        let n = self.kinds.len();
+        let n = self.topo.kinds.len();
         let mut sim = Sim::with_config(config);
-        sim.kinds = self.kinds.clone();
-        sim.addrs = self.addrs.clone();
-        sim.labels = self.labels.clone();
-        sim.asns = self.asns.clone();
-        sim.ecn_policies = self.ecn_policies.clone();
-        sim.responds_ttl = self.responds_ttl.clone();
-        sim.firewalls = self.firewalls.clone();
-        sim.tables = self.tables.clone();
-        sim.uplinks = self.uplinks.clone();
+        sim.topo = Arc::clone(&self.topo);
         sim.agents = std::iter::repeat_with(|| None).take(n).collect();
         sim.captures = vec![None; n];
         sim.route_cache = vec![RouteCacheSlot::EMPTY; n * ROUTE_CACHE_WAYS];
-        sim.addr_index = self.addr_index.clone();
         sim.links = self.links.clone();
         sim
     }
 
     /// Nodes in the skeleton.
     pub fn node_count(&self) -> usize {
-        self.kinds.len()
+        self.topo.kinds.len()
     }
 
     /// Links in the skeleton.

@@ -124,6 +124,22 @@ fn delta_strategy() -> impl Strategy<Value = u64> {
     ]
 }
 
+/// Megapool time scales: most deltas land in the overflow heap (past the
+/// ~8.6 s level-1 horizon), many of them several horizons out, so a
+/// drain cascades overflow → level 1 → level 0 repeatedly. This is the
+/// regime a 10⁵-server campaign calendar lives in (batch 2 sits hours of
+/// virtual time past batch 1).
+fn overflow_heavy_delta_strategy() -> impl Strategy<Value = u64> {
+    const HORIZON: u64 = TICK * 256 * 256;
+    prop_oneof![
+        1 => Just(0u64),
+        2 => 1..TICK * 256,
+        6 => HORIZON..HORIZON * 4,
+        4 => HORIZON * 4..HORIZON * 64,
+        2 => HORIZON * 64..HORIZON * 1024,
+    ]
+}
+
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         3 => proptest::collection::vec(delta_strategy(), 1..8).prop_map(Op::Push),
@@ -194,4 +210,100 @@ proptest! {
         }
         while pair.pop_and_check() {}
     }
+
+    #[test]
+    fn overflow_heavy_schedules_cascade_identically(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                4 => proptest::collection::vec(overflow_heavy_delta_strategy(), 1..8)
+                    .prop_map(Op::Push),
+                3 => (0u8..4, proptest::collection::vec(overflow_heavy_delta_strategy(), 0..4))
+                    .prop_map(|(at_now, later)| Op::PopThenSchedule { at_now, later }),
+                2 => proptest::collection::vec(overflow_heavy_delta_strategy(), 1..4)
+                    .prop_map(Op::PeekThenPush),
+            ],
+            1..48,
+        )
+    ) {
+        // megapool calendars park nearly everything in the overflow heap;
+        // draining must cascade through both wheel levels in exactly the
+        // oracle's order, including pushes landing before an armed tick
+        // while the overflow still holds a deep backlog
+        let mut pair = Pair::new();
+        for op in ops {
+            match op {
+                Op::Push(deltas) => {
+                    for d in deltas {
+                        pair.push(d);
+                    }
+                }
+                Op::PopThenSchedule { at_now, later } => {
+                    if pair.pop_and_check() {
+                        for _ in 0..at_now {
+                            pair.push(0);
+                        }
+                        for d in later {
+                            pair.push(d.max(1));
+                        }
+                    }
+                }
+                Op::PeekThenPush(deltas) => {
+                    let _ = pair.wheel.next_at();
+                    for d in deltas {
+                        pair.push(d);
+                    }
+                }
+            }
+        }
+        while pair.pop_and_check() {}
+        prop_assert!(pair.wheel.is_empty());
+    }
+}
+
+/// Level-1 horizon: TICK × 256 slots × 256 slots (~8.6 virtual seconds).
+const HORIZON: u64 = TICK * 256 * 256;
+
+#[test]
+fn multi_horizon_entries_cascade_through_both_levels() {
+    // Entries 1, 2, 5, 60, and 1000 horizons out (a megapool batch-2
+    // boundary sits hundreds of horizons past batch 1). Each drain step
+    // forces overflow → level-1 → level-0 cascades; order must match the
+    // heap exactly, including the tie pair at 5 horizons.
+    let mut pair = Pair::new();
+    for d in [
+        HORIZON - 1,
+        HORIZON,
+        HORIZON + 1,
+        2 * HORIZON,
+        5 * HORIZON,
+        5 * HORIZON,
+        60 * HORIZON,
+        1000 * HORIZON,
+    ] {
+        pair.push(d);
+    }
+    while pair.pop_and_check() {}
+    assert!(pair.wheel.is_empty());
+}
+
+#[test]
+fn pushes_before_the_armed_tick_with_overflow_backlog() {
+    // Arm the wheel on a far-overflow entry (the run_until peek), then
+    // push work that lands *before* the armed tick — sub-tick, level-0,
+    // level-1, and nearer-overflow. The early entries must all dispatch
+    // first, and the backlog must still cascade correctly afterwards.
+    let mut pair = Pair::new();
+    pair.push(700 * HORIZON);
+    pair.push(900 * HORIZON);
+    let armed = pair.wheel.next_at();
+    assert!(armed.is_some(), "backlog must arm the wheel");
+    for d in [0, 1, TICK / 2, TICK * 3, TICK * 300, HORIZON / 2, 3 * HORIZON] {
+        pair.push(d);
+    }
+    // interleave draining with fresh pre-tick pushes (in-handler style)
+    assert!(pair.pop_and_check());
+    pair.push(TICK + 1);
+    pair.push(2 * HORIZON);
+    while pair.pop_and_check() {}
+    assert!(pair.wheel.is_empty());
 }

@@ -39,7 +39,7 @@ use ecn_stack::{install, AvailabilityModel, EcnMode, HostHandle, StackConfig};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -615,10 +615,46 @@ impl WorldBlueprint {
         self.instantiate_domain(label.as_str())
     }
 
+    /// [`instantiate_unit`](Self::instantiate_unit), but install server
+    /// stacks only on the hosts in `probed` (the unit's target chunk).
+    ///
+    /// A unit world only ever exchanges packets with its own chunk's
+    /// targets, and installing a stack is side-effect-free (no events
+    /// scheduled, no shared RNG consumed; availability is evaluated
+    /// on demand) — so skipping the other stacks is invisible to every
+    /// probe while cutting per-unit stamp cost from O(servers) to
+    /// O(servers/chunks). At megapool scale this is the difference
+    /// between instantiation dominating the campaign and vanishing from
+    /// its profile; `tests/determinism.rs` and the goldens pin the
+    /// byte-identity.
+    pub fn instantiate_unit_scoped(
+        &self,
+        vantage: usize,
+        chunk: usize,
+        probed: &HashSet<Ipv4Addr>,
+    ) -> Scenario {
+        let label = LabelBuf::format(format_args!("engine/unit/v{vantage}/c{chunk}"));
+        self.instantiate_scoped(
+            SimConfig {
+                seed: derive_seed(self.seed, label.as_str()),
+                ..SimConfig::default()
+            },
+            Some(probed),
+        )
+    }
+
     /// The per-world construction phase: stamp a simulator from the
     /// skeleton and install what is genuinely per-world — host stacks,
     /// services, and the vantage handles.
     fn instantiate_config(&self, config: SimConfig) -> Scenario {
+        self.instantiate_scoped(config, None)
+    }
+
+    fn instantiate_scoped(
+        &self,
+        config: SimConfig,
+        probed: Option<&HashSet<Ipv4Addr>>,
+    ) -> Scenario {
         let seed = self.seed;
         let mut sim = self.skeleton.instantiate(config);
         sim.reserve_events(256);
@@ -646,6 +682,11 @@ impl WorldBlueprint {
         }
 
         for info in self.servers.iter() {
+            if let Some(probed) = probed {
+                if !probed.contains(&info.addr) {
+                    continue;
+                }
+            }
             let profile = &info.profile;
             let handle = install(
                 &mut sim,

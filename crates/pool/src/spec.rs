@@ -1193,6 +1193,54 @@ mod tests {
     }
 
     #[test]
+    fn middlebox_rate_of_exactly_1000_is_accepted() {
+        // the boundary: 1000 per 1000 = deploy to every server, legal
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+            [population]
+            servers = 5000
+            [middleboxes]
+            bleach_access_per_1000 = 1000
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.middleboxes.bleach_access_per_1000, 1000.0);
+        assert_eq!(spec.plan().bleach_access, 5000);
+    }
+
+    #[test]
+    fn middlebox_rate_above_1000_is_rejected_with_the_key_path() {
+        // > 1000 per 1000 would silently saturate at the whole population;
+        // it must fail at load time, naming the offending key
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+            [middleboxes]
+            ect_droppers_per_1000 = 1000.5
+            "#,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("middleboxes.ect_droppers_per_1000"),
+            "error must name the key path: {msg}"
+        );
+        assert!(msg.contains("1000.5"), "error must quote the value: {msg}");
+
+        // population rates share the same per-1000 semantics and bound
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+            [population]
+            churn_per_1000 = 2000
+            "#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("population.churn_per_1000"),
+            "error must name the key path: {err}"
+        );
+    }
+
+    #[test]
     fn strings_with_escapes_and_comments_parse() {
         let spec = ScenarioSpec::from_toml_str(
             "name = \"a # not-a-comment \\\"quoted\\\"\" # real comment",

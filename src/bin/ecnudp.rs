@@ -20,8 +20,8 @@
 //! stderr, so `ecnudp run ... > report.txt` captures a clean artefact.
 
 use ecnudp::core::{
-    run_scenario_observed, run_scenario_sharded, FullReport, JsonLinesMetrics, Progress,
-    RunSummary, TraceSampler,
+    run_scenario_observed, run_scenario_parallel, run_scenario_sharded, FullReport,
+    JsonLinesMetrics, Progress, RunSummary, TraceSampler,
 };
 use ecnudp::pool::ScenarioSpec;
 use std::fs::File;
@@ -32,7 +32,7 @@ const USAGE: &str = "\
 ecnudp — declarative ECN-measurement scenarios
 
 USAGE:
-    ecnudp run      --scenario <file> [--shards N] [--json]
+    ecnudp run      --scenario <file> [--shards N] [--processes N] [--json]
                     [--seed N] [--servers N] [--quick]
                     [--metrics <file>] [--progress] [--sample-traces N]
     ecnudp validate --scenario <file> [--seed N] [--servers N] [--quick]
@@ -47,8 +47,16 @@ COMMANDS:
 
 OPTIONS:
     --scenario <file>   TOML or JSON scenario spec (see scenarios/)
-    --shards <N>        engine shards (default: available parallelism;
-                        any value renders byte-identical output)
+    --shards <N>        engine shards per process (default: available
+                        parallelism; any value renders byte-identical
+                        output; must be >= 1)
+    --processes <N>     worker processes (default 1 = in-process); the
+                        unit pool is partitioned across spawned workers
+                        and their reducers tree-merged, bounding peak RSS
+                        per process — output stays byte-identical; not
+                        combinable with --metrics/--progress/
+                        --sample-traces (event streams cannot cross the
+                        process boundary)
     --json              emit a machine-readable RunSummary instead of the
                         text report
     --seed <N>          override the spec's seed
@@ -66,6 +74,7 @@ struct Args {
     command: String,
     scenario: Option<String>,
     shards: Option<usize>,
+    processes: usize,
     json: bool,
     seed: Option<u64>,
     servers: Option<usize>,
@@ -82,6 +91,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         command,
         scenario: None,
         shards: None,
+        processes: 1,
         json: false,
         seed: None,
         servers: None,
@@ -95,11 +105,22 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         match flag.as_str() {
             "--scenario" => args.scenario = Some(value("--scenario")?),
             "--shards" => {
-                args.shards = Some(
-                    value("--shards")?
-                        .parse()
-                        .map_err(|e| format!("--shards: {e}"))?,
-                )
+                let n: usize = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1 (got 0)".into());
+                }
+                args.shards = Some(n);
+            }
+            "--processes" => {
+                let n: usize = value("--processes")?
+                    .parse()
+                    .map_err(|e| format!("--processes: {e}"))?;
+                if n == 0 {
+                    return Err("--processes must be at least 1 (got 0)".into());
+                }
+                args.processes = n;
             }
             "--json" => args.json = true,
             "--seed" => {
@@ -220,7 +241,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         path => Some(open_metrics(path)?),
     };
     let observed = metrics_file.is_some() || obs.progress || obs.sample_traces > 0;
-    let (run, subscriber) = if observed {
+    if args.processes > 1 && observed {
+        return Err(
+            "--processes > 1 cannot stream typed events across the process boundary; \
+             drop --metrics/--progress/--sample-traces (and the spec's [observability] \
+             sinks) or run with --processes 1"
+                .into(),
+        );
+    }
+    let (run, subscriber) = if args.processes > 1 {
+        (run_scenario_parallel(&spec, args.shards, args.processes), None)
+    } else if observed {
         let metrics = metrics_file.map(|f| {
             JsonLinesMetrics::new(f)
                 .with_header(&spec.name, spec.seed)
@@ -252,11 +283,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     let report = FullReport::from_campaign(&run.result);
     eprintln!(
-        "campaign done: {} shards over {} units, {} targets, {} traces ({})",
+        "campaign done: {} process(es) x {} shards over {} units (merge depth {}), \
+         {} targets, {} traces, peak RSS {} kB ({})",
+        run.processes,
         run.shards,
         run.units,
+        run.merge_depth,
         run.result.targets.len(),
         run.result.aggregates.trace_stats.len(),
+        run.peak_rss_kb,
         run.timing.render(),
     );
     if args.json {
@@ -316,6 +351,11 @@ fn probe_metrics_writable(path: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Hidden worker mode: when spawned by a --processes > 1 parent, serve
+    // one unit-partition request over stdin/stdout and exit.
+    if let Some(code) = ecnudp::core::maybe_worker() {
+        return code;
+    }
     let args = match parse_args(std::env::args()) {
         Ok(args) => args,
         Err(e) => {

@@ -1,0 +1,117 @@
+//! Spawned-binary coverage for the engine-topology flags: zero-value
+//! rejection at parse time (`--shards 0`, `--processes 0`), the
+//! multi-process × typed-event-stream conflict, and the `validate`
+//! metrics probe's non-destructiveness (a pre-existing metrics file must
+//! survive byte-identical — the probe opens for append, never truncate).
+
+use std::path::Path;
+use std::process::Command;
+
+fn ecnudp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ecnudp"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn ecnudp")
+}
+
+#[test]
+fn zero_shards_is_rejected_at_parse_with_the_flag_name() {
+    let out = ecnudp(&[
+        "run",
+        "--scenario",
+        "scenarios/paper2015-mini.toml",
+        "--shards",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--shards") && err.contains("at least 1"),
+        "error must name the flag and the floor: {err}"
+    );
+}
+
+#[test]
+fn zero_processes_is_rejected_at_parse_with_the_flag_name() {
+    let out = ecnudp(&[
+        "run",
+        "--scenario",
+        "scenarios/paper2015-mini.toml",
+        "--processes",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--processes") && err.contains("at least 1"),
+        "error must name the flag and the floor: {err}"
+    );
+}
+
+#[test]
+fn multiprocess_refuses_typed_event_sinks() {
+    // typed events cannot stream across the worker process boundary;
+    // the CLI must say so instead of silently dropping the sink
+    let out = ecnudp(&[
+        "run",
+        "--scenario",
+        "scenarios/paper2015-mini.toml",
+        "--processes",
+        "2",
+        "--progress",
+    ]);
+    assert!(!out.status.success(), "conflict must be an error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--processes") && err.contains("--processes 1"),
+        "error must explain the conflict and the way out: {err}"
+    );
+}
+
+#[test]
+fn validate_leaves_a_preexisting_metrics_file_byte_identical() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/test-scenarios");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let metrics = dir.join("preexisting-metrics.jsonl");
+    let body = "{\"event\":\"from-an-earlier-run\"}\n{\"event\":\"keep-me\"}\n";
+    std::fs::write(&metrics, body).expect("seed metrics file");
+
+    let metrics_arg = metrics.to_str().expect("utf8 path");
+    let out = ecnudp(&[
+        "validate",
+        "--scenario",
+        "scenarios/paper2015-mini.toml",
+        "--metrics",
+        metrics_arg,
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("writable"), "probe must report: {stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&metrics).expect("metrics file still there"),
+        body,
+        "validate must not truncate or rewrite an existing metrics file"
+    );
+
+    // and when the probe creates the file, it cleans it up again
+    let fresh = dir.join("probe-created-metrics.jsonl");
+    let _ = std::fs::remove_file(&fresh);
+    let out = ecnudp(&[
+        "validate",
+        "--scenario",
+        "scenarios/paper2015-mini.toml",
+        "--metrics",
+        fresh.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    assert!(
+        !fresh.exists(),
+        "a probe-created metrics file must be removed again"
+    );
+    let _ = std::fs::remove_file(&metrics);
+}
