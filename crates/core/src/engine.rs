@@ -32,8 +32,11 @@ use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 use std::net::Ipv4Addr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+pub use crate::mp::MpError;
 
 /// How the unit list is ordered before being dealt to the shards. Results
 /// are invariant under this knob (the determinism suite enforces it); it
@@ -51,19 +54,22 @@ pub enum UnitOrder {
 }
 
 /// Engine knobs, separate from the §3 methodology in [`CampaignConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker shards. `None` = available parallelism. Any value produces
     /// byte-identical results; it only controls concurrency.
     pub shards: Option<usize>,
     /// Worker **processes**. `1` (the default) runs everything in this
     /// process; `N > 1` partitions the unit list round-robin across `N`
-    /// child processes (each running its own `shards`-wide work-stealing
-    /// pool) and tree-merges their serialized [`ShardReducers`] — see
-    /// [`crate::mp`]. Like `shards`, a pure concurrency/memory knob: any
-    /// value renders byte-identical reports. Incompatible with
-    /// `keep_traces`/`keep_routes` and enabled event subscribers (raw
-    /// records and typed events do not cross the pipe).
+    /// supervised child processes (each running its own `shards`-wide
+    /// work-stealing pool) and tree-merges their serialized
+    /// [`ShardReducers`] — see [`crate::mp`]. Like `shards`, a pure
+    /// concurrency/memory knob: any value renders byte-identical reports.
+    /// Subscribers in multi-process mode observe parent-side supervision
+    /// events (worker lifecycle, retries, checkpoints) rather than
+    /// per-probe events; `keep_traces`/`keep_routes` stay incompatible
+    /// (raw records do not cross the worker pipe) and yield
+    /// [`MpError::Unsupported`].
     pub processes: usize,
     /// Target-list chunks per vantage (work granularity). Unlike `shards`
     /// this knob *is* part of the experiment definition: each chunk probes
@@ -85,6 +91,27 @@ pub struct EngineConfig {
     pub keep_routes: bool,
     /// Unit scheduling order (results are invariant; see [`UnitOrder`]).
     pub unit_order: UnitOrder,
+    /// Respawn retries per worker slot in supervised mode (default 2): a
+    /// worker that crashes, hangs, or delivers a malformed payload is
+    /// respawned with bounded exponential backoff, re-running exactly its
+    /// unit slice — byte-identical by the commutative-merge contract. A
+    /// slot that fails `1 + max_worker_retries` times turns into
+    /// [`MpError::RetriesExhausted`].
+    pub max_worker_retries: u32,
+    /// Per-worker deadline (default off): a worker delivering no payload
+    /// within this span is killed and the attempt counted as
+    /// [`crate::mp::MpFailure::Hung`].
+    pub worker_timeout: Option<Duration>,
+    /// Checkpoint sink (default off): after every worker payload, persist
+    /// the merged-so-far aggregates plus the completed-unit bitmap here
+    /// via an atomic temp+rename write (see [`crate::mp::Checkpoint`]).
+    /// Setting this routes the campaign through the supervised driver
+    /// even at `processes = 1`.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume source (default off): load a [`crate::mp::Checkpoint`],
+    /// verify its campaign fingerprint, and re-run only the units absent
+    /// from its bitmap. Renders byte-identical to an uninterrupted run.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +123,10 @@ impl Default for EngineConfig {
             keep_traces: false,
             keep_routes: false,
             unit_order: UnitOrder::AsScheduled,
+            max_worker_retries: 2,
+            worker_timeout: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -136,6 +167,13 @@ impl EngineConfig {
             keep_routes: true,
             ..self
         }
+    }
+
+    /// Whether this configuration routes through the supervised
+    /// multi-process driver ([`crate::mp`]): worker processes, a
+    /// checkpoint sink, or a resume source.
+    pub fn supervised(&self) -> bool {
+        self.processes > 1 || self.checkpoint.is_some() || self.resume.is_some()
     }
 }
 
@@ -248,6 +286,18 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
     run_engine_observed(plan, cfg, eng, ()).0
 }
 
+/// Fallible [`run_engine`]: returns the typed [`MpError`] a supervised
+/// multi-process campaign can fail with (retry budget exhausted,
+/// checkpoint mismatch) instead of panicking. In-process campaigns
+/// (`processes = 1`, no checkpoint/resume) cannot fail this way.
+pub fn try_run_engine(
+    plan: &PoolPlan,
+    cfg: &CampaignConfig,
+    eng: &EngineConfig,
+) -> Result<EngineRun, MpError> {
+    try_run_engine_observed(plan, cfg, eng, ()).map(|(run, ())| run)
+}
+
 /// Run the full campaign, streaming typed events into `subscriber` (see
 /// [`crate::events`]): the root instance sees
 /// [`Event::CampaignStarted`], each shard drives a
@@ -255,27 +305,51 @@ pub fn run_engine(plan: &PoolPlan, cfg: &CampaignConfig, eng: &EngineConfig) -> 
 /// [`Subscriber::finish`] runs once before this returns. Results are
 /// byte-identical to [`run_engine`] — subscribers observe, they cannot
 /// perturb.
+///
+/// Infallible compatibility wrapper over [`try_run_engine_observed`];
+/// supervised-campaign errors (which the `ecnudp` CLI reports with a
+/// dedicated exit code) panic here.
 pub fn run_engine_observed<S: Subscriber>(
     plan: &PoolPlan,
     cfg: &CampaignConfig,
     eng: &EngineConfig,
-    mut subscriber: S,
+    subscriber: S,
 ) -> (EngineRun, S) {
-    if eng.processes > 1 {
-        // Raw records and typed events do not cross the worker pipe; the
-        // CLI rejects these combinations with a friendlier message.
-        assert!(
-            !S::ENABLED,
-            "EngineConfig::processes > 1 cannot stream typed events across \
-             the process boundary; run subscribers with processes = 1"
-        );
-        assert!(
-            !eng.keep_traces && !eng.keep_routes,
-            "EngineConfig::processes > 1 cannot retain raw trace records or \
-             traceroute paths (they do not cross the worker pipe); run \
-             keep_traces/keep_routes with processes = 1"
-        );
-        return (crate::mp::run_multiprocess(plan, cfg, eng), subscriber);
+    try_run_engine_observed(plan, cfg, eng, subscriber)
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"))
+}
+
+/// The fallible observed engine entry point. Configurations with
+/// `eng.supervised()` (worker processes, checkpoint, or resume) route
+/// through the supervised multi-process driver ([`crate::mp`]): the
+/// subscriber then observes parent-side supervision events
+/// ([`Event::WorkerFailed`], [`Event::UnitRetried`],
+/// [`Event::CheckpointWritten`], …) instead of per-probe events, and the
+/// run can fail with a typed [`MpError`] naming the worker and unit
+/// range. Everything else runs in-process, infallibly.
+pub fn try_run_engine_observed<S: Subscriber>(
+    plan: &PoolPlan,
+    cfg: &CampaignConfig,
+    eng: &EngineConfig,
+    mut subscriber: S,
+) -> Result<(EngineRun, S), MpError> {
+    if eng.supervised() {
+        if eng.keep_traces || eng.keep_routes {
+            // Raw records do not cross the worker pipe; the CLI rejects
+            // this combination with a friendlier message.
+            return Err(MpError::Unsupported {
+                what: "keep_traces/keep_routes under the supervised \
+                       multi-process driver (raw records do not cross the \
+                       worker pipe); run them with processes = 1 and no \
+                       checkpoint/resume"
+                    .into(),
+            });
+        }
+        let run = crate::mp::run_multiprocess(plan, cfg, eng, &mut subscriber)?;
+        if S::ENABLED {
+            subscriber.finish();
+        }
+        return Ok((run, subscriber));
     }
     let wall0 = Instant::now();
     let mut timing = EngineTiming::default();
@@ -334,7 +408,7 @@ pub fn run_engine_observed<S: Subscriber>(
         pool.routes,
         pool.reducers,
     );
-    (
+    Ok((
         EngineRun {
             result,
             timing,
@@ -346,7 +420,7 @@ pub fn run_engine_observed<S: Subscriber>(
             peak_rss_kb: crate::mp::peak_rss_kb(),
         },
         subscriber,
-    )
+    ))
 }
 
 /// The full schedule, split per vantage (each unit runs exactly its

@@ -23,6 +23,27 @@
 //! exception is the summary's `wall_ms` field, the stream's only
 //! wall-clock value (tests normalize it; everything else is a pure
 //! function of the scenario).
+//!
+//! ## Supervision lines (multi-process mode only)
+//!
+//! Under the supervised driver the parent-side subscriber sees worker
+//! lifecycle events instead of per-probe events; those surface as extra
+//! typed lines between the header and the unit records, **emitted only
+//! when present** so single-process streams are byte-identical to
+//! earlier schema versions:
+//!
+//! ```text
+//! {"type":"workers_clamped","requested":8,"spawned":1}
+//! {"type":"worker_failed","worker":1,"attempt":0,"units":3,
+//!  "will_retry":true,"cause":"..."}                    // per failed attempt
+//! {"type":"worker","worker":0,"units":7,"observations":N}  // per worker slot
+//! {"type":"retries","unit_retries":3}                  // when any unit retried
+//! {"type":"checkpoint","writes":4,"completed":13,"total":13}
+//! ```
+//!
+//! Failure lines are sorted by `(worker, attempt)` and worker lines by
+//! worker index, so the stream stays deterministic for a fixed fault
+//! schedule.
 
 use super::{json_escape, Event, ProbeKind, Subscriber, UnitId};
 use ecn_netsim::SimCounters;
@@ -54,7 +75,23 @@ pub struct JsonLinesMetrics<W: Write + Send> {
     started: Instant,
     shape: Option<(usize, usize, usize)>, // vantages, units, targets
     units: BTreeMap<UnitId, UnitRec>,
+    // supervision records (multi-process mode; all empty in-process)
+    clamped: Option<(usize, usize)>,        // requested, spawned
+    workers: BTreeMap<usize, (usize, u64)>, // worker -> (units, observations)
+    failures: Vec<FailureRec>,
+    unit_retries: u64,
+    checkpoints: Option<(u64, usize, usize)>, // writes, completed, total
     err: Option<io::Error>,
+}
+
+/// One failed worker attempt, as observed on the root subscriber.
+#[derive(Debug, Clone)]
+struct FailureRec {
+    worker: usize,
+    attempt: u32,
+    units: usize,
+    cause: String,
+    will_retry: bool,
 }
 
 impl<W: Write + Send> JsonLinesMetrics<W> {
@@ -69,6 +106,11 @@ impl<W: Write + Send> JsonLinesMetrics<W> {
             started: Instant::now(),
             shape: None,
             units: BTreeMap::new(),
+            clamped: None,
+            workers: BTreeMap::new(),
+            failures: Vec::new(),
+            unit_retries: 0,
+            checkpoints: None,
             err: None,
         }
     }
@@ -180,6 +222,11 @@ impl<W: Write + Send> Subscriber for JsonLinesMetrics<W> {
             started: self.started,
             shape: None,
             units: BTreeMap::new(),
+            clamped: None,
+            workers: BTreeMap::new(),
+            failures: Vec::new(),
+            unit_retries: 0,
+            checkpoints: None,
             err: None,
         }
     }
@@ -202,6 +249,41 @@ impl<W: Write + Send> Subscriber for JsonLinesMetrics<W> {
             Event::SimFlushed { unit, counters } => {
                 self.units.entry(*unit).or_default().sim.merge(counters);
             }
+            Event::WorkersClamped { requested, spawned } => {
+                self.clamped = Some((*requested, *spawned));
+            }
+            Event::WorkerFailed {
+                worker,
+                attempt,
+                units,
+                cause,
+                will_retry,
+            } => self.failures.push(FailureRec {
+                worker: *worker,
+                attempt: *attempt,
+                units: *units,
+                cause: cause.to_string(),
+                will_retry: *will_retry,
+            }),
+            Event::UnitRetried { .. } => self.unit_retries += 1,
+            Event::WorkerFinished {
+                worker,
+                units,
+                observations,
+            } => {
+                let rec = self.workers.entry(*worker).or_default();
+                rec.0 += units;
+                rec.1 += observations;
+            }
+            Event::CheckpointWritten {
+                completed_units,
+                total_units,
+            } => {
+                let (writes, completed, total) = self.checkpoints.get_or_insert((0, 0, 0));
+                *writes += 1;
+                *completed = *completed_units;
+                *total = *total_units;
+            }
             Event::UnitFinished { .. } | Event::ShardProgress { .. } => {}
         }
     }
@@ -218,6 +300,20 @@ impl<W: Write + Send> Subscriber for JsonLinesMetrics<W> {
             rec.sim.merge(&v.sim);
         }
         self.shape = self.shape.or(other.shape);
+        self.clamped = self.clamped.or(other.clamped);
+        for (worker, (units, obs)) in other.workers {
+            let rec = self.workers.entry(worker).or_default();
+            rec.0 += units;
+            rec.1 += obs;
+        }
+        self.failures.extend(other.failures);
+        self.unit_retries += other.unit_retries;
+        if let Some((w, c, t)) = other.checkpoints {
+            let (writes, completed, total) = self.checkpoints.get_or_insert((0, 0, 0));
+            *writes += w;
+            *completed = c;
+            *total = t;
+        }
         if self.err.is_none() {
             self.err = other.err;
         }
@@ -235,6 +331,45 @@ impl<W: Write + Send> Subscriber for JsonLinesMetrics<W> {
             targets,
         );
         self.write_line(&header);
+
+        // supervision lines: only present in multi-process mode, so the
+        // single-process stream stays byte-identical to older schemas
+        if let Some((requested, spawned)) = self.clamped.take() {
+            self.write_line(&format!(
+                "{{\"type\":\"workers_clamped\",\"requested\":{requested},\"spawned\":{spawned}}}"
+            ));
+        }
+        let mut failures = std::mem::take(&mut self.failures);
+        failures.sort_by_key(|f| (f.worker, f.attempt));
+        for f in failures {
+            self.write_line(&format!(
+                "{{\"type\":\"worker_failed\",\"worker\":{},\"attempt\":{},\"units\":{},\
+                 \"will_retry\":{},\"cause\":\"{}\"}}",
+                f.worker,
+                f.attempt,
+                f.units,
+                f.will_retry,
+                json_escape(&f.cause),
+            ));
+        }
+        for (worker, (w_units, w_obs)) in std::mem::take(&mut self.workers) {
+            self.write_line(&format!(
+                "{{\"type\":\"worker\",\"worker\":{worker},\"units\":{w_units},\
+                 \"observations\":{w_obs}}}"
+            ));
+        }
+        if self.unit_retries > 0 {
+            self.write_line(&format!(
+                "{{\"type\":\"retries\",\"unit_retries\":{}}}",
+                self.unit_retries
+            ));
+        }
+        if let Some((writes, completed, total)) = self.checkpoints.take() {
+            self.write_line(&format!(
+                "{{\"type\":\"checkpoint\",\"writes\":{writes},\"completed\":{completed},\
+                 \"total\":{total}}}"
+            ));
+        }
 
         let units = std::mem::take(&mut self.units);
         let mut totals = Totals::default();

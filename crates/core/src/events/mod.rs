@@ -13,6 +13,16 @@
 //! | [`Event::SimFlushed`] | the engine's unit loop, draining the netsim tap ([`ecn_netsim::SimCounters`]: datagrams delivered/dropped, CE marks, ECN rewrites at named hops) |
 //! | [`Event::UnitFinished`] | the engine's unit loop, after the unit's traceroute slice |
 //! | [`Event::ShardProgress`] | each engine shard, after every unit it executes |
+//! | [`Event::WorkersClamped`] | the supervised driver (`mp`), when `processes` exceeds the unit count |
+//! | [`Event::WorkerFailed`] | the supervised driver, when a worker attempt crashes/hangs/corrupts |
+//! | [`Event::UnitRetried`] | the supervised driver, once per unit re-shipped to a respawned worker |
+//! | [`Event::WorkerFinished`] | the supervised driver, when a worker slot delivers its payload |
+//! | [`Event::CheckpointWritten`] | the supervised driver, after each atomic checkpoint write |
+//!
+//! The supervision events exist only on the parent's root subscriber in
+//! multi-process mode (workers observe their own units internally); the
+//! in-process engine never emits them, so single-process metrics streams
+//! are unchanged.
 //!
 //! ## Zero-cost contract
 //!
@@ -159,6 +169,58 @@ pub enum Event<'a> {
         shard: usize,
         /// Units this shard has completed so far.
         units_done: usize,
+    },
+    /// The supervised driver clamped an over-provisioned worker count to
+    /// the remaining unit-pool size (spawning idle workers would pay full
+    /// blueprint builds for empty slices).
+    WorkersClamped {
+        /// Worker processes requested.
+        requested: usize,
+        /// Worker processes actually spawned.
+        spawned: usize,
+    },
+    /// A worker attempt failed (crash, hang, malformed payload, pipe
+    /// error). **Nondeterministic by nature** — follows injected or real
+    /// subprocess failures, never a fault-free run.
+    WorkerFailed {
+        /// Worker slot index.
+        worker: usize,
+        /// The failed attempt (0 = first spawn).
+        attempt: u32,
+        /// Units in the worker's slice.
+        units: usize,
+        /// Human-readable failure cause (a rendered
+        /// [`crate::mp::MpFailure`]).
+        cause: &'a str,
+        /// Whether the supervisor will respawn the worker.
+        will_retry: bool,
+    },
+    /// A unit is being re-shipped to a respawned worker (one per unit in
+    /// the failed worker's slice, following [`Event::WorkerFailed`]).
+    UnitRetried {
+        /// The unit being retried.
+        unit: UnitId,
+        /// The worker slot retrying it.
+        worker: usize,
+        /// The attempt about to run it (1 = first retry).
+        attempt: u32,
+    },
+    /// A worker slot delivered its payload (possibly after retries).
+    WorkerFinished {
+        /// Worker slot index.
+        worker: usize,
+        /// Units the worker executed.
+        units: usize,
+        /// Server observations the worker produced.
+        observations: u64,
+    },
+    /// The supervised driver persisted a checkpoint (atomic temp+rename;
+    /// see [`crate::mp::Checkpoint`]).
+    CheckpointWritten {
+        /// Canonical units recorded complete.
+        completed_units: usize,
+        /// Total units in the campaign.
+        total_units: usize,
     },
 }
 

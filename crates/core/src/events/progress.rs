@@ -18,6 +18,10 @@ struct State {
     units_total: AtomicUsize,
     units_done: AtomicUsize,
     observations: AtomicU64,
+    /// Failed worker attempts (supervised multi-process mode only).
+    worker_failures: AtomicU64,
+    /// Units re-shipped to respawned workers.
+    unit_retries: AtomicU64,
     /// Milliseconds-since-start of the last line printed (throttle).
     last_print_ms: AtomicU64,
 }
@@ -46,6 +50,8 @@ impl Progress {
                 units_total: AtomicUsize::new(0),
                 units_done: AtomicUsize::new(0),
                 observations: AtomicU64::new(0),
+                worker_failures: AtomicU64::new(0),
+                unit_retries: AtomicU64::new(0),
                 last_print_ms: AtomicU64::new(0),
             }),
             every_ms,
@@ -74,9 +80,17 @@ impl Progress {
         } else {
             0.0
         };
-        format!(
+        let mut line = format!(
             "[ecnudp] {done}/{total} units | {obs} obs | {obs_rate:.0} obs/s (servers/s) | ETA {eta:.1}s"
-        )
+        );
+        let failures = st.worker_failures.load(Ordering::Relaxed);
+        if failures > 0 {
+            let retries = st.unit_retries.load(Ordering::Relaxed);
+            line.push_str(&format!(
+                " | {failures} worker failure(s), {retries} unit(s) retried"
+            ));
+        }
+        line
     }
 
     fn maybe_print(&self, done: usize, force: bool) {
@@ -117,6 +131,24 @@ impl Subscriber for Progress {
                     .fetch_add(*observations as u64, Ordering::Relaxed);
                 let done = self.state.units_done.fetch_add(1, Ordering::Relaxed) + 1;
                 self.maybe_print(done, false);
+            }
+            // supervised multi-process mode: units finish worker-at-a-time
+            Event::WorkerFinished {
+                units,
+                observations,
+                ..
+            } => {
+                self.state
+                    .observations
+                    .fetch_add(*observations, Ordering::Relaxed);
+                let done = self.state.units_done.fetch_add(*units, Ordering::Relaxed) + units;
+                self.maybe_print(done, false);
+            }
+            Event::WorkerFailed { .. } => {
+                self.state.worker_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::UnitRetried { .. } => {
+                self.state.unit_retries.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }

@@ -1,0 +1,235 @@
+//! Test-only fault injection for the multi-process supervisor
+//! (`crate::mp`): the `ECNUDP_FAULT` environment protocol.
+//!
+//! The supervision layer is exercised by **real subprocess failures**,
+//! not mocks: a worker spawned with `ECNUDP_FAULT` set sabotages itself
+//! at a protocol-accurate point (crash mid-partition, hang before the
+//! payload write, truncate or corrupt the payload JSON), and the parent
+//! has to recover through the ordinary retry path. The env var is read
+//! only inside worker mode ([`crate::mp::maybe_worker`]) and once per
+//! multi-process run in the parent — a campaign without the variable
+//! never touches this module, preserving the zero-cost contract.
+//!
+//! ## Directive grammar
+//!
+//! Comma-separated directives; each is `kind=value` plus optional
+//! `:key=value` arguments:
+//!
+//! ```text
+//! crash-after-unit=K:worker=W[:attempts=N]  run K units, then exit(101)
+//! panic=W[:attempts=N]                      panic! inside the worker
+//! hang=W[:attempts=N]                       never write the payload
+//! truncate-payload=W[:attempts=N]           write half the payload JSON
+//! corrupt-json=W[:attempts=N]               write syntactically bad JSON
+//! parent-exit-after-payload=K               parent exit(86) after K payloads
+//! ```
+//!
+//! `attempts=N` (default 1) scopes a fault to a worker's first `N`
+//! spawn attempts: the fault fires while `attempt < N` and the retry
+//! after that succeeds, which is how the determinism suite proves
+//! recovery. Use a large `N` to exhaust a retry budget on purpose.
+//!
+//! Malformed directives are **ignored with a stderr warning** rather
+//! than rejected: this is a test harness knob, and a typo must never
+//! take down a production campaign that happens to inherit the variable.
+
+use std::fmt;
+
+/// The environment variable carrying fault directives.
+pub(crate) const FAULT_ENV: &str = "ECNUDP_FAULT";
+
+/// The parent-process exit code used by `parent-exit-after-payload`
+/// (distinct from worker and CLI codes so resume tests can assert on it).
+pub(crate) const PARENT_EXIT_CODE: i32 = 86;
+
+/// The exit code an injected `crash-after-unit` worker dies with.
+pub(crate) const CRASH_EXIT_CODE: i32 = 101;
+
+/// What a sabotaged worker does to itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerFault {
+    /// `panic!` right after parsing the request (stderr shows a real
+    /// panic message, exercising the `[worker N]` relay tagging).
+    Panic,
+    /// Run the first `K` units of the partition, then `exit(101)` without
+    /// writing a payload — the paid-work-lost crash case.
+    CrashAfterUnits(usize),
+    /// Read the request, then sleep forever: the hang the per-worker
+    /// deadline (`--worker-timeout`) exists to catch.
+    Hang,
+    /// Run the partition, then write only the first half of the payload
+    /// JSON and exit 0 — truncated payload with a *successful* status.
+    TruncatePayload,
+    /// Run the partition, then write syntactically invalid JSON.
+    CorruptJson,
+}
+
+impl fmt::Display for WorkerFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFault::Panic => write!(f, "panic"),
+            WorkerFault::CrashAfterUnits(k) => write!(f, "crash-after-unit={k}"),
+            WorkerFault::Hang => write!(f, "hang"),
+            WorkerFault::TruncatePayload => write!(f, "truncate-payload"),
+            WorkerFault::CorruptJson => write!(f, "corrupt-json"),
+        }
+    }
+}
+
+/// One parsed directive: a fault, the worker it targets, and how many
+/// spawn attempts it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Directive {
+    fault: WorkerFault,
+    worker: usize,
+    attempts: u32,
+}
+
+/// The parsed `ECNUDP_FAULT` value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct FaultPlan {
+    directives: Vec<Directive>,
+    /// Parent-side: `std::process::exit(86)` after this many worker
+    /// payloads were merged (and checkpointed) — simulates the parent
+    /// dying mid-campaign for `--resume` tests.
+    pub(crate) parent_exit_after_payloads: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Parse the process's own `ECNUDP_FAULT` (empty plan when unset).
+    pub(crate) fn from_env() -> FaultPlan {
+        match std::env::var(FAULT_ENV) {
+            Ok(v) => FaultPlan::parse(&v),
+            Err(_) => FaultPlan::default(),
+        }
+    }
+
+    /// Parse a directive string (see the module docs for the grammar).
+    pub(crate) fn parse(input: &str) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for raw in input.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            match parse_directive(raw) {
+                Ok(Parsed::Worker(d)) => plan.directives.push(d),
+                Ok(Parsed::ParentExit(k)) => plan.parent_exit_after_payloads = Some(k),
+                Err(why) => eprintln!("{FAULT_ENV}: ignoring `{raw}`: {why}"),
+            }
+        }
+        plan
+    }
+
+    /// The fault (if any) a worker must inject on this spawn attempt.
+    /// First matching directive wins; a directive covers attempts
+    /// `0..attempts`.
+    pub(crate) fn for_worker(&self, worker: usize, attempt: u32) -> Option<WorkerFault> {
+        self.directives
+            .iter()
+            .find(|d| d.worker == worker && attempt < d.attempts)
+            .map(|d| d.fault)
+    }
+
+    /// Whether any directive is active (lets the parent skip per-spawn
+    /// bookkeeping entirely on clean runs).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.directives.is_empty() && self.parent_exit_after_payloads.is_none()
+    }
+}
+
+enum Parsed {
+    Worker(Directive),
+    ParentExit(usize),
+}
+
+fn parse_directive(raw: &str) -> Result<Parsed, String> {
+    let mut parts = raw.split(':');
+    let head = parts.next().unwrap_or_default();
+    let (kind, value) = head
+        .split_once('=')
+        .ok_or_else(|| "expected `kind=value`".to_string())?;
+    let mut worker: Option<usize> = None;
+    let mut attempts: u32 = 1;
+    let mut crash_units: Option<usize> = None;
+    match kind {
+        "crash-after-unit" => {
+            crash_units = Some(parse_num(value, "crash-after-unit")?);
+        }
+        "panic" | "hang" | "truncate-payload" | "corrupt-json" => {
+            worker = Some(parse_num(value, kind)?);
+        }
+        "parent-exit-after-payload" => {
+            return Ok(Parsed::ParentExit(parse_num(value, kind)?));
+        }
+        other => return Err(format!("unknown fault kind `{other}`")),
+    }
+    for arg in parts {
+        let (k, v) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("argument `{arg}` is not `key=value`"))?;
+        match k {
+            "worker" => worker = Some(parse_num(v, "worker")?),
+            "attempts" => attempts = parse_num(v, "attempts")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let worker = worker.ok_or_else(|| "missing worker index".to_string())?;
+    let fault = match crash_units {
+        Some(k) => WorkerFault::CrashAfterUnits(k),
+        None => match kind {
+            "panic" => WorkerFault::Panic,
+            "hang" => WorkerFault::Hang,
+            "truncate-payload" => WorkerFault::TruncatePayload,
+            "corrupt-json" => WorkerFault::CorruptJson,
+            _ => unreachable!("kind validated above"),
+        },
+    };
+    Ok(Parsed::Worker(Directive {
+        fault,
+        worker,
+        attempts,
+    }))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("`{what}` needs an integer, got `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan = FaultPlan::parse(
+            "crash-after-unit=2:worker=1, hang=0:attempts=3, truncate-payload=2, \
+             corrupt-json=3:attempts=2, panic=4, parent-exit-after-payload=5",
+        );
+        assert_eq!(plan.for_worker(1, 0), Some(WorkerFault::CrashAfterUnits(2)));
+        assert_eq!(plan.for_worker(1, 1), None, "default scope is one attempt");
+        assert_eq!(plan.for_worker(0, 2), Some(WorkerFault::Hang));
+        assert_eq!(plan.for_worker(0, 3), None);
+        assert_eq!(plan.for_worker(2, 0), Some(WorkerFault::TruncatePayload));
+        assert_eq!(plan.for_worker(3, 1), Some(WorkerFault::CorruptJson));
+        assert_eq!(plan.for_worker(4, 0), Some(WorkerFault::Panic));
+        assert_eq!(plan.for_worker(5, 0), None, "untargeted worker is clean");
+        assert_eq!(plan.parent_exit_after_payloads, Some(5));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn malformed_directives_are_ignored_not_fatal() {
+        let plan = FaultPlan::parse("gibberish, crash-after-unit=x:worker=0, hang=1");
+        assert_eq!(plan.directives.len(), 1, "only the valid directive stays");
+        assert_eq!(plan.for_worker(1, 0), Some(WorkerFault::Hang));
+    }
+
+    #[test]
+    fn empty_env_is_an_empty_plan() {
+        let plan = FaultPlan::parse("");
+        assert!(plan.is_empty());
+        assert_eq!(plan.for_worker(0, 0), None);
+    }
+}

@@ -41,6 +41,7 @@ pub mod config;
 pub mod discovery;
 pub mod engine;
 pub mod events;
+mod fault;
 pub mod mp;
 pub mod probes;
 pub mod reducers;
@@ -57,11 +58,14 @@ pub use campaign::{
 pub use config::{CampaignConfig, ProbeConfig, TracerouteConfig};
 pub use discovery::{discover, discovery_names, Discovery};
 pub use engine::{
-    run_campaign, run_campaign_with_traces, run_engine, run_engine_observed, EngineConfig,
-    EngineRun, EngineTiming, UnitOrder,
+    run_campaign, run_campaign_with_traces, run_engine, run_engine_observed, try_run_engine,
+    try_run_engine_observed, EngineConfig, EngineRun, EngineTiming, UnitOrder,
 };
 pub use events::{Event, JsonLinesMetrics, ProbeKind, Progress, Subscriber, TraceSampler, UnitId};
-pub use mp::{maybe_worker, peak_rss_kb, WORKER_ARG, WORKER_EXE_ENV};
+pub use mp::{
+    maybe_worker, peak_rss_kb, read_checkpoint, Checkpoint, MpError, MpFailure, WORKER_ARG,
+    WORKER_EXE_ENV,
+};
 pub use probes::{probe_tcp, probe_udp, TcpProbeResult, UdpProbeResult};
 pub use reducers::{
     merge_depth, merge_tree, BatchCounts, CampaignAggregates, DifferentialCounts, HopSurveyCounts,

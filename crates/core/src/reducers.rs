@@ -898,7 +898,10 @@ mod tests {
                 let mut r = ShardReducers::default();
                 let name = ["A", "B", "C"][usize::from(i) % 3];
                 r.observe_trace(
-                    &rec(name, vec![outcome(i + 1, i % 2 == 0, true, true, i % 3 == 0)]),
+                    &rec(
+                        name,
+                        vec![outcome(i + 1, i % 2 == 0, true, true, i % 3 == 0)],
+                    ),
                     &TraceCtx::whole(usize::from(i), 0),
                 );
                 r
@@ -913,7 +916,16 @@ mod tests {
 
     #[test]
     fn merge_depth_is_ceil_log2() {
-        for (n, d) in [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+        for (n, d) in [
+            (0, 0),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+        ] {
             assert_eq!(merge_depth(n), d, "n = {n}");
         }
     }

@@ -69,6 +69,9 @@ pub struct ScenarioSpec {
     pub schedule: ScheduleSpec,
     /// Event-stream observability (metrics export, progress, sampling).
     pub observability: ObservabilitySpec,
+    /// Fault tolerance for supervised campaign execution (worker retries,
+    /// deadlines, checkpointing).
+    pub resilience: ResilienceSpec,
 }
 
 /// `[population]`: who is in the pool and what they run.
@@ -185,6 +188,27 @@ pub struct ObservabilitySpec {
     pub snapshot_every: usize,
 }
 
+/// `[resilience]`: fault tolerance for supervised campaign execution
+/// (`ecn-core`'s multi-process driver). Pure execution policy — retries
+/// re-run exactly the failed unit slice and the reducer merge is
+/// commutative, so no setting here can change a result byte. CLI flags
+/// (`--max-retries`, `--worker-timeout`, `--checkpoint`) override these
+/// per run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSpec {
+    /// Respawn retries per worker slot before the campaign fails with a
+    /// typed error (0 = fail on the first worker fault).
+    pub max_worker_retries: usize,
+    /// Per-worker deadline in seconds; a worker delivering no payload in
+    /// time is killed and retried (0 = no deadline).
+    pub worker_timeout_s: f64,
+    /// Checkpoint file path: after every worker payload, atomically
+    /// persist merged-so-far aggregates + the completed-unit bitmap
+    /// (empty = no checkpointing). `ecnudp run --resume <path>` picks the
+    /// campaign back up from it.
+    pub checkpoint: String,
+}
+
 /// The two built-in campaign calendars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScheduleProfile {
@@ -261,6 +285,11 @@ impl ScenarioSpec {
                 progress: false,
                 sample_traces: 0,
                 snapshot_every: 10,
+            },
+            resilience: ResilienceSpec {
+                max_worker_retries: 2,
+                worker_timeout_s: 0.0,
+                checkpoint: String::new(),
             },
         }
     }
@@ -428,6 +457,19 @@ impl ScenarioSpec {
             return err(
                 "observability.sample_traces",
                 "requires observability.metrics (sampled traces ride the metrics stream)".into(),
+            );
+        }
+        let res = &self.resilience;
+        if res.max_worker_retries > 1000 {
+            return err(
+                "resilience.max_worker_retries",
+                format!("{} exceeds 1000", res.max_worker_retries),
+            );
+        }
+        if !res.worker_timeout_s.is_finite() || !(0.0..=86_400.0).contains(&res.worker_timeout_s) {
+            return err(
+                "resilience.worker_timeout_s",
+                format!("{} outside [0, 86400] seconds", res.worker_timeout_s),
             );
         }
         // the special population must leave room for the dead/churned
@@ -611,6 +653,7 @@ fn apply_root(spec: &mut ScenarioSpec, value: &SpecValue) -> Result<(), SpecErro
         "links" => |v, p: &str| apply_links(&mut spec.links, want_table(v, p)?, p),
         "schedule" => |v, p: &str| apply_schedule(&mut spec.schedule, want_table(v, p)?, p),
         "observability" => |v, p: &str| apply_observability(&mut spec.observability, want_table(v, p)?, p),
+        "resilience" => |v, p: &str| apply_resilience(&mut spec.resilience, want_table(v, p)?, p),
     })
 }
 
@@ -711,6 +754,18 @@ fn apply_observability(
         "progress" => |v, p| { out.progress = want_bool(v, p)?; Ok(()) },
         "sample_traces" => |v, p| { out.sample_traces = want_usize(v, p)?; Ok(()) },
         "snapshot_every" => |v, p| { out.snapshot_every = want_usize(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_resilience(
+    out: &mut ResilienceSpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "max_worker_retries" => |v, p| { out.max_worker_retries = want_usize(v, p)?; Ok(()) },
+        "worker_timeout_s" => |v, p| { out.worker_timeout_s = want_f64(v, p)?; Ok(()) },
+        "checkpoint" => |v, p| { out.checkpoint = want_str(v, p)?; Ok(()) },
     })
 }
 

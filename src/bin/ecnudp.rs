@@ -20,13 +20,14 @@
 //! stderr, so `ecnudp run ... > report.txt` captures a clean artefact.
 
 use ecnudp::core::{
-    run_scenario_observed, run_scenario_parallel, run_scenario_sharded, FullReport,
-    JsonLinesMetrics, Progress, RunSummary, TraceSampler,
+    campaign_config, engine_config, try_run_engine, try_run_engine_observed, FullReport,
+    JsonLinesMetrics, MpError, Progress, RunSummary, TraceSampler,
 };
 use ecnudp::pool::ScenarioSpec;
 use std::fs::File;
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 ecnudp — declarative ECN-measurement scenarios
@@ -35,6 +36,8 @@ USAGE:
     ecnudp run      --scenario <file> [--shards N] [--processes N] [--json]
                     [--seed N] [--servers N] [--quick]
                     [--metrics <file>] [--progress] [--sample-traces N]
+                    [--max-retries N] [--worker-timeout S]
+                    [--checkpoint <file>] [--resume <file>]
     ecnudp validate --scenario <file> [--seed N] [--servers N] [--quick]
                     [--metrics <file>]
     ecnudp help
@@ -52,11 +55,12 @@ OPTIONS:
                         output; must be >= 1)
     --processes <N>     worker processes (default 1 = in-process); the
                         unit pool is partitioned across spawned workers
-                        and their reducers tree-merged, bounding peak RSS
-                        per process — output stays byte-identical; not
-                        combinable with --metrics/--progress/
-                        --sample-traces (event streams cannot cross the
-                        process boundary)
+                        under a supervisor and their reducers tree-merged,
+                        bounding peak RSS per process — output stays
+                        byte-identical; --metrics/--progress then observe
+                        worker lifecycle instead of per-probe events; not
+                        combinable with --sample-traces (raw trace records
+                        stay inside the worker)
     --json              emit a machine-readable RunSummary instead of the
                         text report
     --seed <N>          override the spec's seed
@@ -67,8 +71,51 @@ OPTIONS:
     --progress          print live unit/observation progress to stderr
     --sample-traces <N> keep 1-in-N logical traces by identity hash and
                         append them to the metrics stream (needs --metrics)
+    --max-retries <N>   respawns per failed worker before the campaign
+                        fails with a typed error (default 2; retries re-run
+                        exactly the failed unit slice, byte-identically)
+    --worker-timeout <S> per-worker deadline in seconds (fractions allowed;
+                        default off): a worker delivering no payload in
+                        time is killed and retried
+    --checkpoint <file> after every worker payload, atomically persist
+                        merged-so-far aggregates + the completed-unit
+                        bitmap (enables the supervised driver even at
+                        --processes 1)
+    --resume <file>     resume from a checkpoint: verify it matches this
+                        campaign, re-run only units absent from its bitmap
+                        (keeps checkpointing to the same file unless
+                        --checkpoint names another)
+
+EXIT CODES:
+    0  success        2  usage error
+    1  config/spec/IO error
+    3  campaign failed (worker retry budget exhausted, checkpoint
+       mismatch) — the message names the worker, unit range, and cause
 
 Omitted spec keys keep their paper2015 defaults; unknown keys are errors.";
+
+/// A CLI failure: what to print, and which exit code it maps to.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { code: 1, message }
+    }
+}
+
+impl CliError {
+    /// A supervised-campaign failure (exit code 3): typed, actionable,
+    /// never a panic backtrace.
+    fn campaign(e: MpError) -> CliError {
+        CliError {
+            code: 3,
+            message: format!("campaign failed: {e}"),
+        }
+    }
+}
 
 struct Args {
     command: String,
@@ -82,6 +129,10 @@ struct Args {
     metrics: Option<String>,
     progress: bool,
     sample_traces: Option<usize>,
+    max_retries: Option<u32>,
+    worker_timeout: Option<f64>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
@@ -99,6 +150,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         metrics: None,
         progress: false,
         sample_traces: None,
+        max_retries: None,
+        worker_timeout: None,
+        checkpoint: None,
+        resume: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
@@ -147,6 +202,26 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                         .map_err(|e| format!("--sample-traces: {e}"))?,
                 )
             }
+            "--max-retries" => {
+                args.max_retries = Some(
+                    value("--max-retries")?
+                        .parse()
+                        .map_err(|e| format!("--max-retries: {e}"))?,
+                )
+            }
+            "--worker-timeout" => {
+                let s: f64 = value("--worker-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--worker-timeout: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!(
+                        "--worker-timeout must be a positive number of seconds (got {s})"
+                    ));
+                }
+                args.worker_timeout = Some(s);
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => args.resume = Some(value("--resume")?),
             other => return Err(format!("unknown flag `{other}` (see `ecnudp help`)")),
         }
     }
@@ -231,7 +306,33 @@ fn describe(spec: &ScenarioSpec) -> String {
     )
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+/// Lower the spec's `[resilience]` section plus the CLI's supervision
+/// flags into the engine configuration. `--resume` doubles as the
+/// checkpoint sink so an interrupted resume can itself be resumed, unless
+/// `--checkpoint` names another file.
+fn build_engine_config(spec: &ScenarioSpec, args: &Args) -> ecnudp::core::EngineConfig {
+    let mut eng = engine_config(spec);
+    eng.shards = args.shards;
+    eng.processes = args.processes;
+    if let Some(n) = args.max_retries {
+        eng.max_worker_retries = n;
+    }
+    if let Some(s) = args.worker_timeout {
+        eng.worker_timeout = Some(Duration::from_secs_f64(s));
+    }
+    if let Some(path) = &args.checkpoint {
+        eng.checkpoint = Some(path.into());
+    }
+    if let Some(path) = &args.resume {
+        eng.resume = Some(path.into());
+        if eng.checkpoint.is_none() {
+            eng.checkpoint = Some(path.into());
+        }
+    }
+    eng
+}
+
+fn cmd_run(args: &Args) -> Result<(), CliError> {
     let spec = load_spec(args)?;
     eprintln!("{}", describe(&spec));
     let obs = spec.observability.clone();
@@ -241,17 +342,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         path => Some(open_metrics(path)?),
     };
     let observed = metrics_file.is_some() || obs.progress || obs.sample_traces > 0;
-    if args.processes > 1 && observed {
-        return Err(
-            "--processes > 1 cannot stream typed events across the process boundary; \
-             drop --metrics/--progress/--sample-traces (and the spec's [observability] \
-             sinks) or run with --processes 1"
-                .into(),
-        );
+    let eng = build_engine_config(&spec, args);
+    if eng.supervised() && obs.sample_traces > 0 {
+        return Err(CliError::from(
+            "--sample-traces keeps raw trace records, which do not cross the \
+             worker-process boundary; drop it, or run with --processes 1 and \
+             no --checkpoint/--resume"
+                .to_string(),
+        ));
     }
-    let (run, subscriber) = if args.processes > 1 {
-        (run_scenario_parallel(&spec, args.shards, args.processes), None)
-    } else if observed {
+    let plan = spec.plan();
+    let cfg = campaign_config(&spec);
+    let (run, subscriber) = if observed {
         let metrics = metrics_file.map(|f| {
             JsonLinesMetrics::new(f)
                 .with_header(&spec.name, spec.seed)
@@ -259,11 +361,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         });
         let progress = obs.progress.then(Progress::new);
         let sampler = (obs.sample_traces > 0).then(|| TraceSampler::new(obs.sample_traces));
-        let (run, sub) = run_scenario_observed(&spec, args.shards, (metrics, (progress, sampler)));
+        let (run, sub) = try_run_engine_observed(&plan, &cfg, &eng, (metrics, (progress, sampler)))
+            .map_err(CliError::campaign)?;
         (run, Some(sub))
     } else {
         // the zero-cost path: Subscriber = () compiles the hooks away
-        (run_scenario_sharded(&spec, args.shards), None)
+        let run = try_run_engine(&plan, &cfg, &eng).map_err(CliError::campaign)?;
+        (run, None)
     };
     if let Some((Some(m), (_progress, sampler))) = subscriber {
         let write_err = |e| format!("cannot write metrics file `{}`: {e}", obs.metrics);
@@ -366,18 +470,20 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_str() {
         "run" => cmd_run(&args),
-        "validate" => cmd_validate(&args),
+        "validate" => cmd_validate(&args).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (see `ecnudp help`)")),
+        other => Err(CliError::from(format!(
+            "unknown command `{other}` (see `ecnudp help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

@@ -1,8 +1,10 @@
-//! Spawned-binary coverage for the engine-topology flags: zero-value
-//! rejection at parse time (`--shards 0`, `--processes 0`), the
-//! multi-process × typed-event-stream conflict, and the `validate`
-//! metrics probe's non-destructiveness (a pre-existing metrics file must
-//! survive byte-identical — the probe opens for append, never truncate).
+//! Spawned-binary coverage for the engine-topology and supervision flags:
+//! zero-value rejection at parse time (`--shards 0`, `--processes 0`,
+//! non-positive `--worker-timeout`), the supervised-mode ×
+//! `--sample-traces` conflict, metrics/progress streaming worker
+//! lifecycle under `--processes > 1`, and the `validate` metrics probe's
+//! non-destructiveness (a pre-existing metrics file must survive
+//! byte-identical — the probe opens for append, never truncate).
 
 use std::path::Path;
 use std::process::Command;
@@ -50,23 +52,79 @@ fn zero_processes_is_rejected_at_parse_with_the_flag_name() {
 }
 
 #[test]
-fn multiprocess_refuses_typed_event_sinks() {
-    // typed events cannot stream across the worker process boundary;
-    // the CLI must say so instead of silently dropping the sink
+fn nonpositive_worker_timeout_is_rejected_at_parse_with_the_flag_name() {
+    for bad in ["0", "-1.5", "inf", "nan"] {
+        let out = ecnudp(&[
+            "run",
+            "--scenario",
+            "scenarios/paper2015-mini.toml",
+            "--worker-timeout",
+            bad,
+        ]);
+        assert_eq!(out.status.code(), Some(2), "usage errors exit 2 ({bad})");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--worker-timeout"),
+            "error must name the flag ({bad}): {err}"
+        );
+    }
+}
+
+#[test]
+fn supervised_mode_refuses_trace_sampling() {
+    // raw trace records stay inside the worker process; the CLI must say
+    // so instead of silently dropping the sampler
     let out = ecnudp(&[
         "run",
         "--scenario",
         "scenarios/paper2015-mini.toml",
         "--processes",
         "2",
-        "--progress",
+        "--metrics",
+        "target/test-scenarios/refused-metrics.jsonl",
+        "--sample-traces",
+        "4",
     ]);
-    assert!(!out.status.success(), "conflict must be an error");
+    assert_eq!(out.status.code(), Some(1), "config conflict exits 1");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(
-        err.contains("--processes") && err.contains("--processes 1"),
+        err.contains("--sample-traces") && err.contains("--processes 1"),
         "error must explain the conflict and the way out: {err}"
     );
+}
+
+#[test]
+fn multiprocess_metrics_stream_reports_worker_lifecycle() {
+    // --metrics/--progress now ride along with --processes > 1: the
+    // parent's supervision events land on the stream as worker lines
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/test-scenarios");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let metrics = dir.join("mp-worker-lifecycle.jsonl");
+    let out = ecnudp(&[
+        "run",
+        "--scenario",
+        "scenarios/paper2015-mini.toml",
+        "--processes",
+        "2",
+        "--metrics",
+        metrics.to_str().expect("utf8 path"),
+        "--progress",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stream = std::fs::read_to_string(&metrics).expect("metrics stream");
+    assert!(
+        stream.contains("\"type\":\"worker\""),
+        "supervised metrics stream must carry worker lines: {stream}"
+    );
+    assert!(
+        !stream.contains("\"type\":\"unit\""),
+        "per-unit events stay inside the workers: {stream}"
+    );
+    let _ = std::fs::remove_file(&metrics);
 }
 
 #[test]

@@ -19,14 +19,17 @@ use ecnudp::core::{
     WORKER_EXE_ENV,
 };
 use ecnudp::pool::ScenarioSpec;
+use proptest::prelude::*;
 use std::path::Path;
+use std::process::Command;
+use std::sync::OnceLock;
 
 fn load_preset(name: &str) -> ScenarioSpec {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("scenarios")
         .join(name);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     ScenarioSpec::from_toml_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
@@ -57,7 +60,11 @@ fn mini_report_is_byte_identical_across_process_topologies() {
 
     for processes in [1usize, 2, 4] {
         for shards in [1usize, 4] {
-            for order in [UnitOrder::AsScheduled, UnitOrder::Reversed, UnitOrder::Shuffled(7)] {
+            for order in [
+                UnitOrder::AsScheduled,
+                UnitOrder::Reversed,
+                UnitOrder::Shuffled(7),
+            ] {
                 if (processes, shards, order) == (1, 1, UnitOrder::AsScheduled) {
                     continue;
                 }
@@ -125,5 +132,109 @@ fn megapool_smoke_is_deterministic_across_processes_with_bounded_rss() {
                 run.peak_rss_kb
             );
         }
+    }
+}
+
+// -------------------------------------------------- fault-recovery property
+//
+// Random real-subprocess faults (crash, panic, hang, truncated/corrupt
+// payload) across workers × retry budgets must leave the rendered report
+// byte-identical to the fault-free golden: the supervisor re-ships exactly
+// the failed unit slice and the reducer merge is order-insensitive.
+//
+// Each case spawns the CLI with `ECNUDP_FAULT` set via `.env()` (never
+// `set_var` — parallel in-process tests must not inherit faults).
+
+/// One spawned campaign per case is expensive; 3 cases by default keeps
+/// `cargo test -q` inside the CI budget, while the chaos job's
+/// `PROPTEST_CASES=128` widens the sweep to 16 campaigns.
+fn fault_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|n| (n / 8).max(3))
+        .unwrap_or(3)
+}
+
+/// The fault-free CLI golden: mini preset, 2 workers, computed once.
+fn fault_free_golden() -> &'static str {
+    static GOLDEN: OnceLock<String> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let out = Command::new(env!("CARGO_BIN_EXE_ecnudp"))
+            .args(["run", "--scenario", "scenarios/paper2015-mini.toml"])
+            .args(["--processes", "2"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .env_remove("ECNUDP_FAULT")
+            .output()
+            .expect("spawn ecnudp");
+        assert!(
+            out.status.success(),
+            "fault-free run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8 report")
+    })
+}
+
+/// Render one `ECNUDP_FAULT` directive. Kind 4 (hang) is special-cased by
+/// the caller: it needs `--worker-timeout` and a single covered attempt.
+fn fault_directive(kind: u8, worker: usize, attempts: u32) -> String {
+    match kind % 5 {
+        0 => format!("panic={worker}:attempts={attempts}"),
+        1 => format!(
+            "crash-after-unit={}:worker={worker}:attempts={attempts}",
+            kind % 4
+        ),
+        2 => format!("truncate-payload={worker}:attempts={attempts}"),
+        3 => format!("corrupt-json={worker}:attempts={attempts}"),
+        _ => format!("hang={worker}:attempts={attempts}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_cases()))]
+    #[test]
+    fn injected_faults_never_change_report_bytes(
+        kind in 0u8..5,
+        second_pick in 0u8..8, // < 4: a second fault on another worker (never a second hang)
+        worker_pick in 0usize..4,
+        processes in 2usize..=4,
+        budget in 1u32..=3,
+        attempt_pick in 0u32..3,
+    ) {
+        let worker = worker_pick % processes;
+        let hang = kind % 5 == 4;
+        // the fault covers fewer attempts than the budget allows, so the
+        // campaign must always recover; hangs cover one attempt to keep
+        // each case inside a single deadline wait
+        let attempts = if hang { 1 } else { 1 + attempt_pick % budget };
+        let mut plan = fault_directive(kind, worker, attempts);
+        if let Some(k2) = (second_pick < 4).then_some(second_pick) {
+            let other = (worker + 1) % processes;
+            plan.push(',');
+            plan.push_str(&fault_directive(k2, other, 1));
+        }
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_ecnudp"));
+        cmd.args(["run", "--scenario", "scenarios/paper2015-mini.toml"])
+            .args(["--processes", &processes.to_string()])
+            .args(["--max-retries", &budget.to_string()])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .env("ECNUDP_FAULT", &plan);
+        if hang {
+            cmd.args(["--worker-timeout", "5"]);
+        }
+        let out = cmd.output().expect("spawn ecnudp");
+        let err = String::from_utf8_lossy(&out.stderr);
+        prop_assert!(
+            out.status.success(),
+            "must recover from `{}` within {} retries: {}",
+            plan, budget, err
+        );
+        prop_assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            fault_free_golden(),
+            "report bytes changed under `{}` (processes={})",
+            plan, processes
+        );
     }
 }
