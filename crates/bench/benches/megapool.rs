@@ -32,8 +32,8 @@ fn workspace_root() -> PathBuf {
 
 fn load_spec(scenario: &str) -> ScenarioSpec {
     let path = workspace_root().join("scenarios").join(scenario);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     ScenarioSpec::from_toml_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
@@ -97,8 +97,8 @@ fn main() -> ExitCode {
         return run_measure(processes, &argv[3]);
     }
 
-    let scenario = std::env::var("ECNUDP_BENCH_MEGAPOOL_SCENARIO")
-        .unwrap_or_else(|_| "megapool.toml".into());
+    let scenario =
+        std::env::var("ECNUDP_BENCH_MEGAPOOL_SCENARIO").unwrap_or_else(|_| "megapool.toml".into());
     let processes: Vec<usize> = std::env::var("ECNUDP_BENCH_MEGAPOOL_PROCESSES")
         .unwrap_or_else(|_| "1,4".into())
         .split(',')
@@ -121,7 +121,11 @@ fn main() -> ExitCode {
         json.push_str(&format!("    \"{p}\": {gauges}{comma}\n"));
     }
     json.push_str("  }\n}");
-    ecn_bench::update_bench_json(&workspace_root().join("BENCH_campaign.json"), "megapool", &json);
+    ecn_bench::update_bench_json(
+        &workspace_root().join("BENCH_campaign.json"),
+        "megapool",
+        &json,
+    );
     println!("[megapool] scaling table -> BENCH_campaign.json");
     ExitCode::SUCCESS
 }

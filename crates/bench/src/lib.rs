@@ -75,7 +75,10 @@ pub fn update_bench_json(path: &Path, section: &str, section_body: &str) {
     }
     out.push_str("}\n");
     // Same directory as the target so the rename cannot cross filesystems.
-    let file_name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy())
+        .unwrap_or_default();
     let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
     std::fs::write(&tmp, out).expect("write bench json temp file");
     if let Err(e) = std::fs::rename(&tmp, path) {
@@ -241,7 +244,10 @@ mod tests {
         update_bench_json(&path, "alpha", "{\n  \"x\": 1\n}");
         update_bench_json(&path, "beta", "{\n  \"y\": 2\n}");
         let doc = std::fs::read_to_string(&path).unwrap();
-        assert!(doc.contains("\"alpha\"") && doc.contains("\"beta\""), "{doc}");
+        assert!(
+            doc.contains("\"alpha\"") && doc.contains("\"beta\""),
+            "{doc}"
+        );
         // the temp file must be renamed away, never left beside the target
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
@@ -249,7 +255,10 @@ mod tests {
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .filter(|n| n.contains(".tmp."))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -123,3 +123,73 @@ fn noop_subscriber_adds_zero_allocations_to_the_probe_loop() {
         "Subscriber = () must compile to nothing in the probe loop"
     );
 }
+
+#[test]
+fn disabled_validator_adds_zero_allocations_to_the_probe_loop() {
+    // The validation pass gates on `packets > 0` alone. With it off —
+    // every preset that predates the validator — the probe loop must
+    // allocate *exactly* what it allocates with the other validation
+    // knobs set: configuring the canary or the ECT(1) fraction costs
+    // nothing until a scenario actually switches the pass on.
+    let cfg_off = test_cfg();
+    let mut cfg_knobs = test_cfg();
+    cfg_knobs.validation.ce_canary = true;
+    cfg_knobs.validation.ect1_per_1000 = 500;
+    assert!(
+        !cfg_knobs.validation.enabled(),
+        "knobs alone must not enable the pass"
+    );
+    // twin worlds, same reasoning as the zero-cost subscriber test:
+    // identical traffic, so any count difference is the validator's
+    let (d, mut sc_off) = run_discovery(&PoolPlan::scaled(40), &cfg_off);
+    let (_, mut sc_knobs) = run_discovery(&PoolPlan::scaled(40), &cfg_off);
+    for _ in 0..3 {
+        let _warm = run_trace(&mut sc_off, 4, 2, &d.targets, &cfg_off);
+        let _warm = run_trace(&mut sc_knobs, 4, 2, &d.targets, &cfg_knobs);
+    }
+    let (rec, off) = count_allocations(|| run_trace(&mut sc_off, 4, 2, &d.targets, &cfg_off));
+    let (_, knobs) = count_allocations(|| run_trace(&mut sc_knobs, 4, 2, &d.targets, &cfg_knobs));
+    assert!(!rec.outcomes.is_empty());
+    assert!(rec.outcomes.iter().all(|o| o.validation.is_none()));
+    println!("run_trace: {off} allocs with validation off, {knobs} with knobs set");
+    assert_eq!(
+        off, knobs,
+        "a disabled validator must add zero allocations per observation"
+    );
+}
+
+/// Budget per (server, trace) observation for the *enabled* validation
+/// pass, over and above the base probe loop (measured on twin worlds:
+/// ~33 for a 10-packet train + CE canary, ≈3 per probe packet).
+const VALIDATION_BUDGET: f64 = 50.0;
+
+#[test]
+fn enabled_validator_stays_within_its_allocation_budget() {
+    // With the pass on (a 10-packet train + CE canary per server), the
+    // extra per-observation allocations are the validation session's
+    // setup/teardown — pin them so the train never grows per-packet
+    // `Vec` churn.
+    let cfg_off = test_cfg();
+    let mut cfg_on = test_cfg();
+    cfg_on.validation.packets = 10;
+    let (d, mut sc_off) = run_discovery(&PoolPlan::scaled(40), &cfg_off);
+    let (_, mut sc_on) = run_discovery(&PoolPlan::scaled(40), &cfg_off);
+    for _ in 0..3 {
+        let _warm = run_trace(&mut sc_off, 4, 2, &d.targets, &cfg_off);
+        let _warm = run_trace(&mut sc_on, 4, 2, &d.targets, &cfg_on);
+    }
+    let (_, off) = count_allocations(|| run_trace(&mut sc_off, 4, 2, &d.targets, &cfg_off));
+    let (rec, on) = count_allocations(|| run_trace(&mut sc_on, 4, 2, &d.targets, &cfg_on));
+    assert!(rec.outcomes.iter().all(|o| o.validation.is_some()));
+    let extra = on.saturating_sub(off) as f64 / rec.outcomes.len().max(1) as f64;
+    println!(
+        "run_trace: {off} allocs off, {on} on = {extra:.1} extra per observation \
+         ({} observations)",
+        rec.outcomes.len()
+    );
+    assert!(
+        extra < VALIDATION_BUDGET,
+        "validation-pass allocation regression: {extra:.1} extra allocs/observation \
+         (budget {VALIDATION_BUDGET})"
+    );
+}

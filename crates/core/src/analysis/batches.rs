@@ -141,6 +141,7 @@ mod tests {
             udp_ect: udp(reachable),
             tcp_plain: tcp.clone(),
             tcp_ecn: tcp,
+            validation: None,
         }
     }
 

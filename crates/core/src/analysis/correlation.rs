@@ -137,6 +137,7 @@ mod tests {
             udp_ect: udp(ect),
             tcp_plain: tcp(tcp_reach, false),
             tcp_ecn: tcp(tcp_reach, negotiated),
+            validation: None,
         }
     }
 

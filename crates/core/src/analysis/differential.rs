@@ -212,6 +212,7 @@ mod tests {
                     udp_ect: udp(e),
                     tcp_plain: tcp.clone(),
                     tcp_ecn: tcp.clone(),
+                    validation: None,
                 })
                 .collect(),
         }

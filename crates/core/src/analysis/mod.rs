@@ -10,6 +10,7 @@ pub mod reachability;
 pub mod table1;
 pub mod tcp_ecn;
 pub mod trend;
+pub mod validation;
 
 pub use batches::{batch_comparison, BatchComparison};
 pub use correlation::{table2, Table2, Table2Row};
@@ -19,6 +20,7 @@ pub use reachability::{figure2, figure2_from_counters, Figure2, TraceBar};
 pub use table1::{table1, Table1};
 pub use tcp_ecn::{figure5, figure5_from_counters, Fig5Bar, Figure5};
 pub use trend::{figure6, fit_logistic, historical_points, Figure6, LogisticFit, TrendPoint};
+pub use validation::{validation_report, TruthClass, ValidationReport};
 
 use crate::campaign::CampaignResult;
 
@@ -40,6 +42,10 @@ pub struct FullReport {
     pub table2: Table2,
     /// §4.1 batch comparison (churn between collection periods).
     pub batches: BatchComparison,
+    /// ECN-validation confusion matrix — `None` unless the modern-ECN
+    /// validation pass ran (`ValidationConfig::packets > 0`), so
+    /// pre-validator campaigns render byte-identically.
+    pub validation: Option<ValidationReport>,
 }
 
 impl FullReport {
@@ -91,6 +97,7 @@ impl FullReport {
             figure6: figure6(measured_pct),
             table2: Table2::from_counts(&a.table2, &order),
             batches: BatchComparison::from_counts(&a.batches),
+            validation: ValidationReport::from_counts(&a.validation, &result.truth),
         }
     }
 
@@ -121,6 +128,7 @@ impl FullReport {
             figure6: figure6(measured_pct),
             table2: table2(&result.traces),
             batches: batch_comparison(&result.traces),
+            validation: validation_report(&result.traces, &result.truth),
         }
     }
 
@@ -142,6 +150,10 @@ impl FullReport {
         out.push_str(&self.table2.render());
         out.push('\n');
         out.push_str(&self.batches.render());
+        if let Some(v) = &self.validation {
+            out.push('\n');
+            out.push_str(&v.render());
+        }
         out
     }
 }

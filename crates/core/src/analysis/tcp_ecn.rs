@@ -161,6 +161,7 @@ mod tests {
             udp_ect: udp,
             tcp_plain: tcp(reach, false),
             tcp_ecn: tcp(reach, negotiate),
+            validation: None,
         }
     }
 

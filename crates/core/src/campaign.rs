@@ -10,7 +10,7 @@
 use crate::config::CampaignConfig;
 use crate::discovery::{discover, Discovery};
 use crate::events::{Event, ProbeKind, Subscriber, UnitId};
-use crate::probes::{probe_tcp, probe_udp};
+use crate::probes::{probe_tcp, probe_udp, probe_validation};
 use crate::reducers::CampaignAggregates;
 use crate::trace::{ServerOutcome, TraceRecord};
 use crate::traceroute::{traceroute, TraceroutePath};
@@ -187,12 +187,25 @@ pub fn run_trace_observed<S: Subscriber>(
         );
         let tcp_plain = probe_tcp(&mut sc.sim, &handle, &capture, server, false, &cfg.probe);
         let tcp_ecn = probe_tcp(&mut sc.sim, &handle, &capture, server, true, &cfg.probe);
+        let validation = if cfg.validation.enabled() {
+            Some(probe_validation(
+                &mut sc.sim,
+                &handle,
+                server,
+                validation_session_ecn(vantage, cfg.validation.ect1_per_1000),
+                udp_plain.reachable,
+                &cfg.validation,
+            ))
+        } else {
+            None
+        };
         outcomes.push(ServerOutcome {
             server,
             udp_plain,
             udp_ect,
             tcp_plain,
             tcp_ecn,
+            validation,
         });
     }
     capture.lock().clear();
@@ -202,6 +215,19 @@ pub fn run_trace_observed<S: Subscriber>(
         batch,
         started_at,
         outcomes,
+    }
+}
+
+/// Which codepoint a vantage's validation rounds test. A fixed fraction
+/// of vantages (per 1000, chosen by a pure hash of the vantage index so
+/// the assignment is identical across shard counts, process counts and
+/// stealing orders) sends L4S-style ECT(1) trains; the rest send ECT(0).
+fn validation_session_ecn(vantage: usize, ect1_per_1000: u32) -> Ecn {
+    let h = (vantage as u32).wrapping_mul(2_654_435_761) >> 16;
+    if h % 1000 < ect1_per_1000 {
+        Ecn::Ect1
+    } else {
+        Ecn::Ect0
     }
 }
 

@@ -65,6 +65,41 @@ impl Default for TracerouteConfig {
     }
 }
 
+/// Endpoint ECN validation pass (the modern-ECN scenario family): an
+/// RFC 9000-style validation round run against each target through the
+/// pool servers' validation echo service. `packets = 0` — the default —
+/// disables the pass entirely: no packets, no RNG draws, no allocations,
+/// byte-identical campaigns to pre-validator builds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationConfig {
+    /// Marked packets per validation round (0 = validation off).
+    pub packets: u32,
+    /// Send one deliberately CE-marked canary to detect CE suppression.
+    pub ce_canary: bool,
+    /// Vantages per 1000 marking with ECT(1) instead of ECT(0).
+    pub ect1_per_1000: u32,
+    /// Wait for echo reports after the train is sent.
+    pub timeout: Nanos,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            packets: 0,
+            ce_canary: true,
+            ect1_per_1000: 0,
+            timeout: Nanos::from_secs(1),
+        }
+    }
+}
+
+impl ValidationConfig {
+    /// Is the validation pass active?
+    pub fn enabled(&self) -> bool {
+        self.packets > 0
+    }
+}
+
 /// Campaign schedule (maps the paper's two collection batches onto virtual
 /// time). Usually produced by [`crate::scenario_run::campaign_config`]
 /// from a declarative [`ecn_pool::ScenarioSpec`].
@@ -91,6 +126,9 @@ pub struct CampaignConfig {
     /// Cap traces per vantage (None = the full Table-2 allocation). Used
     /// by tests and scaled-down studies.
     pub traces_per_vantage: Option<usize>,
+    /// Endpoint ECN validation pass (off by default).
+    #[serde(default)]
+    pub validation: ValidationConfig,
 }
 
 impl Default for CampaignConfig {
@@ -106,6 +144,7 @@ impl Default for CampaignConfig {
             discovery_gap: Nanos::from_secs(1),
             run_traceroute: true,
             traces_per_vantage: None,
+            validation: ValidationConfig::default(),
         }
     }
 }
@@ -129,6 +168,7 @@ impl CampaignConfig {
             discovery_gap: Nanos::from_millis(200),
             run_traceroute: true,
             traces_per_vantage: None,
+            validation: ValidationConfig::default(),
         }
     }
 }

@@ -10,10 +10,12 @@
 //! ECN-setup SYN; the capture determines whether the returned SYN-ACK was
 //! an ECN-setup SYN-ACK (SYN+ACK+ECE without CWR, RFC 3168 §6.1.1).
 
-use crate::config::ProbeConfig;
+use crate::config::{ProbeConfig, ValidationConfig};
 use ecn_netsim::{CaptureRef, Direction, Nanos, Sim};
-use ecn_services::NtpClient;
-use ecn_stack::{CloseReason, HostHandle, TcpState};
+use ecn_services::{echo_request, parse_echo_reply, NtpClient, ECN_ECHO_PORT};
+use ecn_stack::{
+    CloseReason, EcnValidator, HostHandle, TcpState, ValidationOutcome, ValidatorParams,
+};
 use ecn_wire::{Ecn, HttpResponse, IpProto, TcpFlags, TcpHeader, UdpHeader};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -95,6 +97,58 @@ pub fn probe_udp(
     handle.udp_close(sock);
     outcome.attempts = attempts;
     outcome
+}
+
+/// Run one RFC 9000-style ECN validation round against a server through
+/// the pool's validation echo service (port 3168): drive the
+/// [`EcnValidator`] state machine by sending its marked testing train
+/// back-to-back (so sojourn-marking AQM bottlenecks see a real queue),
+/// then feed every echoed (sent, arrived) codepoint report back and
+/// conclude. `session_ecn` is the codepoint this endpoint marks with
+/// (ECT(0), or ECT(1) for L4S-style senders); `control_reachable` is the
+/// trace's not-ECT verdict for the same server, used to tell a marked-
+/// traffic black hole from a dead host.
+pub fn probe_validation(
+    sim: &mut Sim,
+    handle: &HostHandle,
+    server: Ipv4Addr,
+    session_ecn: Ecn,
+    control_reachable: bool,
+    cfg: &ValidationConfig,
+) -> ValidationOutcome {
+    let mut validator = EcnValidator::new(ValidatorParams {
+        testing_packets: cfg.packets,
+        ce_canary: cfg.ce_canary,
+        ..ValidatorParams::default()
+    });
+    // A real inbox socket (not a sink): the verdict reads the peer's
+    // *report payload*, the analogue of QUIC's ACK-ECN counts — the
+    // capture only sees what arrived locally, which says nothing about
+    // what the server received.
+    let sock = handle.udp_bind(0);
+    let packets = cfg.packets.min(255);
+    let mut sent = Vec::with_capacity(packets as usize);
+    for seq in 0..packets {
+        let mark = validator.next_codepoint(session_ecn);
+        handle.udp_send(
+            sim,
+            sock,
+            (server, ECN_ECHO_PORT),
+            &echo_request(seq as u8),
+            mark,
+        );
+        sent.push(mark);
+    }
+    sim.run_until(sim.now() + cfg.timeout);
+    for msg in handle.udp_recv_all(sock) {
+        if let Some((seq, arrived)) = parse_echo_reply(&msg.payload) {
+            if let Some(&mark) = sent.get(seq as usize) {
+                validator.on_peer_report(mark, arrived);
+            }
+        }
+    }
+    handle.udp_close(sock);
+    validator.conclude(sim.now(), control_reachable)
 }
 
 /// Result of one TCP/HTTP probe against one server.
@@ -326,6 +380,52 @@ mod tests {
             sc.sim.now().saturating_sub(t0) < Nanos::from_secs(5),
             "RST is fast"
         );
+    }
+
+    #[test]
+    fn validation_passes_on_clean_path_for_both_ect_codepoints() {
+        let mut sc = build_scenario(&PoolPlan::scaled(30), 21);
+        let v = sc.vantages[2].handle.clone();
+        let target = sc
+            .servers
+            .iter()
+            .find(|s| {
+                s.profile.special == SpecialBehaviour::None
+                    && s.profile.availability == AvailabilityModel::AlwaysUp
+                    && !sc.truth.bleached_servers.contains(&s.addr)
+                    && !sc.truth.bleached_sometimes_servers.contains(&s.addr)
+            })
+            .map(|s| s.addr)
+            .expect("clean server");
+        let cfg = ValidationConfig {
+            packets: 10,
+            ..ValidationConfig::default()
+        };
+        for session in [Ecn::Ect0, Ecn::Ect1] {
+            let outcome = probe_validation(&mut sc.sim, &v, target, session, true, &cfg);
+            assert_eq!(outcome, ValidationOutcome::Capable, "session {session:?}");
+        }
+    }
+
+    #[test]
+    fn validation_fails_behind_an_always_bleacher() {
+        let mut sc = build_scenario(&PoolPlan::scaled(60), 22);
+        let v = sc.vantages[0].handle.clone();
+        let target = sc
+            .servers
+            .iter()
+            .find(|s| {
+                sc.truth.bleached_servers.contains(&s.addr)
+                    && s.profile.availability == AvailabilityModel::AlwaysUp
+            })
+            .map(|s| s.addr)
+            .expect("bleached live server");
+        let cfg = ValidationConfig {
+            packets: 10,
+            ..ValidationConfig::default()
+        };
+        let outcome = probe_validation(&mut sc.sim, &v, target, Ecn::Ect0, true, &cfg);
+        assert_eq!(outcome, ValidationOutcome::FailedBleached);
     }
 
     #[test]

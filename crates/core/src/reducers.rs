@@ -649,6 +649,52 @@ impl Reduce for HopSurveyCounts {
     }
 }
 
+// ------------------------------------------------------------- validation
+
+/// Streaming accumulator behind the ECN-validation report section:
+/// per-server counts of each [`ValidationOutcome`], indexed densely by
+/// [`ValidationOutcome::index`]. Truth-free at observe time — the
+/// confusion matrix against middlebox ground truth is joined at report
+/// time ([`crate::analysis::validation`]), so observation stays a pure
+/// function of the trace record and the merge contract holds trivially
+/// (integer counters in a `BTreeMap`). Empty — and absent from the
+/// report — whenever the validation pass is disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationCounts {
+    /// server → outcome counts, indexed by `ValidationOutcome::index()`.
+    pub per_server: BTreeMap<Ipv4Addr, [u64; 6]>,
+    /// Total validation rounds observed (sum of every counter).
+    pub rounds: u64,
+}
+
+impl ValidationCounts {
+    /// No validation rounds observed (the pass was disabled)?
+    pub fn is_empty(&self) -> bool {
+        self.rounds == 0
+    }
+}
+
+impl Reduce for ValidationCounts {
+    fn observe_trace(&mut self, rec: &TraceRecord, _ctx: &TraceCtx) {
+        for o in &rec.outcomes {
+            if let Some(v) = o.validation {
+                self.per_server.entry(o.server).or_default()[v.index()] += 1;
+                self.rounds += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (addr, counts) in other.per_server {
+            let e = self.per_server.entry(addr).or_default();
+            for (slot, n) in e.iter_mut().zip(counts) {
+                *slot += n;
+            }
+        }
+        self.rounds += other.rounds;
+    }
+}
+
 // ---------------------------------------------------------------- composite
 
 /// The full streamed-aggregate set: everything the report path needs,
@@ -675,6 +721,8 @@ pub struct CampaignAggregates {
     pub survey: SurveyCounts,
     /// Figure 4 hop-identity state.
     pub hops: HopSurveyCounts,
+    /// ECN-validation outcome counters (empty unless the pass ran).
+    pub validation: ValidationCounts,
 }
 
 impl Reduce for CampaignAggregates {
@@ -684,6 +732,7 @@ impl Reduce for CampaignAggregates {
         self.trace_stats.observe_trace(rec, ctx);
         self.differential.observe_trace(rec, ctx);
         self.batches.observe_trace(rec, ctx);
+        self.validation.observe_trace(rec, ctx);
     }
 
     fn observe_routes(&mut self, routes: &VantageRoutes, ctx: &RouteCtx<'_>) {
@@ -699,6 +748,7 @@ impl Reduce for CampaignAggregates {
         self.batches.merge(other.batches);
         self.survey.merge(other.survey);
         self.hops.merge(other.hops);
+        self.validation.merge(other.validation);
     }
 }
 
@@ -769,6 +819,7 @@ mod tests {
             udp_ect: udp(ect),
             tcp_plain: tcpr(tcp, false),
             tcp_ecn: tcpr(tcp, neg),
+            validation: None,
         }
     }
 
@@ -946,6 +997,50 @@ mod tests {
         let json = serde_json::to_string(&r).expect("serialize aggregates");
         let back: ShardReducers = serde_json::from_str(&json).expect("parse aggregates");
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn validation_counts_observe_merge_and_round_trip() {
+        use ecn_stack::ValidationOutcome;
+        let with_validation = |i: u8, v: ValidationOutcome| {
+            let mut o = outcome(i, true, true, true, true);
+            o.validation = Some(v);
+            o
+        };
+        let a = rec(
+            "A",
+            vec![
+                with_validation(1, ValidationOutcome::Capable),
+                with_validation(2, ValidationOutcome::FailedBleached),
+                outcome(3, true, true, true, true), // pass disabled for this one
+            ],
+        );
+        let b = rec("B", vec![with_validation(1, ValidationOutcome::Capable)]);
+
+        let mut left = ValidationCounts::default();
+        left.observe_trace(&a, &TraceCtx::whole(0, 0));
+        let mut right = ValidationCounts::default();
+        right.observe_trace(&b, &TraceCtx::whole(1, 0));
+        left.merge(right);
+
+        assert_eq!(left.rounds, 3);
+        let s1 = left.per_server[&Ipv4Addr::new(10, 0, 0, 1)];
+        assert_eq!(s1[ValidationOutcome::Capable.index()], 2);
+        let s2 = left.per_server[&Ipv4Addr::new(10, 0, 0, 2)];
+        assert_eq!(s2[ValidationOutcome::FailedBleached.index()], 1);
+        assert!(!left.per_server.contains_key(&Ipv4Addr::new(10, 0, 0, 3)));
+
+        // wire format round trip (the multi-process payload path)
+        let json = serde_json::to_string(&left).expect("serialize");
+        let back: ValidationCounts = serde_json::from_str(&json).expect("parse");
+        assert_eq!(left, back);
+
+        // disabled pass leaves the accumulator empty
+        let mut empty = ValidationCounts::default();
+        empty.observe_trace(&rec("A", vec![outcome(1, true, true, true, true)]), {
+            &TraceCtx::whole(0, 0)
+        });
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub fn campaign_config(spec: &ScenarioSpec) -> CampaignConfig {
         cfg.traces_per_vantage = Some(spec.schedule.traces_per_vantage);
     }
     cfg.run_traceroute = spec.traceroute;
+    cfg.validation.packets = spec.validator.packets.min(255) as u32;
+    cfg.validation.ce_canary = spec.validator.ce_canary;
+    cfg.validation.ect1_per_1000 = spec.validator.ect1_per_1000.round().clamp(0.0, 1000.0) as u32;
     cfg
 }
 

@@ -4,10 +4,12 @@
 
 use crate::probes::{TcpProbeResult, UdpProbeResult};
 use ecn_netsim::Nanos;
+use ecn_stack::ValidationOutcome;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
-/// The four measurements taken per server per trace.
+/// The four measurements taken per server per trace (plus, when the
+/// modern-ECN validation pass is enabled, the validator's verdict).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerOutcome {
     /// Target address.
@@ -20,6 +22,9 @@ pub struct ServerOutcome {
     pub tcp_plain: TcpProbeResult,
     /// HTTP over TCP with an ECN-setup SYN.
     pub tcp_ecn: TcpProbeResult,
+    /// ECN-validation verdict (`None` when the pass is disabled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub validation: Option<ValidationOutcome>,
 }
 
 impl ServerOutcome {
@@ -140,6 +145,7 @@ mod tests {
             udp_ect: udp(e),
             tcp_plain: tcp(t, false),
             tcp_ecn: tcp(t, n),
+            validation: None,
         }
     }
 

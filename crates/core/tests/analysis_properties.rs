@@ -57,6 +57,7 @@ fn arb_traces() -> impl Strategy<Value = Vec<TraceRecord>> {
                             udp_ect: udp(e),
                             tcp_plain: tcp(t, false),
                             tcp_ecn: tcp(t, n),
+                            validation: None,
                         })
                         .collect(),
                 })

@@ -81,6 +81,51 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    // AQM marking and validation under sharding: a world with CE-marking
+    // AQM edges and the endpoint validation pass enabled must stream the
+    // same aggregates — validation outcome counters included — for every
+    // shard count and stealing order. AQM marks ride the per-link packet
+    // RNG stream, which is keyed by link identity, not by schedule; this
+    // is the campaign-level closure of the queue-level determinism
+    // property in `ecn-netsim`'s proptests.
+    #[test]
+    fn aqm_marking_and_validation_invariant_under_sharding(
+        seed in 1u64..10_000,
+        shards in 2usize..9,
+        order_seed in 0u64..1_000,
+    ) {
+        let plan = PoolPlan {
+            aqm_red: 1,
+            aqm_codel: 1,
+            ce_suppress: 1,
+            ..PoolPlan::scaled(30)
+        };
+        let mut cfg = mini_cfg(seed);
+        cfg.validation.packets = 10;
+        let baseline = run_engine(&plan, &cfg, &EngineConfig::with_shards(1));
+        prop_assert!(
+            !baseline.result.aggregates.validation.is_empty(),
+            "the validation pass must produce observations"
+        );
+        let sharded = run_engine(
+            &plan,
+            &cfg,
+            &EngineConfig {
+                shards: Some(shards),
+                unit_order: UnitOrder::Shuffled(order_seed),
+                ..EngineConfig::default()
+            },
+        );
+        prop_assert_eq!(
+            &baseline.result.aggregates.validation,
+            &sharded.result.aggregates.validation
+        );
+        prop_assert_eq!(&baseline.result.aggregates, &sharded.result.aggregates);
+    }
+}
+
 /// The streamed Table 2 counts must agree with the batch `analysis::table2`
 /// computed from the raw trace vector of the same run.
 #[test]

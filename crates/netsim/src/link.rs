@@ -152,7 +152,8 @@ impl Link {
             return LinkOutcome::Lost;
         }
         let backlog = self.backlog_bytes(now);
-        let verdict = self.queue.on_arrival(backlog, bytes, ect, rng);
+        let sojourn = self.busy_until.saturating_sub(now);
+        let verdict = self.queue.on_arrival(backlog, bytes, sojourn, ect, rng);
         let ce_mark = match verdict {
             QueueVerdict::Drop(cause) => return LinkOutcome::Dropped(cause),
             QueueVerdict::EnqueueMarked => true,
@@ -249,6 +250,55 @@ mod tests {
             .count();
         let rate = lost as f64 / 10_000.0;
         assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn aqm_links_are_never_passive() {
+        let passive = mk(LinkProps::clean(Nanos::from_millis(1)));
+        assert!(passive.is_passive());
+        let mark = mk(LinkProps {
+            queue: QueueDisc::aqm_mark(0.25),
+            ..LinkProps::clean(Nanos::from_millis(1))
+        });
+        assert!(!mark.is_passive(), "MarkProb must defeat tunnel collapse");
+        let codel = mk(LinkProps {
+            queue: QueueDisc::l4s_mark(Nanos::from_millis(1)),
+            ..LinkProps::clean(Nanos::from_millis(1))
+        });
+        assert!(!codel.is_passive(), "CodelMark must defeat tunnel collapse");
+    }
+
+    #[test]
+    fn codel_bottleneck_marks_backlogged_train() {
+        // 1 Mbit/s, 1000-byte packets => 8 ms serialisation each; a
+        // back-to-back train exceeds the 1 ms sojourn target from the
+        // second packet on.
+        let mut l = mk(LinkProps::bottleneck(
+            Nanos::ZERO,
+            1_000_000,
+            QueueDisc::l4s_mark(Nanos::from_millis(1)),
+        ));
+        let mut rng = derive_rng(6, "l");
+        let mut marks = 0;
+        for _ in 0..5 {
+            match l.offer(Nanos::ZERO, 1000, true, &mut rng) {
+                LinkOutcome::Deliver { ce_mark, .. } => marks += usize::from(ce_mark),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(marks, 4, "all but the head-of-line packet are marked");
+        // the same train sent not-ECT passes unmarked
+        let mut l = mk(LinkProps::bottleneck(
+            Nanos::ZERO,
+            1_000_000,
+            QueueDisc::l4s_mark(Nanos::from_millis(1)),
+        ));
+        for _ in 0..5 {
+            match l.offer(Nanos::ZERO, 1000, false, &mut rng) {
+                LinkOutcome::Deliver { ce_mark, .. } => assert!(!ce_mark),
+                other => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,16 @@ pub enum EcnPolicy {
     /// drop packets with nonzero ECN bits with probability `p` (one of the
     /// paper's hypotheses for <100% differential reachability).
     TosDrop(f64),
+    /// CE suppressor: rewrite congestion-experienced back to ECT(0),
+    /// erasing the congestion signal while leaving capability declarations
+    /// intact. Invisible to a reachability probe, fatal to a congestion
+    /// controller — the failure mode an RFC 9000-style validator detects
+    /// with a deliberately CE-marked canary packet.
+    ClearCe,
+    /// L4S-hostile re-marker: rewrite ECT(1) to ECT(0), collapsing the L4S
+    /// identifier onto the classic codepoint. ECT(0), CE and not-ECT pass
+    /// untouched.
+    DowngradeEct1,
 }
 
 impl EcnPolicy {
@@ -49,6 +59,20 @@ impl EcnPolicy {
                     (ecn, false)
                 }
             }
+            EcnPolicy::ClearCe => {
+                if ecn == Ecn::Ce {
+                    (Ecn::Ect0, false)
+                } else {
+                    (ecn, false)
+                }
+            }
+            EcnPolicy::DowngradeEct1 => {
+                if ecn == Ecn::Ect1 {
+                    (Ecn::Ect0, false)
+                } else {
+                    (ecn, false)
+                }
+            }
         }
     }
 
@@ -70,6 +94,11 @@ pub enum EcnMatch {
     NotEct,
     /// Match only CE.
     Ce,
+    /// Match only ECT(0) — a middlebox that keys on the classic codepoint
+    /// specifically, not on "declares ECN capability".
+    Ect0,
+    /// Match only ECT(1) — an L4S-selective middlebox.
+    Ect1,
 }
 
 impl EcnMatch {
@@ -80,6 +109,8 @@ impl EcnMatch {
             EcnMatch::EcnCapable => ecn.is_ecn_capable(),
             EcnMatch::NotEct => ecn == Ecn::NotEct,
             EcnMatch::Ce => ecn == Ecn::Ce,
+            EcnMatch::Ect0 => ecn == Ecn::Ect0,
+            EcnMatch::Ect1 => ecn == Ecn::Ect1,
         }
     }
 }
@@ -272,6 +303,46 @@ mod tests {
         let policy = EcnPolicy::TosDrop(1.0);
         assert_eq!(policy.apply(Ecn::Ect0, &mut rng), (Ecn::Ect0, true));
         assert_eq!(policy.apply(Ecn::NotEct, &mut rng), (Ecn::NotEct, false));
+        // A legacy-TOS hop keys on "nonzero ECN bits", not on ECT(0)
+        // specifically: ECT(1) and CE packets are shed just the same.
+        assert_eq!(policy.apply(Ecn::Ect1, &mut rng), (Ecn::Ect1, true));
+        assert_eq!(policy.apply(Ecn::Ce, &mut rng), (Ecn::Ce, true));
+    }
+
+    #[test]
+    fn clear_ce_suppresses_only_congestion_marks() {
+        let mut rng = derive_rng(9, "t");
+        let policy = EcnPolicy::ClearCe;
+        assert_eq!(policy.apply(Ecn::Ce, &mut rng), (Ecn::Ect0, false));
+        for ecn in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1] {
+            assert_eq!(policy.apply(ecn, &mut rng), (ecn, false));
+        }
+        assert!(policy.is_ecn_hostile());
+    }
+
+    #[test]
+    fn downgrade_ect1_collapses_l4s_codepoint() {
+        let mut rng = derive_rng(10, "t");
+        let policy = EcnPolicy::DowngradeEct1;
+        assert_eq!(policy.apply(Ecn::Ect1, &mut rng), (Ecn::Ect0, false));
+        for ecn in [Ecn::NotEct, Ecn::Ect0, Ecn::Ce] {
+            assert_eq!(policy.apply(ecn, &mut rng), (ecn, false));
+        }
+        assert!(policy.is_ecn_hostile());
+    }
+
+    #[test]
+    fn codepoint_specific_matchers_distinguish_ect_variants() {
+        // EcnCapable conflates ECT(0), ECT(1) and CE by design; the
+        // codepoint-specific matchers do not.
+        assert!(EcnMatch::Ect0.matches(Ecn::Ect0));
+        assert!(!EcnMatch::Ect0.matches(Ecn::Ect1));
+        assert!(!EcnMatch::Ect0.matches(Ecn::Ce));
+        assert!(!EcnMatch::Ect0.matches(Ecn::NotEct));
+        assert!(EcnMatch::Ect1.matches(Ecn::Ect1));
+        assert!(!EcnMatch::Ect1.matches(Ecn::Ect0));
+        assert!(!EcnMatch::Ect1.matches(Ecn::Ce));
+        assert!(!EcnMatch::Ect1.matches(Ecn::NotEct));
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Queue disciplines for bottleneck links: DropTail and RED with ECN
-//! marking (RFC 2309 / RFC 3168 §5).
+//! marking (RFC 2309 / RFC 3168 §5), plus two CE-*marking* AQM models for
+//! the modern-ECN scenario family.
 //!
 //! On the measurement paths the paper probes, queues are uncongested and no
 //! CE marks were observed (§4.2). The RED implementation exists so the same
 //! substrate can demonstrate *why* ECN matters for UDP media traffic (the
 //! paper's §1 motivation): the `rtp_media` example pushes a media flow
 //! through a RED bottleneck and adapts to the CE marks it gets back.
+//!
+//! [`QueueDisc::MarkProb`] and [`QueueDisc::CodelMark`] exist for the
+//! endpoint-validation scenarios: deployed AQMs that CE-mark ECT traffic a
+//! validator must accept as *capability-confirming* congestion signal, not
+//! mangling. Both only ever mark markable codepoints and never touch
+//! not-ECT traffic (RFC 3168 §5).
 
 use crate::time::Nanos;
 use rand::rngs::SmallRng;
@@ -35,6 +42,27 @@ pub enum QueueDisc {
         /// Hard byte limit (physical buffer).
         limit_bytes: u64,
     },
+    /// RED-style probabilistic CE marker: every markable packet is CE-marked
+    /// with fixed probability `prob`, independent of the instantaneous
+    /// backlog — the steady-state behaviour of a congested AQM as seen by
+    /// sparse probe traffic. Not-ECT packets pass untouched (subject only to
+    /// the hard byte limit); the marker never drops in place of marking.
+    MarkProb {
+        /// Per-packet marking probability for markable (ECT) packets.
+        prob: f64,
+        /// Hard byte limit (physical buffer).
+        limit_bytes: u64,
+    },
+    /// CoDel-style sojourn-threshold CE marker (L4S-style immediate
+    /// marking): a markable packet whose standing-queue sojourn exceeds
+    /// `target` is CE-marked, deterministically and without randomness.
+    /// Not-ECT packets pass untouched below the hard byte limit.
+    CodelMark {
+        /// Sojourn threshold above which markable packets are CE-marked.
+        target: Nanos,
+        /// Hard byte limit (physical buffer).
+        limit_bytes: u64,
+    },
 }
 
 impl QueueDisc {
@@ -55,6 +83,35 @@ impl QueueDisc {
             ecn: true,
             limit_bytes: bdp_bytes * 2,
         }
+    }
+
+    /// A steady-state probabilistic AQM marker with a deep buffer.
+    pub fn aqm_mark(prob: f64) -> QueueDisc {
+        QueueDisc::MarkProb {
+            prob,
+            limit_bytes: 64 * 1024 * 1024,
+        }
+    }
+
+    /// An L4S-style sojourn-threshold marker with a deep buffer.
+    pub fn l4s_mark(target: Nanos) -> QueueDisc {
+        QueueDisc::CodelMark {
+            target,
+            limit_bytes: 64 * 1024 * 1024,
+        }
+    }
+
+    /// True for the disciplines that can CE-mark traffic: RED with `ecn`
+    /// on, and both AQM markers. A link carrying one of these is an
+    /// active middlebox the multi-hop tunnelling fast path must not
+    /// collapse away (see `Link::is_passive`).
+    pub fn can_mark(&self) -> bool {
+        matches!(
+            self,
+            QueueDisc::Red { ecn: true, .. }
+                | QueueDisc::MarkProb { .. }
+                | QueueDisc::CodelMark { .. }
+        )
     }
 }
 
@@ -111,11 +168,14 @@ impl QueueState {
     }
 
     /// Decide the fate of a packet arriving to a backlog of
-    /// `backlog_bytes`. `ect` says whether the packet is CE-markable.
+    /// `backlog_bytes`. `sojourn` is the queueing delay the packet will
+    /// experience before transmission begins (zero on unlimited-rate
+    /// links); `ect` says whether the packet is CE-markable.
     pub fn on_arrival(
         &mut self,
         backlog_bytes: u64,
         packet_bytes: u64,
+        sojourn: Nanos,
         ect: bool,
         rng: &mut SmallRng,
     ) -> QueueVerdict {
@@ -123,6 +183,32 @@ impl QueueState {
             QueueDisc::DropTail { limit_bytes } => {
                 if backlog_bytes + packet_bytes > limit_bytes {
                     QueueVerdict::Drop(QueueDropCause::Overflow)
+                } else {
+                    QueueVerdict::Enqueue
+                }
+            }
+            QueueDisc::MarkProb { prob, limit_bytes } => {
+                if backlog_bytes + packet_bytes > limit_bytes {
+                    return QueueVerdict::Drop(QueueDropCause::Overflow);
+                }
+                // Only markable packets consume randomness: not-ECT
+                // traffic through an AQM draws nothing, so a zero-AQM
+                // world and a not-ECT flow see identical RNG streams.
+                if ect && rng.gen_bool(prob) {
+                    QueueVerdict::EnqueueMarked
+                } else {
+                    QueueVerdict::Enqueue
+                }
+            }
+            QueueDisc::CodelMark {
+                target,
+                limit_bytes,
+            } => {
+                if backlog_bytes + packet_bytes > limit_bytes {
+                    return QueueVerdict::Drop(QueueDropCause::Overflow);
+                }
+                if ect && sojourn > target {
+                    QueueVerdict::EnqueueMarked
                 } else {
                     QueueVerdict::Enqueue
                 }
@@ -193,15 +279,15 @@ mod tests {
         let mut q = QueueState::new(QueueDisc::DropTail { limit_bytes: 3000 });
         let mut rng = derive_rng(1, "q");
         assert_eq!(
-            q.on_arrival(0, 1500, false, &mut rng),
+            q.on_arrival(0, 1500, Nanos::ZERO, false, &mut rng),
             QueueVerdict::Enqueue
         );
         assert_eq!(
-            q.on_arrival(1500, 1500, false, &mut rng),
+            q.on_arrival(1500, 1500, Nanos::ZERO, false, &mut rng),
             QueueVerdict::Enqueue
         );
         assert_eq!(
-            q.on_arrival(3000, 1500, false, &mut rng),
+            q.on_arrival(3000, 1500, Nanos::ZERO, false, &mut rng),
             QueueVerdict::Drop(QueueDropCause::Overflow)
         );
     }
@@ -211,7 +297,10 @@ mod tests {
         let mut q = QueueState::new(QueueDisc::red_ecn(100_000));
         let mut rng = derive_rng(2, "q");
         for _ in 0..1000 {
-            assert_eq!(q.on_arrival(0, 100, true, &mut rng), QueueVerdict::Enqueue);
+            assert_eq!(
+                q.on_arrival(0, 100, Nanos::ZERO, true, &mut rng),
+                QueueVerdict::Enqueue
+            );
         }
     }
 
@@ -231,7 +320,7 @@ mod tests {
         let mut drops = 0;
         let mut q = QueueState::new(disc);
         for _ in 0..5000 {
-            match q.on_arrival(25_000, 1000, true, &mut rng) {
+            match q.on_arrival(25_000, 1000, Nanos::ZERO, true, &mut rng) {
                 QueueVerdict::EnqueueMarked => marks += 1,
                 QueueVerdict::Drop(_) => drops += 1,
                 QueueVerdict::Enqueue => {}
@@ -244,7 +333,7 @@ mod tests {
         let mut marks_ne = 0;
         let mut drops_ne = 0;
         for _ in 0..5000 {
-            match q.on_arrival(25_000, 1000, false, &mut rng) {
+            match q.on_arrival(25_000, 1000, Nanos::ZERO, false, &mut rng) {
                 QueueVerdict::EnqueueMarked => marks_ne += 1,
                 QueueVerdict::Drop(_) => drops_ne += 1,
                 QueueVerdict::Enqueue => {}
@@ -270,11 +359,11 @@ mod tests {
         let mut q = QueueState::new(disc);
         let mut rng = derive_rng(4, "q");
         assert_eq!(
-            q.on_arrival(50_000, 100, true, &mut rng),
+            q.on_arrival(50_000, 100, Nanos::ZERO, true, &mut rng),
             QueueVerdict::EnqueueMarked
         );
         assert_eq!(
-            q.on_arrival(50_000, 100, false, &mut rng),
+            q.on_arrival(50_000, 100, Nanos::ZERO, false, &mut rng),
             QueueVerdict::Drop(QueueDropCause::RedForced)
         );
     }
@@ -284,9 +373,104 @@ mod tests {
         let mut q = QueueState::new(QueueDisc::red_ecn(10_000));
         let mut rng = derive_rng(5, "q");
         assert_eq!(
-            q.on_arrival(25_000, 1500, true, &mut rng),
+            q.on_arrival(25_000, 1500, Nanos::ZERO, true, &mut rng),
             QueueVerdict::Drop(QueueDropCause::Overflow)
         );
+    }
+
+    #[test]
+    fn mark_prob_marks_only_markable() {
+        let mut q = QueueState::new(QueueDisc::aqm_mark(0.5));
+        let mut rng = derive_rng(6, "q");
+        let mut marks = 0;
+        for _ in 0..2000 {
+            match q.on_arrival(0, 100, Nanos::ZERO, true, &mut rng) {
+                QueueVerdict::EnqueueMarked => marks += 1,
+                QueueVerdict::Enqueue => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!((800..1200).contains(&marks), "marks {marks}");
+        // not-ECT traffic is never marked, never dropped, and draws no RNG
+        for _ in 0..2000 {
+            assert_eq!(
+                q.on_arrival(0, 100, Nanos::ZERO, false, &mut rng),
+                QueueVerdict::Enqueue
+            );
+        }
+    }
+
+    #[test]
+    fn mark_prob_not_ect_draws_no_randomness() {
+        let disc = QueueDisc::aqm_mark(0.5);
+        let mut a = derive_rng(7, "q");
+        let mut b = derive_rng(7, "q");
+        let mut qa = QueueState::new(disc);
+        // stream a: 100 not-ECT packets through the marker, then one draw
+        for _ in 0..100 {
+            qa.on_arrival(0, 100, Nanos::ZERO, false, &mut a);
+        }
+        // stream b: no packets at all
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn codel_mark_thresholds_on_sojourn() {
+        let mut q = QueueState::new(QueueDisc::l4s_mark(Nanos::from_millis(1)));
+        let mut rng = derive_rng(8, "q");
+        // below target: untouched
+        assert_eq!(
+            q.on_arrival(0, 100, Nanos::from_micros(900), true, &mut rng),
+            QueueVerdict::Enqueue
+        );
+        // above target, markable: marked
+        assert_eq!(
+            q.on_arrival(0, 100, Nanos::from_millis(2), true, &mut rng),
+            QueueVerdict::EnqueueMarked
+        );
+        // above target, not-ECT: passes unmarked (marker never drops)
+        assert_eq!(
+            q.on_arrival(0, 100, Nanos::from_millis(2), false, &mut rng),
+            QueueVerdict::Enqueue
+        );
+    }
+
+    #[test]
+    fn markers_respect_hard_limit() {
+        let mut rng = derive_rng(9, "q");
+        let mut q = QueueState::new(QueueDisc::MarkProb {
+            prob: 1.0,
+            limit_bytes: 1000,
+        });
+        assert_eq!(
+            q.on_arrival(900, 200, Nanos::ZERO, true, &mut rng),
+            QueueVerdict::Drop(QueueDropCause::Overflow)
+        );
+        let mut q = QueueState::new(QueueDisc::CodelMark {
+            target: Nanos::ZERO,
+            limit_bytes: 1000,
+        });
+        assert_eq!(
+            q.on_arrival(900, 200, Nanos::from_secs(1), true, &mut rng),
+            QueueVerdict::Drop(QueueDropCause::Overflow)
+        );
+    }
+
+    #[test]
+    fn can_mark_identifies_active_disciplines() {
+        assert!(!QueueDisc::deep_fifo().can_mark());
+        assert!(QueueDisc::red_ecn(10_000).can_mark());
+        assert!(QueueDisc::aqm_mark(0.1).can_mark());
+        assert!(QueueDisc::l4s_mark(Nanos::from_millis(1)).can_mark());
+        let red_drop = QueueDisc::Red {
+            min_th_bytes: 1,
+            max_th_bytes: 2,
+            max_p: 0.1,
+            weight: 0.5,
+            ecn: false,
+            limit_bytes: 100,
+        };
+        assert!(!red_drop.can_mark());
     }
 
     #[test]

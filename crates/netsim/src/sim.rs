@@ -522,7 +522,8 @@ impl Sim {
 
     /// Node id of the host with address `addr` (indexed; O(1)).
     pub fn find_host(&self, addr: Ipv4Addr) -> Option<NodeId> {
-        self.topo.addr_index
+        self.topo
+            .addr_index
             .get(&addr)
             .copied()
             .filter(|&n| !self.is_router(n))
@@ -717,7 +718,8 @@ impl Sim {
             // the study's probes are UDP/TCP, so this only suppresses
             // pathological error-about-error storms).
             if self.topo.responds_ttl[idx] && protocol != IpProto::Icmp {
-                let reply_hdr = Ipv4Header::probe(self.topo.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
+                let reply_hdr =
+                    Ipv4Header::probe(self.topo.addrs[idx], src, IpProto::Icmp, Ecn::NotEct);
                 let reply = Datagram::compose(self.pool.take(), reply_hdr, |out| {
                     IcmpMessage::encode_time_exceeded_into(dgram.as_bytes(), out)
                 });

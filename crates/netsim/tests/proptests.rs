@@ -165,3 +165,112 @@ proptest! {
         prop_assert_eq!(accounted as usize, packets, "all packets accounted for");
     }
 }
+
+// ------------------------------------------------------ AQM mark safety
+//
+// RFC 3168 §5 at the queue level: whatever the discipline, parameters,
+// backlog and randomness, a CE mark may only ever be applied to a
+// markable codepoint — not-ECT traffic is never touched — and the
+// marking decision is a pure function of (packet, queue state, RNG
+// stream), so identical streams mark identically regardless of how the
+// campaign above is sharded or stolen.
+
+use ecn_netsim::{QueueDisc, QueueState, QueueVerdict};
+
+fn arb_aqm() -> impl Strategy<Value = QueueDisc> {
+    prop_oneof![
+        (0.0f64..=1.0).prop_map(QueueDisc::aqm_mark),
+        (0u64..2_000_000).prop_map(|us| QueueDisc::l4s_mark(Nanos(us * 1_000))),
+        Just(QueueDisc::red_ecn(64 * 1024)),
+        Just(QueueDisc::deep_fifo()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn aqm_never_marks_unmarkable_codepoints(
+        disc in arb_aqm(),
+        seed in any::<u64>(),
+        arrivals in proptest::collection::vec(
+            (0u64..60_000, 40u64..1_500, 0u64..4_000_000),
+            1..80,
+        ),
+    ) {
+        // the same arrival sequence, once unmarkable and once markable
+        let mut rng = derive_rng(seed, "aqm-unmarkable");
+        let mut q = QueueState::new(disc);
+        for (backlog, bytes, sojourn_us) in &arrivals {
+            let v = q.on_arrival(
+                *backlog,
+                *bytes,
+                Nanos(sojourn_us * 1_000),
+                false, // not-ECT (or CE): not markable
+                &mut rng,
+            );
+            prop_assert!(
+                !matches!(v, QueueVerdict::EnqueueMarked),
+                "unmarkable traffic must never be CE-marked by {:?}",
+                disc
+            );
+        }
+    }
+
+    #[test]
+    fn aqm_marking_is_deterministic_in_the_rng_stream(
+        disc in arb_aqm(),
+        seed in any::<u64>(),
+        ect_pattern in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        // replaying the identical (arrival, RNG) stream yields identical
+        // verdicts — the queue keeps no hidden nondeterministic state, so
+        // shard count or stealing order (which never change a link's
+        // per-packet stream) cannot change a mark
+        let run = |label: &str| {
+            let mut rng = derive_rng(seed, label);
+            let mut q = QueueState::new(disc);
+            ect_pattern
+                .iter()
+                .enumerate()
+                .map(|(i, ect)| {
+                    q.on_arrival(
+                        (i as u64 * 700) % 40_000,
+                        1_000,
+                        Nanos(((i as u64 * 131) % 3_000) * 1_000),
+                        *ect,
+                        &mut rng,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run("aqm-replay"), run("aqm-replay"));
+    }
+
+    #[test]
+    fn mark_prob_extremes_are_exact(
+        seed in any::<u64>(),
+        sojourn_us in 0u64..10_000,
+    ) {
+        // prob = 1 marks every markable arrival, prob = 0 marks none —
+        // and CodelMark marks exactly when sojourn exceeds the target
+        let mut rng = derive_rng(seed, "aqm-extremes");
+        let mut always = QueueState::new(QueueDisc::aqm_mark(1.0));
+        let mut never = QueueState::new(QueueDisc::aqm_mark(0.0));
+        let target = Nanos::from_millis(1);
+        let mut codel = QueueState::new(QueueDisc::l4s_mark(target));
+        let sojourn = Nanos(sojourn_us * 1_000);
+        prop_assert!(matches!(
+            always.on_arrival(0, 100, sojourn, true, &mut rng),
+            QueueVerdict::EnqueueMarked
+        ));
+        prop_assert!(matches!(
+            never.on_arrival(0, 100, sojourn, true, &mut rng),
+            QueueVerdict::Enqueue
+        ));
+        let v = codel.on_arrival(0, 100, sojourn, true, &mut rng);
+        prop_assert_eq!(
+            matches!(v, QueueVerdict::EnqueueMarked),
+            sojourn > target,
+            "CoDel marks exactly above the sojourn target"
+        );
+    }
+}

@@ -297,7 +297,15 @@ fn pushes_before_the_armed_tick_with_overflow_backlog() {
     pair.push(900 * HORIZON);
     let armed = pair.wheel.next_at();
     assert!(armed.is_some(), "backlog must arm the wheel");
-    for d in [0, 1, TICK / 2, TICK * 3, TICK * 300, HORIZON / 2, 3 * HORIZON] {
+    for d in [
+        0,
+        1,
+        TICK / 2,
+        TICK * 3,
+        TICK * 300,
+        HORIZON / 2,
+        3 * HORIZON,
+    ] {
         pair.push(d);
     }
     // interleave draining with fresh pre-tick pushes (in-handler style)

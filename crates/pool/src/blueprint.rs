@@ -33,7 +33,8 @@ use ecn_netsim::{
     NodeId, RouteEntry, Router, Sim, SimConfig, SimSkeleton,
 };
 use ecn_services::{
-    HttpServerKind, NtpServerConfig, NtpServerService, PoolDnsService, PoolHttpService,
+    EcnEchoService, HttpServerKind, NtpServerConfig, NtpServerService, PoolDnsService,
+    PoolHttpService, ECN_ECHO_PORT,
 };
 use ecn_stack::{install, AvailabilityModel, EcnMode, HostHandle, StackConfig};
 use rand::rngs::SmallRng;
@@ -229,6 +230,27 @@ struct BleachPlan {
     as_index: usize,
     site: BleachSite,
     prob: Option<f64>,
+}
+
+/// A modern-ECN middlebox flavour (the scenario family the validator is
+/// tested against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModernBoxKind {
+    /// RED-style probabilistic CE marker on the dest-AS edge link.
+    AqmRed,
+    /// CoDel-style sojourn-threshold CE marker on a rate-limited edge.
+    AqmCodel,
+    /// CE→ECT(0) suppressor at the provider edge.
+    CeSuppress,
+    /// ECT(1)→ECT(0) downgrader at the provider edge.
+    Ect1Downgrade,
+}
+
+/// One decided modern-middlebox placement.
+#[derive(Debug, Clone, Copy)]
+struct ModernBoxPlan {
+    as_index: usize,
+    kind: ModernBoxKind,
 }
 
 /// The immutable world description: every seeded decision plus the
@@ -500,6 +522,67 @@ impl WorldBlueprint {
             place(BleachSite::Access, Some(plan.bleach_prob), &mut bleachers);
         }
 
+        // --- modern-middlebox placement ---------------------------------------
+        // Continues consuming the same shuffled candidate iterator, so each
+        // AS hosts at most one planted behaviour and zero-count plans draw
+        // no extra randomness (byte-identical to pre-AQM worlds).
+        let mut modern: Vec<ModernBoxPlan> = Vec::new();
+        {
+            let mut place_modern = |kind: ModernBoxKind, modern: &mut Vec<ModernBoxPlan>| {
+                let k = next_as
+                    .next()
+                    .expect("ran out of candidate ASes for modern middlebox placement");
+                modern.push(ModernBoxPlan { as_index: k, kind });
+            };
+            for _ in 0..plan.aqm_red {
+                place_modern(ModernBoxKind::AqmRed, &mut modern);
+            }
+            for _ in 0..plan.aqm_codel {
+                place_modern(ModernBoxKind::AqmCodel, &mut modern);
+            }
+            for _ in 0..plan.ce_suppress {
+                place_modern(ModernBoxKind::CeSuppress, &mut modern);
+            }
+            for _ in 0..plan.ect1_downgrade {
+                place_modern(ModernBoxKind::Ect1Downgrade, &mut modern);
+            }
+        }
+
+        // --- per-server ground-truth classes ----------------------------------
+        // The confusion-matrix join needs each planted behaviour as the set
+        // of server *addresses* it affects. PE/Border/Interior boxes cover
+        // every member of their AS; an Access bleacher covers the first
+        // member with a chain long enough to host it (the same member the
+        // wiring below picks).
+        for bp in &bleachers {
+            let das = &dest_as[bp.as_index];
+            let affected: Vec<Ipv4Addr> = if bp.site == BleachSite::Access {
+                let i = chain_lens[bp.as_index]
+                    .iter()
+                    .position(|&l| l >= 2)
+                    .expect("validated during placement");
+                vec![server_addrs[das.members[i]]]
+            } else {
+                das.members.iter().map(|&p| server_addrs[p]).collect()
+            };
+            match bp.prob {
+                None => truth.bleached_servers.extend(affected),
+                Some(_) => truth.bleached_sometimes_servers.extend(affected),
+            }
+        }
+        for mp in &modern {
+            let addrs = dest_as[mp.as_index]
+                .members
+                .iter()
+                .map(|&p| server_addrs[p]);
+            match mp.kind {
+                ModernBoxKind::AqmRed => truth.aqm_red_servers.extend(addrs),
+                ModernBoxKind::AqmCodel => truth.aqm_codel_servers.extend(addrs),
+                ModernBoxKind::CeSuppress => truth.ce_suppressed_servers.extend(addrs),
+                ModernBoxKind::Ect1Downgrade => truth.ect1_downgraded_servers.extend(addrs),
+            }
+        }
+
         // --- DNS zone ---------------------------------------------------------
         let mut zone: HashMap<String, Vec<Ipv4Addr>> = HashMap::new();
         let all_addrs: Vec<Ipv4Addr> = server_addrs.clone();
@@ -531,6 +614,7 @@ impl WorldBlueprint {
             t2_primary_t1: &t2_primary_t1,
             dest_as: &dest_as,
             bleachers: &bleachers,
+            modern: &modern,
         };
         let topo = compile_topology(&decisions, node_count, link_count, &mut truth);
         let servers: Vec<ServerInfo> = {
@@ -707,6 +791,10 @@ impl WorldBlueprint {
                     kod: None,
                 })),
             );
+            // ECN-validation feedback responder: registration is inert
+            // (no events, no RNG, keyed lookup), so every world carries
+            // it without disturbing pre-validator byte streams.
+            handle.register_udp_service(ECN_ECHO_PORT, Box::new(EcnEchoService));
             if let Some(web) = &profile.web {
                 let kind = if web.plain_ok {
                     HttpServerKind::PlainOk
@@ -753,6 +841,7 @@ struct Decisions<'a> {
     t2_primary_t1: &'a [usize],
     dest_as: &'a [DestAsPlan],
     bleachers: &'a [BleachPlan],
+    modern: &'a [ModernBoxPlan],
 }
 
 /// What topology compilation yields besides the simulator itself.
@@ -896,6 +985,10 @@ fn compile_topology(
     let mut dest_nodes: Vec<DestAsNodes> = Vec::with_capacity(d.dest_as.len());
     let mut t1_leaf_routes: Vec<(Ipv4Prefix, usize)> = Vec::with_capacity(d.dest_as.len());
     let mut t2_customer_count = vec![0usize; t2_count];
+    let mut modern_kind: Vec<Option<ModernBoxKind>> = vec![None; d.dest_as.len()];
+    for mp in d.modern {
+        modern_kind[mp.as_index] = Some(mp.kind);
+    }
 
     for (k, das) in d.dest_as.iter().enumerate() {
         let asn = 20_000 + k as u32;
@@ -921,7 +1014,23 @@ fn compile_topology(
         let i3 = sim.add_router(Router::new(format!("d{k}-i3"), dest_router_addr(k, 4), asn));
 
         let (t2_to_pe, pe_to_t2) = sim.add_duplex(t2_nodes[j], pe, LinkProps::clean(edge_delay));
-        let (pe_to_b, b_to_pe) = sim.add_duplex(pe, b, LinkProps::clean(edge_delay));
+        // An AQM-marking AS runs its marker on the inbound PE→border edge
+        // (the direction probe traffic travels); the return edge stays
+        // clean. Same link count either way, so capacity hints are exact.
+        let pe_b_down_props = match modern_kind[k] {
+            Some(ModernBoxKind::AqmRed) => LinkProps {
+                queue: ecn_netsim::QueueDisc::aqm_mark(plan.aqm_red_prob),
+                ..LinkProps::clean(edge_delay)
+            },
+            Some(ModernBoxKind::AqmCodel) => LinkProps {
+                rate_bps: Some(plan.aqm_rate_bps),
+                queue: ecn_netsim::QueueDisc::l4s_mark(plan.aqm_codel_target),
+                ..LinkProps::clean(edge_delay)
+            },
+            _ => LinkProps::clean(edge_delay),
+        };
+        let pe_to_b = sim.add_link(pe, b, pe_b_down_props);
+        let b_to_pe = sim.add_link(b, pe, LinkProps::clean(edge_delay));
         let (b_to_i1, i1_to_b) = sim.add_duplex(b, i1, LinkProps::clean(edge_delay));
         let (i1_to_i2, i2_to_i1) = sim.add_duplex(i1, i2, LinkProps::clean(edge_delay));
         let (i2_to_i3, i3_to_i2) = sim.add_duplex(i2, i3, LinkProps::clean(edge_delay));
@@ -1088,6 +1197,18 @@ fn compile_topology(
         match bp.prob {
             None => truth.bleach_always.push((node, bp.site)),
             Some(_) => truth.bleach_sometimes.push((node, bp.site)),
+        }
+    }
+
+    // --- wire modern middlebox policies --------------------------------------
+    // AQM markers were wired as link properties above; the codepoint
+    // rewriters are PE router policies.
+    for mp in d.modern {
+        let pe = dest_nodes[mp.as_index].pe;
+        match mp.kind {
+            ModernBoxKind::CeSuppress => sim.set_ecn_policy(pe, EcnPolicy::ClearCe),
+            ModernBoxKind::Ect1Downgrade => sim.set_ecn_policy(pe, EcnPolicy::DowngradeEct1),
+            ModernBoxKind::AqmRed | ModernBoxKind::AqmCodel => {}
         }
     }
 

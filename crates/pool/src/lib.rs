@@ -29,7 +29,7 @@ pub use scenario::{
 };
 pub use spec::{
     LinkSpec, MiddleboxSpec, ObservabilitySpec, PopulationSpec, ResilienceSpec, ScenarioSpec,
-    ScheduleProfile, ScheduleSpec, SpecError, TopologySpec,
+    ScheduleProfile, ScheduleSpec, SpecError, TopologySpec, ValidatorSpec,
 };
 pub use vantage::{
     all_vantages, total_traces, TraceAllocation, VantageSpec, UDP_RETRIES, UDP_TIMEOUT,

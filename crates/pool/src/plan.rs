@@ -83,6 +83,35 @@ pub struct PoolPlan {
     /// Per-packet strip probability of the probabilistic bleachers.
     pub bleach_prob: f64,
 
+    /// Destination ASes whose edge link runs a RED-style probabilistic
+    /// CE marker (the modern-ECN scenario family; `0` = the paper's
+    /// 2015 world, byte-identical to plans predating the knob).
+    #[serde(default)]
+    pub aqm_red: usize,
+    /// Destination ASes whose edge link is a rate-limited bottleneck
+    /// with a CoDel-style sojourn-threshold CE marker (L4S-flavoured).
+    #[serde(default)]
+    pub aqm_codel: usize,
+    /// Per-markable-packet CE probability of the RED-style markers.
+    #[serde(default)]
+    pub aqm_red_prob: f64,
+    /// Sojourn threshold of the CoDel-style markers.
+    #[serde(default)]
+    pub aqm_codel_target: Nanos,
+    /// Serialisation rate of the CoDel-marked bottleneck links, bits/s
+    /// (finite so probe trains actually build sojourn).
+    #[serde(default)]
+    pub aqm_rate_bps: u64,
+    /// Destination ASes whose provider edge erases CE back to ECT(0)
+    /// (a congestion-signal suppressor, caught by the validator's CE
+    /// canary).
+    #[serde(default)]
+    pub ce_suppress: usize,
+    /// Destination ASes whose provider edge rewrites ECT(1) to ECT(0)
+    /// (L4S-hostile re-markers).
+    #[serde(default)]
+    pub ect1_downgrade: usize,
+
     /// Share of pool servers answering with the plain-OK page instead of
     /// the standard redirect.
     pub plain_ok_fraction: f64,
@@ -131,6 +160,13 @@ impl PoolPlan {
             bleach_prob_pe: 1,
             bleach_prob_access: 2,
             bleach_prob: 0.5,
+            aqm_red: 0,
+            aqm_codel: 0,
+            aqm_red_prob: 0.1,
+            aqm_codel_target: Nanos(500_000), // 0.5 ms
+            aqm_rate_bps: 1_000_000,          // 1 Mbit/s bottleneck
+            ce_suppress: 0,
+            ect1_downgrade: 0,
             plain_ok_fraction: 0.08,
             vantage_count: 13,
             loss_scale: 1.0,

@@ -48,6 +48,21 @@ pub struct GroundTruth {
     pub bleach_always: Vec<(NodeId, BleachSite)>,
     /// Sometimes-bleaching routers.
     pub bleach_sometimes: Vec<(NodeId, BleachSite)>,
+    /// Servers behind an always-on bleacher (any site) — the set an ECN
+    /// validator *should* fail.
+    pub bleached_servers: Vec<Ipv4Addr>,
+    /// Servers behind a probabilistic bleacher (failure detectable but
+    /// not guaranteed per round).
+    pub bleached_sometimes_servers: Vec<Ipv4Addr>,
+    /// Servers behind a RED-style CE-marking AQM edge (marks are benign:
+    /// a validator must stay `Capable`).
+    pub aqm_red_servers: Vec<Ipv4Addr>,
+    /// Servers behind a CoDel-style sojourn-marking bottleneck edge.
+    pub aqm_codel_servers: Vec<Ipv4Addr>,
+    /// Servers behind a CE-suppressing middlebox (CE erased to ECT(0)).
+    pub ce_suppressed_servers: Vec<Ipv4Addr>,
+    /// Servers behind an ECT(1)→ECT(0) downgrading middlebox.
+    pub ect1_downgraded_servers: Vec<Ipv4Addr>,
     /// Destination ASes actually created.
     pub dest_as_count: usize,
     /// Servers with a web server.

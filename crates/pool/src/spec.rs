@@ -63,6 +63,9 @@ pub struct ScenarioSpec {
     pub topology: TopologySpec,
     /// Middlebox deployment rates (per 1000 servers).
     pub middleboxes: MiddleboxSpec,
+    /// Endpoint ECN validation pass (off by default).
+    #[serde(default)]
+    pub validator: ValidatorSpec,
     /// Link loss and latency.
     pub links: LinkSpec,
     /// Campaign schedule profile.
@@ -137,6 +140,55 @@ pub struct MiddleboxSpec {
     pub bleach_prob_access_per_1000: f64,
     /// Per-packet strip probability of the probabilistic bleachers.
     pub bleach_prob: f64,
+    /// Destination-AS edges with a RED-style probabilistic CE marker
+    /// (the modern-ECN family; `0` = the paper's 2015 world).
+    #[serde(default)]
+    pub aqm_red_per_1000: f64,
+    /// Destination-AS edges with a CoDel-style sojourn-marking
+    /// bottleneck.
+    #[serde(default)]
+    pub aqm_codel_per_1000: f64,
+    /// CE-suppressing (CE→ECT(0)) middleboxes at provider edges.
+    #[serde(default)]
+    pub ce_suppressors_per_1000: f64,
+    /// ECT(1)→ECT(0) downgrading middleboxes at provider edges.
+    #[serde(default)]
+    pub ect1_downgrade_per_1000: f64,
+    /// Per-markable-packet CE probability of the RED-style markers.
+    #[serde(default)]
+    pub aqm_red_prob: f64,
+    /// Sojourn threshold of the CoDel-style markers, microseconds.
+    #[serde(default)]
+    pub aqm_codel_target_us: u64,
+    /// Serialisation rate of CoDel-marked bottleneck edges, kbit/s.
+    #[serde(default)]
+    pub aqm_rate_kbps: u64,
+}
+
+/// `[validator]`: the endpoint ECN validation pass (RFC 9000-style
+/// state machine probing each target through the validation echo
+/// service). `packets = 0` (the default) disables the pass entirely —
+/// the campaign then runs byte-identically to pre-validator builds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidatorSpec {
+    /// Marked packets per validation round (s2n-quic tests 10;
+    /// `0` = validation off).
+    pub packets: usize,
+    /// Send one deliberately CE-marked canary to detect CE suppression.
+    pub ce_canary: bool,
+    /// Vantages per 1000 that mark with ECT(1) instead of ECT(0)
+    /// (L4S-style senders).
+    pub ect1_per_1000: f64,
+}
+
+impl Default for ValidatorSpec {
+    fn default() -> ValidatorSpec {
+        ValidatorSpec {
+            packets: 0,
+            ce_canary: true,
+            ect1_per_1000: 0.0,
+        }
+    }
 }
 
 /// `[links]`: loss and latency distributions.
@@ -267,7 +319,15 @@ impl ScenarioSpec {
                 bleach_prob_pe_per_1000: 0.4,
                 bleach_prob_access_per_1000: 0.8,
                 bleach_prob: 0.5,
+                aqm_red_per_1000: 0.0,
+                aqm_codel_per_1000: 0.0,
+                ce_suppressors_per_1000: 0.0,
+                ect1_downgrade_per_1000: 0.0,
+                aqm_red_prob: 0.1,
+                aqm_codel_target_us: 500,
+                aqm_rate_kbps: 1_000,
             },
+            validator: ValidatorSpec::default(),
             links: LinkSpec {
                 vantage_loss_scale: 1.0,
                 edge_loss: 0.0,
@@ -323,6 +383,13 @@ impl ScenarioSpec {
             bleach_prob_pe: n(m.bleach_prob_pe_per_1000),
             bleach_prob_access: n(m.bleach_prob_access_per_1000),
             bleach_prob: m.bleach_prob,
+            aqm_red: n(m.aqm_red_per_1000),
+            aqm_codel: n(m.aqm_codel_per_1000),
+            ce_suppress: n(m.ce_suppressors_per_1000),
+            ect1_downgrade: n(m.ect1_downgrade_per_1000),
+            aqm_red_prob: m.aqm_red_prob,
+            aqm_codel_target: Nanos(m.aqm_codel_target_us.saturating_mul(1_000)),
+            aqm_rate_bps: m.aqm_rate_kbps.saturating_mul(1_000),
             plain_ok_fraction: p.plain_ok_fraction,
             vantage_count: self.vantage_count,
             loss_scale: self.links.vantage_loss_scale,
@@ -380,6 +447,7 @@ impl ScenarioSpec {
             ("population.plain_ok_fraction", p.plain_ok_fraction),
             ("population.flapping_fraction", p.flapping_fraction),
             ("middleboxes.bleach_prob", self.middleboxes.bleach_prob),
+            ("middleboxes.aqm_red_prob", self.middleboxes.aqm_red_prob),
             ("links.edge_loss", self.links.edge_loss),
         ] {
             if !(0.0..=1.0).contains(&frac) {
@@ -442,10 +510,42 @@ impl ScenarioSpec {
                 "middleboxes.bleach_prob_access_per_1000",
                 m.bleach_prob_access_per_1000,
             ),
+            ("middleboxes.aqm_red_per_1000", m.aqm_red_per_1000),
+            ("middleboxes.aqm_codel_per_1000", m.aqm_codel_per_1000),
+            (
+                "middleboxes.ce_suppressors_per_1000",
+                m.ce_suppressors_per_1000,
+            ),
+            (
+                "middleboxes.ect1_downgrade_per_1000",
+                m.ect1_downgrade_per_1000,
+            ),
+            ("validator.ect1_per_1000", self.validator.ect1_per_1000),
         ] {
             if !(0.0..=1000.0).contains(&rate) {
                 return err(path, format!("{rate} outside [0, 1000]"));
             }
+        }
+        if self.validator.packets > 64 {
+            return err(
+                "validator.packets",
+                format!(
+                    "{} exceeds 64 (one validation round)",
+                    self.validator.packets
+                ),
+            );
+        }
+        if m.aqm_codel_target_us > 10_000_000 {
+            return err(
+                "middleboxes.aqm_codel_target_us",
+                format!("{} exceeds 10000000 (10 s)", m.aqm_codel_target_us),
+            );
+        }
+        if m.aqm_rate_kbps < 8 || m.aqm_rate_kbps > 100_000_000 {
+            return err(
+                "middleboxes.aqm_rate_kbps",
+                format!("{} outside [8, 100000000]", m.aqm_rate_kbps),
+            );
         }
         if self.schedule.target_chunks < 1 {
             return err("schedule.target_chunks", "must be >= 1".into());
@@ -488,6 +588,28 @@ impl ScenarioSpec {
                     "{specials} middleboxed + {dead} dead/churned servers \
                      exceed the population of {}",
                     p.servers
+                ),
+            );
+        }
+        // every planted modern middlebox consumes one candidate dest AS
+        // (as do bleachers and special servers); the packer guarantees at
+        // least servers/4 ASes (max AS size 4), so reject deployments that
+        // would exhaust the pool before world construction can panic
+        let modern = plan.aqm_red + plan.aqm_codel + plan.ce_suppress + plan.ect1_downgrade;
+        let bleachers = plan.bleach_pe
+            + plan.bleach_border
+            + plan.bleach_interior
+            + plan.bleach_access
+            + plan.bleach_prob_pe
+            + plan.bleach_prob_access;
+        if modern > 0 && modern + bleachers + specials >= p.servers / 4 {
+            return err(
+                "middleboxes",
+                format!(
+                    "{modern} AQM/suppressor boxes + {bleachers} bleachers + \
+                     {specials} special servers exceed the candidate AS pool \
+                     (~{} ASes)",
+                    p.servers / 4
                 ),
             );
         }
@@ -650,6 +772,7 @@ fn apply_root(spec: &mut ScenarioSpec, value: &SpecValue) -> Result<(), SpecErro
         "population" => |v, p: &str| apply_population(&mut spec.population, want_table(v, p)?, p),
         "topology" => |v, p: &str| apply_topology(&mut spec.topology, want_table(v, p)?, p),
         "middleboxes" => |v, p: &str| apply_middleboxes(&mut spec.middleboxes, want_table(v, p)?, p),
+        "validator" => |v, p: &str| apply_validator(&mut spec.validator, want_table(v, p)?, p),
         "links" => |v, p: &str| apply_links(&mut spec.links, want_table(v, p)?, p),
         "schedule" => |v, p: &str| apply_schedule(&mut spec.schedule, want_table(v, p)?, p),
         "observability" => |v, p: &str| apply_observability(&mut spec.observability, want_table(v, p)?, p),
@@ -703,6 +826,25 @@ fn apply_middleboxes(
         "bleach_prob_pe_per_1000" => |v, p| { out.bleach_prob_pe_per_1000 = want_f64(v, p)?; Ok(()) },
         "bleach_prob_access_per_1000" => |v, p| { out.bleach_prob_access_per_1000 = want_f64(v, p)?; Ok(()) },
         "bleach_prob" => |v, p| { out.bleach_prob = want_f64(v, p)?; Ok(()) },
+        "aqm_red_per_1000" => |v, p| { out.aqm_red_per_1000 = want_f64(v, p)?; Ok(()) },
+        "aqm_codel_per_1000" => |v, p| { out.aqm_codel_per_1000 = want_f64(v, p)?; Ok(()) },
+        "ce_suppressors_per_1000" => |v, p| { out.ce_suppressors_per_1000 = want_f64(v, p)?; Ok(()) },
+        "ect1_downgrade_per_1000" => |v, p| { out.ect1_downgrade_per_1000 = want_f64(v, p)?; Ok(()) },
+        "aqm_red_prob" => |v, p| { out.aqm_red_prob = want_f64(v, p)?; Ok(()) },
+        "aqm_codel_target_us" => |v, p| { out.aqm_codel_target_us = want_u64(v, p)?; Ok(()) },
+        "aqm_rate_kbps" => |v, p| { out.aqm_rate_kbps = want_u64(v, p)?; Ok(()) },
+    })
+}
+
+fn apply_validator(
+    out: &mut ValidatorSpec,
+    table: &[(String, SpecValue)],
+    prefix: &str,
+) -> Result<(), SpecError> {
+    apply_table!(table, prefix, {
+        "packets" => |v, p| { out.packets = want_usize(v, p)?; Ok(()) },
+        "ce_canary" => |v, p| { out.ce_canary = want_bool(v, p)?; Ok(()) },
+        "ect1_per_1000" => |v, p| { out.ect1_per_1000 = want_f64(v, p)?; Ok(()) },
     })
 }
 

@@ -1,0 +1,84 @@
+//! The ECN-validation echo responder.
+//!
+//! Modern transports validate ECN by comparing the codepoint they *sent*
+//! against the codepoint the peer *saw* (QUIC carries this back in
+//! ACK-ECN counts). The simulated pool servers expose the same feedback
+//! through a tiny UDP echo service: a request `["EV", seq]` is answered
+//! with `["EV", seq, arrived_ecn_bits]`, reporting the codepoint the
+//! probe arrived with after whatever the path's middleboxes did to it.
+//! The reply itself rides not-ECT (the stack marks service replies
+//! not-ECT), so a mangled reply path cannot corrupt the report.
+
+use ecn_netsim::Nanos;
+use ecn_stack::UdpService;
+use ecn_wire::Ecn;
+use std::net::Ipv4Addr;
+
+/// The well-known port the validation echo service listens on.
+pub const ECN_ECHO_PORT: u16 = 3168;
+
+/// Request/response magic prefix.
+pub const ECN_ECHO_MAGIC: [u8; 2] = *b"EV";
+
+/// Build a validation probe payload for sequence number `seq`.
+pub fn echo_request(seq: u8) -> Vec<u8> {
+    vec![ECN_ECHO_MAGIC[0], ECN_ECHO_MAGIC[1], seq]
+}
+
+/// Parse an echo reply: returns `(seq, arrived_ecn)` for well-formed
+/// replies, `None` otherwise.
+pub fn parse_echo_reply(payload: &[u8]) -> Option<(u8, Ecn)> {
+    match payload {
+        [m0, m1, seq, bits] if [*m0, *m1] == ECN_ECHO_MAGIC && *bits <= 0b11 => {
+            Some((*seq, Ecn::from_bits(*bits)))
+        }
+        _ => None,
+    }
+}
+
+/// The responder side, run as a [`UdpService`] on [`ECN_ECHO_PORT`].
+#[derive(Debug, Default)]
+pub struct EcnEchoService;
+
+impl UdpService for EcnEchoService {
+    fn handle(
+        &mut self,
+        _now: Nanos,
+        _src: (Ipv4Addr, u16),
+        ecn: Ecn,
+        payload: &[u8],
+    ) -> Option<Vec<u8>> {
+        match payload {
+            [m0, m1, seq] if [*m0, *m1] == ECN_ECHO_MAGIC => Some(vec![*m0, *m1, *seq, ecn.bits()]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 1), 40001);
+
+    #[test]
+    fn echoes_arrived_codepoint() {
+        let mut s = EcnEchoService;
+        for ecn in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce] {
+            let reply = s.handle(Nanos::ZERO, SRC, ecn, &echo_request(7)).unwrap();
+            assert_eq!(parse_echo_reply(&reply), Some((7, ecn)));
+        }
+    }
+
+    #[test]
+    fn ignores_malformed_requests() {
+        let mut s = EcnEchoService;
+        assert!(s.handle(Nanos::ZERO, SRC, Ecn::Ect0, b"EV").is_none());
+        assert!(s.handle(Nanos::ZERO, SRC, Ecn::Ect0, b"XX\x01").is_none());
+        assert!(s
+            .handle(Nanos::ZERO, SRC, Ecn::Ect0, b"EV\x01\x02")
+            .is_none());
+        assert!(parse_echo_reply(b"EV\x01").is_none());
+        assert!(parse_echo_reply(b"EV\x01\x09").is_none());
+    }
+}

@@ -11,9 +11,11 @@
 //!   redirect to `www.pool.ntp.org`, probed over TCP ± ECN.
 
 pub mod dns;
+pub mod echo;
 pub mod http;
 pub mod ntp;
 
 pub use dns::{pool_query_names, PoolDnsService, ANSWERS_PER_QUERY, POOL_TTL};
+pub use echo::{echo_request, parse_echo_reply, EcnEchoService, ECN_ECHO_MAGIC, ECN_ECHO_PORT};
 pub use http::{HttpServerKind, PoolHttpService};
 pub use ntp::{ntp_now, NtpClient, NtpServerConfig, NtpServerService, NTP_EPOCH_OFFSET_SECS};

@@ -24,6 +24,7 @@ pub mod availability;
 pub mod services;
 pub mod stack;
 pub mod tcp;
+pub mod validator;
 
 pub use availability::{Availability, AvailabilityModel};
 pub use services::{TcpService, TcpServiceAction, UdpService};
@@ -32,3 +33,6 @@ pub use stack::{
     UdpReceived,
 };
 pub use tcp::{CloseReason, EcnMode, Emit, HandshakeRecord, TcpConn, TcpState, MSS};
+pub use validator::{
+    EcnValidator, FailureKind, ValidationOutcome, ValidatorParams, ValidatorState,
+};

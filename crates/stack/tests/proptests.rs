@@ -159,3 +159,174 @@ proptest! {
         prop_assert_eq!(s.take_received(), data);
     }
 }
+
+// ------------------------------------------------- ECN validator oracle
+//
+// The validation state machine vs a naive reference model: for arbitrary
+// parameters, session codepoints and per-packet path behaviours, the
+// controller's verdict must equal the spec prose recomputed from scratch
+// — and no path that erases marks may ever reach `Capable`.
+
+use ecn_stack::{EcnValidator, ValidationOutcome, ValidatorParams};
+
+/// What the path does to one packet of the validation train.
+#[derive(Debug, Clone, Copy)]
+enum PathAction {
+    /// Deliver the mark untouched.
+    Pass,
+    /// Erase any mark to not-ECT (a bleacher).
+    Bleach,
+    /// Rewrite ECT(x) to the other ECT codepoint; erase CE to ECT(0)
+    /// (a re-marking middlebox that also suppresses congestion signals).
+    Remark,
+    /// CE-mark the packet (an AQM signalling congestion).
+    MarkCe,
+    /// Drop it (no report reaches the sender).
+    Drop,
+}
+
+fn apply_path(action: PathAction, sent: Ecn) -> Option<Ecn> {
+    Some(match action {
+        PathAction::Pass => sent,
+        PathAction::Bleach => Ecn::NotEct,
+        PathAction::Remark => match sent {
+            Ecn::Ect0 | Ecn::Ce => Ecn::Ect1,
+            Ecn::Ect1 => Ecn::Ect0,
+            Ecn::NotEct => Ecn::NotEct,
+        },
+        PathAction::MarkCe => Ecn::Ce,
+        PathAction::Drop => return None,
+    })
+}
+
+/// The naive reference: recompute the verdict from the docs, with no
+/// shared code or state machine — first mangled report wins, any intact
+/// (or CE-marked) arrival confirms, silence splits on peer liveness.
+fn reference_outcome(
+    params: &ValidatorParams,
+    session: Ecn,
+    actions: &[PathAction],
+    control_reachable: bool,
+) -> ValidationOutcome {
+    let n = params.testing_packets as usize;
+    let mut failure = None;
+    let mut confirmed = 0u32;
+    let mut any_feedback = false;
+    for (i, action) in actions.iter().enumerate().take(n) {
+        let sent = if params.ce_canary && i + 1 == n {
+            Ecn::Ce
+        } else {
+            session
+        };
+        let Some(arrived) = apply_path(*action, sent) else {
+            continue;
+        };
+        any_feedback = true;
+        let ok = arrived == sent || arrived == Ecn::Ce;
+        if ok {
+            confirmed += 1;
+        } else if failure.is_none() {
+            failure = Some(if sent == Ecn::Ce {
+                ValidationOutcome::FailedCeSuppressed
+            } else if arrived == Ecn::NotEct {
+                ValidationOutcome::FailedBleached
+            } else {
+                ValidationOutcome::FailedRemarked
+            });
+        }
+    }
+    if let Some(f) = failure {
+        f
+    } else if confirmed > 0 {
+        ValidationOutcome::Capable
+    } else if !any_feedback && !control_reachable {
+        ValidationOutcome::Inconclusive
+    } else {
+        ValidationOutcome::FailedBlackHole
+    }
+}
+
+fn arb_action() -> impl Strategy<Value = PathAction> {
+    prop_oneof![
+        Just(PathAction::Pass),
+        Just(PathAction::Bleach),
+        Just(PathAction::Remark),
+        Just(PathAction::MarkCe),
+        Just(PathAction::Drop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn validator_matches_the_naive_reference(
+        packets in 1u32..=12,
+        ce_canary in any::<bool>(),
+        ect1_session in any::<bool>(),
+        control_reachable in any::<bool>(),
+        actions in proptest::collection::vec(arb_action(), 12),
+    ) {
+        let params = ValidatorParams {
+            testing_packets: packets,
+            ce_canary,
+            ..ValidatorParams::default()
+        };
+        let session = if ect1_session { Ecn::Ect1 } else { Ecn::Ect0 };
+        let mut v = EcnValidator::new(params);
+        let mut reports = Vec::new();
+        for (i, action) in actions.iter().take(packets as usize).enumerate() {
+            let sent = v.next_codepoint(session);
+            // transition check: the send schedule matches the naive one
+            let expected = if ce_canary && i as u32 + 1 == packets {
+                Ecn::Ce
+            } else {
+                session
+            };
+            prop_assert_eq!(sent, expected, "packet {} mark", i);
+            if let Some(arrived) = apply_path(*action, sent) {
+                reports.push((sent, arrived));
+            }
+        }
+        // testing budget exhausted: later traffic goes unmarked
+        prop_assert_eq!(v.next_codepoint(session), Ecn::NotEct);
+        for (sent, arrived) in reports {
+            v.on_peer_report(sent, arrived);
+        }
+        let got = v.conclude(Nanos::ZERO, control_reachable);
+        let want = reference_outcome(&params, session, &actions, control_reachable);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(v.outcome(), got, "conclude() and outcome() agree");
+        // exactly the failed verdicts allow a retest after the cool-off
+        prop_assert_eq!(v.maybe_retest(Nanos::from_secs(3600)), got.is_failed());
+    }
+
+    #[test]
+    fn no_bleaching_path_ever_validates(
+        packets in 1u32..=12,
+        ce_canary in any::<bool>(),
+        ect1_session in any::<bool>(),
+        control_reachable in any::<bool>(),
+        // every packet is either stripped to not-ECT or dropped — a
+        // bleaching path, whatever the mix
+        bleach_or_drop in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let params = ValidatorParams {
+            testing_packets: packets,
+            ce_canary,
+            ..ValidatorParams::default()
+        };
+        let session = if ect1_session { Ecn::Ect1 } else { Ecn::Ect0 };
+        let mut v = EcnValidator::new(params);
+        for bleach in bleach_or_drop.iter().take(packets as usize) {
+            let sent = v.next_codepoint(session);
+            if *bleach {
+                v.on_peer_report(sent, Ecn::NotEct);
+            }
+        }
+        let got = v.conclude(Nanos::ZERO, control_reachable);
+        prop_assert!(
+            got != ValidationOutcome::Capable,
+            "a path delivering no intact mark must never validate (got {:?})",
+            got
+        );
+    }
+}

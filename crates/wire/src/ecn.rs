@@ -163,6 +163,13 @@ mod tests {
         // A not-ECT packet is never *marked*; congestion drops it instead.
         assert_eq!(Ecn::NotEct.marked(), Ecn::NotEct);
         assert!(!Ecn::NotEct.is_markable());
+        // Markability is exactly the two ECT codepoints: ECT(1) is as
+        // markable as ECT(0), and an already-CE packet is NOT markable —
+        // AQM call sites rely on this to draw no randomness (and count
+        // no new mark) for packets that already carry the signal.
+        assert!(Ecn::Ect0.is_markable());
+        assert!(Ecn::Ect1.is_markable());
+        assert!(!Ecn::Ce.is_markable());
     }
 
     #[test]

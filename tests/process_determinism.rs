@@ -85,6 +85,42 @@ fn mini_report_is_byte_identical_across_process_topologies() {
 }
 
 #[test]
+fn validation_section_is_byte_identical_across_topologies() {
+    // The modern-ECN acceptance sweep: the validation confusion matrix —
+    // and the whole report carrying it — must be byte-identical across
+    // shards ∈ {1, 4, 13, 32} × process counts × stealing orders. The
+    // validator adds a fifth probe phase with its own packet trains, so
+    // this proves the new phase draws no schedule-dependent randomness.
+    let spec = load_preset("validator-vs-bleachers.toml");
+    let baseline = run_preset(&spec, 1, 1, UnitOrder::AsScheduled);
+    assert!(
+        !baseline.result.aggregates.validation.is_empty(),
+        "the preset must actually run the validation pass"
+    );
+    let expected = render(&baseline);
+    for (processes, shards, order) in [
+        (1usize, 4usize, UnitOrder::Reversed),
+        (1, 13, UnitOrder::Shuffled(7)),
+        (1, 32, UnitOrder::Shuffled(23)),
+        (2, 1, UnitOrder::Reversed),
+        (2, 4, UnitOrder::Shuffled(7)),
+        (2, 13, UnitOrder::AsScheduled),
+        (2, 32, UnitOrder::Shuffled(5)),
+    ] {
+        let run = run_preset(&spec, processes, shards, order);
+        assert_eq!(
+            baseline.result.aggregates.validation, run.result.aggregates.validation,
+            "validation counters changed at processes={processes} shards={shards} {order:?}"
+        );
+        assert_eq!(
+            expected,
+            render(&run),
+            "report bytes changed at processes={processes} shards={shards} {order:?}"
+        );
+    }
+}
+
+#[test]
 fn multiprocess_run_reports_topology_gauges() {
     let spec = load_preset("paper2015-mini.toml");
     let run = run_preset(&spec, 4, 2, UnitOrder::AsScheduled);

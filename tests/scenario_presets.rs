@@ -46,6 +46,9 @@ struct PresetRun {
     /// (normalised so presets of different population sizes compare).
     plain_reach_frac: f64,
     strip_locations: usize,
+    /// (true-failure, false-failure, missed-bleacher) rates of the
+    /// validation confusion matrix; `None` when the pass was off.
+    validation_rates: Option<(f64, f64, f64)>,
 }
 
 fn preset_run(name: &str) -> Arc<PresetRun> {
@@ -76,6 +79,13 @@ fn preset_run(name: &str) -> Arc<PresetRun> {
             plain_reach_frac: report.figure2.avg_plain_reachable
                 / run.result.targets.len().max(1) as f64,
             strip_locations: report.figure4.strip_locations,
+            validation_rates: report.validation.as_ref().map(|v| {
+                (
+                    v.true_failure_rate(),
+                    v.false_failure_rate(),
+                    v.missed_bleacher_rate(),
+                )
+            }),
         })
     })
     .clone()
@@ -151,6 +161,72 @@ fn ecn_blackhole_matches_golden() {
 #[test]
 fn lossy_edge_matches_golden() {
     check_golden("scenario_lossy_edge", &preset_run("lossy-edge").render);
+}
+
+#[test]
+fn l4s_aqm_matches_golden() {
+    check_golden("scenario_l4s_aqm", &preset_run("l4s-aqm").render);
+}
+
+#[test]
+fn validator_vs_bleachers_matches_golden() {
+    check_golden(
+        "scenario_validator_vs_bleachers",
+        &preset_run("validator-vs-bleachers").render,
+    );
+}
+
+#[test]
+fn ce_suppressor_matches_golden() {
+    check_golden(
+        "scenario_ce_suppressor",
+        &preset_run("ce-suppressor").render,
+    );
+}
+
+#[test]
+fn modern_ecn_presets_show_their_designed_phenomena() {
+    // the 2015 presets never run the validation pass…
+    assert!(preset_run("paper2015-mini").validation_rates.is_none());
+
+    // …the AQM world validates everywhere: congestion marks are benign
+    let (l4s_true, l4s_false, _) = preset_run("l4s-aqm")
+        .validation_rates
+        .expect("l4s-aqm runs the validator");
+    assert!(
+        l4s_true.is_nan(),
+        "l4s-aqm plants no bleachers, so the true-failure rate is n/a"
+    );
+    assert!(
+        l4s_false < 0.01,
+        "AQM CE marks must never fail validation on a capable path — only \
+         the rare loss/flap black-hole may register (got {l4s_false})"
+    );
+
+    // …and bleached paths are caught without collateral damage
+    let (true_rate, false_rate, missed) = preset_run("validator-vs-bleachers")
+        .validation_rates
+        .expect("validator-vs-bleachers runs the validator");
+    assert!(
+        true_rate > 0.5,
+        "always-bleached paths must fail validation (got {true_rate})"
+    );
+    assert!(
+        false_rate < 0.01,
+        "clean and AQM paths must keep validating (got {false_rate})"
+    );
+    assert_eq!(
+        missed, 0.0,
+        "no bleached path may validate as capable (missed {missed})"
+    );
+
+    // …while CE suppression — invisible to the 2015 probes — trips the
+    // canary
+    let ce = preset_run("ce-suppressor");
+    assert!(
+        ce.render.contains("ce-suppressor"),
+        "the confusion matrix must carry a ce-suppressor row"
+    );
 }
 
 #[test]
